@@ -1,0 +1,160 @@
+package main
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+
+	"qrel/internal/datalog"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// runE11 exercises the Datalog extension (Section 4 covers Datalog
+// queries explicitly — de Rougemont had proved the FP^#P bound for
+// them): two-terminal network reliability with independent link
+// failures. The exact engine (world enumeration) is cross-checked
+// against an independent inclusion-free computation on
+// series-parallel cases with known closed forms, and the Monte Carlo
+// estimator must stay inside its absolute-error bound.
+func runE11(cfg config, out *report) error {
+	prog := datalog.MustParse(`
+Reach(x,y) :- Link(x,y).
+Reach(x,z) :- Reach(x,y), Link(y,z).
+`)
+	out.row("topology", "links", "uncertain", "R exact", "closed form", "agree", "time")
+
+	// Closed-form cases: a k-link series chain 0→1→...→k with failure
+	// probability f per link has Pr[Reach(0,k)] = (1-f)^k; the observed
+	// database is connected, so R = (1-f)^k.
+	f := big.NewRat(1, 5)
+	oneMinusF := new(big.Rat).Sub(big.NewRat(1, 1), f)
+	allAgree := true
+	for _, k := range []int{2, 4, 8} {
+		db, err := chainDB(k, f)
+		if err != nil {
+			return err
+		}
+		q := datalog.Atom{Pred: "Reach", Args: []datalog.Term{datalog.E(0), datalog.E(k)}}
+		var res datalog.Result
+		dt, err := timeIt(func() error {
+			var err error
+			res, err = datalog.Reliability(db, prog, q, 16)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		want := big.NewRat(1, 1)
+		for i := 0; i < k; i++ {
+			want.Mul(want, oneMinusF)
+		}
+		agree := res.R.Cmp(want) == 0
+		allAgree = allAgree && agree
+		wf, _ := want.Float64()
+		out.row("series-"+itoa(k), k, db.NumUncertain(), res.RFloat, wf, agree, dt)
+	}
+	// Parallel: two disjoint 2-hop routes 0→a→3; Pr[connected] =
+	// 1 − (1 − (1-f)²)².
+	db, err := parallelDB(f)
+	if err != nil {
+		return err
+	}
+	q := datalog.Atom{Pred: "Reach", Args: []datalog.Term{datalog.E(0), datalog.E(3)}}
+	res, err := datalog.Reliability(db, prog, q, 16)
+	if err != nil {
+		return err
+	}
+	route := new(big.Rat).Mul(oneMinusF, oneMinusF)
+	fail := new(big.Rat).Sub(big.NewRat(1, 1), route)
+	fail.Mul(fail, fail)
+	want := new(big.Rat).Sub(big.NewRat(1, 1), fail)
+	agree := res.R.Cmp(want) == 0
+	allAgree = allAgree && agree
+	wf, _ := want.Float64()
+	out.row("parallel-2x2", 4, db.NumUncertain(), res.RFloat, wf, agree, "-")
+	out.check("exact Datalog reliability matches series/parallel closed forms", allAgree)
+
+	// Monte Carlo on a random mesh against the exact engine.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	mesh, err := meshDB(rng, 6, 7, f)
+	if err != nil {
+		return err
+	}
+	qMesh := datalog.Atom{Pred: "Reach", Args: []datalog.Term{datalog.V("x"), datalog.E(0)}}
+	exact, err := datalog.Reliability(mesh, prog, qMesh, 16)
+	if err != nil {
+		return err
+	}
+	est, err := datalog.ReliabilityMC(mesh, prog, qMesh, 0.02, 0.02, rng)
+	if err != nil {
+		return err
+	}
+	absErr := math.Abs(est.RFloat - exact.RFloat)
+	out.row("mesh-MC", 7, mesh.NumUncertain(), est.RFloat, exact.RFloat, absErr <= 0.02, est.Samples)
+	out.check("Datalog Monte Carlo within its absolute-error bound", absErr <= 0.02)
+	return nil
+}
+
+func linkVoc() *rel.Vocabulary {
+	return rel.MustVocabulary(rel.RelSym{Name: "Link", Arity: 2})
+}
+
+// chainDB builds the series chain 0→1→...→k with failure probability f
+// per (directed) link.
+func chainDB(k int, f *big.Rat) (*unreliable.DB, error) {
+	s, err := rel.NewStructure(k+1, linkVoc())
+	if err != nil {
+		return nil, err
+	}
+	db := unreliable.New(s)
+	for i := 0; i < k; i++ {
+		s.MustAdd("Link", i, i+1)
+		if err := db.SetError(rel.GroundAtom{Rel: "Link", Args: rel.Tuple{i, i + 1}}, f); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// parallelDB builds two disjoint 2-hop routes 0→1→3 and 0→2→3.
+func parallelDB(f *big.Rat) (*unreliable.DB, error) {
+	s, err := rel.NewStructure(4, linkVoc())
+	if err != nil {
+		return nil, err
+	}
+	db := unreliable.New(s)
+	for _, l := range [][2]int{{0, 1}, {1, 3}, {0, 2}, {2, 3}} {
+		s.MustAdd("Link", l[0], l[1])
+		if err := db.SetError(rel.GroundAtom{Rel: "Link", Args: rel.Tuple{l[0], l[1]}}, f); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// meshDB builds a random connected-ish mesh with `links` uncertain
+// directed links.
+func meshDB(rng *rand.Rand, n, links int, f *big.Rat) (*unreliable.DB, error) {
+	s, err := rel.NewStructure(n, linkVoc())
+	if err != nil {
+		return nil, err
+	}
+	db := unreliable.New(s)
+	for db.NumUncertain() < links {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		// Mix failure modes: mostly present links that may vanish, plus
+		// some absent links that may spuriously appear (both directions
+		// of the paper's Wrong(Rā) events).
+		if db.NumUncertain()%3 != 2 {
+			s.MustAdd("Link", u, v)
+		}
+		if err := db.SetError(rel.GroundAtom{Rel: "Link", Args: rel.Tuple{u, v}}, f); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// captureStdout redirects the report output during a test run.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+// runExperiment executes one experiment in quick mode and asserts every
+// check passed.
+func runExperiment(t *testing.T, name string, fn func(config, *report) error) {
+	t.Helper()
+	out, err := captureStdout(t, func() error {
+		rep := newReport(name, "test")
+		start := time.Now()
+		err := fn(config{seed: 1998, quick: true}, rep)
+		rep.finish(time.Since(start), err)
+		if err != nil {
+			return err
+		}
+		if !rep.pass {
+			t.Errorf("%s: checks failed: %v", name, rep.fails)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s: %v\n%s", name, err, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Errorf("%s: no PASS in output:\n%s", name, out)
+	}
+}
+
+// The cheap experiments run end to end in CI; the expensive ones (E8,
+// E10) are exercised by `go run ./cmd/benchrel` and the benchmarks.
+func TestExperimentE1(t *testing.T)  { runExperiment(t, "E1", runE1) }
+func TestExperimentE3(t *testing.T)  { runExperiment(t, "E3", runE3) }
+func TestExperimentE5(t *testing.T)  { runExperiment(t, "E5", runE5) }
+func TestExperimentE7(t *testing.T)  { runExperiment(t, "E7", runE7) }
+func TestExperimentE9(t *testing.T)  { runExperiment(t, "E9", runE9) }
+func TestExperimentE11(t *testing.T) { runExperiment(t, "E11", runE11) }
+
+func TestExperimentE2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runExperiment(t, "E2", runE2)
+}
+
+func TestExperimentE4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runExperiment(t, "E4", runE4)
+}
+
+func TestExperimentE6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runExperiment(t, "E6", runE6)
+}
+
+func TestReportFormatting(t *testing.T) {
+	out, _ := captureStdout(t, func() error {
+		rep := newReport("EX", "demo claim")
+		rep.row("col1", "col2")
+		rep.row(1, 2.5)
+		rep.check("good", true)
+		rep.check("bad", false)
+		rep.finish(time.Millisecond, nil)
+		return nil
+	})
+	for _, want := range []string{"EX — demo claim", "col1", "ok: good", "FAIL: bad", "EX: FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentE12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runExperiment(t, "E12", runE12)
+}
+
+func TestExperimentE13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runExperiment(t, "E13", runE13)
+}

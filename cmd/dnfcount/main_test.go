@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDNF = `p dnf 3 2
+1 -2 0
+3 0
+`
+
+func writeDNF(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "f.dnf")
+	if err := os.WriteFile(path, []byte(testDNF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestCountingMethodsAgree(t *testing.T) {
+	path := writeDNF(t)
+	// x0&!x1 | x2 over 3 vars: assignments {100,101,001,011,111} → 5.
+	for _, method := range []string{"brute", "ie", "bdd"} {
+		out, err := captureStdout(t, func() error {
+			return run(path, method, 0.05, 0.05, 1, "")
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if !strings.Contains(out, "#models = 5") {
+			t.Errorf("%s: wrong count:\n%s", method, out)
+		}
+	}
+}
+
+func TestKarpLubyMethod(t *testing.T) {
+	path := writeDNF(t)
+	out, err := captureStdout(t, func() error {
+		return run(path, "karpluby", 0.1, 0.1, 1, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "estimate = ") {
+		t.Errorf("no estimate:\n%s", out)
+	}
+}
+
+func TestProbabilityMethods(t *testing.T) {
+	path := writeDNF(t)
+	probs := "1/2,1/2,1/2"
+	for _, method := range []string{"brute", "ie", "bdd", "karpluby", "thm53"} {
+		out, err := captureStdout(t, func() error {
+			return run(path, method, 0.1, 0.1, 1, probs)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if !strings.Contains(out, "Prob = ") && !strings.Contains(out, "estimate = ") {
+			t.Errorf("%s: no result:\n%s", method, out)
+		}
+		// Exact methods must print 5/8.
+		if method == "brute" || method == "ie" || method == "bdd" {
+			if !strings.Contains(out, "5/8") {
+				t.Errorf("%s: wrong probability:\n%s", method, out)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeDNF(t)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"missing in", func() error { return run("", "bdd", 0.1, 0.1, 1, "") }},
+		{"missing file", func() error { return run("/nonexistent", "bdd", 0.1, 0.1, 1, "") }},
+		{"bad method", func() error { return run(path, "bogus", 0.1, 0.1, 1, "") }},
+		{"probs length", func() error { return run(path, "bdd", 0.1, 0.1, 1, "1/2") }},
+		{"probs syntax", func() error { return run(path, "bdd", 0.1, 0.1, 1, "a,b,c") }},
+		{"thm53 needs probs", func() error { return run(path, "thm53", 0.1, 0.1, 1, "") }},
+	}
+	for _, c := range cases {
+		if _, err := captureStdout(t, c.fn); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

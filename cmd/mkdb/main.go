@@ -1,0 +1,56 @@
+// Command mkdb generates random unreliable databases in the qrel text
+// format, for feeding relcalc and for reproducible experiments.
+//
+// Usage:
+//
+//	mkdb -kind graph -n 32 -uncertain 12 -seed 7 > g.udb
+//	mkdb -kind census -n 20 > census.udb
+//	relcalc -db g.udb -query 'exists x y . E(x,y) & S(x)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"qrel"
+	"qrel/internal/workload"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "graph", "database kind: graph|census")
+		n         = flag.Int("n", 16, "universe size (persons for census)")
+		uncertain = flag.Int("uncertain", 8, "number of uncertain atoms (graph kind)")
+		density   = flag.Float64("density", 0.2, "edge density (graph kind)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *kind, *n, *uncertain, *density, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "mkdb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, kind string, n, uncertain int, density float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	var db *qrel.DB
+	switch kind {
+	case "graph":
+		if n < 1 {
+			return fmt.Errorf("need -n ≥ 1")
+		}
+		db = workload.AddUncertainty(rng, workload.RandomStructure(rng, n, density, 0.4), uncertain, 10)
+	case "census":
+		var err error
+		db, err = workload.CensusDB(rng, n, 3)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown kind %q (want graph or census)", kind)
+	}
+	return qrel.WriteDB(out, db)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qrel"
+)
+
+func TestGenerateGraphParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "graph", 12, 6, 0.2, 7); err != nil {
+		t.Fatal(err)
+	}
+	db, err := qrel.ParseDB(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("generated database does not parse: %v\n%s", err, buf.String())
+	}
+	if db.A.N != 12 || db.NumUncertain() != 6 {
+		t.Errorf("shape: n=%d uncertain=%d", db.A.N, db.NumUncertain())
+	}
+	// Determinism under the same seed.
+	var buf2 bytes.Buffer
+	if err := run(&buf2, "graph", 12, 6, 0.2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("generator not deterministic")
+	}
+}
+
+func TestGenerateCensusParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "census", 10, 0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qrel.ParseDB(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("census database does not parse: %v", err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", 4, 2, 0.2, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run(&buf, "graph", 0, 2, 0.2, 1); err == nil {
+		t.Error("empty universe accepted")
+	}
+	if err := run(&buf, "census", 1, 0, 0, 1); err == nil {
+		t.Error("tiny census accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Command relcalc computes the reliability of a query on an unreliable
+// database given in the qrel text format.
+//
+// Usage:
+//
+//	relcalc -db census.udb -query 'exists x . Employed(x)' [flags]
+//
+// Flags select the engine (default: automatic dispatch on the query
+// class), the accuracy parameters of randomized engines, and the output
+// detail. With -per-tuple the exact per-answer-tuple expected errors
+// are printed; with -absolute the absolute-reliability decision
+// (Definition 5.6) is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qrel"
+)
+
+func main() {
+	var (
+		dbPath   = flag.String("db", "", "path to the unreliable database (qrel text format); '-' for stdin")
+		query    = flag.String("query", "", "query in qrel syntax, e.g. 'exists x y . E(x,y) & S(x)'")
+		engine   = flag.String("engine", "auto", "engine: auto|qfree|world-enum|lineage-bdd|lineage-kl|lineage-kl-thm53|monte-carlo|monte-carlo-direct")
+		eps      = flag.Float64("eps", 0.05, "accuracy parameter of randomized engines")
+		delta    = flag.Float64("delta", 0.05, "confidence parameter of randomized engines")
+		seed     = flag.Int64("seed", 1, "random seed for randomized engines")
+		maxEnum  = flag.Int("max-enum", 16, "uncertain-atom budget for exact world enumeration")
+		perTuple = flag.Bool("per-tuple", false, "print exact per-tuple expected errors (world enumeration)")
+		absolute = flag.Bool("absolute", false, "decide absolute reliability (R = 1) instead of computing R")
+		sens     = flag.Bool("sensitivity", false, "rank uncertain atoms by how strongly they drive the query's risk")
+	)
+	flag.Parse()
+	if err := run(*dbPath, *query, *engine, *eps, *delta, *seed, *maxEnum, *perTuple, *absolute, *sens); err != nil {
+		fmt.Fprintln(os.Stderr, "relcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, query, engine string, eps, delta float64, seed int64, maxEnum int, perTuple, absolute, sensitivity bool) error {
+	if dbPath == "" || query == "" {
+		return fmt.Errorf("both -db and -query are required")
+	}
+	in := os.Stdin
+	if dbPath != "-" {
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	db, err := qrel.ParseDB(in)
+	if err != nil {
+		return err
+	}
+	q, err := qrel.ParseQuery(query, db.A.Voc)
+	if err != nil {
+		return err
+	}
+	opts := qrel.Options{Eps: eps, Delta: delta, Seed: seed, MaxEnumAtoms: maxEnum}
+	fmt.Printf("universe: %d elements, %d facts, %d uncertain atoms\n",
+		db.A.N, db.A.FactCount(), db.NumUncertain())
+	fmt.Printf("query:    %s  [%v]\n", q, qrel.Classify(q))
+
+	if absolute {
+		res, err := qrel.AbsoluteReliability(db, q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("absolutely reliable: %v  (engine %s)\n", res.Reliable, res.Engine)
+		if res.Witness != nil {
+			fmt.Printf("witness world: %v\n", res.Witness)
+		}
+		return nil
+	}
+
+	res, err := qrel.ReliabilityWith(qrel.Engine(engine), db, q, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("engine:   %s  (%v)\n", res.Engine, res.Guarantee)
+	if res.Guarantee == qrel.Exact {
+		fmt.Printf("H = %s  (= %.6g)\n", res.H.RatString(), res.HFloat)
+		fmt.Printf("R = %s  (= %.6g)\n", res.R.RatString(), res.RFloat)
+	} else {
+		fmt.Printf("H ≈ %.6g   R ≈ %.6g   (eps %.3g, delta %.3g, %d samples)\n",
+			res.HFloat, res.RFloat, res.Eps, res.Delta, res.Samples)
+	}
+
+	if sensitivity {
+		ranked, err := qrel.RankSensitivities(db, q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("uncertain atoms ranked by risk contribution (spread = |H|true − H|false|):")
+		for _, s := range ranked {
+			fmt.Printf("  %-14v nu=%-8s H|true=%-10s H|false=%-10s spread=%s\n",
+				s.Atom, s.Nu.RatString(), s.HTrue.RatString(), s.HFalse.RatString(), s.Spread.RatString())
+		}
+	}
+
+	if perTuple {
+		per, err := qrel.ExpectedErrorPerTuple(db, q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("per-tuple expected error:")
+		for _, te := range per {
+			mark := " "
+			if te.Observed {
+				mark = "*"
+			}
+			fmt.Printf("  %s %v  H = %s\n", mark, te.Tuple, te.H.RatString())
+		}
+		fmt.Println("  (* = tuple in the observed answer)")
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDB = `
+universe 4
+rel E/2
+rel S/1
+E 0 1
+E 1 2 err 1/10
+S 0 err 1/4
+S 3 absent err 1/2
+`
+
+func writeDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.udb")
+	if err := os.WriteFile(path, []byte(testDB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunExactEngines(t *testing.T) {
+	db := writeDB(t)
+	for _, engine := range []string{"auto", "qfree", "world-enum"} {
+		query := "S(x) & !E(x,x)"
+		if engine == "world-enum" {
+			query = "exists x . S(x)"
+		}
+		out, err := captureStdout(t, func() error {
+			return run(db, query, engine, 0.05, 0.05, 1, 16, false, false, false)
+		})
+		if err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if !strings.Contains(out, "R = ") {
+			t.Errorf("engine %s: no exact R in output:\n%s", engine, out)
+		}
+	}
+}
+
+func TestRunRandomizedEngine(t *testing.T) {
+	db := writeDB(t)
+	out, err := captureStdout(t, func() error {
+		return run(db, "forall x . exists y . E(x,y)", "monte-carlo-direct", 0.2, 0.2, 1, 16, false, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "samples") {
+		t.Errorf("no sample count in output:\n%s", out)
+	}
+}
+
+func TestRunPerTupleAndAbsolute(t *testing.T) {
+	db := writeDB(t)
+	out, err := captureStdout(t, func() error {
+		return run(db, "exists y . E(x,y)", "auto", 0.05, 0.05, 1, 16, true, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "per-tuple expected error") {
+		t.Errorf("per-tuple report missing:\n%s", out)
+	}
+	out, err = captureStdout(t, func() error {
+		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 16, false, true, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "absolutely reliable") {
+		t.Errorf("absolute verdict missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	db := writeDB(t)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"missing args", func() error { return run("", "", "auto", 0.05, 0.05, 1, 16, false, false, false) }},
+		{"missing file", func() error { return run("/nonexistent", "S(x)", "auto", 0.05, 0.05, 1, 16, false, false, false) }},
+		{"bad query", func() error { return run(db, "S(", "auto", 0.05, 0.05, 1, 16, false, false, false) }},
+		{"bad engine", func() error { return run(db, "S(x)", "bogus", 0.05, 0.05, 1, 16, false, false, false) }},
+	}
+	for _, c := range cases {
+		if _, err := captureStdout(t, c.fn); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRunSensitivity(t *testing.T) {
+	db := writeDB(t)
+	out, err := captureStdout(t, func() error {
+		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 16, false, false, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ranked by risk contribution") {
+		t.Errorf("sensitivity report missing:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module qrel
+
+go 1.22

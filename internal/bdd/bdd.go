@@ -1,0 +1,393 @@
+// Package bdd implements reduced ordered binary decision diagrams with
+// exact weighted model counting over big.Rat probabilities. It is the
+// exact lineage-evaluation engine: the probability nu(psi”) of a
+// grounded query (Theorem 5.4) is computed by compiling the lineage DNF
+// to a BDD and performing one bottom-up weighted count. This is the
+// standard exact baseline that the Karp–Luby FPTRAS is compared against
+// in the E6/E10 experiments.
+package bdd
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"qrel/internal/prop"
+)
+
+// Terminal node identifiers.
+const (
+	False = 0
+	True  = 1
+)
+
+type node struct {
+	v      int // variable index; numVars for terminals
+	lo, hi int
+}
+
+// BDD is a multi-rooted reduced ordered BDD over a fixed number of
+// variables with the natural variable order 0 < 1 < ... < numVars-1.
+// The zero value is not usable; construct with New.
+type BDD struct {
+	numVars int
+	nodes   []node
+	unique  map[node]int
+	cache   map[[3]int32]int // (op, a, b) -> node
+	maxNode int
+}
+
+// Binary operation codes for the apply cache.
+const (
+	opAnd = iota
+	opOr
+	opNot
+)
+
+// DefaultMaxNodes caps BDD growth; compilation fails with ErrTooLarge
+// beyond it.
+const DefaultMaxNodes = 1 << 22
+
+// ErrTooLarge is wrapped in errors returned when a BDD exceeds its node
+// budget.
+var ErrTooLarge = fmt.Errorf("bdd: node budget exceeded")
+
+// New creates an empty BDD manager over numVars variables with the
+// given node budget (0 means DefaultMaxNodes).
+func New(numVars, maxNodes int) *BDD {
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	b := &BDD{
+		numVars: numVars,
+		unique:  map[node]int{},
+		cache:   map[[3]int32]int{},
+		maxNode: maxNodes,
+	}
+	b.nodes = append(b.nodes,
+		node{v: numVars, lo: False, hi: False}, // False terminal
+		node{v: numVars, lo: True, hi: True},   // True terminal
+	)
+	return b
+}
+
+// NumVars returns the number of variables of the manager.
+func (b *BDD) NumVars() int { return b.numVars }
+
+// NumNodes returns the total number of allocated nodes (including the
+// two terminals).
+func (b *BDD) NumNodes() int { return len(b.nodes) }
+
+// mk returns the canonical node (v, lo, hi), applying the reduction
+// rules.
+func (b *BDD) mk(v, lo, hi int) (int, error) {
+	if lo == hi {
+		return lo, nil
+	}
+	n := node{v: v, lo: lo, hi: hi}
+	if id, ok := b.unique[n]; ok {
+		return id, nil
+	}
+	if len(b.nodes) >= b.maxNode {
+		return 0, fmt.Errorf("%w: %d nodes", ErrTooLarge, b.maxNode)
+	}
+	id := len(b.nodes)
+	b.nodes = append(b.nodes, n)
+	b.unique[n] = id
+	return id, nil
+}
+
+// Lit returns the BDD of a single literal.
+func (b *BDD) Lit(l prop.Lit) (int, error) {
+	if l.Var < 0 || l.Var >= b.numVars {
+		return 0, fmt.Errorf("bdd: literal %v outside variable range [0,%d)", l, b.numVars)
+	}
+	if l.Neg {
+		return b.mk(l.Var, True, False)
+	}
+	return b.mk(l.Var, False, True)
+}
+
+// Not returns the negation of the function rooted at a.
+func (b *BDD) Not(a int) (int, error) {
+	switch a {
+	case False:
+		return True, nil
+	case True:
+		return False, nil
+	}
+	key := [3]int32{opNot, int32(a), 0}
+	if r, ok := b.cache[key]; ok {
+		return r, nil
+	}
+	n := b.nodes[a]
+	lo, err := b.Not(n.lo)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := b.Not(n.hi)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.mk(n.v, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	b.cache[key] = r
+	return r, nil
+}
+
+// And returns the conjunction of the functions rooted at x and y.
+func (b *BDD) And(x, y int) (int, error) { return b.apply(opAnd, x, y) }
+
+// Or returns the disjunction of the functions rooted at x and y.
+func (b *BDD) Or(x, y int) (int, error) { return b.apply(opOr, x, y) }
+
+func (b *BDD) apply(op, x, y int) (int, error) {
+	switch op {
+	case opAnd:
+		if x == False || y == False {
+			return False, nil
+		}
+		if x == True {
+			return y, nil
+		}
+		if y == True {
+			return x, nil
+		}
+		if x == y {
+			return x, nil
+		}
+	case opOr:
+		if x == True || y == True {
+			return True, nil
+		}
+		if x == False {
+			return y, nil
+		}
+		if y == False {
+			return x, nil
+		}
+		if x == y {
+			return x, nil
+		}
+	}
+	if x > y {
+		x, y = y, x // both ops are commutative
+	}
+	key := [3]int32{int32(op), int32(x), int32(y)}
+	if r, ok := b.cache[key]; ok {
+		return r, nil
+	}
+	nx, ny := b.nodes[x], b.nodes[y]
+	v := nx.v
+	if ny.v < v {
+		v = ny.v
+	}
+	xl, xh := x, x
+	if nx.v == v {
+		xl, xh = nx.lo, nx.hi
+	}
+	yl, yh := y, y
+	if ny.v == v {
+		yl, yh = ny.lo, ny.hi
+	}
+	lo, err := b.apply(op, xl, yl)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := b.apply(op, xh, yh)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.mk(v, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	b.cache[key] = r
+	return r, nil
+}
+
+// FromTerm compiles a conjunctive term into a BDD chain.
+func (b *BDD) FromTerm(t prop.Term) (int, error) {
+	nt, sat := t.Normalize()
+	if !sat {
+		return False, nil
+	}
+	// Build bottom-up: literals sorted ascending, chain from the last.
+	sort.Slice(nt, func(i, j int) bool { return nt[i].Var < nt[j].Var })
+	root := True
+	for i := len(nt) - 1; i >= 0; i-- {
+		l := nt[i]
+		if l.Var < 0 || l.Var >= b.numVars {
+			return 0, fmt.Errorf("bdd: literal %v outside variable range [0,%d)", l, b.numVars)
+		}
+		var err error
+		if l.Neg {
+			root, err = b.mk(l.Var, root, False)
+		} else {
+			root, err = b.mk(l.Var, False, root)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return root, nil
+}
+
+// FromDNF compiles a DNF formula into a BDD by OR-ing its term chains.
+func (b *BDD) FromDNF(d prop.DNF) (int, error) {
+	if d.NumVars > b.numVars {
+		return 0, fmt.Errorf("bdd: DNF has %d variables, manager %d", d.NumVars, b.numVars)
+	}
+	root := False
+	for _, t := range d.Terms {
+		tn, err := b.FromTerm(t)
+		if err != nil {
+			return 0, err
+		}
+		root, err = b.Or(root, tn)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return root, nil
+}
+
+// FromFormula compiles an arbitrary propositional formula.
+func (b *BDD) FromFormula(f prop.Formula) (int, error) {
+	switch g := f.(type) {
+	case prop.FTrue:
+		return True, nil
+	case prop.FFalse:
+		return False, nil
+	case prop.FVar:
+		return b.Lit(prop.Pos(int(g)))
+	case prop.FNot:
+		inner, err := b.FromFormula(g.F)
+		if err != nil {
+			return 0, err
+		}
+		return b.Not(inner)
+	case prop.FAnd:
+		root := True
+		for _, h := range g {
+			hn, err := b.FromFormula(h)
+			if err != nil {
+				return 0, err
+			}
+			root, err = b.And(root, hn)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return root, nil
+	case prop.FOr:
+		root := False
+		for _, h := range g {
+			hn, err := b.FromFormula(h)
+			if err != nil {
+				return 0, err
+			}
+			root, err = b.Or(root, hn)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return root, nil
+	default:
+		return 0, fmt.Errorf("bdd: unknown formula node %T", f)
+	}
+}
+
+// Eval evaluates the function rooted at n under the assignment.
+func (b *BDD) Eval(n int, a []bool) bool {
+	for n > True {
+		nd := b.nodes[n]
+		if a[nd.v] {
+			n = nd.hi
+		} else {
+			n = nd.lo
+		}
+	}
+	return n == True
+}
+
+// Size returns the number of nodes reachable from n (including
+// terminals).
+func (b *BDD) Size(n int) int {
+	seen := map[int]struct{}{}
+	var visit func(int)
+	visit = func(m int) {
+		if _, ok := seen[m]; ok {
+			return
+		}
+		seen[m] = struct{}{}
+		if m > True {
+			visit(b.nodes[m].lo)
+			visit(b.nodes[m].hi)
+		}
+	}
+	visit(n)
+	return len(seen)
+}
+
+// Prob computes the exact probability that the function rooted at n is
+// true when variable v is independently true with probability p[v].
+// One bottom-up pass, linear in the BDD size.
+func (b *BDD) Prob(n int, p prop.ProbAssignment) (*big.Rat, error) {
+	if err := p.Validate(b.numVars); err != nil {
+		return nil, err
+	}
+	one := big.NewRat(1, 1)
+	memo := map[int]*big.Rat{
+		False: new(big.Rat),
+		True:  big.NewRat(1, 1),
+	}
+	var visit func(int) *big.Rat
+	visit = func(m int) *big.Rat {
+		if r, ok := memo[m]; ok {
+			return r
+		}
+		nd := b.nodes[m]
+		lo := visit(nd.lo)
+		hi := visit(nd.hi)
+		// P = (1 - p_v)·lo + p_v·hi. Variables skipped between levels
+		// contribute a factor (p + (1-p)) = 1 and need no correction.
+		r := new(big.Rat).Mul(new(big.Rat).Sub(one, p[nd.v]), lo)
+		r.Add(r, new(big.Rat).Mul(p[nd.v], hi))
+		memo[m] = r
+		return r
+	}
+	return visit(n), nil
+}
+
+// Count returns the number of satisfying assignments of the function
+// rooted at n over all numVars variables.
+func (b *BDD) Count(n int) *big.Int {
+	// f(m) = #models over variables [var(m), numVars).
+	memo := map[int]*big.Int{}
+	var visit func(int) *big.Int
+	visit = func(m int) *big.Int {
+		if r, ok := memo[m]; ok {
+			return r
+		}
+		nd := b.nodes[m]
+		if m <= True {
+			r := big.NewInt(int64(m)) // False: 0 models, True: 1 (empty assignment)
+			memo[m] = r
+			return r
+		}
+		lo := visit(nd.lo)
+		hi := visit(nd.hi)
+		gapLo := uint(b.nodes[nd.lo].v - nd.v - 1)
+		gapHi := uint(b.nodes[nd.hi].v - nd.v - 1)
+		r := new(big.Int).Lsh(lo, gapLo)
+		r.Add(r, new(big.Int).Lsh(hi, gapHi))
+		memo[m] = r
+		return r
+	}
+	root := visit(n)
+	// Variables above the root are free.
+	return new(big.Int).Lsh(root, uint(b.nodes[n].v))
+}

@@ -1,0 +1,136 @@
+package bdd
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"qrel/internal/prop"
+)
+
+func TestOrderValidate(t *testing.T) {
+	if err := (Order{0, 1, 2}).Validate(3); err != nil {
+		t.Error(err)
+	}
+	bad := []Order{{0, 1}, {0, 0, 1}, {0, 1, 3}, {-1, 0, 1}}
+	for _, o := range bad {
+		if err := o.Validate(3); err == nil {
+			t.Errorf("order %v accepted", o)
+		}
+	}
+}
+
+func TestOrdersArePermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 30; iter++ {
+		d := randDNF(rng, 4+rng.Intn(8), 1+rng.Intn(8), 3)
+		for _, o := range []Order{NaturalOrder(d.NumVars), FrequencyOrder(d), FirstOccurrenceOrder(d)} {
+			if err := o.Validate(d.NumVars); err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+		}
+	}
+}
+
+func TestOrderPreservesCountAndProb(t *testing.T) {
+	// Property: any order yields the same model count and probability.
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 40; iter++ {
+		nv := 4 + rng.Intn(6)
+		d := randDNF(rng, nv, 1+rng.Intn(6), 3)
+		p := make(prop.ProbAssignment, nv)
+		for i := range p {
+			p[i] = big.NewRat(int64(1+rng.Intn(9)), 10)
+		}
+		// Reference under the natural order.
+		mgr0 := New(nv, 0)
+		root0, err := mgr0.FromDNF(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCount := mgr0.Count(root0)
+		wantProb, err := mgr0.Prob(root0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random permutation.
+		o := Order(rng.Perm(nv))
+		mgr, root, _, err := CompileOrdered(d, o, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := mgr.Count(root); got.Cmp(wantCount) != 0 {
+			t.Fatalf("iter %d: count %v under order %v, want %v", iter, got, o, wantCount)
+		}
+		pp, err := o.PermuteProbs(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := mgr.Prob(root, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(wantProb) != 0 {
+			t.Fatalf("iter %d: prob %v under order %v, want %v", iter, got, o, wantProb)
+		}
+	}
+}
+
+func TestFrequencyOrderShrinksSharedVariable(t *testing.T) {
+	// x_{n-1} occurs in every term; placing it at the root (frequency
+	// order) should not be larger than the natural order that buries it.
+	const n = 12
+	d := prop.DNF{NumVars: n}
+	for i := 0; i+1 < n; i += 2 {
+		d.Terms = append(d.Terms, prop.Term{prop.Pos(i), prop.Pos(n - 1)})
+	}
+	_, _, sizeNat, err := CompileOrdered(d, NaturalOrder(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, sizeFreq, err := CompileOrdered(d, FrequencyOrder(d), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizeFreq > sizeNat {
+		t.Errorf("frequency order size %d > natural %d", sizeFreq, sizeNat)
+	}
+}
+
+func TestBestStaticOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randDNF(rng, 10, 8, 3)
+	mgr, root, o, err := BestStaticOrder(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(d.NumVars); err != nil {
+		t.Fatal(err)
+	}
+	// Count must match the natural-order reference.
+	ref := New(d.NumVars, 0)
+	refRoot, _ := ref.FromDNF(d)
+	if mgr.Count(root).Cmp(ref.Count(refRoot)) != 0 {
+		t.Error("best-order BDD counts differently")
+	}
+	// Best size is minimal among the three candidates.
+	for _, cand := range []Order{NaturalOrder(d.NumVars), FrequencyOrder(d), FirstOccurrenceOrder(d)} {
+		_, _, size, err := CompileOrdered(d, cand, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mgr.Size(root) > size {
+			t.Errorf("best order size %d beaten by %d", mgr.Size(root), size)
+		}
+	}
+}
+
+func TestCompileOrderedErrors(t *testing.T) {
+	d := prop.MustDNF(3, prop.Term{prop.Pos(0)})
+	if _, _, _, err := CompileOrdered(d, Order{0, 1}, 0); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := (Order{1, 0}).PermuteProbs(prop.ProbAssignment{big.NewRat(1, 2)}); err == nil {
+		t.Error("mismatched probability length accepted")
+	}
+}

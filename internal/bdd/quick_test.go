@@ -1,0 +1,116 @@
+package bdd
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qrel/internal/prop"
+)
+
+// TestQuickBDDEquivalence checks, for arbitrary seeds, that the BDD of
+// a random DNF evaluates identically to the DNF on arbitrary
+// assignments, and that the model count matches brute force.
+func TestQuickBDDEquivalence(t *testing.T) {
+	f := func(seed int64, probeRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 3 + rng.Intn(8)
+		d := randDNF(rng, nv, 1+rng.Intn(6), 3)
+		mgr := New(nv, 0)
+		root, err := mgr.FromDNF(d)
+		if err != nil {
+			return false
+		}
+		// Random probe assignment.
+		a := make([]bool, nv)
+		for i := range a {
+			a[i] = probeRaw&(1<<uint(i%16)) != 0
+		}
+		if mgr.Eval(root, a) != d.Eval(a) {
+			return false
+		}
+		want, err := d.CountBruteForce(12)
+		if err != nil {
+			return false
+		}
+		return mgr.Count(root).Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNegationInvolution checks Not(Not(x)) == x node identity and
+// Prob(f) + Prob(!f) = 1 for random formulas and probabilities.
+func TestQuickNegationInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 3 + rng.Intn(6)
+		d := randDNF(rng, nv, 1+rng.Intn(5), 3)
+		mgr := New(nv, 0)
+		root, err := mgr.FromDNF(d)
+		if err != nil {
+			return false
+		}
+		neg, err := mgr.Not(root)
+		if err != nil {
+			return false
+		}
+		back, err := mgr.Not(neg)
+		if err != nil || back != root {
+			return false
+		}
+		p := make(prop.ProbAssignment, nv)
+		for i := range p {
+			p[i] = big.NewRat(int64(rng.Intn(11)), 10)
+		}
+		pf, err1 := mgr.Prob(root, p)
+		pn, err2 := mgr.Prob(neg, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return new(big.Rat).Add(pf, pn).Cmp(big.NewRat(1, 1)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeMorgan checks And/Or duality through Not on random pairs.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 4 + rng.Intn(4)
+		d1 := randDNF(rng, nv, 1+rng.Intn(4), 3)
+		d2 := randDNF(rng, nv, 1+rng.Intn(4), 3)
+		mgr := New(nv, 0)
+		a, err1 := mgr.FromDNF(d1)
+		b, err2 := mgr.FromDNF(d2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		ab, err := mgr.And(a, b)
+		if err != nil {
+			return false
+		}
+		notAB, err := mgr.Not(ab)
+		if err != nil {
+			return false
+		}
+		na, err1 := mgr.Not(a)
+		nb, err2 := mgr.Not(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		orN, err := mgr.Or(na, nb)
+		if err != nil {
+			return false
+		}
+		// Canonicity: De Morgan duals are the identical node.
+		return notAB == orN
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

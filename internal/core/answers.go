@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/big"
+	"sort"
+
+	"qrel/internal/logic"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// AnswerModality classifies the answer tuples of a query on an
+// unreliable database in the classic possible/certain sense:
+// a tuple is *certain* when it belongs to psi^B in every world of
+// positive probability, and *possible* when it belongs to psi^B in at
+// least one.
+type AnswerModality struct {
+	// Certain are the tuples in every world's answer, sorted.
+	Certain []rel.Tuple
+	// Possible are the tuples in at least one world's answer, sorted
+	// (a superset of Certain).
+	Possible []rel.Tuple
+}
+
+// PossibleCertainAnswers computes the certain and possible answers by
+// world enumeration (2^u worlds, bounded by opts.MaxEnumAtoms). The
+// observed answer always lies between the two:
+// Certain ⊆ psi^A ∩ ... — not in general! psi^A need not contain the
+// certain answers when the observed database itself has positive
+// probability of being wrong on relevant atoms; the inclusion
+// Certain ⊆ Possible is the only guaranteed one (verified in tests).
+func PossibleCertainAnswers(db *unreliable.DB, f logic.Formula, opts Options) (AnswerModality, error) {
+	opts = opts.withDefaults()
+	var (
+		certain  map[uint64]rel.Tuple
+		possible = map[uint64]rel.Tuple{}
+		evalErr  error
+	)
+	err := db.ForEachWorld(opts.MaxEnumAtoms, func(b *rel.Structure, nu *big.Rat) bool {
+		if nu.Sign() == 0 {
+			return true
+		}
+		ans, err := logic.Answer(b, f)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		thisWorld := make(map[uint64]rel.Tuple, len(ans))
+		for _, t := range ans {
+			thisWorld[t.Key()] = t
+			if _, seen := possible[t.Key()]; !seen {
+				possible[t.Key()] = t
+			}
+		}
+		if certain == nil {
+			certain = thisWorld
+			return true
+		}
+		for k := range certain {
+			if _, ok := thisWorld[k]; !ok {
+				delete(certain, k)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return AnswerModality{}, err
+	}
+	if evalErr != nil {
+		return AnswerModality{}, evalErr
+	}
+	return AnswerModality{
+		Certain:  sortedTuples(certain),
+		Possible: sortedTuples(possible),
+	}, nil
+}
+
+func sortedTuples(m map[uint64]rel.Tuple) []rel.Tuple {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]rel.Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package core implements the paper's primary contribution: computation
+// of query reliability on unreliable databases, with one engine per
+// complexity result and a dispatcher that mirrors the paper's
+// classification.
+//
+// For a k-ary query psi on an unreliable database D = (A, mu), the
+// expected error H_psi(D) is the expected Hamming distance between
+// psi^A and psi^B over random worlds B ∈ Omega(D), and the reliability
+// is R_psi(D) = 1 − H_psi(D)/n^k (Definition 2.2).
+//
+// Engines:
+//
+//   - QuantifierFree — Proposition 3.1: exact, polynomial time.
+//   - WorldEnum — Theorem 4.2: exact for any query (incl. second-order)
+//     by enumerating the 2^u worlds; exponential in the number of
+//     uncertain atoms, which is the deterministic cost of one #P oracle
+//     call.
+//   - LineageBDD — exact for existential/universal queries via the
+//     Theorem 5.4 grounding compiled to a BDD.
+//   - LineageKL — Theorem 5.4 + Corollary 5.5: the Karp–Luby FPTRAS on
+//     the lineage, with per-tuple (ε/n^k, δ/n^k) splitting.
+//   - MonteCarlo — Theorem 5.12: absolute-error randomized estimation
+//     for any polynomial-time evaluable query.
+//
+// The dispatcher Reliability picks the cheapest sound engine and
+// reports which guarantee the result carries.
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"qrel/internal/logic"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// Guarantee describes the strength of a Result.
+type Guarantee int
+
+// Guarantee levels.
+const (
+	// Exact: H and R are exact rationals.
+	Exact Guarantee = iota
+	// RelativeError: Pr[|value − truth| > Eps·truth] < Delta (FPTRAS).
+	RelativeError
+	// AbsoluteError: Pr[|value − truth| > Eps] < Delta (Corollary 5.5 /
+	// Theorem 5.12).
+	AbsoluteError
+)
+
+// String names the guarantee.
+func (g Guarantee) String() string {
+	switch g {
+	case Exact:
+		return "exact"
+	case RelativeError:
+		return "relative(eps,delta)"
+	case AbsoluteError:
+		return "absolute(eps,delta)"
+	default:
+		return fmt.Sprintf("Guarantee(%d)", int(g))
+	}
+}
+
+// Result is the outcome of a reliability computation.
+type Result struct {
+	// H is the exact expected error, nil for randomized engines.
+	H *big.Rat
+	// R is the exact reliability, nil for randomized engines.
+	R *big.Rat
+	// HFloat and RFloat are always populated.
+	HFloat, RFloat float64
+	// Arity is the query arity k; the normalizer is n^k.
+	Arity int
+	// Engine names the engine that produced the result.
+	Engine string
+	// Guarantee describes the error semantics.
+	Guarantee Guarantee
+	// Eps, Delta are the parameters of a randomized guarantee.
+	Eps, Delta float64
+	// Samples is the total number of Monte Carlo samples drawn.
+	Samples int
+	// Class is the detected query class.
+	Class logic.Class
+}
+
+// setExact fills a Result from exact H with normalizer n^k.
+func setExact(res *Result, h *big.Rat, n, k int) {
+	res.H = h
+	norm := normalizer(n, k)
+	r := new(big.Rat).Quo(h, norm)
+	r.Sub(big.NewRat(1, 1), r)
+	res.R = r
+	res.HFloat, _ = h.Float64()
+	res.RFloat, _ = r.Float64()
+	res.Arity = k
+	res.Guarantee = Exact
+}
+
+// normalizer returns n^k as a rational (1 for k = 0).
+func normalizer(n, k int) *big.Rat {
+	v := big.NewInt(1)
+	for i := 0; i < k; i++ {
+		v.Mul(v, big.NewInt(int64(n)))
+	}
+	return new(big.Rat).SetInt(v)
+}
+
+// Options configures the engines; the zero value uses the defaults.
+type Options struct {
+	// Eps, Delta are the randomized-guarantee parameters
+	// (default 0.05 each).
+	Eps, Delta float64
+	// Xi is the Theorem 5.12 padding parameter (default mc.DefaultXi).
+	Xi float64
+	// Seed seeds the deterministic RNG of randomized engines.
+	Seed int64
+	// MaxEnumAtoms caps exact world enumeration (default 16).
+	MaxEnumAtoms int
+	// MaxLineageTerms caps the lineage DNF size (default 1<<16).
+	MaxLineageTerms int
+	// MaxBDDNodes caps the exact BDD engine (default 1<<20).
+	MaxBDDNodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps == 0 {
+		o.Eps = 0.05
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.05
+	}
+	if o.MaxEnumAtoms == 0 {
+		o.MaxEnumAtoms = 16
+	}
+	if o.MaxLineageTerms == 0 {
+		o.MaxLineageTerms = 1 << 16
+	}
+	if o.MaxBDDNodes == 0 {
+		o.MaxBDDNodes = 1 << 20
+	}
+	return o
+}
+
+// forEachFreeTuple runs fn for every instantiation env of the free
+// variables of f over A^k, in lexicographic order.
+func forEachFreeTuple(s *rel.Structure, f logic.Formula, fn func(env logic.Env, tuple rel.Tuple) error) (arity int, err error) {
+	vars := logic.FreeVars(f)
+	env := logic.Env{}
+	var innerErr error
+	rel.ForEachTuple(s.N, len(vars), func(t rel.Tuple) bool {
+		for i, v := range vars {
+			env[v] = t[i]
+		}
+		if err := fn(env, t); err != nil {
+			innerErr = err
+			return false
+		}
+		return true
+	})
+	return len(vars), innerErr
+}
+
+// nuAssignment builds the probability assignment for the atoms of an
+// index: p[i] = nu(atom_i).
+func nuAssignment(db *unreliable.DB, ix *logic.AtomIndex) []*big.Rat {
+	p := make([]*big.Rat, ix.Len())
+	for i, atom := range ix.Atoms() {
+		p[i] = db.NuAtom(atom)
+	}
+	return p
+}

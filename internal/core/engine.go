@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"qrel/internal/bdd"
+	"qrel/internal/logic"
+	"qrel/internal/prop"
+	"qrel/internal/unreliable"
+)
+
+// Engine identifies a reliability engine for explicit selection.
+type Engine string
+
+// Engine names accepted by Reliability's Options-independent variant
+// ReliabilityWith.
+const (
+	EngineAuto        Engine = "auto"
+	EngineQFree       Engine = "qfree"
+	EngineWorldEnum   Engine = "world-enum"
+	EngineLineageBDD  Engine = "lineage-bdd"
+	EngineLineageKL   Engine = "lineage-kl"
+	EngineLineageKL53 Engine = "lineage-kl-thm53"
+	EngineMonteCarlo  Engine = "monte-carlo"
+	EngineMCDirect    Engine = "monte-carlo-direct"
+	EngineSafePlan    Engine = "safe-plan"
+	EngineMCRare      Engine = "monte-carlo-rare"
+)
+
+// Reliability computes (exactly or approximately) the reliability of f
+// on db, dispatching on the paper's query classification:
+//
+//   - quantifier-free → Proposition 3.1 exact polynomial algorithm;
+//   - hierarchical conjunctive without self-joins → the exact
+//     polynomial Dalvi–Suciu safe plan;
+//   - few uncertain atoms → exact world enumeration (Theorem 4.2);
+//   - existential/universal → exact BDD lineage if it fits, otherwise
+//     the Karp–Luby FPTRAS with Corollary 5.5 splitting;
+//   - other first-order → the Theorem 5.12 Monte Carlo estimator
+//     (direct Hamming-sampling variant, see MonteCarloDirect; use
+//     EngineMCRare explicitly when error probabilities are small);
+//   - second-order with many uncertain atoms → an error: no feasible
+//     engine exists (and under standard assumptions cannot exist).
+func Reliability(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	return ReliabilityWith(EngineAuto, db, f, opts)
+}
+
+// ReliabilityWith runs a specific engine, or dispatches when engine is
+// EngineAuto (or empty).
+func ReliabilityWith(engine Engine, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	switch engine {
+	case EngineQFree:
+		return QuantifierFree(db, f, opts)
+	case EngineWorldEnum:
+		return WorldEnum(db, f, opts)
+	case EngineLineageBDD:
+		return LineageBDD(db, f, opts)
+	case EngineLineageKL:
+		return LineageKL(db, f, opts, false)
+	case EngineLineageKL53:
+		return LineageKL(db, f, opts, true)
+	case EngineMonteCarlo:
+		return MonteCarlo(db, f, opts)
+	case EngineMCDirect:
+		return MonteCarloDirect(db, f, opts)
+	case EngineSafePlan:
+		return SafePlan(db, f, opts)
+	case EngineMCRare:
+		return MonteCarloRare(db, f, opts)
+	case EngineAuto, Engine(""):
+		return dispatch(db, f, opts)
+	default:
+		return Result{}, fmt.Errorf("core: unknown engine %q", engine)
+	}
+}
+
+func dispatch(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	cls := logic.Classify(f)
+	// Proposition 3.1: quantifier-free queries are exactly solvable in
+	// polynomial time.
+	if cls == logic.ClassQuantifierFree {
+		return QuantifierFree(db, f, opts)
+	}
+	// Hierarchical conjunctive queries without self-joins: the
+	// Dalvi–Suciu extensional plan is exact and polynomial — the best
+	// possible outcome, so try it before anything exponential.
+	if cls == logic.ClassConjunctive {
+		if res, err := SafePlan(db, f, opts); err == nil {
+			return res, nil
+		}
+		// Outside the safe fragment (or non-plain atoms): fall through to
+		// the intensional engines.
+	}
+	// Small world space: exact enumeration is cheap and exact.
+	if db.NumUncertain() <= opts.MaxEnumAtoms {
+		res, err := WorldEnum(db, f, opts)
+		if err == nil {
+			return res, nil
+		}
+		// Second-order evaluation can exceed its own budget; fall
+		// through only if another engine can take over.
+		if cls == logic.ClassSecondOrder {
+			return Result{}, err
+		}
+	}
+	switch cls {
+	case logic.ClassConjunctive, logic.ClassExistential, logic.ClassUniversal:
+		// Theorem 5.4 route: exact if the lineage BDD stays small,
+		// otherwise the FPTRAS.
+		res, err := LineageBDD(db, f, opts)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, prop.ErrBudget) && !errors.Is(err, bdd.ErrTooLarge) {
+			return Result{}, err
+		}
+		return LineageKL(db, f, opts, false)
+	case logic.ClassFirstOrder:
+		// Theorem 5.12.
+		return MonteCarloDirect(db, f, opts)
+	default:
+		return Result{}, fmt.Errorf("core: no feasible engine for a %v query with %d uncertain atoms (exact enumeration budget %d)",
+			cls, db.NumUncertain(), opts.MaxEnumAtoms)
+	}
+}

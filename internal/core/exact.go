@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/big"
+
+	"qrel/internal/logic"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// WorldEnum computes the exact expected error and reliability of an
+// arbitrary query — first-order or second-order — by enumerating the
+// possible worlds of Omega(D):
+//
+//	H_psi(D) = Σ_B nu(B) · |psi^A Δ psi^B|.
+//
+// This is the deterministic simulation of the FP^#P algorithm of
+// Theorem 4.2 (see package sharpp for the oracle view); its running
+// time is 2^u query evaluations for u uncertain atoms, bounded by
+// opts.MaxEnumAtoms.
+func WorldEnum(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	observed, err := answerSet(db.A, f)
+	if err != nil {
+		return Result{}, err
+	}
+	k := len(logic.FreeVars(f))
+	h := new(big.Rat)
+	var evalErr error
+	err = db.ForEachWorld(opts.MaxEnumAtoms, func(b *rel.Structure, nu *big.Rat) bool {
+		actual, err := answerSet(b, f)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		diff := symmetricDiffSize(observed, actual)
+		if diff == 0 {
+			return true
+		}
+		h.Add(h, new(big.Rat).Mul(nu, big.NewRat(int64(diff), 1)))
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if evalErr != nil {
+		return Result{}, evalErr
+	}
+	res := Result{Engine: "world-enum", Class: logic.Classify(f)}
+	setExact(&res, h, db.A.N, k)
+	return res, nil
+}
+
+// answerSet computes psi^A as a set of tuple keys.
+func answerSet(s *rel.Structure, f logic.Formula) (map[uint64]struct{}, error) {
+	ans, err := logic.Answer(s, f)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]struct{}, len(ans))
+	for _, t := range ans {
+		out[t.Key()] = struct{}{}
+	}
+	return out, nil
+}
+
+// symmetricDiffSize returns |a Δ b|.
+func symmetricDiffSize(a, b map[uint64]struct{}) int {
+	diff := 0
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			diff++
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			diff++
+		}
+	}
+	return diff
+}
+
+// ExpectedErrorPerTuple computes, for every tuple ā ∈ A^k, the exact
+// expected error H_psi(ā)(D) = Pr[psi(ā)^B ≠ psi(ā)^A] by world
+// enumeration. The sum of the returned values is H_psi(D); the
+// per-tuple values tell the user which answer tuples are unreliable.
+func ExpectedErrorPerTuple(db *unreliable.DB, f logic.Formula, opts Options) ([]TupleError, error) {
+	opts = opts.withDefaults()
+	observed, err := answerSet(db.A, f)
+	if err != nil {
+		return nil, err
+	}
+	vars := logic.FreeVars(f)
+	count := rel.TupleCount(db.A.N, len(vars))
+	out := make([]TupleError, 0, count)
+	idx := map[uint64]int{}
+	rel.ForEachTuple(db.A.N, len(vars), func(t rel.Tuple) bool {
+		idx[t.Key()] = len(out)
+		_, inObs := observed[t.Key()]
+		out = append(out, TupleError{Tuple: t.Clone(), Observed: inObs, H: new(big.Rat)})
+		return true
+	})
+	var evalErr error
+	err = db.ForEachWorld(opts.MaxEnumAtoms, func(b *rel.Structure, nu *big.Rat) bool {
+		actual, err := answerSet(b, f)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		for key, i := range idx {
+			_, inActual := actual[key]
+			if inActual != out[i].Observed {
+				out[i].H.Add(out[i].H, nu)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// TupleError is the expected error of one answer tuple.
+type TupleError struct {
+	// Tuple is the instantiation of the free variables.
+	Tuple rel.Tuple
+	// Observed reports whether the tuple is in psi^A.
+	Observed bool
+	// H is Pr[psi(ā)^B ≠ psi(ā)^A].
+	H *big.Rat
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"qrel/internal/bdd"
+	"qrel/internal/karpluby"
+	"qrel/internal/logic"
+	"qrel/internal/prop"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// lineageForm returns a formula whose lineage is an existential kDNF:
+// the query itself for existential queries, its NNF negation for
+// universal ones (flipped = true). Conjunctive queries are existential.
+func lineageForm(f logic.Formula) (logic.Formula, bool, error) {
+	switch logic.Classify(f) {
+	case logic.ClassQuantifierFree, logic.ClassConjunctive, logic.ClassExistential:
+		return logic.NNF(f), false, nil
+	case logic.ClassUniversal:
+		return logic.NNF(logic.Not{F: f}), true, nil
+	default:
+		return nil, false, fmt.Errorf("core: lineage engines require an existential or universal query, got %v", logic.Classify(f))
+	}
+}
+
+// tupleLineage grounds psi(ā) to a kDNF over a fresh atom index and
+// returns the DNF together with the per-variable nu probabilities.
+// Deterministic atoms (nu ∈ {0, 1}) are constant-folded away before the
+// DNF distribution, so the lineage only mentions uncertain atoms — the
+// step that makes the Theorem 5.4 pipeline practical on databases whose
+// certain part is large.
+func tupleLineage(db *unreliable.DB, f logic.Formula, env logic.Env, maxTerms int) (prop.DNF, prop.ProbAssignment, error) {
+	ix := logic.NewAtomIndex()
+	pf, err := logic.Ground(db.A, f, env, ix)
+	if err != nil {
+		return prop.DNF{}, nil, err
+	}
+	nu := prop.ProbAssignment(nuAssignment(db, ix))
+	fixed := map[int]bool{}
+	for i, p := range nu {
+		if p.Sign() == 0 {
+			fixed[i] = false
+		} else if p.Cmp(big.NewRat(1, 1)) == 0 {
+			fixed[i] = true
+		}
+	}
+	pf = prop.Fold(pf, fixed)
+	d, err := prop.ToDNF(pf, ix.Len(), maxTerms)
+	if err != nil {
+		return prop.DNF{}, nil, err
+	}
+	return d, nu, nil
+}
+
+// LineageBDD computes the exact reliability of an existential or
+// universal query by compiling each tuple's Theorem 5.4 lineage to a
+// BDD and evaluating nu(psi”) exactly. Exponential in the worst case
+// (the problem is #P-hard, Proposition 3.2) but fast on many practical
+// lineages; bounded by opts.MaxBDDNodes.
+func LineageBDD(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	lf, flipped, err := lineageForm(f)
+	if err != nil {
+		return Result{}, err
+	}
+	one := big.NewRat(1, 1)
+	h := new(big.Rat)
+	k, err := forEachFreeTuple(db.A, f, func(env logic.Env, _ rel.Tuple) error {
+		d, nu, err := tupleLineage(db, lf, env, opts.MaxLineageTerms)
+		if err != nil {
+			return err
+		}
+		mgr := bdd.New(d.NumVars, opts.MaxBDDNodes)
+		root, err := mgr.FromDNF(d)
+		if err != nil {
+			return err
+		}
+		p, err := mgr.Prob(root, nu)
+		if err != nil {
+			return err
+		}
+		if flipped {
+			p.Sub(one, p)
+		}
+		// H(ā) = Pr[psi(ā)^B ≠ psi(ā)^A].
+		obs, err := logic.Eval(db.A, f, env)
+		if err != nil {
+			return err
+		}
+		if obs {
+			h.Add(h, new(big.Rat).Sub(one, p))
+		} else {
+			h.Add(h, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Engine: "lineage-bdd", Class: logic.Classify(f)}
+	setExact(&res, h, db.A.N, k)
+	return res, nil
+}
+
+// LineageKL approximates the reliability of an existential or universal
+// query with the paper's FPTRAS pipeline: per tuple ā, the Theorem 5.4
+// lineage kDNF is handed to the Karp–Luby estimator, and per Corollary
+// 5.5 the per-tuple accuracy is (ε/n^k, δ/n^k) so that the summed
+// reliability satisfies Pr[|R − estimate| > ε] < δ.
+//
+// If usePaperReduction is set, each tuple uses the Theorem 5.3 binary
+// encoding + #DNF route instead of the direct weighted estimator (the
+// E10 ablation compares the two).
+func LineageKL(db *unreliable.DB, f logic.Formula, opts Options, usePaperReduction bool) (Result, error) {
+	opts = opts.withDefaults()
+	lf, flipped, err := lineageForm(f)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	k := len(logic.FreeVars(f))
+	normF := float64(1)
+	for i := 0; i < k; i++ {
+		normF *= float64(db.A.N)
+	}
+	epsT := opts.Eps / normF
+	deltaT := opts.Delta / normF
+	hFloat := 0.0
+	samples := 0
+	engine := "lineage-karpluby"
+	if usePaperReduction {
+		engine = "lineage-karpluby-thm53"
+	}
+	_, err = forEachFreeTuple(db.A, f, func(env logic.Env, _ rel.Tuple) error {
+		d, nu, err := tupleLineage(db, lf, env, opts.MaxLineageTerms)
+		if err != nil {
+			return err
+		}
+		var res karpluby.CountResult
+		if usePaperReduction {
+			res, err = karpluby.ProbViaReduction(d, nu, epsT, deltaT, rng)
+		} else {
+			res, err = karpluby.ProbDNF(d, nu, epsT, deltaT, rng)
+		}
+		if err != nil {
+			return err
+		}
+		p := res.Float()
+		samples += res.Samples
+		if flipped {
+			p = 1 - p
+		}
+		obs, err := logic.Eval(db.A, f, env)
+		if err != nil {
+			return err
+		}
+		if obs {
+			hFloat += 1 - p
+		} else {
+			hFloat += p
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	rFloat := 1 - hFloat/normF
+	return Result{
+		HFloat:    hFloat,
+		RFloat:    rFloat,
+		Arity:     k,
+		Engine:    engine,
+		Guarantee: AbsoluteError,
+		Eps:       opts.Eps,
+		Delta:     opts.Delta,
+		Samples:   samples,
+		Class:     logic.Classify(f),
+	}, nil
+}
+
+// NuExistential computes Pr[B ⊨ psi] for an existential (or universal,
+// via complement) Boolean query, exactly with the BDD engine. It is the
+// quantity for which Theorem 5.4 provides an FPTRAS; exposed for the
+// experiment harness.
+func NuExistential(db *unreliable.DB, f logic.Formula, opts Options) (*big.Rat, error) {
+	opts = opts.withDefaults()
+	if len(logic.FreeVars(f)) != 0 {
+		return nil, fmt.Errorf("core: NuExistential requires a Boolean query")
+	}
+	lf, flipped, err := lineageForm(f)
+	if err != nil {
+		return nil, err
+	}
+	d, nu, err := tupleLineage(db, lf, logic.Env{}, opts.MaxLineageTerms)
+	if err != nil {
+		return nil, err
+	}
+	mgr := bdd.New(d.NumVars, opts.MaxBDDNodes)
+	root, err := mgr.FromDNF(d)
+	if err != nil {
+		return nil, err
+	}
+	p, err := mgr.Prob(root, nu)
+	if err != nil {
+		return nil, err
+	}
+	if flipped {
+		p.Sub(big.NewRat(1, 1), p)
+	}
+	return p, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qrel/internal/logic"
+	"qrel/internal/mc"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// MonteCarlo approximates the reliability of an arbitrary
+// polynomial-time evaluable query (here: any first-order query, whose
+// data complexity is polynomial) with absolute error ε and confidence
+// 1−δ, per Theorem 5.12. Per tuple ā it runs the paper's padded
+// estimator at accuracy (ε/n^k, δ/n^k) and sums, exactly as in the
+// k-ary case of the proof.
+func MonteCarlo(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if cls := logic.Classify(f); cls == logic.ClassSecondOrder {
+		// Second-order evaluation is not polynomial-time; Theorem 5.12
+		// does not apply. (WorldEnum still handles small instances.)
+		return Result{}, fmt.Errorf("core: MonteCarlo requires a polynomial-time evaluable query, got %v", cls)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	k := len(logic.FreeVars(f))
+	normF := float64(1)
+	for i := 0; i < k; i++ {
+		normF *= float64(db.A.N)
+	}
+	epsT := opts.Eps / normF
+	deltaT := opts.Delta / normF
+	hFloat := 0.0
+	samples := 0
+	ev := func(env logic.Env) func(*rel.Structure) (bool, error) {
+		frozen := env.Clone()
+		return func(b *rel.Structure) (bool, error) { return logic.Eval(b, f, frozen) }
+	}
+	_, err := forEachFreeTuple(db.A, f, func(env logic.Env, _ rel.Tuple) error {
+		obs, err := logic.Eval(db.A, f, env)
+		if err != nil {
+			return err
+		}
+		est, err := mc.EstimateNuPadded(db, ev(env), opts.Xi, epsT, deltaT, rng)
+		if err != nil {
+			return err
+		}
+		samples += est.Samples
+		if obs {
+			hFloat += 1 - est.Value
+		} else {
+			hFloat += est.Value
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		HFloat:    hFloat,
+		RFloat:    1 - hFloat/normF,
+		Arity:     k,
+		Engine:    "monte-carlo",
+		Guarantee: AbsoluteError,
+		Eps:       opts.Eps,
+		Delta:     opts.Delta,
+		Samples:   samples,
+		Class:     logic.Classify(f),
+	}, nil
+}
+
+// MonteCarloDirect approximates the reliability by sampling worlds and
+// averaging the normalized Hamming distance |psi^A Δ psi^B| / n^k
+// directly — a single Hoeffding-bounded estimator instead of Corollary
+// 5.5's n^k per-tuple estimators. It needs one query evaluation per
+// sampled world per tuple but only ⌈ln(2/δ)/2ε²⌉ worlds total, which is
+// dramatically cheaper for k > 0; the E10 ablation quantifies the gap.
+func MonteCarloDirect(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if cls := logic.Classify(f); cls == logic.ClassSecondOrder {
+		return Result{}, fmt.Errorf("core: MonteCarloDirect requires a polynomial-time evaluable query, got %v", cls)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	observed, err := answerSet(db.A, f)
+	if err != nil {
+		return Result{}, err
+	}
+	k := len(logic.FreeVars(f))
+	normF := float64(1)
+	for i := 0; i < k; i++ {
+		normF *= float64(db.A.N)
+	}
+	est, err := mc.EstimateMean(db, func(b *rel.Structure) (float64, error) {
+		actual, err := answerSet(b, f)
+		if err != nil {
+			return 0, err
+		}
+		return float64(symmetricDiffSize(observed, actual)) / normF, nil
+	}, opts.Eps, opts.Delta, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		HFloat:    est.Value * normF,
+		RFloat:    1 - est.Value,
+		Arity:     k,
+		Engine:    "monte-carlo-direct",
+		Guarantee: AbsoluteError,
+		Eps:       opts.Eps,
+		Delta:     opts.Delta,
+		Samples:   est.Samples,
+		Class:     logic.Classify(f),
+	}, nil
+}
+
+// MonteCarloRare is MonteCarloDirect with rare-event conditioning: it
+// estimates the normalized Hamming distance — which is zero whenever no
+// atom flips — conditioned on the flip event, cutting the sample count
+// by a factor Z² where Z = Pr[some atom flips]. The estimator of choice
+// when error probabilities are small (the regime the paper's
+// introduction cares about: "even if the error probabilities of the
+// atomic statements are small...").
+func MonteCarloRare(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if cls := logic.Classify(f); cls == logic.ClassSecondOrder {
+		return Result{}, fmt.Errorf("core: MonteCarloRare requires a polynomial-time evaluable query, got %v", cls)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	observed, err := answerSet(db.A, f)
+	if err != nil {
+		return Result{}, err
+	}
+	k := len(logic.FreeVars(f))
+	normF := float64(1)
+	for i := 0; i < k; i++ {
+		normF *= float64(db.A.N)
+	}
+	est, err := mc.EstimateMeanRare(db, func(b *rel.Structure) (float64, error) {
+		actual, err := answerSet(b, f)
+		if err != nil {
+			return 0, err
+		}
+		return float64(symmetricDiffSize(observed, actual)) / normF, nil
+	}, opts.Eps, opts.Delta, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		HFloat:    est.Value * normF,
+		RFloat:    1 - est.Value,
+		Arity:     k,
+		Engine:    "monte-carlo-rare",
+		Guarantee: AbsoluteError,
+		Eps:       opts.Eps,
+		Delta:     opts.Delta,
+		Samples:   est.Samples,
+		Class:     logic.Classify(f),
+	}, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"qrel/internal/logic"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// QuantifierFree computes the exact reliability of a quantifier-free
+// query in polynomial time (Proposition 3.1, de Rougemont): for each of
+// the n^k tuples ā, the ground formula psi(ā) mentions at most n(psi)
+// atoms, so its expected error is the sum over the 2^n(psi) truth
+// assignments of those atoms — a constant amount of work per tuple.
+func QuantifierFree(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if !logic.IsQuantifierFree(f) {
+		return Result{}, fmt.Errorf("core: QuantifierFree engine requires a quantifier-free query, got %v", logic.Classify(f))
+	}
+	one := big.NewRat(1, 1)
+	h := new(big.Rat)
+	k, err := forEachFreeTuple(db.A, f, func(env logic.Env, _ rel.Tuple) error {
+		// Ground psi(ā) over a fresh per-tuple atom index: at most
+		// n(psi) variables regardless of database size.
+		ix := logic.NewAtomIndex()
+		pf, err := logic.Ground(db.A, f, env, ix)
+		if err != nil {
+			return err
+		}
+		nv := ix.Len()
+		if nv > 24 {
+			return fmt.Errorf("core: quantifier-free query grounds to %d distinct atoms in one tuple; expected a small constant", nv)
+		}
+		// Observed truth value.
+		obs := make([]bool, nv)
+		for i, atom := range ix.Atoms() {
+			obs[i] = db.A.Holds(atom.Rel, atom.Args)
+		}
+		observed := pf.Eval(obs)
+		// Probability that each atom holds in the actual database.
+		nu := nuAssignment(db, ix)
+		// Sum the probability of all assignments where the value differs.
+		a := make([]bool, nv)
+		for m := uint64(0); m < uint64(1)<<uint(nv); m++ {
+			for i := range a {
+				a[i] = m&(1<<uint(i)) != 0
+			}
+			if pf.Eval(a) == observed {
+				continue
+			}
+			w := new(big.Rat).Set(one)
+			for i, v := range a {
+				if v {
+					w.Mul(w, nu[i])
+				} else {
+					w.Mul(w, new(big.Rat).Sub(one, nu[i]))
+				}
+			}
+			h.Add(h, w)
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Engine: "qfree-exact", Class: logic.ClassQuantifierFree}
+	setExact(&res, h, db.A.N, k)
+	return res, nil
+}

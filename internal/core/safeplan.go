@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/big"
+
+	"qrel/internal/logic"
+	"qrel/internal/rel"
+	"qrel/internal/safeplan"
+	"qrel/internal/unreliable"
+)
+
+// SafePlan computes the exact reliability of a hierarchical conjunctive
+// query without self-joins in polynomial time via the Dalvi–Suciu
+// extensional plan (independent join / independent project). For k-ary
+// queries, each tuple's instantiation psi(ā) is evaluated by its own
+// plan. Queries outside the safe fragment get
+// safeplan.ErrNotHierarchical (or a validation error); the dispatcher
+// then falls back to the intensional engines.
+func SafePlan(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	one := big.NewRat(1, 1)
+	h := new(big.Rat)
+	vars := logic.FreeVars(f)
+	k, err := forEachFreeTuple(db.A, f, func(env logic.Env, tuple rel.Tuple) error {
+		bound := f
+		if len(vars) > 0 {
+			subst := make(map[string]logic.Term, len(vars))
+			for i, v := range vars {
+				subst[v] = logic.Elem(tuple[i])
+			}
+			bound = logic.Substitute(f, subst)
+		}
+		q, err := safeplan.FromFormula(bound)
+		if err != nil {
+			return err
+		}
+		p, err := q.Prob(db)
+		if err != nil {
+			return err
+		}
+		obs, err := logic.Eval(db.A, f, env)
+		if err != nil {
+			return err
+		}
+		if obs {
+			h.Add(h, new(big.Rat).Sub(one, p))
+		} else {
+			h.Add(h, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Engine: "safe-plan", Class: logic.Classify(f)}
+	setExact(&res, h, db.A.N, k)
+	return res, nil
+}

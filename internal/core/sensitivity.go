@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"qrel/internal/logic"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// Sensitivity reports how much one uncertain atom drives a query's
+// risk: the reliability conditioned on the atom being true and false,
+// and the resulting resolution value — how much the expected error
+// would shrink if the atom's truth were verified (the expected value of
+// perfect information about this atom).
+type Sensitivity struct {
+	// Atom is the analyzed ground atom.
+	Atom rel.GroundAtom
+	// Nu is Pr[atom holds in the actual database].
+	Nu *big.Rat
+	// HGiven true/false are the conditional expected errors.
+	HTrue, HFalse *big.Rat
+	// Resolution = H − (nu·HTrue + (1−nu)·HFalse): zero by the law of
+	// total probability when H itself is measured against the same
+	// observed answer, so it is reported for the *verified* variants —
+	// see HResolved.
+	//
+	// HResolved is the expected error remaining after the atom is
+	// verified: nu·HTrue + (1−nu)·HFalse. Verification helps when
+	// HResolved < H... for answer-flip risk the two coincide; the useful
+	// signal is the spread |HTrue − HFalse|.
+	HResolved *big.Rat
+	// Spread is |HTrue − HFalse|: atoms with a large spread dominate
+	// the query's uncertainty.
+	Spread *big.Rat
+}
+
+// AtomSensitivity computes the Sensitivity of one uncertain atom for a
+// query, using exact world enumeration on the conditioned databases.
+func AtomSensitivity(db *unreliable.DB, f logic.Formula, atom rel.GroundAtom, opts Options) (Sensitivity, error) {
+	opts = opts.withDefaults()
+	nu := db.NuAtom(atom)
+	one := big.NewRat(1, 1)
+	if nu.Sign() == 0 || nu.Cmp(one) == 0 {
+		return Sensitivity{}, fmt.Errorf("core: atom %v is certain; sensitivity undefined", atom)
+	}
+	condT, err := db.Condition(atom, true)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	condF, err := db.Condition(atom, false)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	// The conditional H must be measured against the ORIGINAL observed
+	// answer (the user still holds psi^A), so evaluate with WorldEnum on
+	// databases whose observed structure is unchanged: Condition keeps A
+	// and only reshapes mu, which is exactly what we need.
+	resT, err := WorldEnum(condT, f, opts)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	resF, err := WorldEnum(condF, f, opts)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	resolved := new(big.Rat).Mul(nu, resT.H)
+	resolved.Add(resolved, new(big.Rat).Mul(new(big.Rat).Sub(one, nu), resF.H))
+	spread := new(big.Rat).Sub(resT.H, resF.H)
+	if spread.Sign() < 0 {
+		spread.Neg(spread)
+	}
+	return Sensitivity{
+		Atom:      atom,
+		Nu:        nu,
+		HTrue:     resT.H,
+		HFalse:    resF.H,
+		HResolved: resolved,
+		Spread:    spread,
+	}, nil
+}
+
+// RankSensitivities computes sensitivities for every uncertain atom and
+// returns them sorted by decreasing spread — the triage list: verify
+// the top atoms first to pin down the query's risk. Exponential in the
+// number of uncertain atoms (two world enumerations per atom); bounded
+// by opts.MaxEnumAtoms.
+func RankSensitivities(db *unreliable.DB, f logic.Formula, opts Options) ([]Sensitivity, error) {
+	atoms := db.UncertainAtoms()
+	out := make([]Sensitivity, 0, len(atoms))
+	for _, atom := range atoms {
+		s, err := AtomSensitivity(db, f, atom, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Spread.Cmp(out[j].Spread) > 0 })
+	return out, nil
+}

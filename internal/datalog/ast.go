@@ -1,0 +1,189 @@
+// Package datalog implements Datalog with stratified negation over the
+// relational substrate: parser, safety and stratification checks, and
+// semi-naive bottom-up evaluation. Datalog queries are among the
+// polynomial-time evaluable queries covered by Theorem 4.2 (the case de
+// Rougemont had proved) and Theorem 5.12; the package also provides the
+// corresponding reliability engines — exact world enumeration and
+// absolute-error Monte Carlo — over unreliable EDBs. The flagship
+// application is network reliability: the probability that a
+// reachability fact survives random edge failures (the problem that
+// motivated Karp & Luby's original Monte Carlo work).
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a Datalog term: a variable or a universe element.
+type Term struct {
+	// Var is non-empty for a variable.
+	Var string
+	// Elem is the universe element when Var is empty.
+	Elem int
+}
+
+// V makes a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// E makes an element term.
+func E(e int) Term { return Term{Elem: e} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return fmt.Sprint(t.Elem)
+}
+
+// Atom is a predicate applied to terms.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// String renders the atom as "Reach(x,y)".
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Vars returns the distinct variables of the atom in order.
+func (a Atom) Vars() []string {
+	var out []string
+	seen := map[string]struct{}{}
+	for _, t := range a.Args {
+		if t.IsVar() {
+			if _, ok := seen[t.Var]; !ok {
+				seen[t.Var] = struct{}{}
+				out = append(out, t.Var)
+			}
+		}
+	}
+	return out
+}
+
+// Literal is an atom or its negation.
+type Literal struct {
+	Atom    Atom
+	Negated bool
+}
+
+// String renders the literal as "not Reach(x,y)" when negated.
+func (l Literal) String() string {
+	if l.Negated {
+		return "not " + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Rule is a Horn rule with optional negated body literals.
+type Rule struct {
+	Head Atom
+	Body []Literal
+}
+
+// String renders the rule as "H(x) :- B1(x), not B2(x).".
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		parts[i] = l.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Program is a list of rules. IDB predicates are those appearing in
+// some head; all other predicates are EDB and must exist in the input
+// structure.
+type Program struct {
+	Rules []Rule
+}
+
+// String renders the program one rule per line.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// IDBPreds returns the head predicates in first-appearance order.
+func (p *Program) IDBPreds() []string {
+	var out []string
+	seen := map[string]struct{}{}
+	for _, r := range p.Rules {
+		if _, ok := seen[r.Head.Pred]; !ok {
+			seen[r.Head.Pred] = struct{}{}
+			out = append(out, r.Head.Pred)
+		}
+	}
+	return out
+}
+
+// isIDB reports whether pred appears in some head.
+func (p *Program) isIDB(pred string) bool {
+	for _, r := range p.Rules {
+		if r.Head.Pred == pred {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks arities are used consistently and every rule is safe:
+// every head variable and every variable in a negated literal must
+// occur in a positive body literal.
+func (p *Program) Validate() error {
+	arity := map[string]int{}
+	note := func(a Atom) error {
+		if prev, ok := arity[a.Pred]; ok && prev != len(a.Args) {
+			return fmt.Errorf("datalog: predicate %s used with arities %d and %d", a.Pred, prev, len(a.Args))
+		}
+		arity[a.Pred] = len(a.Args)
+		return nil
+	}
+	for i, r := range p.Rules {
+		if err := note(r.Head); err != nil {
+			return err
+		}
+		positive := map[string]struct{}{}
+		for _, l := range r.Body {
+			if err := note(l.Atom); err != nil {
+				return err
+			}
+			if !l.Negated {
+				for _, v := range l.Atom.Vars() {
+					positive[v] = struct{}{}
+				}
+			}
+		}
+		for _, v := range r.Head.Vars() {
+			if _, ok := positive[v]; !ok {
+				return fmt.Errorf("datalog: rule %d (%s): head variable %q not bound by a positive body literal", i, r, v)
+			}
+		}
+		for _, l := range r.Body {
+			if !l.Negated {
+				continue
+			}
+			for _, v := range l.Atom.Vars() {
+				if _, ok := positive[v]; !ok {
+					return fmt.Errorf("datalog: rule %d (%s): variable %q in negated literal not bound positively", i, r, v)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stratify partitions the IDB predicates into strata such that a
+// predicate's rules only use predicates of strictly lower strata under
+// negation, and of lower-or-equal strata positively. It returns the
+// strata (each a sorted list of predicates, lowest first) or an error
+// when no stratification exists (negation through a cycle).
+func (p *Program) Stratify() ([][]string, error) {
+	idb := map[string]struct{}{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = struct{}{}
+	}
+	// stratum number per IDB predicate; iterate to a fixed point (the
+	// classical algorithm: at most |idb| rounds, otherwise a negative
+	// cycle exists).
+	stratum := map[string]int{}
+	for pred := range idb {
+		stratum[pred] = 0
+	}
+	for round := 0; ; round++ {
+		changed := false
+		for _, r := range p.Rules {
+			h := r.Head.Pred
+			for _, l := range r.Body {
+				b := l.Atom.Pred
+				if _, isIDB := idb[b]; !isIDB {
+					continue
+				}
+				want := stratum[b]
+				if l.Negated {
+					want++
+				}
+				if stratum[h] < want {
+					stratum[h] = want
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > len(idb) {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (negation through recursion)")
+		}
+	}
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	out := make([][]string, maxS+1)
+	for pred, s := range stratum {
+		out[s] = append(out[s], pred)
+	}
+	for _, layer := range out {
+		sort.Strings(layer)
+	}
+	return out, nil
+}

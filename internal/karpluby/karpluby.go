@@ -1,0 +1,236 @@
+// Package karpluby implements the Karp–Luby Monte Carlo algorithms the
+// paper builds on: the FPTRAS for #DNF (Theorem 5.2, from Karp & Luby,
+// FOCS 1983), its weighted variant for Prob-DNF, and the paper's own
+// reduction from Prob-kDNF to #DNF via binary-encoded probabilities
+// (Theorem 5.3). Sample sizes follow Lemma 5.11.
+package karpluby
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"qrel/internal/prop"
+)
+
+// SampleSize returns the number of iterations t for which the Karp–Luby
+// zero-one estimator achieves relative error ε with confidence 1 − δ,
+// given the coverage lower bound p ≥ 1/m for a DNF with m terms: by
+// Lemma 5.11, 2·exp(−2ε²tp / 9(1−p)) < δ as soon as
+// t ≥ (9/2)·(1/p)·ln(2/δ)/ε². We use the worst case p = 1/m.
+func SampleSize(eps, delta float64, m int) (int, error) {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("karpluby: need eps > 0 and 0 < delta < 1, got eps=%v delta=%v", eps, delta)
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("karpluby: DNF with %d terms", m)
+	}
+	t := 4.5 * float64(m) * math.Log(2/delta) / (eps * eps)
+	if t > 1e9 {
+		return 0, fmt.Errorf("karpluby: sample size %.3g exceeds 1e9; relax eps/delta", t)
+	}
+	return int(math.Ceil(t)), nil
+}
+
+// Lemma511Bound returns the right-hand side of Lemma 5.11:
+// 2·exp(−2ε²tp / 9(1−p)), the failure probability of a t-sample mean of
+// [0,1] variables with expectation p < 0.5 exceeding relative error ε.
+func Lemma511Bound(eps float64, t int, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 1
+	}
+	return 2 * math.Exp(-2*eps*eps*float64(t)*p/(9*(1-p)))
+}
+
+// randBigBelow draws a uniform big.Int in [0, n).
+func randBigBelow(rng *rand.Rand, n *big.Int) *big.Int {
+	if n.Sign() <= 0 {
+		return new(big.Int)
+	}
+	// Rejection sampling over the enclosing power of two.
+	bits := n.BitLen()
+	bytes := (bits + 7) / 8
+	buf := make([]byte, bytes)
+	mask := byte(0xff >> (uint(bytes*8 - bits)))
+	v := new(big.Int)
+	for {
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		buf[0] &= mask
+		v.SetBytes(buf)
+		if v.Cmp(n) < 0 {
+			return v
+		}
+	}
+}
+
+// CountResult reports a Karp–Luby estimate.
+type CountResult struct {
+	// Estimate is the estimated count (for CountDNF) or probability (for
+	// ProbDNF).
+	Estimate *big.Rat
+	// Samples is the number of Monte Carlo iterations performed.
+	Samples int
+	// Hits is the number of iterations whose zero-one variable was 1.
+	Hits int
+}
+
+// Float returns the estimate as a float64.
+func (r CountResult) Float() float64 {
+	f, _ := r.Estimate.Float64()
+	return f
+}
+
+// CountDNF estimates #DNF — the number of satisfying assignments of d —
+// with relative error eps and confidence 1−delta, implementing the
+// Karp–Luby coverage algorithm (Theorem 5.2):
+//
+//	U := Σ_i |sat(T_i)|;
+//	repeat t times: pick term i with probability |sat(T_i)|/U, pick a
+//	uniform assignment a ⊨ T_i, count a hit iff i is the first term
+//	satisfied by a;
+//	output U · hits/t.
+//
+// The estimator is unbiased with expectation #DNF/U ≥ 1/m, so Lemma
+// 5.11 gives the (ε, δ) guarantee for t = SampleSize(eps, delta, m).
+func CountDNF(d prop.DNF, eps, delta float64, rng *rand.Rand) (CountResult, error) {
+	norm := normalizedTerms(d)
+	if len(norm) == 0 {
+		return CountResult{Estimate: new(big.Rat)}, nil
+	}
+	t, err := SampleSize(eps, delta, len(norm))
+	if err != nil {
+		return CountResult{}, err
+	}
+	// Per-term satisfying-assignment counts as cumulative sums.
+	cum, total := termWeights(norm, d.NumVars)
+	if total.Sign() == 0 {
+		return CountResult{Estimate: new(big.Rat)}, nil
+	}
+	hits := 0
+	a := make([]bool, d.NumVars)
+	for iter := 0; iter < t; iter++ {
+		i := pickCumulative(rng, cum, total)
+		sampleTermAssignment(rng, norm[i], a, nil)
+		if firstSatisfied(norm, a) == i {
+			hits++
+		}
+	}
+	est := new(big.Rat).SetInt(total)
+	est.Mul(est, big.NewRat(int64(hits), int64(t)))
+	return CountResult{Estimate: est, Samples: t, Hits: hits}, nil
+}
+
+// ProbDNF estimates Prob-DNF — the probability that d holds when
+// variable v is independently true with probability p[v] — with relative
+// error eps and confidence 1−delta, using the weighted Karp–Luby
+// estimator: terms are drawn proportionally to Pr[T_i], the free
+// variables are completed by independent ν-biased coin flips, and a hit
+// is counted iff the drawn term is the first satisfied one. This is the
+// direct engine; the paper's own route via binary encoding is
+// implemented by Reduce (Theorem 5.3). Both are compared in experiment
+// E10.
+func ProbDNF(d prop.DNF, p prop.ProbAssignment, eps, delta float64, rng *rand.Rand) (CountResult, error) {
+	if err := p.Validate(d.NumVars); err != nil {
+		return CountResult{}, err
+	}
+	norm := normalizedTerms(d)
+	if len(norm) == 0 {
+		return CountResult{Estimate: new(big.Rat)}, nil
+	}
+	t, err := SampleSize(eps, delta, len(norm))
+	if err != nil {
+		return CountResult{}, err
+	}
+	// Float probabilities for sampling; exact rationals for the final
+	// scaling.
+	pf := make([]float64, d.NumVars)
+	for i := range pf {
+		pf[i], _ = p[i].Float64()
+	}
+	weightsExact := new(big.Rat)
+	cum := make([]float64, len(norm))
+	sum := 0.0
+	for i, tm := range norm {
+		w := p.TermProb(tm)
+		weightsExact.Add(weightsExact, w)
+		wf, _ := w.Float64()
+		sum += wf
+		cum[i] = sum
+	}
+	if weightsExact.Sign() == 0 {
+		return CountResult{Estimate: new(big.Rat)}, nil
+	}
+	hits := 0
+	a := make([]bool, d.NumVars)
+	for iter := 0; iter < t; iter++ {
+		r := rng.Float64() * sum
+		i := 0
+		for i < len(cum)-1 && cum[i] <= r {
+			i++
+		}
+		sampleTermAssignment(rng, norm[i], a, pf)
+		if firstSatisfied(norm, a) == i {
+			hits++
+		}
+	}
+	est := new(big.Rat).Set(weightsExact)
+	est.Mul(est, big.NewRat(int64(hits), int64(t)))
+	return CountResult{Estimate: est, Samples: t, Hits: hits}, nil
+}
+
+// normalizedTerms returns the satisfiable normalized terms of d.
+func normalizedTerms(d prop.DNF) []prop.Term {
+	out := make([]prop.Term, 0, len(d.Terms))
+	for _, t := range d.Terms {
+		if nt, sat := t.Normalize(); sat {
+			out = append(out, nt)
+		}
+	}
+	return out
+}
+
+// pickCumulative draws an index proportional to the big.Int weights
+// described by the cumulative sums cum (with grand total).
+func pickCumulative(rng *rand.Rand, cum []*big.Int, total *big.Int) int {
+	r := randBigBelow(rng, total)
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid].Cmp(r) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// sampleTermAssignment fills a with a random assignment satisfying the
+// normalized term: fixed literals as dictated, free variables uniform
+// (probs == nil) or independently true with probability probs[v].
+func sampleTermAssignment(rng *rand.Rand, t prop.Term, a []bool, probs []float64) {
+	for v := range a {
+		if probs == nil {
+			a[v] = rng.Intn(2) == 0
+		} else {
+			a[v] = rng.Float64() < probs[v]
+		}
+	}
+	for _, l := range t {
+		a[l.Var] = !l.Neg
+	}
+}
+
+// firstSatisfied returns the index of the first term satisfied by a, or
+// -1.
+func firstSatisfied(terms []prop.Term, a []bool) int {
+	for i, t := range terms {
+		if t.Eval(a) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,276 @@
+package karpluby
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"qrel/internal/prop"
+)
+
+func randDNF(rng *rand.Rand, numVars, numTerms, width int) prop.DNF {
+	d := prop.DNF{NumVars: numVars}
+	for i := 0; i < numTerms; i++ {
+		w := 1 + rng.Intn(width)
+		t := make(prop.Term, 0, w)
+		for j := 0; j < w; j++ {
+			t = append(t, prop.Lit{Var: rng.Intn(numVars), Neg: rng.Intn(2) == 0})
+		}
+		d.Terms = append(d.Terms, t)
+	}
+	return d
+}
+
+func TestSampleSize(t *testing.T) {
+	n, err := SampleSize(0.1, 0.05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(4.5 * 10 * math.Log(2/0.05) / 0.01))
+	if n != want {
+		t.Errorf("SampleSize = %d, want %d", n, want)
+	}
+	for _, bad := range [][2]float64{{0, 0.1}, {-1, 0.1}, {0.1, 0}, {0.1, 1}} {
+		if _, err := SampleSize(bad[0], bad[1], 10); err == nil {
+			t.Errorf("SampleSize(%v) accepted", bad)
+		}
+	}
+	if _, err := SampleSize(0.1, 0.1, 0); err == nil {
+		t.Error("zero terms accepted")
+	}
+	if _, err := SampleSize(1e-9, 1e-9, 1000); err == nil {
+		t.Error("absurd sample size accepted")
+	}
+}
+
+func TestLemma511Bound(t *testing.T) {
+	// Bound decreases in t and is ≤ 2.
+	b1 := Lemma511Bound(0.1, 100, 0.3)
+	b2 := Lemma511Bound(0.1, 1000, 0.3)
+	if b2 >= b1 {
+		t.Error("bound not decreasing in t")
+	}
+	if Lemma511Bound(0.1, 10, 0) != 1 || Lemma511Bound(0.1, 10, 1) != 1 {
+		t.Error("degenerate p should clamp to 1")
+	}
+	// For the paper's t(ε,δ) with ξ = p, the bound is below δ.
+	xi, eps, delta := 0.25, 0.1, 0.05
+	tt := int(math.Ceil(9 / (2 * xi * eps * eps) * math.Log(1/delta)))
+	if got := Lemma511Bound(eps, tt, xi); got >= 2*delta {
+		t.Errorf("bound %v at paper sample size, want < 2δ = %v", got, 2*delta)
+	}
+}
+
+func TestRandBigBelow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := big.NewInt(10)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := randBigBelow(rng, n)
+		if v.Sign() < 0 || v.Cmp(n) >= 0 {
+			t.Fatalf("sample %v outside [0,10)", v)
+		}
+		counts[v.Int64()]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("value %d drawn %d times of 10000; expected ≈1000", i, c)
+		}
+	}
+	if randBigBelow(rng, new(big.Int)).Sign() != 0 {
+		t.Error("randBigBelow(0) should be 0")
+	}
+}
+
+func TestCountDNFAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const eps, delta = 0.1, 0.02
+	failures := 0
+	const instances = 30
+	for iter := 0; iter < instances; iter++ {
+		nv := 6 + rng.Intn(6)
+		d := randDNF(rng, nv, 2+rng.Intn(8), 3)
+		exact, err := d.CountBruteForce(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CountDNF(d, eps, delta, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Sign() == 0 {
+			if got.Estimate.Sign() != 0 {
+				t.Errorf("iter %d: estimate %v for unsatisfiable formula", iter, got.Estimate)
+			}
+			continue
+		}
+		relErr := new(big.Rat).Sub(got.Estimate, new(big.Rat).SetInt(exact))
+		relErr.Quo(relErr, new(big.Rat).SetInt(exact))
+		if f, _ := relErr.Float64(); math.Abs(f) > eps {
+			failures++
+		}
+	}
+	// δ = 2% per instance; over 30 instances expect ~0–1 failures. Allow 3.
+	if failures > 3 {
+		t.Errorf("%d of %d instances exceeded relative error %v", failures, instances, eps)
+	}
+}
+
+func TestCountDNFEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Empty DNF: count 0.
+	res, err := CountDNF(prop.DNF{NumVars: 5}, 0.1, 0.1, rng)
+	if err != nil || res.Estimate.Sign() != 0 {
+		t.Errorf("empty DNF: %v, %v", res.Estimate, err)
+	}
+	// All terms contradictory.
+	d := prop.MustDNF(3, prop.Term{prop.Pos(0), prop.Negd(0)})
+	res, err = CountDNF(d, 0.1, 0.1, rng)
+	if err != nil || res.Estimate.Sign() != 0 {
+		t.Errorf("contradictory DNF: %v, %v", res.Estimate, err)
+	}
+	// Tautology: exactly 2^n, zero variance (every sample hits term 0).
+	d = prop.MustDNF(4, prop.Term{})
+	res, err = CountDNF(d, 0.5, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate.Cmp(big.NewRat(16, 1)) != 0 {
+		t.Errorf("tautology estimate %v, want 16", res.Estimate)
+	}
+}
+
+func TestProbDNFAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const eps, delta = 0.1, 0.02
+	failures := 0
+	const instances = 30
+	for iter := 0; iter < instances; iter++ {
+		nv := 5 + rng.Intn(5)
+		d := randDNF(rng, nv, 2+rng.Intn(6), 3)
+		p := make(prop.ProbAssignment, nv)
+		for i := range p {
+			p[i] = big.NewRat(int64(1+rng.Intn(9)), 10)
+		}
+		exact, err := d.ProbBruteForce(p, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ProbDNF(d, p, eps, delta, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Sign() == 0 {
+			continue
+		}
+		relErr := new(big.Rat).Sub(got.Estimate, exact)
+		relErr.Quo(relErr, exact)
+		if f, _ := relErr.Float64(); math.Abs(f) > eps {
+			failures++
+		}
+	}
+	if failures > 3 {
+		t.Errorf("%d of %d instances exceeded relative error %v", failures, instances, eps)
+	}
+}
+
+func TestProbDNFValidation(t *testing.T) {
+	d := prop.MustDNF(2, prop.Term{prop.Pos(0)})
+	if _, err := ProbDNF(d, prop.ProbAssignment{big.NewRat(1, 2)}, 0.1, 0.1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("short probability assignment accepted")
+	}
+}
+
+func TestCountResultFloat(t *testing.T) {
+	r := CountResult{Estimate: big.NewRat(3, 2)}
+	if r.Float() != 1.5 {
+		t.Errorf("Float = %v", r.Float())
+	}
+}
+
+func TestCountDNFAdaptiveAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const eps, delta = 0.1, 0.02
+	failures := 0
+	const instances = 30
+	for iter := 0; iter < instances; iter++ {
+		nv := 6 + rng.Intn(6)
+		d := randDNF(rng, nv, 2+rng.Intn(8), 3)
+		exact, err := d.CountBruteForce(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CountDNFAdaptive(d, eps, delta, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Sign() == 0 {
+			if got.Estimate.Sign() != 0 {
+				t.Errorf("iter %d: nonzero estimate for unsat formula", iter)
+			}
+			continue
+		}
+		relErr := new(big.Rat).Sub(got.Estimate, new(big.Rat).SetInt(exact))
+		relErr.Quo(relErr, new(big.Rat).SetInt(exact))
+		if f, _ := relErr.Float64(); math.Abs(f) > eps {
+			failures++
+		}
+	}
+	if failures > 3 {
+		t.Errorf("%d of %d adaptive estimates exceeded eps", failures, instances)
+	}
+}
+
+func TestCountDNFAdaptiveSavesWhenCoverageHigh(t *testing.T) {
+	// A near-disjoint DNF has coverage p ≈ 1: the adaptive rule should
+	// stop far earlier than the static worst-case budget.
+	rng := rand.New(rand.NewSource(8))
+	nv, m := 24, 12
+	d := prop.DNF{NumVars: nv}
+	for i := 0; i < m; i++ {
+		d.Terms = append(d.Terms, prop.Term{prop.Pos(2 * i), prop.Pos(2*i + 1)})
+	}
+	static, err := CountDNF(d, 0.1, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := CountDNFAdaptive(d, 0.1, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Samples*2 > static.Samples {
+		t.Errorf("adaptive used %d samples, static %d; expected a large saving", adaptive.Samples, static.Samples)
+	}
+	// And the estimates agree with the exact count within 10%.
+	exact, err := d.CountBruteForce(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]CountResult{"static": static, "adaptive": adaptive} {
+		diff := new(big.Rat).Sub(res.Estimate, new(big.Rat).SetInt(exact))
+		diff.Quo(diff, new(big.Rat).SetInt(exact))
+		if f, _ := diff.Float64(); math.Abs(f) > 0.1 {
+			t.Errorf("%s estimate off by %v", name, f)
+		}
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	d := prop.MustDNF(2, prop.Term{prop.Pos(0)})
+	rng := rand.New(rand.NewSource(1))
+	for _, bad := range [][2]float64{{0, 0.1}, {1.5, 0.1}, {0.1, 0}, {0.1, 1}} {
+		if _, err := CountDNFAdaptive(d, bad[0], bad[1], rng); err == nil {
+			t.Errorf("accepted eps=%v delta=%v", bad[0], bad[1])
+		}
+	}
+	// Empty and contradictory formulas yield 0.
+	res, err := CountDNFAdaptive(prop.DNF{NumVars: 3}, 0.1, 0.1, rng)
+	if err != nil || res.Estimate.Sign() != 0 {
+		t.Errorf("empty DNF: %v %v", res.Estimate, err)
+	}
+	res, err = CountDNFAdaptive(prop.MustDNF(2, prop.Term{prop.Pos(0), prop.Negd(0)}), 0.1, 0.1, rng)
+	if err != nil || res.Estimate.Sign() != 0 {
+		t.Errorf("contradictory DNF: %v %v", res.Estimate, err)
+	}
+}

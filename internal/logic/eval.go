@@ -1,0 +1,262 @@
+package logic
+
+import (
+	"fmt"
+
+	"qrel/internal/rel"
+)
+
+// Env assigns universe elements to first-order variables.
+type Env map[string]int
+
+// Clone returns a copy of the environment.
+func (e Env) Clone() Env {
+	c := make(Env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// MaxSOTuples bounds the tuple-space size n^arity over which a
+// second-order quantifier enumerates relations (2^(n^arity) relations).
+// Evaluation of second-order queries is necessarily exponential — they
+// capture the polynomial-time hierarchy — so this is a hard safety
+// budget, not a tunable.
+const MaxSOTuples = 22
+
+// Evaluator evaluates formulas on a structure. The zero value is not
+// usable; construct with NewEvaluator.
+type Evaluator struct {
+	s *rel.Structure
+	// extra holds relations bound by second-order quantifiers, which
+	// shadow the structure's relations of the same name.
+	extra map[string]*rel.Relation
+}
+
+// NewEvaluator returns an evaluator for the structure.
+func NewEvaluator(s *rel.Structure) *Evaluator {
+	return &Evaluator{s: s, extra: map[string]*rel.Relation{}}
+}
+
+// Eval evaluates f on s under env. It is a convenience wrapper around
+// NewEvaluator(s).Eval.
+func Eval(s *rel.Structure, f Formula, env Env) (bool, error) {
+	return NewEvaluator(s).Eval(f, env)
+}
+
+// EvalSentence evaluates a sentence (no free variables, empty env).
+func EvalSentence(s *rel.Structure, f Formula) (bool, error) {
+	return Eval(s, f, Env{})
+}
+
+// term resolves a term to a universe element.
+func (ev *Evaluator) term(t Term, env Env) (int, error) {
+	switch u := t.(type) {
+	case Var:
+		e, ok := env[string(u)]
+		if !ok {
+			return 0, fmt.Errorf("logic: unbound variable %q", u)
+		}
+		return e, nil
+	case Const:
+		e, ok := ev.s.Consts[string(u)]
+		if !ok {
+			return 0, fmt.Errorf("logic: unknown constant %q", u)
+		}
+		return e, nil
+	case Elem:
+		e := int(u)
+		if e < 0 || e >= ev.s.N {
+			return 0, fmt.Errorf("logic: element %d outside universe [0,%d)", e, ev.s.N)
+		}
+		return e, nil
+	default:
+		return 0, fmt.Errorf("logic: unknown term %T", t)
+	}
+}
+
+// Eval evaluates f under env.
+func (ev *Evaluator) Eval(f Formula, env Env) (bool, error) {
+	switch g := f.(type) {
+	case Bool:
+		return bool(g), nil
+	case Atom:
+		tup := make(rel.Tuple, len(g.Args))
+		for i, t := range g.Args {
+			e, err := ev.term(t, env)
+			if err != nil {
+				return false, err
+			}
+			tup[i] = e
+		}
+		if r, ok := ev.extra[g.Rel]; ok {
+			if r.Arity != len(tup) {
+				return false, fmt.Errorf("logic: relation variable %s used with arity %d, bound with %d", g.Rel, len(tup), r.Arity)
+			}
+			return r.Contains(tup), nil
+		}
+		r := ev.s.Rel(g.Rel)
+		if r == nil {
+			return false, fmt.Errorf("logic: unknown relation %q", g.Rel)
+		}
+		if r.Arity != len(tup) {
+			return false, fmt.Errorf("logic: relation %s has arity %d, used with %d args", g.Rel, r.Arity, len(tup))
+		}
+		return r.Contains(tup), nil
+	case Eq:
+		l, err := ev.term(g.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.term(g.R, env)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case Not:
+		v, err := ev.Eval(g.F, env)
+		return !v, err
+	case And:
+		for _, h := range g {
+			v, err := ev.Eval(h, env)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	case Or:
+		for _, h := range g {
+			v, err := ev.Eval(h, env)
+			if err != nil || v {
+				return v, err
+			}
+		}
+		return false, nil
+	case Implies:
+		l, err := ev.Eval(g.L, env)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return ev.Eval(g.R, env)
+	case Iff:
+		l, err := ev.Eval(g.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.Eval(g.R, env)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case Exists:
+		return ev.evalFOQuant(g.Vars, g.Body, env, true)
+	case Forall:
+		return ev.evalFOQuant(g.Vars, g.Body, env, false)
+	case SOQuant:
+		return ev.evalSOQuant(g, env)
+	default:
+		return false, fmt.Errorf("logic: unknown formula node %T", f)
+	}
+}
+
+// evalFOQuant evaluates a block of like quantifiers by enumerating
+// A^len(vars).
+func (ev *Evaluator) evalFOQuant(vars []string, body Formula, env Env, existential bool) (bool, error) {
+	if len(vars) == 0 {
+		return ev.Eval(body, env)
+	}
+	env = env.Clone()
+	result := !existential
+	var innerErr error
+	rel.ForEachTuple(ev.s.N, len(vars), func(t rel.Tuple) bool {
+		for i, v := range vars {
+			env[v] = t[i]
+		}
+		val, err := ev.Eval(body, env)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if val == existential {
+			result = existential
+			return false
+		}
+		return true
+	})
+	if innerErr != nil {
+		return false, innerErr
+	}
+	return result, nil
+}
+
+// evalSOQuant evaluates a second-order quantifier by enumerating all
+// 2^(n^arity) relations of the given arity. Guarded by MaxSOTuples.
+func (ev *Evaluator) evalSOQuant(q SOQuant, env Env) (bool, error) {
+	if q.Arity < 0 || q.Arity > rel.MaxArity {
+		return false, fmt.Errorf("logic: second-order arity %d out of range", q.Arity)
+	}
+	space := rel.TupleCount(ev.s.N, q.Arity)
+	if space < 0 || space > MaxSOTuples {
+		return false, fmt.Errorf("logic: second-order quantifier over %s/%d: tuple space %d exceeds budget %d",
+			q.Rel, q.Arity, space, MaxSOTuples)
+	}
+	if _, shadow := ev.extra[q.Rel]; shadow {
+		return false, fmt.Errorf("logic: nested second-order quantifiers reuse relation variable %q", q.Rel)
+	}
+	tuples := make([]rel.Tuple, 0, space)
+	rel.ForEachTuple(ev.s.N, q.Arity, func(t rel.Tuple) bool {
+		tuples = append(tuples, t.Clone())
+		return true
+	})
+	defer delete(ev.extra, q.Rel)
+	for mask := uint64(0); mask < uint64(1)<<uint(space); mask++ {
+		r := rel.NewRelation(q.Arity)
+		for i, t := range tuples {
+			if mask&(1<<uint(i)) != 0 {
+				r.Add(t)
+			}
+		}
+		ev.extra[q.Rel] = r
+		val, err := ev.Eval(q.Body, env)
+		if err != nil {
+			return false, err
+		}
+		if val == q.Exists {
+			return q.Exists, nil
+		}
+	}
+	return !q.Exists, nil
+}
+
+// Answer computes the query answer ψ^A = {ā ∈ A^k : A ⊨ ψ(ā)} for the
+// free variables in FreeVars order. For a sentence it returns either one
+// empty tuple (true) or none (false).
+func Answer(s *rel.Structure, f Formula) ([]rel.Tuple, error) {
+	vars := FreeVars(f)
+	ev := NewEvaluator(s)
+	var out []rel.Tuple
+	env := Env{}
+	var innerErr error
+	rel.ForEachTuple(s.N, len(vars), func(t rel.Tuple) bool {
+		for i, v := range vars {
+			env[v] = t[i]
+		}
+		val, err := ev.Eval(f, env)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if val {
+			out = append(out, t.Clone())
+		}
+		return true
+	})
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	return out, nil
+}

@@ -1,0 +1,39 @@
+package logic
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the query parser never panics, and that
+// whatever parses prints and reparses stably (print/parse idempotence).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"exists x y z . L(x,y) & R(x,z) & S(y) & S(z)",
+		"forall x . S(x) -> exists y . E(x,y)",
+		"existsrel C/1 . forall x y . E(x,y) -> ((C(x) & !C(y)) | (!C(x) & C(y)))",
+		"x = y | E(x,y)",
+		"!((S(0)) <-> (S(1)))",
+		"exists x . S(x",
+		"E(0,1) -",
+		"#",
+		"exists . foo",
+		"forall forall . S(x)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src, nil)
+		if err != nil {
+			return
+		}
+		printed := q.String()
+		q2, err := Parse(printed, nil)
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not reparse: %v", printed, src, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("print/parse unstable: %q -> %q", printed, q2.String())
+		}
+	})
+}

@@ -1,0 +1,468 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"qrel/internal/rel"
+)
+
+// Parse parses a formula in the concrete syntax produced by
+// Formula.String:
+//
+//	formula  := iff
+//	iff      := impl ('<->' impl)*
+//	impl     := or ('->' impl)?                  (right associative)
+//	or       := and ('|' and)*
+//	and      := unary ('&' unary)*
+//	unary    := '!' unary | quant | primary
+//	quant    := ('exists'|'forall') ident+ '.' formula
+//	          | ('existsrel'|'forallrel') ident '/' number '.' formula
+//	primary  := 'true' | 'false' | '(' formula ')'
+//	          | ident '(' term (',' term)* ')'   (relational atom)
+//	          | term ('='|'!=') term             (equality / negated equality)
+//	term     := ident | number | '#' number
+//
+// Identifiers appearing as terms are parsed as variables unless voc
+// declares them as constants; a nil voc makes every identifier a
+// variable. Bare numbers as terms denote universe elements directly.
+func Parse(input string, voc *rel.Vocabulary) (Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, voc: voc}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("logic: unexpected %q at end of formula", p.toks[p.pos].text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error; for statically known queries
+// in tests and examples.
+func MustParse(input string, voc *rel.Vocabulary) Formula {
+	f, err := Parse(input, voc)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokSlash
+	tokHash
+	tokEq
+	tokNeq
+	tokNot
+	tokAnd
+	tokOr
+	tokImplies
+	tokIff
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '/':
+			toks = append(toks, token{tokSlash, "/", i})
+			i++
+		case c == '#':
+			toks = append(toks, token{tokHash, "#", i})
+			i++
+		case c == '&':
+			toks = append(toks, token{tokAnd, "&", i})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokOr, "|", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '!':
+			if strings.HasPrefix(input[i:], "!=") {
+				toks = append(toks, token{tokNeq, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokNot, "!", i})
+				i++
+			}
+		case c == '-':
+			if strings.HasPrefix(input[i:], "->") {
+				toks = append(toks, token{tokImplies, "->", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("logic: position %d: stray '-'", i)
+			}
+		case c == '<':
+			if strings.HasPrefix(input[i:], "<->") {
+				toks = append(toks, token{tokIff, "<->", i})
+				i += 3
+			} else {
+				return nil, fmt.Errorf("logic: position %d: stray '<'", i)
+			}
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(input) && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("logic: position %d: unexpected character %q", i, c)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	voc  *rel.Vocabulary
+	// bound tracks quantified variable names in scope, so identifiers
+	// that shadow vocabulary constants still parse as variables.
+	bound []string
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) accept(k tokKind) (token, bool) {
+	if t, ok := p.peek(); ok && t.kind == k {
+		p.pos++
+		return t, true
+	}
+	return token{}, false
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if t, ok := p.accept(k); ok {
+		return t, nil
+	}
+	if t, ok := p.peek(); ok {
+		return token{}, fmt.Errorf("logic: position %d: expected %s, found %q", t.pos, what, t.text)
+	}
+	return token{}, fmt.Errorf("logic: expected %s, found end of input", what)
+}
+
+func (p *parser) isBound(name string) bool {
+	for _, b := range p.bound {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseFormula() (Formula, error) { return p.parseIff() }
+
+func (p *parser) parseIff() (Formula, error) {
+	left, err := p.parseImpl()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.accept(tokIff); !ok {
+			return left, nil
+		}
+		right, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		left = Iff{L: left, R: right}
+	}
+}
+
+func (p *parser) parseImpl() (Formula, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := p.accept(tokImplies); !ok {
+		return left, nil
+	}
+	right, err := p.parseImpl()
+	if err != nil {
+		return nil, err
+	}
+	return Implies{L: left, R: right}, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{left}
+	for {
+		if _, ok := p.accept(tokOr); !ok {
+			break
+		}
+		next, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Or(parts), nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{left}
+	for {
+		if _, ok := p.accept(tokAnd); !ok {
+			break
+		}
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return And(parts), nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	if _, ok := p.accept(tokNot); ok {
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: f}, nil
+	}
+	if t, ok := p.peek(); ok && t.kind == tokIdent {
+		switch t.text {
+		case "exists", "forall":
+			return p.parseFOQuant(t.text == "exists")
+		case "existsrel", "forallrel":
+			return p.parseSOQuant(t.text == "existsrel")
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parseFOQuant(existential bool) (Formula, error) {
+	p.pos++ // keyword
+	var vars []string
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokIdent {
+			break
+		}
+		vars = append(vars, t.text)
+		p.pos++
+	}
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("logic: quantifier with no variables")
+	}
+	if _, err := p.expect(tokDot, "'.' after quantified variables"); err != nil {
+		return nil, err
+	}
+	p.bound = append(p.bound, vars...)
+	body, err := p.parseFormula()
+	p.bound = p.bound[:len(p.bound)-len(vars)]
+	if err != nil {
+		return nil, err
+	}
+	if existential {
+		return Exists{Vars: vars, Body: body}, nil
+	}
+	return Forall{Vars: vars, Body: body}, nil
+}
+
+func (p *parser) parseSOQuant(existential bool) (Formula, error) {
+	p.pos++ // keyword
+	name, err := p.expect(tokIdent, "relation variable name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSlash, "'/' before arity"); err != nil {
+		return nil, err
+	}
+	ar, err := p.expect(tokNumber, "arity")
+	if err != nil {
+		return nil, err
+	}
+	arity, err := strconv.Atoi(ar.text)
+	if err != nil {
+		return nil, fmt.Errorf("logic: bad arity %q", ar.text)
+	}
+	if _, err := p.expect(tokDot, "'.' after relation variable"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	return SOQuant{Exists: existential, Rel: name.text, Arity: arity, Body: body}, nil
+}
+
+func (p *parser) parsePrimary() (Formula, error) {
+	if _, ok := p.accept(tokLParen); ok {
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("logic: unexpected end of input")
+	}
+	if t.kind == tokIdent {
+		switch t.text {
+		case "true":
+			p.pos++
+			return Bool(true), nil
+		case "false":
+			p.pos++
+			return Bool(false), nil
+		}
+		// Lookahead: IDENT '(' is a relational atom.
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokLParen {
+			return p.parseAtom()
+		}
+	}
+	// Otherwise it must be an equality between two terms.
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := p.accept(tokEq); ok {
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return Eq{L: left, R: right}, nil
+	}
+	if _, ok := p.accept(tokNeq); ok {
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: Eq{L: left, R: right}}, nil
+	}
+	return nil, fmt.Errorf("logic: position %d: expected '=' or '!=' after term %v", t.pos, left)
+}
+
+func (p *parser) parseAtom() (Formula, error) {
+	name, err := p.expect(tokIdent, "relation name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var args []Term
+	if _, ok := p.accept(tokRParen); ok {
+		return Atom{Rel: name.text, Args: args}, nil
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+		if _, ok := p.accept(tokComma); ok {
+			continue
+		}
+		if _, err := p.expect(tokRParen, "')' or ','"); err != nil {
+			return nil, err
+		}
+		return Atom{Rel: name.text, Args: args}, nil
+	}
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	if _, ok := p.accept(tokHash); ok {
+		n, err := p.expect(tokNumber, "element number after '#'")
+		if err != nil {
+			return nil, err
+		}
+		e, err := strconv.Atoi(n.text)
+		if err != nil {
+			return nil, fmt.Errorf("logic: bad element %q", n.text)
+		}
+		return Elem(e), nil
+	}
+	if t, ok := p.accept(tokNumber); ok {
+		e, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("logic: bad element %q", t.text)
+		}
+		return Elem(e), nil
+	}
+	t, err := p.expect(tokIdent, "term")
+	if err != nil {
+		return nil, err
+	}
+	// Quantified names are variables even if they shadow constants.
+	if !p.isBound(t.text) && p.voc != nil {
+		for _, c := range p.voc.Consts {
+			if c == t.text {
+				return Const(t.text), nil
+			}
+		}
+	}
+	return Var(t.text), nil
+}

@@ -1,0 +1,292 @@
+package logic
+
+import (
+	"fmt"
+)
+
+// Substitute returns f with every free occurrence of a variable in
+// subst replaced by the given term, renaming bound variables where
+// necessary to avoid capture (when a substituted term mentions a
+// variable that a quantifier would bind).
+func Substitute(f Formula, subst map[string]Term) Formula {
+	s := &substituter{fresh: newFreshNamer(f, subst)}
+	return s.apply(f, subst)
+}
+
+type substituter struct {
+	fresh *freshNamer
+}
+
+func (s *substituter) term(t Term, subst map[string]Term) Term {
+	if v, ok := t.(Var); ok {
+		if repl, ok := subst[string(v)]; ok {
+			return repl
+		}
+	}
+	return t
+}
+
+func (s *substituter) terms(ts []Term, subst map[string]Term) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = s.term(t, subst)
+	}
+	return out
+}
+
+func (s *substituter) apply(f Formula, subst map[string]Term) Formula {
+	switch g := f.(type) {
+	case Bool:
+		return g
+	case Atom:
+		return Atom{Rel: g.Rel, Args: s.terms(g.Args, subst)}
+	case Eq:
+		return Eq{L: s.term(g.L, subst), R: s.term(g.R, subst)}
+	case Not:
+		return Not{F: s.apply(g.F, subst)}
+	case And:
+		out := make(And, len(g))
+		for i, h := range g {
+			out[i] = s.apply(h, subst)
+		}
+		return out
+	case Or:
+		out := make(Or, len(g))
+		for i, h := range g {
+			out[i] = s.apply(h, subst)
+		}
+		return out
+	case Implies:
+		return Implies{L: s.apply(g.L, subst), R: s.apply(g.R, subst)}
+	case Iff:
+		return Iff{L: s.apply(g.L, subst), R: s.apply(g.R, subst)}
+	case Exists:
+		vars, body := s.applyQuant(g.Vars, g.Body, subst)
+		return Exists{Vars: vars, Body: body}
+	case Forall:
+		vars, body := s.applyQuant(g.Vars, g.Body, subst)
+		return Forall{Vars: vars, Body: body}
+	case SOQuant:
+		return SOQuant{Exists: g.Exists, Rel: g.Rel, Arity: g.Arity, Body: s.apply(g.Body, subst)}
+	default:
+		panic(fmt.Sprintf("logic: Substitute of unknown node %T", f))
+	}
+}
+
+// applyQuant handles a quantifier block: bound variables shadow the
+// substitution, and any bound variable that would capture a variable of
+// a substituted term is renamed to a fresh name.
+func (s *substituter) applyQuant(vars []string, body Formula, subst map[string]Term) ([]string, Formula) {
+	inner := make(map[string]Term, len(subst))
+	for k, v := range subst {
+		inner[k] = v
+	}
+	// The substituted terms' free variables, for capture detection.
+	captured := map[string]bool{}
+	for k, t := range subst {
+		_ = k
+		if v, ok := t.(Var); ok {
+			captured[string(v)] = true
+		}
+	}
+	newVars := append([]string(nil), vars...)
+	for i, v := range vars {
+		delete(inner, v) // bound: shadowed
+		if captured[v] {
+			// Rename this bound variable to avoid capturing an incoming
+			// term.
+			nv := s.fresh.next(v)
+			newVars[i] = nv
+			inner[v] = Var(nv)
+		}
+	}
+	return newVars, s.apply(body, inner)
+}
+
+// freshNamer issues variable names not occurring anywhere in the
+// formula or the substitution.
+type freshNamer struct {
+	used map[string]bool
+	n    int
+}
+
+func newFreshNamer(f Formula, subst map[string]Term) *freshNamer {
+	used := map[string]bool{}
+	collectVarNames(f, used)
+	for k, t := range subst {
+		used[k] = true
+		if v, ok := t.(Var); ok {
+			used[string(v)] = true
+		}
+	}
+	return &freshNamer{used: used}
+}
+
+func (fr *freshNamer) next(base string) string {
+	for {
+		fr.n++
+		name := fmt.Sprintf("%s_%d", base, fr.n)
+		if !fr.used[name] {
+			fr.used[name] = true
+			return name
+		}
+	}
+}
+
+// collectVarNames gathers every variable name (free or bound) in f.
+func collectVarNames(f Formula, out map[string]bool) {
+	noteTerm := func(t Term) {
+		if v, ok := t.(Var); ok {
+			out[string(v)] = true
+		}
+	}
+	Walk(f, func(g Formula) bool {
+		switch h := g.(type) {
+		case Atom:
+			for _, t := range h.Args {
+				noteTerm(t)
+			}
+		case Eq:
+			noteTerm(h.L)
+			noteTerm(h.R)
+		case Exists:
+			for _, v := range h.Vars {
+				out[v] = true
+			}
+		case Forall:
+			for _, v := range h.Vars {
+				out[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// Prenex converts a first-order formula into prenex normal form: a
+// (possibly alternating) quantifier prefix over a quantifier-free
+// matrix, logically equivalent to the input. Bound variables are
+// standardized apart first. Second-order quantifiers are rejected.
+func Prenex(f Formula) (Formula, error) {
+	if hasSO(f) {
+		return nil, fmt.Errorf("logic: Prenex does not support second-order quantifiers")
+	}
+	n := NNF(f)
+	n = standardizeApart(n, newFreshNamer(n, nil))
+	prefix, matrix := pullQuantifiers(n)
+	out := matrix
+	for i := len(prefix) - 1; i >= 0; i-- {
+		q := prefix[i]
+		if q.exists {
+			out = Exists{Vars: []string{q.v}, Body: out}
+		} else {
+			out = Forall{Vars: []string{q.v}, Body: out}
+		}
+	}
+	return out, nil
+}
+
+type quant struct {
+	exists bool
+	v      string
+}
+
+// standardizeApart renames every bound variable to a globally unique
+// name. The input must be in NNF (no Implies/Iff).
+func standardizeApart(f Formula, fresh *freshNamer) Formula {
+	var walk func(Formula, map[string]Term) Formula
+	walk = func(g Formula, ren map[string]Term) Formula {
+		switch h := g.(type) {
+		case Bool:
+			return h
+		case Atom, Eq:
+			return Substitute(h, ren)
+		case Not:
+			return Not{F: walk(h.F, ren)}
+		case And:
+			out := make(And, len(h))
+			for i, sub := range h {
+				out[i] = walk(sub, ren)
+			}
+			return out
+		case Or:
+			out := make(Or, len(h))
+			for i, sub := range h {
+				out[i] = walk(sub, ren)
+			}
+			return out
+		case Exists, Forall:
+			var vars []string
+			var body Formula
+			exists := false
+			if e, ok := h.(Exists); ok {
+				vars, body, exists = e.Vars, e.Body, true
+			} else {
+				fa := h.(Forall)
+				vars, body = fa.Vars, fa.Body
+			}
+			inner := make(map[string]Term, len(ren))
+			for k, v := range ren {
+				inner[k] = v
+			}
+			newVars := make([]string, len(vars))
+			for i, v := range vars {
+				nv := fresh.next(v)
+				newVars[i] = nv
+				inner[v] = Var(nv)
+			}
+			nb := walk(body, inner)
+			if exists {
+				return Exists{Vars: newVars, Body: nb}
+			}
+			return Forall{Vars: newVars, Body: nb}
+		default:
+			panic(fmt.Sprintf("logic: standardizeApart on non-NNF node %T", g))
+		}
+	}
+	return walk(f, map[string]Term{})
+}
+
+// pullQuantifiers extracts the quantifier prefix of a standardized NNF
+// formula. Since all bound names are distinct, prefixes of siblings can
+// be concatenated freely.
+func pullQuantifiers(f Formula) ([]quant, Formula) {
+	switch g := f.(type) {
+	case Exists:
+		inner, matrix := pullQuantifiers(g.Body)
+		prefix := make([]quant, 0, len(g.Vars)+len(inner))
+		for _, v := range g.Vars {
+			prefix = append(prefix, quant{exists: true, v: v})
+		}
+		return append(prefix, inner...), matrix
+	case Forall:
+		inner, matrix := pullQuantifiers(g.Body)
+		prefix := make([]quant, 0, len(g.Vars)+len(inner))
+		for _, v := range g.Vars {
+			prefix = append(prefix, quant{exists: false, v: v})
+		}
+		return append(prefix, inner...), matrix
+	case And:
+		var prefix []quant
+		out := make(And, len(g))
+		for i, h := range g {
+			p, m := pullQuantifiers(h)
+			prefix = append(prefix, p...)
+			out[i] = m
+		}
+		return prefix, out
+	case Or:
+		var prefix []quant
+		out := make(Or, len(g))
+		for i, h := range g {
+			p, m := pullQuantifiers(h)
+			prefix = append(prefix, p...)
+			out[i] = m
+		}
+		return prefix, out
+	case Not:
+		// NNF: negation only above atoms; nothing to pull.
+		return nil, g
+	default:
+		return nil, g
+	}
+}

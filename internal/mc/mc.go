@@ -1,0 +1,251 @@
+// Package mc implements the randomized absolute-error approximation
+// algorithms of Section 5: plain Monte Carlo estimation of query
+// probabilities and expected errors over the world space Omega(D)
+// (Corollary 5.5), and the ξ-padding estimator of Theorem 5.12 with its
+// sample-size bound derived from Lemma 5.11.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// Estimate is the result of a randomized approximation.
+type Estimate struct {
+	// Value is the estimated quantity.
+	Value float64
+	// Samples is the number of sampled worlds.
+	Samples int
+	// Eps and Delta are the guarantee parameters the sample size was
+	// derived from: Pr[|Value − truth| > Eps] < Delta.
+	Eps, Delta float64
+	// Method names the estimator ("hoeffding", "padded").
+	Method string
+}
+
+// HoeffdingSampleSize returns the number of samples of a [0,1]-valued
+// variable needed so that the sample mean deviates from the expectation
+// by more than eps with probability below delta:
+// t = ⌈ln(2/δ) / (2ε²)⌉.
+func HoeffdingSampleSize(eps, delta float64) (int, error) {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("mc: need eps > 0 and 0 < delta < 1, got eps=%v delta=%v", eps, delta)
+	}
+	t := math.Log(2/delta) / (2 * eps * eps)
+	if t > 1e9 {
+		return 0, fmt.Errorf("mc: sample size %.3g exceeds 1e9; relax eps/delta", t)
+	}
+	return int(math.Ceil(t)), nil
+}
+
+// PaperSampleSize returns the paper's t(ε, δ) from the proof of Theorem
+// 5.12: t = ⌈(9 / 2ξε²) · ln(1/δ)⌉.
+func PaperSampleSize(xi, eps, delta float64) (int, error) {
+	if xi <= 0 || xi >= 0.5 {
+		return 0, fmt.Errorf("mc: xi must lie in (0, 1/2), got %v", xi)
+	}
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("mc: need eps > 0 and 0 < delta < 1, got eps=%v delta=%v", eps, delta)
+	}
+	t := 9 / (2 * xi * eps * eps) * math.Log(1/delta)
+	if t > 1e9 {
+		return 0, fmt.Errorf("mc: sample size %.3g exceeds 1e9; relax eps/delta", t)
+	}
+	return int(math.Ceil(t)), nil
+}
+
+// EstimateMean estimates E[f(B)] for a [0,1]-valued polynomial-time
+// computable f over random worlds B ∈ Omega(D), with absolute error eps
+// and confidence 1−delta (Hoeffding).
+func EstimateMean(db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, rng *rand.Rand) (Estimate, error) {
+	t, err := HoeffdingSampleSize(eps, delta)
+	if err != nil {
+		return Estimate{}, err
+	}
+	sum := 0.0
+	for i := 0; i < t; i++ {
+		b := db.SampleWorld(rng)
+		v, err := f(b)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", i, err)
+		}
+		if v < 0 || v > 1 {
+			return Estimate{}, fmt.Errorf("mc: sample value %v outside [0,1]", v)
+		}
+		sum += v
+	}
+	return Estimate{Value: sum / float64(t), Samples: t, Eps: eps, Delta: delta, Method: "hoeffding"}, nil
+}
+
+// EstimateNu estimates nu(psi) = Pr[B ⊨ psi] by plain Monte Carlo with
+// the Hoeffding sample size.
+func EstimateNu(db *unreliable.DB, pred func(*rel.Structure) (bool, error), eps, delta float64, rng *rand.Rand) (Estimate, error) {
+	return EstimateMean(db, func(b *rel.Structure) (float64, error) {
+		v, err := pred(b)
+		if err != nil {
+			return 0, err
+		}
+		if v {
+			return 1, nil
+		}
+		return 0, nil
+	}, eps, delta, rng)
+}
+
+// DefaultXi is the ξ used by EstimateNuPadded when the caller passes 0.
+// The paper fixes ξ ∈ (0, 1/2) before seeing the database or the
+// accuracy parameters.
+const DefaultXi = 0.25
+
+// EstimateNuPadded estimates nu(psi) with the construction from the
+// proof of Theorem 5.12: the query is padded to
+// psi' = (psi ∨ Rc) ∧ Rd with two fresh ξ-probability atoms, giving a
+// variable X with ξ² ≤ E[X] = p ≤ ξ < 1/2 that satisfies the
+// preconditions of Lemma 5.11; the estimate is recovered as
+// α = (X̃ − ξ²)/(ξ − ξ²). Following the paper, the algorithm runs at
+// ε/2 so the final guarantee is Pr[|α − nu(psi)| > ε] < δ.
+//
+// The padding is realized algebraically by two independent Bernoulli(ξ)
+// coins per sample, which has exactly the distribution of the paper's
+// database modification D' (see PadDB for the literal structural
+// construction, equivalence verified in tests and E8).
+func EstimateNuPadded(db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, rng *rand.Rand) (Estimate, error) {
+	if xi == 0 {
+		xi = DefaultXi
+	}
+	half := eps / 2
+	t, err := PaperSampleSize(xi, half, delta)
+	if err != nil {
+		return Estimate{}, err
+	}
+	hits := 0
+	for i := 0; i < t; i++ {
+		b := db.SampleWorld(rng)
+		v, err := pred(b)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", i, err)
+		}
+		rc := rng.Float64() < xi
+		rd := rng.Float64() < xi
+		if (v || rc) && rd {
+			hits++
+		}
+	}
+	xTilde := float64(hits) / float64(t)
+	alpha := (xTilde - xi*xi) / (xi - xi*xi)
+	// The algebra can leave [0,1] by sampling noise; probabilities can't.
+	alpha = math.Max(0, math.Min(1, alpha))
+	return Estimate{Value: alpha, Samples: t, Eps: eps, Delta: delta, Method: "padded"}, nil
+}
+
+// PadRel is the name of the fresh unary relation added by PadDB.
+const PadRel = "R_pad"
+
+// PadDB performs the literal database modification from the proof of
+// Theorem 5.12: it extends the vocabulary with a fresh empty unary
+// relation R and two constants c ≠ d, and gives the atoms Rc and Rd
+// error probability ξ. The universe must have at least two elements to
+// interpret c and d distinctly. The returned atoms are Rc and Rd; a
+// query psi over the original vocabulary evaluates identically on the
+// padded worlds, so psi' = (psi ∨ Rc) ∧ Rd realizes the padded variable.
+func PadDB(db *unreliable.DB, xi *big.Rat) (*unreliable.DB, rel.GroundAtom, rel.GroundAtom, error) {
+	var zero rel.GroundAtom
+	if db.A.N < 2 {
+		return nil, zero, zero, fmt.Errorf("mc: universe of size %d cannot interpret two distinct constants", db.A.N)
+	}
+	if _, exists := db.A.Voc.Rel(PadRel); exists {
+		return nil, zero, zero, fmt.Errorf("mc: vocabulary already contains %q", PadRel)
+	}
+	voc := db.A.Voc.Clone()
+	if err := voc.AddRel(rel.RelSym{Name: PadRel, Arity: 1}); err != nil {
+		return nil, zero, zero, err
+	}
+	if err := voc.AddConst("c_pad"); err != nil {
+		return nil, zero, zero, err
+	}
+	if err := voc.AddConst("d_pad"); err != nil {
+		return nil, zero, zero, err
+	}
+	a, err := rel.NewStructure(db.A.N, voc)
+	if err != nil {
+		return nil, zero, zero, err
+	}
+	for _, sym := range db.A.Voc.Rels {
+		for _, tup := range db.A.Rel(sym.Name).Tuples() {
+			if err := a.Add(sym.Name, tup); err != nil {
+				return nil, zero, zero, err
+			}
+		}
+	}
+	for name, e := range db.A.Consts {
+		if err := a.SetConst(name, e); err != nil {
+			return nil, zero, zero, err
+		}
+	}
+	if err := a.SetConst("c_pad", 0); err != nil {
+		return nil, zero, zero, err
+	}
+	if err := a.SetConst("d_pad", 1); err != nil {
+		return nil, zero, zero, err
+	}
+	padded := unreliable.New(a)
+	db.A.ForEachGroundAtom(func(atom rel.GroundAtom) bool {
+		mu := db.ErrorProb(atom)
+		if mu.Sign() != 0 {
+			padded.MustSetError(atom, mu)
+		}
+		return true
+	})
+	rc := rel.GroundAtom{Rel: PadRel, Args: rel.Tuple{0}}
+	rd := rel.GroundAtom{Rel: PadRel, Args: rel.Tuple{1}}
+	if err := padded.SetError(rc, xi); err != nil {
+		return nil, zero, zero, err
+	}
+	if err := padded.SetError(rd, xi); err != nil {
+		return nil, zero, zero, err
+	}
+	return padded, rc, rd, nil
+}
+
+// EstimateNuPaddedStructural is EstimateNuPadded implemented with the
+// paper's literal database modification: the padded database D' is
+// materialized with PadDB and the samples evaluate
+// psi' = (psi ∨ Rc) ∧ Rd on its worlds. It exists to validate the
+// algebraic shortcut; the two estimators have identical sample
+// distributions.
+func EstimateNuPaddedStructural(db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, rng *rand.Rand) (Estimate, error) {
+	if xi == 0 {
+		xi = DefaultXi
+	}
+	xiRat := new(big.Rat).SetFloat64(xi)
+	padded, rc, rd, err := PadDB(db, xiRat)
+	if err != nil {
+		return Estimate{}, err
+	}
+	xiF, _ := xiRat.Float64()
+	half := eps / 2
+	t, err := PaperSampleSize(xiF, half, delta)
+	if err != nil {
+		return Estimate{}, err
+	}
+	hits := 0
+	for i := 0; i < t; i++ {
+		b := padded.SampleWorld(rng)
+		v, err := pred(b)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", i, err)
+		}
+		if (v || b.Holds(rc.Rel, rc.Args)) && b.Holds(rd.Rel, rd.Args) {
+			hits++
+		}
+	}
+	xTilde := float64(hits) / float64(t)
+	alpha := (xTilde - xiF*xiF) / (xiF - xiF*xiF)
+	alpha = math.Max(0, math.Min(1, alpha))
+	return Estimate{Value: alpha, Samples: t, Eps: eps, Delta: delta, Method: "padded-structural"}, nil
+}

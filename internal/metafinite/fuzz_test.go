@@ -1,0 +1,33 @@
+package metafinite
+
+import "testing"
+
+// FuzzParse checks the aggregate-term parser never panics and that
+// parsed terms print/parse stably.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"sum_x(salary(x) + 100)",
+		"max_x(min(salary(x), 500)) * [1 < 2]",
+		"count_x([salary(x) < avg_y(salary(y))])",
+		"3/0",
+		"sum_(x)",
+		"((((1))))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		term, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := term.String()
+		t2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q does not reparse: %v", printed, err)
+		}
+		if t2.String() != printed {
+			t.Fatalf("print/parse unstable: %q -> %q", printed, t2.String())
+		}
+	})
+}

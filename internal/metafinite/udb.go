@@ -1,0 +1,250 @@
+package metafinite
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+
+	"qrel/internal/rel"
+)
+
+// Weighted is one outcome of an uncertain function value: the value r
+// with probability nu(f(ā) = r).
+type Weighted struct {
+	Value *big.Rat
+	P     *big.Rat
+}
+
+// UDB is an unreliable functional database (Definition 6.1): an
+// observed functional database together with, for finitely many sites
+// f(ā), a finite-support distribution over the value in the actual
+// database. Sites without a distribution keep their observed value with
+// probability 1. Distinct sites are independent.
+type UDB struct {
+	// Obs is the observed database.
+	Obs *FDB
+
+	dist map[rel.AtomKey][]Weighted
+	site map[rel.AtomKey]Site
+
+	dirty     bool
+	uncertain []Site // sites with ≥ 2 support points, canonical order
+}
+
+// NewUDB wraps an observed functional database. The database is used by
+// reference; callers must not mutate it afterwards.
+func NewUDB(obs *FDB) *UDB {
+	return &UDB{Obs: obs, dist: map[rel.AtomKey][]Weighted{}, site: map[rel.AtomKey]Site{}}
+}
+
+// SetDist assigns the distribution of the site. Probabilities must be
+// nonnegative and sum to exactly 1 (the paper's consistency condition);
+// zero-probability outcomes are dropped; duplicate values are rejected.
+func (u *UDB) SetDist(s Site, choices []Weighted) error {
+	f, ok := u.Obs.Funcs[s.Fn]
+	if !ok {
+		return fmt.Errorf("metafinite: unknown function %q", s.Fn)
+	}
+	if len(s.Args) != f.Arity {
+		return fmt.Errorf("metafinite: site %v has wrong arity for %s/%d", s, s.Fn, f.Arity)
+	}
+	for _, a := range s.Args {
+		if a < 0 || a >= u.Obs.N {
+			return fmt.Errorf("metafinite: site %v outside universe [0,%d)", s, u.Obs.N)
+		}
+	}
+	total := new(big.Rat)
+	kept := make([]Weighted, 0, len(choices))
+	seen := map[string]struct{}{}
+	for _, c := range choices {
+		if c.P == nil || c.Value == nil {
+			return fmt.Errorf("metafinite: site %v has nil outcome", s)
+		}
+		if c.P.Sign() < 0 {
+			return fmt.Errorf("metafinite: site %v has negative probability %v", s, c.P)
+		}
+		total.Add(total, c.P)
+		if c.P.Sign() == 0 {
+			continue
+		}
+		key := c.Value.RatString()
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("metafinite: site %v lists value %v twice", s, c.Value)
+		}
+		seen[key] = struct{}{}
+		kept = append(kept, Weighted{Value: new(big.Rat).Set(c.Value), P: new(big.Rat).Set(c.P)})
+	}
+	if total.Cmp(big.NewRat(1, 1)) != 0 {
+		return fmt.Errorf("metafinite: site %v probabilities sum to %v, want 1", s, total)
+	}
+	k := s.Key()
+	u.dist[k] = kept
+	u.site[k] = Site{Fn: s.Fn, Args: s.Args.Clone()}
+	u.dirty = true
+	return nil
+}
+
+// MustSetDist is SetDist that panics on error.
+func (u *UDB) MustSetDist(s Site, choices []Weighted) {
+	if err := u.SetDist(s, choices); err != nil {
+		panic(err)
+	}
+}
+
+// Dist returns the distribution of a site (observed value with
+// probability 1 when unset).
+func (u *UDB) Dist(s Site) []Weighted {
+	if d, ok := u.dist[s.Key()]; ok {
+		out := make([]Weighted, len(d))
+		for i, c := range d {
+			out[i] = Weighted{Value: new(big.Rat).Set(c.Value), P: new(big.Rat).Set(c.P)}
+		}
+		return out
+	}
+	return []Weighted{{Value: u.Obs.Funcs[s.Fn].Get(s.Args), P: big.NewRat(1, 1)}}
+}
+
+func (u *UDB) refresh() {
+	if !u.dirty {
+		return
+	}
+	u.uncertain = u.uncertain[:0]
+	keys := make([]rel.AtomKey, 0, len(u.dist))
+	for k, d := range u.dist {
+		if len(d) >= 2 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Rel != keys[j].Rel {
+			return keys[i].Rel < keys[j].Rel
+		}
+		return keys[i].Tup < keys[j].Tup
+	})
+	for _, k := range keys {
+		u.uncertain = append(u.uncertain, u.site[k])
+	}
+	u.dirty = false
+}
+
+// UncertainSites returns the sites with at least two possible values,
+// in canonical order.
+func (u *UDB) UncertainSites() []Site {
+	u.refresh()
+	return append([]Site(nil), u.uncertain...)
+}
+
+// WorldCount returns the number of possible worlds with positive
+// probability: the product of the support sizes.
+func (u *UDB) WorldCount() *big.Int {
+	u.refresh()
+	c := big.NewInt(1)
+	for _, s := range u.uncertain {
+		c.Mul(c, big.NewInt(int64(len(u.dist[s.Key()]))))
+	}
+	return c
+}
+
+// baseWorld applies all deterministic overrides (single-support
+// distributions) to a clone of the observed database.
+func (u *UDB) baseWorld() *FDB {
+	b := u.Obs.Clone()
+	for k, d := range u.dist {
+		if len(d) == 1 {
+			s := u.site[k]
+			b.Funcs[s.Fn].Set(s.Args, d[0].Value)
+		}
+	}
+	return b
+}
+
+// MaxEnumWorlds caps exact world enumeration.
+const MaxEnumWorlds = 1 << 22
+
+// ForEachWorld enumerates the possible worlds with their probabilities.
+// The database passed to fn is freshly cloned per world. budget caps
+// the number of worlds; fn returning false stops early.
+func (u *UDB) ForEachWorld(budget int, fn func(b *FDB, p *big.Rat) bool) error {
+	u.refresh()
+	count := u.WorldCount()
+	if budget > MaxEnumWorlds || budget <= 0 {
+		budget = MaxEnumWorlds
+	}
+	if count.Cmp(big.NewInt(int64(budget))) > 0 {
+		return fmt.Errorf("metafinite: %v worlds exceed enumeration budget %d", count, budget)
+	}
+	// Mixed-radix counter over the uncertain sites.
+	radix := make([]int, len(u.uncertain))
+	for i, s := range u.uncertain {
+		radix[i] = len(u.dist[s.Key()])
+	}
+	digits := make([]int, len(radix))
+	for {
+		b := u.baseWorld()
+		p := big.NewRat(1, 1)
+		for i, s := range u.uncertain {
+			c := u.dist[s.Key()][digits[i]]
+			b.Funcs[s.Fn].Set(s.Args, c.Value)
+			p.Mul(p, c.P)
+		}
+		if !fn(b, p) {
+			return nil
+		}
+		// Increment.
+		i := 0
+		for i < len(digits) {
+			digits[i]++
+			if digits[i] < radix[i] {
+				break
+			}
+			digits[i] = 0
+			i++
+		}
+		if i == len(digits) {
+			return nil
+		}
+		if len(digits) == 0 {
+			return nil
+		}
+	}
+}
+
+// SampleWorld draws a random world using float64 approximations of the
+// outcome probabilities.
+func (u *UDB) SampleWorld(rng *rand.Rand) *FDB {
+	u.refresh()
+	b := u.baseWorld()
+	for _, s := range u.uncertain {
+		d := u.dist[s.Key()]
+		r := rng.Float64()
+		acc := 0.0
+		chosen := d[len(d)-1]
+		for _, c := range d {
+			pf, _ := c.P.Float64()
+			acc += pf
+			if r < acc {
+				chosen = c
+				break
+			}
+		}
+		b.Funcs[s.Fn].Set(s.Args, chosen.Value)
+	}
+	return b
+}
+
+// ValidateWorldProbabilities checks Σ_B nu(B) = 1 by enumeration.
+func (u *UDB) ValidateWorldProbabilities(budget int) error {
+	total := new(big.Rat)
+	err := u.ForEachWorld(budget, func(_ *FDB, p *big.Rat) bool {
+		total.Add(total, p)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if total.Cmp(big.NewRat(1, 1)) != 0 {
+		return fmt.Errorf("metafinite: world probabilities sum to %v, want 1", total)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package prop
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// This file implements the binary-comparison DNF constructions from the
+// proof of Theorem 5.3: for a block of fresh variables Ȳ read as a
+// binary number val(Ȳ), build DNF formulas for "val(Ȳ) < b" and
+// "val(Ȳ) ≥ b". Both have O(ℓ) terms of O(ℓ) literals (O(ℓ²) total
+// length, as stated in the paper).
+
+// BitBlock identifies a block of variables encoding a binary number.
+// Vars[0] is the most significant bit, matching the paper's
+// Ȳ = Y_{ℓ-1}, ..., Y_0 reading.
+type BitBlock struct {
+	Vars []int
+}
+
+// NewBitBlock returns a block of ell variables starting at firstVar,
+// most significant first.
+func NewBitBlock(firstVar, ell int) BitBlock {
+	vars := make([]int, ell)
+	for i := range vars {
+		vars[i] = firstVar + i
+	}
+	return BitBlock{Vars: vars}
+}
+
+// Len returns the number of bits in the block.
+func (b BitBlock) Len() int { return len(b.Vars) }
+
+// Val returns val(Ȳ) under the assignment.
+func (b BitBlock) Val(a []bool) *big.Int {
+	v := new(big.Int)
+	for _, x := range b.Vars {
+		v.Lsh(v, 1)
+		if a[x] {
+			v.Or(v, big.NewInt(1))
+		}
+	}
+	return v
+}
+
+// bit returns bit i (0 = least significant) of n.
+func bit(n *big.Int, i int) bool { return n.Bit(i) == 1 }
+
+// varAt returns the variable holding bit i (0 = least significant).
+func (b BitBlock) varAt(i int) int { return b.Vars[len(b.Vars)-1-i] }
+
+// LessTerms returns the terms of a DNF expressing "val(Ȳ) < bound",
+// following the paper's construction: one disjunct per bit position i
+// with bound_i = 1, asserting ¬Y_i together with ¬Y_j for every higher
+// position j where bound_j = 0.
+func (b BitBlock) LessTerms(bound *big.Int) ([]Term, error) {
+	ell := len(b.Vars)
+	if bound.Sign() < 0 {
+		return nil, fmt.Errorf("prop: negative bound %v", bound)
+	}
+	if bound.BitLen() > ell {
+		// Every value fits below the bound: the tautological empty term.
+		return []Term{{}}, nil
+	}
+	var terms []Term
+	for i := 0; i < ell; i++ {
+		if !bit(bound, i) {
+			continue
+		}
+		t := Term{Negd(b.varAt(i))}
+		for j := i + 1; j < ell; j++ {
+			if !bit(bound, j) {
+				t = append(t, Negd(b.varAt(j)))
+			}
+		}
+		terms = append(terms, t)
+	}
+	return terms, nil
+}
+
+// GreaterEqTerms returns the terms of a DNF expressing "val(Ȳ) ≥ bound":
+// one disjunct per bit position i with bound_i = 0, asserting Y_i
+// together with Y_j for every higher position j where bound_j = 1, plus
+// the disjunct asserting Y_j for every position with bound_j = 1
+// (equality-or-above on the prefix).
+func (b BitBlock) GreaterEqTerms(bound *big.Int) ([]Term, error) {
+	ell := len(b.Vars)
+	if bound.Sign() < 0 {
+		return nil, fmt.Errorf("prop: negative bound %v", bound)
+	}
+	if bound.BitLen() > ell {
+		// No ell-bit value reaches the bound: empty DNF (false).
+		return nil, nil
+	}
+	var terms []Term
+	for i := 0; i < ell; i++ {
+		if bit(bound, i) {
+			continue
+		}
+		t := Term{Pos(b.varAt(i))}
+		for j := i + 1; j < ell; j++ {
+			if bit(bound, j) {
+				t = append(t, Pos(b.varAt(j)))
+			}
+		}
+		terms = append(terms, t)
+	}
+	// The "Ȳ matches bound on all its one-bits" disjunct covers val = bound
+	// (and values exceeding it only on zero-bit positions).
+	eq := Term{}
+	for i := 0; i < ell; i++ {
+		if bit(bound, i) {
+			eq = append(eq, Pos(b.varAt(i)))
+		}
+	}
+	terms = append(terms, eq)
+	return terms, nil
+}

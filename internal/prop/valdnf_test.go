@@ -1,0 +1,153 @@
+package prop
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// evalBlockDNF checks a comparison DNF against all 2^ell values.
+func checkComparisonDNF(t *testing.T, ell int, bound int64, terms []Term, want func(v int64) bool, label string) {
+	t.Helper()
+	block := NewBitBlock(0, ell)
+	d := DNF{NumVars: ell, Terms: terms}
+	for m := int64(0); m < 1<<uint(ell); m++ {
+		a := make([]bool, ell)
+		// Fill so that val(block) == m.
+		for i := 0; i < ell; i++ {
+			a[block.varAt(i)] = m&(1<<uint(i)) != 0
+		}
+		if got := block.Val(a).Int64(); got != m {
+			t.Fatalf("Val computed %d, want %d", got, m)
+		}
+		if got := d.Eval(a); got != want(m) {
+			t.Fatalf("%s: value %d bound %d: DNF says %v, want %v (terms %v)", label, m, bound, got, want(m), terms)
+		}
+	}
+}
+
+func TestLessTermsExhaustive(t *testing.T) {
+	for ell := 1; ell <= 5; ell++ {
+		for b := int64(0); b <= 1<<uint(ell); b++ {
+			bound := big.NewInt(b)
+			terms, err := NewBitBlock(0, ell).LessTerms(bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkComparisonDNF(t, ell, b, terms, func(v int64) bool { return v < b }, "less")
+		}
+	}
+}
+
+func TestGreaterEqTermsExhaustive(t *testing.T) {
+	for ell := 1; ell <= 5; ell++ {
+		for b := int64(0); b <= 1<<uint(ell); b++ {
+			bound := big.NewInt(b)
+			terms, err := NewBitBlock(0, ell).GreaterEqTerms(bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkComparisonDNF(t, ell, b, terms, func(v int64) bool { return v >= b }, "geq")
+		}
+	}
+}
+
+func TestComparisonTermsComplementary(t *testing.T) {
+	// "val < b" and "val >= b" must partition the assignments exactly.
+	f := func(bRaw uint8) bool {
+		ell := 8
+		b := big.NewInt(int64(bRaw))
+		block := NewBitBlock(0, ell)
+		lt, err1 := block.LessTerms(b)
+		ge, err2 := block.GreaterEqTerms(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		dLt := DNF{NumVars: ell, Terms: lt}
+		dGe := DNF{NumVars: ell, Terms: ge}
+		cLt, err1 := dLt.CountBruteForce(10)
+		cGe, err2 := dGe.CountBruteForce(10)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sum := new(big.Int).Add(cLt, cGe)
+		return sum.Int64() == 256 && cLt.Int64() == int64(bRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComparisonSizeQuadratic(t *testing.T) {
+	// Paper: the comparison DNFs have length O(ell^2).
+	rng := rand.New(rand.NewSource(5))
+	for ell := 2; ell <= 24; ell++ {
+		bound := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(ell)))
+		block := NewBitBlock(0, ell)
+		lt, err := block.LessTerms(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, tm := range lt {
+			total += len(tm)
+			if len(tm) > ell {
+				t.Fatalf("term longer than ell: %v", tm)
+			}
+		}
+		if len(lt) > ell || total > ell*ell {
+			t.Fatalf("ell=%d: %d terms, %d literals — exceeds O(ell^2) shape", ell, len(lt), total)
+		}
+	}
+}
+
+func TestComparisonEdgeBounds(t *testing.T) {
+	block := NewBitBlock(0, 3)
+	// bound 0: nothing is < 0; everything is >= 0.
+	lt, _ := block.LessTerms(big.NewInt(0))
+	if len(lt) != 0 {
+		t.Errorf("LessTerms(0) = %v, want empty", lt)
+	}
+	ge, _ := block.GreaterEqTerms(big.NewInt(0))
+	d := DNF{NumVars: 3, Terms: ge}
+	c, _ := d.CountBruteForce(10)
+	if c.Int64() != 8 {
+		t.Errorf("GreaterEqTerms(0) counts %v, want 8", c)
+	}
+	// bound 2^ell: everything is < it; nothing is >= it.
+	lt, _ = block.LessTerms(big.NewInt(8))
+	d = DNF{NumVars: 3, Terms: lt}
+	c, _ = d.CountBruteForce(10)
+	if c.Int64() != 8 {
+		t.Errorf("LessTerms(8) counts %v, want 8", c)
+	}
+	ge, _ = block.GreaterEqTerms(big.NewInt(8))
+	if len(ge) != 0 {
+		t.Errorf("GreaterEqTerms(8) = %v, want empty", ge)
+	}
+	// Negative bounds rejected.
+	if _, err := block.LessTerms(big.NewInt(-1)); err == nil {
+		t.Error("negative bound accepted by LessTerms")
+	}
+	if _, err := block.GreaterEqTerms(big.NewInt(-1)); err == nil {
+		t.Error("negative bound accepted by GreaterEqTerms")
+	}
+}
+
+func TestBitBlockOffset(t *testing.T) {
+	// Blocks not starting at variable 0 must still read their own bits.
+	block := NewBitBlock(3, 4)
+	if block.Len() != 4 {
+		t.Fatalf("Len = %d", block.Len())
+	}
+	a := make([]bool, 7)
+	a[3] = true // most significant bit of the block
+	if got := block.Val(a).Int64(); got != 8 {
+		t.Errorf("Val = %d, want 8", got)
+	}
+	a[6] = true
+	if got := block.Val(a).Int64(); got != 9 {
+		t.Errorf("Val = %d, want 9", got)
+	}
+}

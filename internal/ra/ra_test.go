@@ -1,0 +1,381 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+
+	"qrel/internal/logic"
+	"qrel/internal/rel"
+)
+
+// companyDB: Emp(emp, dept), Mgr(dept, boss), Star(emp).
+func companyDB() *rel.Structure {
+	voc := rel.MustVocabulary(
+		rel.RelSym{Name: "Emp", Arity: 2},
+		rel.RelSym{Name: "Mgr", Arity: 2},
+		rel.RelSym{Name: "Star", Arity: 1},
+	)
+	s := rel.MustStructure(6, voc)
+	s.MustAdd("Emp", 0, 4)
+	s.MustAdd("Emp", 1, 4)
+	s.MustAdd("Emp", 2, 5)
+	s.MustAdd("Mgr", 4, 3)
+	s.MustAdd("Mgr", 5, 0)
+	s.MustAdd("Star", 1)
+	s.MustAdd("Star", 2)
+	return s
+}
+
+func emp() Base  { return Base{Rel: "Emp", Attrs: []string{"e", "d"}} }
+func mgr() Base  { return Base{Rel: "Mgr", Attrs: []string{"d", "b"}} }
+func star() Base { return Base{Rel: "Star", Attrs: []string{"e"}} }
+
+func TestBaseAndSchemaErrors(t *testing.T) {
+	db := companyDB()
+	res, err := Eval(db, emp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("Emp rows %d", res.Len())
+	}
+	bad := []Expr{
+		Base{Rel: "Nope", Attrs: []string{"x"}},
+		Base{Rel: "Emp", Attrs: []string{"x"}},
+		Base{Rel: "Emp", Attrs: []string{"x", "x"}},
+		Base{Rel: "Emp", Attrs: []string{"", "y"}},
+		Select{From: emp(), Attr: "zz", Elem: 0},
+		Select{From: emp(), Attr: "e", Other: "zz", Elem: -1},
+		Select{From: emp(), Attr: "e", Elem: 99},
+		Project{From: emp(), Attrs: []string{"zz"}},
+		Project{From: emp(), Attrs: nil},
+		Rename{From: emp(), Old: "zz", New: "w"},
+		Rename{From: emp(), Old: "e", New: "d"},
+		Union{L: emp(), R: star()},
+		Diff{L: emp(), R: mgr()},
+	}
+	for _, e := range bad {
+		if _, err := Eval(db, e); err == nil {
+			t.Errorf("%v: expected error", e)
+		}
+	}
+}
+
+func TestSelectProjectJoin(t *testing.T) {
+	db := companyDB()
+	// Employees in department 4.
+	sel, err := Eval(db, Select{From: emp(), Attr: "d", Elem: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() != 2 {
+		t.Errorf("select rows %d", sel.Len())
+	}
+	// Their ids.
+	proj, err := Eval(db, Project{From: Select{From: emp(), Attr: "d", Elem: 4}, Attrs: []string{"e"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Len() != 2 || !proj.Contains(rel.Tuple{0}) || !proj.Contains(rel.Tuple{1}) {
+		t.Errorf("project rows %v", proj.Rows())
+	}
+	// Natural join Emp ⋈ Mgr on d: employee with their boss.
+	join, err := Eval(db, Join{L: emp(), R: mgr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if join.Len() != 3 {
+		t.Errorf("join rows %v", join.Rows())
+	}
+	// Schema is e, d, b.
+	if got := join.Schema; len(got) != 3 || got[0] != "e" || got[1] != "d" || got[2] != "b" {
+		t.Errorf("join schema %v", got)
+	}
+	if !join.Contains(rel.Tuple{0, 4, 3}) {
+		t.Error("join missing (0,4,3)")
+	}
+	// Self-inequality select: employees whose id differs from their dept.
+	neq, err := Eval(db, Select{From: emp(), Attr: "e", Other: "d", Elem: -1, Negate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neq.Len() != 3 {
+		t.Errorf("neq rows %v", neq.Rows())
+	}
+}
+
+func TestUnionDiffRename(t *testing.T) {
+	db := companyDB()
+	// Starred employees ∪ employees of dept 5 (as unary id sets).
+	dept5 := Project{From: Select{From: emp(), Attr: "d", Elem: 5}, Attrs: []string{"e"}}
+	u, err := Eval(db, Union{L: star(), R: dept5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 2 { // {1,2} ∪ {2} = {1,2}
+		t.Errorf("union rows %v", u.Rows())
+	}
+	d, err := Eval(db, Diff{L: star(), R: dept5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || !d.Contains(rel.Tuple{1}) {
+		t.Errorf("diff rows %v", d.Rows())
+	}
+	// Rename then join on the renamed attribute: bosses who are
+	// themselves employees. Mgr(d,b) renamed b→e joined with Star(e).
+	r, err := Eval(db, Join{L: Rename{From: mgr(), Old: "b", New: "e"}, R: star()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 { // bosses are 3 and 0; stars are 1 and 2
+		t.Errorf("renamed join rows %v", r.Rows())
+	}
+}
+
+// evalViaFormula computes the RA result through the FO compilation.
+func evalViaFormula(t *testing.T, db *rel.Structure, e Expr) map[uint64]bool {
+	t.Helper()
+	f, schema, err := ToFormula(db, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The formula's free variables must be exactly the schema.
+	fv := logic.FreeVars(f)
+	fvSet := map[string]bool{}
+	for _, v := range fv {
+		fvSet[v] = true
+	}
+	for _, a := range schema {
+		if !fvSet[a] {
+			// A schema attribute can be absent when it is unconstrained;
+			// that cannot happen for our expressions (every attribute
+			// comes from a base relation), so flag it.
+			t.Fatalf("schema attribute %q not free in %v", a, f)
+		}
+	}
+	out := map[uint64]bool{}
+	env := logic.Env{}
+	rel.ForEachTuple(db.N, len(schema), func(tp rel.Tuple) bool {
+		for i, a := range schema {
+			env[a] = tp[i]
+		}
+		ok, err := logic.Eval(db, f, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			out[tp.Key()] = true
+		}
+		return true
+	})
+	return out
+}
+
+// randExpr builds a random RA expression over the company schema.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return emp()
+		case 1:
+			return mgr()
+		default:
+			return star()
+		}
+	}
+	inner := randExpr(rng, depth-1)
+	switch rng.Intn(6) {
+	case 0:
+		return Select{From: inner, Attr: "pick", Elem: rng.Intn(6)}
+	case 1:
+		return Project{From: inner, Attrs: []string{"pick"}}
+	case 2:
+		return Rename{From: inner, Old: "pick", New: "w"}
+	case 3:
+		return Join{L: inner, R: randExpr(rng, depth-1)}
+	case 4:
+		return Union{L: inner, R: cloneShape(inner)}
+	default:
+		return Diff{L: inner, R: cloneShape(inner)}
+	}
+}
+
+// cloneShape returns an expression with the same schema as e (here just
+// e itself: union/diff of an expression with itself is schema-safe and
+// exercises the operators).
+func cloneShape(e Expr) Expr { return e }
+
+// fixAttrs rewrites placeholder attribute names to valid ones for the
+// given expression, or reports failure.
+func fixAttrs(db *rel.Structure, e Expr, rng *rand.Rand) (Expr, bool) {
+	switch x := e.(type) {
+	case Base:
+		return x, true
+	case Select:
+		from, ok := fixAttrs(db, x.From, rng)
+		if !ok {
+			return nil, false
+		}
+		s, err := from.Schema(db)
+		if err != nil {
+			return nil, false
+		}
+		x.From = from
+		x.Attr = s[rng.Intn(len(s))]
+		x.Other = ""
+		if x.Elem < 0 {
+			x.Other = s[rng.Intn(len(s))]
+		}
+		return x, true
+	case Project:
+		from, ok := fixAttrs(db, x.From, rng)
+		if !ok {
+			return nil, false
+		}
+		s, err := from.Schema(db)
+		if err != nil {
+			return nil, false
+		}
+		x.From = from
+		x.Attrs = []string{s[rng.Intn(len(s))]}
+		return x, true
+	case Rename:
+		from, ok := fixAttrs(db, x.From, rng)
+		if !ok {
+			return nil, false
+		}
+		s, err := from.Schema(db)
+		if err != nil {
+			return nil, false
+		}
+		x.From = from
+		x.Old = s[rng.Intn(len(s))]
+		x.New = "w"
+		for has(s, x.New) {
+			x.New += "w"
+		}
+		return x, true
+	case Join:
+		l, ok1 := fixAttrs(db, x.L, rng)
+		r, ok2 := fixAttrs(db, x.R, rng)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return Join{L: l, R: r}, true
+	case Union:
+		l, ok := fixAttrs(db, x.L, rng)
+		if !ok {
+			return nil, false
+		}
+		return Union{L: l, R: l}, true
+	case Diff:
+		l, ok := fixAttrs(db, x.L, rng)
+		if !ok {
+			return nil, false
+		}
+		return Diff{L: l, R: l}, true
+	default:
+		return nil, false
+	}
+}
+
+func TestEvalMatchesFormulaCompilation(t *testing.T) {
+	// Property: direct RA evaluation and the FO compilation agree on
+	// every output tuple, for random expressions.
+	rng := rand.New(rand.NewSource(51))
+	db := companyDB()
+	checked := 0
+	for iter := 0; iter < 200; iter++ {
+		raw := randExpr(rng, 3)
+		e, ok := fixAttrs(db, raw, rng)
+		if !ok {
+			continue
+		}
+		schema, err := e.Schema(db)
+		if err != nil || len(schema) > 3 {
+			continue // oversized joins make the FO sweep slow
+		}
+		res, err := Eval(db, e)
+		if err != nil {
+			t.Fatalf("iter %d: eval %v: %v", iter, e, err)
+		}
+		viaFO := evalViaFormula(t, db, e)
+		// Same set of tuples.
+		if len(viaFO) != res.Len() {
+			t.Fatalf("iter %d: %v: RA %d rows, FO %d rows", iter, e, res.Len(), len(viaFO))
+		}
+		for _, tp := range res.Rows() {
+			if !viaFO[tp.Key()] {
+				t.Fatalf("iter %d: %v: tuple %v in RA but not FO", iter, e, tp)
+			}
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d expressions checked; generator too lossy", checked)
+	}
+}
+
+func TestDiffCompilesOutOfConjunctive(t *testing.T) {
+	// An RA query with difference compiles to a formula with negation —
+	// outside the conjunctive fragment, as the theory requires.
+	db := companyDB()
+	e := Diff{L: star(), R: Project{From: emp(), Attrs: []string{"e"}}}
+	f, _, err := ToFormula(db, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls := logic.Classify(f); cls == logic.ClassConjunctive || cls == logic.ClassQuantifierFree {
+		t.Errorf("difference classified %v", cls)
+	}
+	// A select-project-join query stays existential-positive.
+	spj := Project{From: Join{L: emp(), R: mgr()}, Attrs: []string{"e"}}
+	f2, _, err := ToFormula(db, spj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls := logic.Classify(f2); cls != logic.ClassConjunctive && cls != logic.ClassExistential && cls != logic.ClassQuantifierFree {
+		t.Errorf("SPJ query classified %v", cls)
+	}
+}
+
+func TestProjectionShadowing(t *testing.T) {
+	// Join with a branch that projected away an attribute named like a
+	// live one: the bound variable must shadow, not capture.
+	db := companyDB()
+	// Project Mgr(d,b) onto b, rename b→d: schema [d] but internally ∃d.
+	inner := Rename{From: Project{From: mgr(), Attrs: []string{"b"}}, Old: "b", New: "d"}
+	e := Join{L: Project{From: emp(), Attrs: []string{"d"}}, R: inner}
+	res, err := Eval(db, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFO := evalViaFormula(t, db, e)
+	if len(viaFO) != res.Len() {
+		t.Fatalf("shadowing broke compilation: RA %v, FO %d rows", res.Rows(), len(viaFO))
+	}
+}
+
+func TestStrings(t *testing.T) {
+	e := Diff{
+		L: Project{From: Select{From: emp(), Attr: "d", Elem: 4}, Attrs: []string{"e"}},
+		R: star(),
+	}
+	want := "(project[e](select[d=4](Emp(e,d))) minus Star(e))"
+	if got := e.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	n := Select{From: emp(), Attr: "e", Other: "d", Elem: -1, Negate: true}
+	if got := n.String(); got != "select[e!=d](Emp(e,d))" {
+		t.Errorf("String = %q", got)
+	}
+	r := Rename{From: emp(), Old: "e", New: "x"}
+	if got := r.String(); got != "rename[e->x](Emp(e,d))" {
+		t.Errorf("String = %q", got)
+	}
+	u := Union{L: star(), R: star()}
+	if got := u.String(); got != "(Star(e) union Star(e))" {
+		t.Errorf("String = %q", got)
+	}
+}

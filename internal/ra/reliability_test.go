@@ -1,0 +1,77 @@
+package ra
+
+import (
+	"math/big"
+	"testing"
+
+	"qrel/internal/core"
+	"qrel/internal/logic"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// TestRAReliabilityEndToEnd compiles an SPJ query to FO and runs the
+// paper's reliability engines on it: the whole point of the ra package.
+func TestRAReliabilityEndToEnd(t *testing.T) {
+	s := companyDB()
+	db := unreliable.New(s)
+	// The assignment of employee 0 to dept 4 was read from a blurry scan.
+	db.MustSetError(rel.GroundAtom{Rel: "Emp", Args: rel.Tuple{0, 4}}, big.NewRat(1, 5))
+	// Star(1) might be a data-entry mistake.
+	db.MustSetError(rel.GroundAtom{Rel: "Star", Args: rel.Tuple{1}}, big.NewRat(1, 10))
+
+	// Query: ids of starred employees of dept 4.
+	e := Project{
+		From: Join{
+			L: Select{From: emp(), Attr: "d", Elem: 4},
+			R: star(),
+		},
+		Attrs: []string{"e"},
+	}
+	f, schema, err := ToFormula(s, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) != 1 {
+		t.Fatalf("schema %v", schema)
+	}
+	// Observed answer: employee 1 (starred, dept 4).
+	res, err := Eval(s, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || !res.Contains(rel.Tuple{1}) {
+		t.Fatalf("observed answer %v", res.Rows())
+	}
+	// Reliability, exactly, via two engines.
+	exact, err := core.WorldEnum(db, f, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBDD, err := core.LineageBDD(db, f, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.H.Cmp(viaBDD.H) != 0 {
+		t.Fatalf("engines disagree: %v vs %v", exact.H, viaBDD.H)
+	}
+	// Hand computation: answer tuple (1) flips iff Star(1) flips
+	// (Emp(1,4) is certain): probability 1/10. No other tuple can enter
+	// (only Emp(0,4) is uncertain and Star(0) certainly false). So
+	// H = 1/10.
+	if exact.H.Cmp(big.NewRat(1, 10)) != 0 {
+		t.Errorf("H = %v, want 1/10", exact.H)
+	}
+	// The dispatcher handles the compiled query too.
+	auto, err := core.Reliability(db, f, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.H.Cmp(exact.H) != 0 {
+		t.Error("dispatcher result differs")
+	}
+	// Class check: SPJ compiles into the existential fragment.
+	if cls := logic.Classify(f); cls == logic.ClassFirstOrder || cls == logic.ClassSecondOrder {
+		t.Errorf("SPJ query classified %v", cls)
+	}
+}

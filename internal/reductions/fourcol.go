@@ -1,0 +1,83 @@
+package reductions
+
+import (
+	"math/big"
+
+	"qrel/internal/logic"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// FourColQuery is the fixed existential query of Lemma 5.9: two
+// adjacent nodes share the colour encoded by the pair (R1, R2), i.e.
+// (R1, R2) is NOT a proper 4-colouring.
+const FourColQuery = "exists x y . E(x,y) & (R1(x) <-> R1(y)) & (R2(x) <-> R2(y))"
+
+// FourColInstance is the unreliable database built from a graph by the
+// Lemma 5.9 reduction.
+type FourColInstance struct {
+	// DB has the graph's edge relation (certain), R1 = R2 = ∅, and
+	// error probability 1/2 on every R1/R2 atom.
+	DB *unreliable.DB
+	// Query is the parsed FourColQuery.
+	Query logic.Formula
+	// Graph is the input graph.
+	Graph *Graph
+}
+
+// BuildFourColInstance performs the Lemma 5.9 reduction: the graph G is
+// 4-colourable iff the resulting database is NOT absolutely reliable
+// for FourColQuery. (The paper's footnote quietly ignores E = ∅; for an
+// edgeless graph the observed query value is false and every world
+// agrees, so the instance is absolutely reliable while G is trivially
+// 4-colourable — callers should special-case empty edge sets, as the
+// paper does.)
+func BuildFourColInstance(g *Graph) (*FourColInstance, error) {
+	voc := rel.MustVocabulary(
+		rel.RelSym{Name: "E", Arity: 2},
+		rel.RelSym{Name: "R1", Arity: 1},
+		rel.RelSym{Name: "R2", Arity: 1},
+	)
+	s, err := rel.NewStructure(g.N, voc)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range g.Edges() {
+		s.MustAdd("E", e[0], e[1])
+		if e[0] != e[1] {
+			s.MustAdd("E", e[1], e[0])
+		}
+	}
+	db := unreliable.New(s)
+	half := big.NewRat(1, 2)
+	for v := 0; v < g.N; v++ {
+		if err := db.SetError(rel.GroundAtom{Rel: "R1", Args: rel.Tuple{v}}, half); err != nil {
+			return nil, err
+		}
+		if err := db.SetError(rel.GroundAtom{Rel: "R2", Args: rel.Tuple{v}}, half); err != nil {
+			return nil, err
+		}
+	}
+	return &FourColInstance{
+		DB:    db,
+		Query: logic.MustParse(FourColQuery, nil),
+		Graph: g,
+	}, nil
+}
+
+// ColoringFromWorld decodes the 4-colouring represented by a possible
+// world: colour(v) = 2·[R1(v)] + [R2(v)].
+func ColoringFromWorld(b *rel.Structure) []int {
+	colors := make([]int, b.N)
+	for v := 0; v < b.N; v++ {
+		c := 0
+		if b.Holds("R1", rel.Tuple{v}) {
+			c += 2
+		}
+		if b.Holds("R2", rel.Tuple{v}) {
+			c++
+		}
+		colors[v] = c
+	}
+	return colors
+}

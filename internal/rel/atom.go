@@ -1,0 +1,87 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GroundAtom is an atomic statement R(a1,...,ak) about a structure: a
+// relation name applied to concrete universe elements. Ground atoms are
+// the unit of unreliability in the paper's model — the error function mu
+// assigns a probability to each of them.
+type GroundAtom struct {
+	Rel  string
+	Args Tuple
+}
+
+// String renders the atom as "R(1,2)".
+func (a GroundAtom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, e := range a.Args {
+		parts[i] = fmt.Sprint(e)
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Key returns a compact unique map key for the atom.
+func (a GroundAtom) Key() AtomKey {
+	return AtomKey{Rel: a.Rel, Tup: a.Args.Key(), Arity: len(a.Args)}
+}
+
+// Equal reports whether two ground atoms are identical.
+func (a GroundAtom) Equal(b GroundAtom) bool {
+	return a.Rel == b.Rel && a.Args.Equal(b.Args)
+}
+
+// AtomKey is a comparable key identifying a ground atom; usable as a Go
+// map key.
+type AtomKey struct {
+	Rel   string
+	Tup   uint64
+	Arity int
+}
+
+// Atom reconstructs the ground atom from its key.
+func (k AtomKey) Atom() GroundAtom {
+	return GroundAtom{Rel: k.Rel, Args: KeyToTuple(k.Tup, k.Arity)}
+}
+
+// String renders the key's atom.
+func (k AtomKey) String() string { return k.Atom().String() }
+
+// ForEachGroundAtom calls fn for every ground atom over the structure's
+// vocabulary and universe, relation symbols in vocabulary order and
+// tuples in lexicographic order; it stops early if fn returns false.
+// The atom's Args slice is reused between calls.
+func (s *Structure) ForEachGroundAtom(fn func(GroundAtom) bool) {
+	for _, sym := range s.Voc.Rels {
+		stop := false
+		ForEachTuple(s.N, sym.Arity, func(t Tuple) bool {
+			if !fn(GroundAtom{Rel: sym.Name, Args: t}) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// GroundAtomCount returns the total number of ground atoms over the
+// structure's vocabulary and universe, or -1 on overflow.
+func (s *Structure) GroundAtomCount() int {
+	total := 0
+	for _, sym := range s.Voc.Rels {
+		c := TupleCount(s.N, sym.Arity)
+		if c < 0 {
+			return -1
+		}
+		total += c
+		if total < 0 {
+			return -1
+		}
+	}
+	return total
+}

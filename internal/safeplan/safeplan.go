@@ -1,0 +1,357 @@
+// Package safeplan implements the extensional ("safe plan") evaluation
+// of Boolean conjunctive queries on tuple-independent probabilistic
+// databases: for *hierarchical* queries without self-joins, the
+// probability Pr[B ⊨ psi] is computed exactly in polynomial time by
+// independent-join and independent-project steps (Dalvi & Suciu's
+// dichotomy, VLDB 2004 — the direct successor of this paper's
+// complexity study).
+//
+// The connection to the paper: Proposition 3.2's hard query
+// ∃x∃y∃z (Lxy ∧ Rxz ∧ Sy ∧ Sz) is non-hierarchical — sg(y) = {L, S*}
+// and sg(z) = {R, S*} overlap without containment — so the safe-plan
+// evaluator rejects it, exactly where #P-hardness begins. Hierarchical
+// queries, by contrast, are evaluated exactly at sizes far beyond any
+// enumeration or BDD engine (experiment E12).
+package safeplan
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"qrel/internal/logic"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// Query is a Boolean conjunctive query without self-joins: implicitly
+// existentially quantified variables over a conjunction of relational
+// atoms, each relation name occurring at most once.
+type Query struct {
+	Atoms []logic.Atom
+}
+
+// FromFormula extracts a Query from a formula, validating that it is a
+// Boolean conjunctive query (∃* over a conjunction of relational atoms)
+// without self-joins, equalities or named constants.
+func FromFormula(f logic.Formula) (*Query, error) {
+	if fv := logic.FreeVars(f); len(fv) != 0 {
+		return nil, fmt.Errorf("safeplan: query must be Boolean, has free variables %v", fv)
+	}
+	body := f
+	for {
+		e, ok := body.(logic.Exists)
+		if !ok {
+			break
+		}
+		body = e.Body
+	}
+	q := &Query{}
+	if err := collectAtoms(body, q); err != nil {
+		return nil, err
+	}
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("safeplan: empty query")
+	}
+	seen := map[string]bool{}
+	for _, a := range q.Atoms {
+		if seen[a.Rel] {
+			return nil, fmt.Errorf("safeplan: self-join on %s (the dichotomy requires distinct relations)", a.Rel)
+		}
+		seen[a.Rel] = true
+		for _, t := range a.Args {
+			switch t.(type) {
+			case logic.Var, logic.Elem:
+			default:
+				return nil, fmt.Errorf("safeplan: unsupported term %v (only variables and elements)", t)
+			}
+		}
+	}
+	return q, nil
+}
+
+func collectAtoms(f logic.Formula, q *Query) error {
+	switch g := f.(type) {
+	case logic.Atom:
+		q.Atoms = append(q.Atoms, g)
+		return nil
+	case logic.And:
+		for _, h := range g {
+			if err := collectAtoms(h, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("safeplan: query is not a conjunction of relational atoms (found %T)", f)
+	}
+}
+
+// String renders the query as a conjunction.
+func (q *Query) String() string {
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// vars returns the distinct variables of the atoms, sorted.
+func (q *Query) vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if v, ok := t.(logic.Var); ok && !seen[string(v)] {
+				seen[string(v)] = true
+				out = append(out, string(v))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sg returns the indices of atoms containing variable v.
+func (q *Query) sg(v string) map[int]bool {
+	out := map[int]bool{}
+	for i, a := range q.Atoms {
+		for _, t := range a.Args {
+			if vv, ok := t.(logic.Var); ok && string(vv) == v {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// IsHierarchical reports whether the query is hierarchical: for every
+// pair of variables, their subgoal sets are nested or disjoint. By the
+// Dalvi–Suciu dichotomy this characterizes exactly the PTIME-computable
+// conjunctive queries (without self-joins) on tuple-independent
+// databases; everything else is #P-hard.
+func (q *Query) IsHierarchical() bool {
+	vars := q.vars()
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			a, b := q.sg(vars[i]), q.sg(vars[j])
+			inter, aSubB, bSubA := false, true, true
+			for k := range a {
+				if b[k] {
+					inter = true
+				} else {
+					aSubB = false
+				}
+			}
+			for k := range b {
+				if !a[k] {
+					bSubA = false
+				}
+			}
+			if inter && !aSubB && !bSubA {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Prob computes Pr[B ⊨ q] on the tuple-independent database exactly, in
+// time polynomial in the database, via the safe plan:
+//
+//   - independent join: connected components (by shared variables)
+//     refer to disjoint sets of ground atoms (no self-joins), so their
+//     probabilities multiply;
+//   - independent project: a root variable occurring in every atom of a
+//     component makes the instantiations x := a independent, so
+//     Pr = 1 − Π_a (1 − Pr[q[x := a]]);
+//   - base: a ground atom has probability nu(atom).
+//
+// A non-hierarchical query has a component with no root variable and is
+// rejected (ErrNotHierarchical) — that is where Proposition 3.2's
+// #P-hardness lives.
+func (q *Query) Prob(db *unreliable.DB) (*big.Rat, error) {
+	env := map[string]int{}
+	return evalConj(db, q.Atoms, env)
+}
+
+// ErrNotHierarchical is wrapped in errors returned for queries outside
+// the safe fragment.
+var ErrNotHierarchical = fmt.Errorf("safeplan: query is not hierarchical (reliability is #P-hard)")
+
+func evalConj(db *unreliable.DB, atoms []logic.Atom, env map[string]int) (*big.Rat, error) {
+	one := big.NewRat(1, 1)
+	// Split into connected components by shared unbound variables.
+	comps := components(atoms, env)
+	result := new(big.Rat).Set(one)
+	for _, comp := range comps {
+		p, err := evalComponent(db, comp, env)
+		if err != nil {
+			return nil, err
+		}
+		result.Mul(result, p)
+		if result.Sign() == 0 {
+			return result, nil
+		}
+	}
+	return result, nil
+}
+
+func evalComponent(db *unreliable.DB, atoms []logic.Atom, env map[string]int) (*big.Rat, error) {
+	one := big.NewRat(1, 1)
+	// Fully ground component: product of atom marginals (distinct
+	// relations ⇒ distinct, independent ground atoms).
+	root, allGround := rootVariable(atoms, env)
+	if allGround {
+		p := new(big.Rat).Set(one)
+		for _, a := range atoms {
+			ga, err := groundAtom(db, a, env)
+			if err != nil {
+				return nil, err
+			}
+			p.Mul(p, db.NuAtom(ga))
+			if p.Sign() == 0 {
+				return p, nil
+			}
+		}
+		return p, nil
+	}
+	if root == "" {
+		return nil, fmt.Errorf("%w: component {%s} has no root variable", ErrNotHierarchical, atomsString(atoms))
+	}
+	// Independent project over the root variable.
+	failAll := new(big.Rat).Set(one)
+	for e := 0; e < db.A.N; e++ {
+		env[root] = e
+		p, err := evalConj(db, atoms, env)
+		if err != nil {
+			delete(env, root)
+			return nil, err
+		}
+		failAll.Mul(failAll, new(big.Rat).Sub(one, p))
+		if failAll.Sign() == 0 {
+			break
+		}
+	}
+	delete(env, root)
+	return failAll.Sub(one, failAll), nil
+}
+
+// rootVariable returns an unbound variable occurring in every atom, or
+// "" if none; allGround reports whether no unbound variables remain.
+func rootVariable(atoms []logic.Atom, env map[string]int) (string, bool) {
+	counts := map[string]int{}
+	anyVar := false
+	for _, a := range atoms {
+		seen := map[string]bool{}
+		for _, t := range a.Args {
+			if v, ok := t.(logic.Var); ok {
+				if _, bound := env[string(v)]; bound {
+					continue
+				}
+				anyVar = true
+				if !seen[string(v)] {
+					seen[string(v)] = true
+					counts[string(v)]++
+				}
+			}
+		}
+	}
+	if !anyVar {
+		return "", true
+	}
+	// Deterministic choice: smallest qualifying name.
+	var names []string
+	for v, c := range counts {
+		if c == len(atoms) {
+			names = append(names, v)
+		}
+	}
+	if len(names) == 0 {
+		return "", false
+	}
+	sort.Strings(names)
+	return names[0], false
+}
+
+// components splits atoms into connected components linked by shared
+// unbound variables.
+func components(atoms []logic.Atom, env map[string]int) [][]logic.Atom {
+	n := len(atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	byVar := map[string]int{}
+	for i, a := range atoms {
+		for _, t := range a.Args {
+			v, ok := t.(logic.Var)
+			if !ok {
+				continue
+			}
+			if _, bound := env[string(v)]; bound {
+				continue
+			}
+			if j, seen := byVar[string(v)]; seen {
+				union(i, j)
+			} else {
+				byVar[string(v)] = i
+			}
+		}
+	}
+	groups := map[int][]logic.Atom{}
+	var order []int
+	for i, a := range atoms {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], a)
+	}
+	out := make([][]logic.Atom, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+func groundAtom(db *unreliable.DB, a logic.Atom, env map[string]int) (rel.GroundAtom, error) {
+	tup := make(rel.Tuple, len(a.Args))
+	for i, t := range a.Args {
+		switch u := t.(type) {
+		case logic.Var:
+			e, ok := env[string(u)]
+			if !ok {
+				return rel.GroundAtom{}, fmt.Errorf("safeplan: unbound variable %q", u)
+			}
+			tup[i] = e
+		case logic.Elem:
+			e := int(u)
+			if e < 0 || e >= db.A.N {
+				return rel.GroundAtom{}, fmt.Errorf("safeplan: element %d outside universe [0,%d)", e, db.A.N)
+			}
+			tup[i] = e
+		default:
+			return rel.GroundAtom{}, fmt.Errorf("safeplan: unsupported term %v", t)
+		}
+	}
+	return rel.GroundAtom{Rel: a.Rel, Args: tup}, nil
+}
+
+func atomsString(atoms []logic.Atom) string {
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,134 @@
+package unreliable
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"qrel/internal/rel"
+)
+
+func TestConditionFixesAtom(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	s := rel.MustStructure(2, voc)
+	s.MustAdd("S", 0)
+	d := New(s)
+	d.MustSetError(atomS(0), big.NewRat(1, 4))
+	d.MustSetError(atomS(1), big.NewRat(1, 3))
+
+	onTrue, err := d.Condition(atomS(0), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onTrue.NuAtom(atomS(0)).Cmp(big.NewRat(1, 1)) != 0 {
+		t.Error("conditioned-true atom not certain")
+	}
+	// Other atoms untouched (independence).
+	if onTrue.ErrorProb(atomS(1)).Cmp(big.NewRat(1, 3)) != 0 {
+		t.Error("conditioning leaked to other atoms")
+	}
+	onFalse, err := d.Condition(atomS(0), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onFalse.NuAtom(atomS(0)).Sign() != 0 {
+		t.Error("conditioned-false atom not certainly absent")
+	}
+	// mu = 1 branch: the observed fact is certainly wrong.
+	if onFalse.ErrorProb(atomS(0)).Cmp(big.NewRat(1, 1)) != 0 {
+		t.Error("conditioning false on an observed fact should set mu = 1")
+	}
+}
+
+func TestConditionImpossibleEvent(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	s := rel.MustStructure(2, voc)
+	s.MustAdd("S", 0)
+	d := New(s) // no uncertainty: S(0) certainly true, S(1) certainly false
+	if _, err := d.Condition(atomS(0), false); err == nil {
+		t.Error("conditioning on impossible event accepted")
+	}
+	if _, err := d.Condition(atomS(1), true); err == nil {
+		t.Error("conditioning on impossible event accepted")
+	}
+	wt, wf := d.AtomInfluence(atomS(0))
+	if wt == nil || wf != nil {
+		t.Error("AtomInfluence branches wrong for certain atom")
+	}
+}
+
+func TestConditionLawOfTotalProbability(t *testing.T) {
+	// Pr[event] = nu(a)·Pr[event | a] + (1−nu(a))·Pr[event | ¬a], checked
+	// by enumeration on random databases and a random target event.
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 20; iter++ {
+		d := testDB(rng, 3, 3)
+		atoms := d.UncertainAtoms()
+		a := atoms[rng.Intn(len(atoms))]
+		// Event: some other fixed atom holds in the world.
+		target := atoms[rng.Intn(len(atoms))]
+		prEvent := func(db *DB) *big.Rat {
+			total := new(big.Rat)
+			db.ForEachWorld(12, func(b *rel.Structure, nu *big.Rat) bool {
+				if b.Holds(target.Rel, target.Args) {
+					total.Add(total, nu)
+				}
+				return true
+			})
+			return total
+		}
+		nuA := d.NuAtom(a)
+		whenTrue, whenFalse := d.AtomInfluence(a)
+		if whenTrue == nil || whenFalse == nil {
+			t.Fatal("uncertain atom should have both branches")
+		}
+		lhs := prEvent(d)
+		rhs := new(big.Rat).Mul(nuA, prEvent(whenTrue))
+		rhs.Add(rhs, new(big.Rat).Mul(new(big.Rat).Sub(big.NewRat(1, 1), nuA), prEvent(whenFalse)))
+		if lhs.Cmp(rhs) != 0 {
+			t.Fatalf("iter %d: total probability broken: %v vs %v", iter, lhs, rhs)
+		}
+	}
+}
+
+func TestMostLikelyWorld(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	s := rel.MustStructure(3, voc)
+	s.MustAdd("S", 0)
+	d := New(s)
+	d.MustSetError(atomS(0), big.NewRat(1, 4)) // keep (mu < 1/2)
+	d.MustSetError(atomS(1), big.NewRat(2, 3)) // flip (mu > 1/2)
+	d.MustSetError(atomS(2), big.NewRat(1, 1)) // certain flip
+	w, p := d.MostLikelyWorld()
+	if !w.Holds("S", rel.Tuple{0}) {
+		t.Error("low-error fact should be kept")
+	}
+	if !w.Holds("S", rel.Tuple{1}) {
+		t.Error("high-error absent atom should flip in")
+	}
+	if !w.Holds("S", rel.Tuple{2}) {
+		t.Error("mu=1 atom must flip")
+	}
+	// p = (3/4)·(2/3) = 1/2.
+	if p.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Errorf("mode probability %v, want 1/2", p)
+	}
+	// The mode's probability matches NuWorld and is maximal over all
+	// worlds.
+	direct, err := d.NuWorld(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Cmp(p) != 0 {
+		t.Errorf("NuWorld(mode) = %v, want %v", direct, p)
+	}
+	err = d.ForEachWorld(10, func(_ *rel.Structure, nu *big.Rat) bool {
+		if nu.Cmp(p) > 0 {
+			t.Errorf("found world with probability %v > mode %v", nu, p)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

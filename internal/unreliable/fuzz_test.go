@@ -1,0 +1,42 @@
+package unreliable
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDB checks that the database codec never panics and that
+// anything that parses also writes back out and reparses to an
+// equivalent database.
+func FuzzParseDB(f *testing.F) {
+	seeds := []string{
+		sampleDB,
+		"universe 2\nrel S/1\nS 0 err 1/2\n",
+		"universe 0\n",
+		"universe 3\nrel E/2\nE 0 1 absent err 1\n",
+		"rel S/1\n",
+		"universe x\n",
+		"universe 2\nrel S/1\nS 0 err 3/2\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := ParseDB(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDB(&buf, db); err != nil {
+			t.Fatalf("WriteDB of parsed input failed: %v", err)
+		}
+		back, err := ParseDB(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip does not reparse: %v\n%s", err, buf.String())
+		}
+		if !back.A.Equal(db.A) {
+			t.Fatal("round trip changed the observed database")
+		}
+	})
+}

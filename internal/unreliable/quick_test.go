@@ -1,0 +1,99 @@
+package unreliable
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qrel/internal/rel"
+)
+
+// TestQuickNuComplement checks, for arbitrary error probabilities, the
+// defining identities of Section 2: nu(atom) = 1 − mu for observed
+// facts and nu(atom) = mu for absent ones.
+func TestQuickNuComplement(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	f := func(num uint16, denRaw uint16) bool {
+		den := int64(denRaw%999) + 1
+		p := big.NewRat(int64(num)%(den+1), den)
+		s := rel.MustStructure(2, voc)
+		s.MustAdd("S", 0)
+		d := New(s)
+		if err := d.SetError(atomS(0), p); err != nil {
+			return false
+		}
+		if err := d.SetError(atomS(1), p); err != nil {
+			return false
+		}
+		one := big.NewRat(1, 1)
+		nuPresent := d.NuAtom(atomS(0))
+		nuAbsent := d.NuAtom(atomS(1))
+		sum := new(big.Rat).Add(nuPresent, p)
+		return sum.Cmp(one) == 0 && nuAbsent.Cmp(p) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWorldProbProduct checks that WorldProb factorizes over the
+// uncertain atoms: the probability of a mask is the product of each
+// atom's flip/keep factor, for random mu vectors and masks.
+func TestQuickWorldProbProduct(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	f := func(seed int64, mask uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := rel.MustStructure(8, voc)
+		d := New(s)
+		mus := make([]*big.Rat, 5)
+		for i := range mus {
+			mus[i] = big.NewRat(int64(1+rng.Intn(9)), 10)
+			d.MustSetError(atomS(i), mus[i])
+		}
+		m := uint64(mask) & 0x1f
+		got := d.WorldProb(m)
+		want := big.NewRat(1, 1)
+		one := big.NewRat(1, 1)
+		for i, mu := range mus {
+			if m&(1<<uint(i)) != 0 {
+				want.Mul(want, mu)
+			} else {
+				want.Mul(want, new(big.Rat).Sub(one, mu))
+			}
+		}
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGClearsEveryWorld checks the defining property of the
+// corrected g on arbitrary denominators.
+func TestQuickGClearsEveryWorld(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := rel.MustStructure(6, voc)
+		d := New(s)
+		for i := 0; i < 4; i++ {
+			den := int64(2 + rng.Intn(30))
+			num := 1 + rng.Int63n(den-1)
+			d.MustSetError(atomS(i), big.NewRat(num, den))
+		}
+		g := new(big.Rat).SetInt(d.G())
+		ok := true
+		d.ForEachWorld(10, func(_ *rel.Structure, nu *big.Rat) bool {
+			if !new(big.Rat).Mul(nu, g).IsInt() {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package unreliable implements the paper's probabilistic model of
+// unreliable databases (Definition 2.1): a pair D = (A, mu) of an
+// observed finite relational structure A and an error function mu
+// assigning to each ground atom R(ā) the probability that its truth
+// value in A is wrong. The package provides the induced probability
+// space Omega(D) over possible worlds: exact world probabilities nu(B),
+// enumeration, sampling, the normalizing integer g used by the FP^#P
+// algorithm of Theorem 4.2, and a text codec.
+package unreliable
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+
+	"qrel/internal/rel"
+)
+
+var (
+	ratZero = new(big.Rat)
+	ratOne  = big.NewRat(1, 1)
+	ratHalf = big.NewRat(1, 2)
+)
+
+// DB is an unreliable database (A, mu). Atoms without an explicit error
+// probability are certain (mu = 0). Atoms with mu = 1 are certainly
+// wrong and flip deterministically in every possible world.
+type DB struct {
+	// A is the observed database.
+	A *rel.Structure
+
+	mu map[rel.AtomKey]*big.Rat
+
+	// caches, rebuilt lazily after mutation
+	dirty     bool
+	uncertain []entry // atoms with 0 < mu < 1, in canonical order
+	sure      []entry // atoms with mu = 1 (deterministic flips)
+}
+
+type entry struct {
+	atom rel.GroundAtom
+	mu   *big.Rat
+	muF  float64 // float approximation, for sampling
+}
+
+// New wraps an observed structure as an unreliable database with all
+// error probabilities zero. The structure is used by reference; callers
+// must not mutate it afterwards.
+func New(a *rel.Structure) *DB {
+	return &DB{A: a, mu: map[rel.AtomKey]*big.Rat{}}
+}
+
+// SetError sets mu(atom) = p. It validates that the atom is well formed
+// over A's vocabulary and universe and that p ∈ [0, 1]. Setting 0
+// removes the atom from the uncertain set.
+func (d *DB) SetError(atom rel.GroundAtom, p *big.Rat) error {
+	r := d.A.Rel(atom.Rel)
+	if r == nil {
+		return fmt.Errorf("unreliable: unknown relation %q", atom.Rel)
+	}
+	if r.Arity != len(atom.Args) {
+		return fmt.Errorf("unreliable: atom %v has arity %d, relation expects %d", atom, len(atom.Args), r.Arity)
+	}
+	for _, e := range atom.Args {
+		if e < 0 || e >= d.A.N {
+			return fmt.Errorf("unreliable: atom %v mentions element outside universe [0,%d)", atom, d.A.N)
+		}
+	}
+	if p == nil || p.Cmp(ratZero) < 0 || p.Cmp(ratOne) > 0 {
+		return fmt.Errorf("unreliable: error probability %v outside [0,1]", p)
+	}
+	k := atom.Key()
+	if p.Sign() == 0 {
+		delete(d.mu, k)
+	} else {
+		d.mu[k] = new(big.Rat).Set(p)
+	}
+	d.dirty = true
+	return nil
+}
+
+// MustSetError is SetError that panics on error.
+func (d *DB) MustSetError(atom rel.GroundAtom, p *big.Rat) {
+	if err := d.SetError(atom, p); err != nil {
+		panic(err)
+	}
+}
+
+// ErrorProb returns mu(atom); atoms never set have mu = 0.
+func (d *DB) ErrorProb(atom rel.GroundAtom) *big.Rat {
+	if p, ok := d.mu[atom.Key()]; ok {
+		return new(big.Rat).Set(p)
+	}
+	return new(big.Rat)
+}
+
+// NuAtom returns nu(atom), the probability that the atom holds in the
+// actual database: 1 − mu if A ⊨ atom, mu otherwise (Section 2).
+func (d *DB) NuAtom(atom rel.GroundAtom) *big.Rat {
+	mu := d.ErrorProb(atom)
+	if d.A.Holds(atom.Rel, atom.Args) {
+		return mu.Sub(ratOne, mu)
+	}
+	return mu
+}
+
+// refresh rebuilds the uncertain/sure caches in canonical order
+// (relation name, then tuple key).
+func (d *DB) refresh() {
+	if !d.dirty {
+		return
+	}
+	d.uncertain = d.uncertain[:0]
+	d.sure = d.sure[:0]
+	keys := make([]rel.AtomKey, 0, len(d.mu))
+	for k := range d.mu {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Rel != keys[j].Rel {
+			return keys[i].Rel < keys[j].Rel
+		}
+		return keys[i].Tup < keys[j].Tup
+	})
+	for _, k := range keys {
+		p := d.mu[k]
+		e := entry{atom: k.Atom(), mu: p}
+		e.muF, _ = p.Float64()
+		if p.Cmp(ratOne) == 0 {
+			d.sure = append(d.sure, e)
+		} else {
+			d.uncertain = append(d.uncertain, e)
+		}
+	}
+	d.dirty = false
+}
+
+// UncertainAtoms returns the atoms with 0 < mu < 1 in canonical order.
+// The possible worlds of Omega(D) with nonzero probability are exactly
+// the 2^u flips of these atoms (after the deterministic mu = 1 flips).
+func (d *DB) UncertainAtoms() []rel.GroundAtom {
+	d.refresh()
+	out := make([]rel.GroundAtom, len(d.uncertain))
+	for i, e := range d.uncertain {
+		out[i] = e.atom
+	}
+	return out
+}
+
+// SureFlips returns the atoms with mu = 1.
+func (d *DB) SureFlips() []rel.GroundAtom {
+	d.refresh()
+	out := make([]rel.GroundAtom, len(d.sure))
+	for i, e := range d.sure {
+		out[i] = e.atom
+	}
+	return out
+}
+
+// NumUncertain returns the number of atoms with 0 < mu < 1.
+func (d *DB) NumUncertain() int {
+	d.refresh()
+	return len(d.uncertain)
+}
+
+// WorldCount returns |{B : nu(B) > 0}| = 2^u.
+func (d *DB) WorldCount() *big.Int {
+	d.refresh()
+	return new(big.Int).Lsh(big.NewInt(1), uint(len(d.uncertain)))
+}
+
+// IsPositiveOnly reports whether the database fits de Rougemont's
+// restricted model (Section 3 Remark): errors only on positive data,
+// i.e. mu(Rā) > 0 implies A ⊨ Rā.
+func (d *DB) IsPositiveOnly() bool {
+	for k, p := range d.mu {
+		if p.Sign() > 0 {
+			a := k.Atom()
+			if !d.A.Holds(a.Rel, a.Args) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the unreliable database.
+func (d *DB) Clone() *DB {
+	c := New(d.A.Clone())
+	for k, p := range d.mu {
+		c.mu[k] = new(big.Rat).Set(p)
+	}
+	c.dirty = true
+	return c
+}
+
+// World materializes the possible world identified by mask: bit i of
+// mask flips uncertain atom i (in canonical order), and all mu = 1
+// atoms are flipped unconditionally.
+func (d *DB) World(mask uint64) *rel.Structure {
+	d.refresh()
+	b := d.A.Clone()
+	for _, e := range d.sure {
+		b.Rel(e.atom.Rel).Toggle(e.atom.Args)
+	}
+	for i, e := range d.uncertain {
+		if mask&(1<<uint(i)) != 0 {
+			b.Rel(e.atom.Rel).Toggle(e.atom.Args)
+		}
+	}
+	return b
+}
+
+// WorldProb returns the probability of the world identified by mask:
+// the product over uncertain atoms of mu (flipped) or 1 − mu (kept).
+func (d *DB) WorldProb(mask uint64) *big.Rat {
+	d.refresh()
+	p := new(big.Rat).Set(ratOne)
+	for i, e := range d.uncertain {
+		if mask&(1<<uint(i)) != 0 {
+			p.Mul(p, e.mu)
+		} else {
+			p.Mul(p, new(big.Rat).Sub(ratOne, e.mu))
+		}
+	}
+	return p
+}
+
+// MaxEnumAtoms is the hard cap on uncertain atoms for exact world
+// enumeration (2^u worlds).
+const MaxEnumAtoms = 30
+
+// ForEachWorld enumerates the possible worlds B ∈ Omega(D) with their
+// probabilities nu(B), calling fn for each; fn returning false stops the
+// enumeration. The structure passed to fn is freshly cloned per world
+// and may be retained. budget caps the number of uncertain atoms (u ≤
+// budget); prefer small budgets — the enumeration visits 2^u worlds.
+func (d *DB) ForEachWorld(budget int, fn func(b *rel.Structure, nu *big.Rat) bool) error {
+	d.refresh()
+	u := len(d.uncertain)
+	if u > budget || u > MaxEnumAtoms {
+		return fmt.Errorf("unreliable: %d uncertain atoms exceed enumeration budget %d", u, budget)
+	}
+	for mask := uint64(0); mask < uint64(1)<<uint(u); mask++ {
+		if !fn(d.World(mask), d.WorldProb(mask)) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// NuWorld returns nu(B), the probability that the actual database is B
+// (Section 2): the product over all ground atoms of nu(literal as it
+// holds in B). It is zero whenever B disagrees with the observed
+// database on a certain atom or agrees on a mu = 1 atom. B must have
+// the same universe size; the vocabulary is taken from A.
+func (d *DB) NuWorld(b *rel.Structure) (*big.Rat, error) {
+	if b.N != d.A.N {
+		return nil, fmt.Errorf("unreliable: world has universe %d, observed %d", b.N, d.A.N)
+	}
+	p := new(big.Rat).Set(ratOne)
+	var err error
+	d.A.ForEachGroundAtom(func(a rel.GroundAtom) bool {
+		br := b.Rel(a.Rel)
+		if br == nil {
+			err = fmt.Errorf("unreliable: world lacks relation %q", a.Rel)
+			return false
+		}
+		inA := d.A.Holds(a.Rel, a.Args)
+		inB := br.Contains(a.Args)
+		mu := d.ErrorProb(a)
+		if inA == inB {
+			p.Mul(p, new(big.Rat).Sub(ratOne, mu))
+		} else {
+			p.Mul(p, mu)
+		}
+		if p.Sign() == 0 {
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SampleWorld draws a random world from Omega(D) using float64
+// approximations of the flip probabilities.
+func (d *DB) SampleWorld(rng *rand.Rand) *rel.Structure {
+	d.refresh()
+	b := d.A.Clone()
+	for _, e := range d.sure {
+		b.Rel(e.atom.Rel).Toggle(e.atom.Args)
+	}
+	for _, e := range d.uncertain {
+		if rng.Float64() < e.muF {
+			b.Rel(e.atom.Rel).Toggle(e.atom.Args)
+		}
+	}
+	return b
+}
+
+// G returns the least-denominator normalizer used by the FP^#P
+// algorithm of Theorem 4.2: an integer g such that nu(B)·g ∈ ℕ for
+// every world B. Since nu(B) is a product of per-atom factors with
+// (reduced) denominators dividing q_atom, the product of the q_atom
+// clears every world probability.
+//
+// NOTE (erratum): the paper computes g by iterated gcd steps, which
+// yields the LCM of the denominators. The lcm does not satisfy
+// nu(B)·g ∈ ℕ when several atoms share denominator factors — with two
+// atoms of probability 1/2, nu(B) = 1/4 but lcm = 2. GPaperLCM
+// implements the paper's literal algorithm for comparison; G implements
+// the corrected product. See EXPERIMENTS.md (E3).
+func (d *DB) G() *big.Int {
+	d.refresh()
+	g := big.NewInt(1)
+	for _, e := range d.uncertain {
+		g.Mul(g, e.mu.Denom())
+	}
+	return g
+}
+
+// GPaperLCM runs the paper's literal gcd-loop over the denominators of
+// the nu(Rā), producing their least common multiple. Kept for the E3
+// experiment, which demonstrates that it can fail the defining property
+// of g. Use G for correct results.
+func (d *DB) GPaperLCM() *big.Int {
+	d.refresh()
+	g := big.NewInt(1)
+	tmp := new(big.Int)
+	for _, e := range d.uncertain {
+		den := e.mu.Denom()
+		b := new(big.Int).GCD(nil, nil, g, den)
+		if b.Cmp(den) == 0 {
+			continue // d is a factor of g'
+		}
+		g.Mul(g, tmp.Div(den, b))
+	}
+	return g
+}
+
+// ValidateWorldProbabilities checks Σ_B nu(B) = 1 by enumeration; a
+// sanity invariant used in tests and the experiment harness.
+func (d *DB) ValidateWorldProbabilities(budget int) error {
+	total := new(big.Rat)
+	err := d.ForEachWorld(budget, func(_ *rel.Structure, nu *big.Rat) bool {
+		total.Add(total, nu)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if total.Cmp(ratOne) != 0 {
+		return fmt.Errorf("unreliable: world probabilities sum to %v, want 1", total)
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package unreliable
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"qrel/internal/rel"
+)
+
+// testDB builds a small unreliable database over E/2, S/1 with the
+// given universe size and a few random facts and error probabilities.
+func testDB(rng *rand.Rand, n, uncertain int) *DB {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "E", Arity: 2}, rel.RelSym{Name: "S", Arity: 1})
+	s := rel.MustStructure(n, voc)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			s.MustAdd("E", rng.Intn(n), rng.Intn(n))
+		}
+		if rng.Intn(2) == 0 {
+			s.MustAdd("S", rng.Intn(n))
+		}
+	}
+	d := New(s)
+	for len(d.UncertainAtoms()) < uncertain {
+		var atom rel.GroundAtom
+		if rng.Intn(2) == 0 {
+			atom = rel.GroundAtom{Rel: "E", Args: rel.Tuple{rng.Intn(n), rng.Intn(n)}}
+		} else {
+			atom = rel.GroundAtom{Rel: "S", Args: rel.Tuple{rng.Intn(n)}}
+		}
+		d.MustSetError(atom, big.NewRat(int64(1+rng.Intn(9)), 10))
+	}
+	return d
+}
+
+func atomE(i, j int) rel.GroundAtom { return rel.GroundAtom{Rel: "E", Args: rel.Tuple{i, j}} }
+func atomS(i int) rel.GroundAtom    { return rel.GroundAtom{Rel: "S", Args: rel.Tuple{i}} }
+
+func TestSetErrorValidation(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	d := New(rel.MustStructure(3, voc))
+	if err := d.SetError(rel.GroundAtom{Rel: "X", Args: rel.Tuple{0}}, big.NewRat(1, 2)); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if err := d.SetError(rel.GroundAtom{Rel: "S", Args: rel.Tuple{0, 1}}, big.NewRat(1, 2)); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := d.SetError(atomS(9), big.NewRat(1, 2)); err == nil {
+		t.Error("out-of-universe atom accepted")
+	}
+	if err := d.SetError(atomS(0), big.NewRat(3, 2)); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if err := d.SetError(atomS(0), big.NewRat(-1, 2)); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if err := d.SetError(atomS(0), nil); err == nil {
+		t.Error("nil probability accepted")
+	}
+	// Setting zero removes.
+	d.MustSetError(atomS(0), big.NewRat(1, 2))
+	if d.NumUncertain() != 1 {
+		t.Fatal("uncertain count wrong")
+	}
+	d.MustSetError(atomS(0), new(big.Rat))
+	if d.NumUncertain() != 0 {
+		t.Error("zero probability did not remove atom")
+	}
+}
+
+func TestNuAtom(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	s := rel.MustStructure(3, voc)
+	s.MustAdd("S", 0)
+	d := New(s)
+	d.MustSetError(atomS(0), big.NewRat(1, 10))
+	d.MustSetError(atomS(1), big.NewRat(1, 4))
+	// Present atom: nu = 1 - mu.
+	if got := d.NuAtom(atomS(0)); got.Cmp(big.NewRat(9, 10)) != 0 {
+		t.Errorf("nu(S0) = %v, want 9/10", got)
+	}
+	// Absent atom: nu = mu.
+	if got := d.NuAtom(atomS(1)); got.Cmp(big.NewRat(1, 4)) != 0 {
+		t.Errorf("nu(S1) = %v, want 1/4", got)
+	}
+	// Unmentioned absent atom: nu = 0.
+	if got := d.NuAtom(atomS(2)); got.Sign() != 0 {
+		t.Errorf("nu(S2) = %v, want 0", got)
+	}
+}
+
+func TestWorldEnumerationSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 20; iter++ {
+		d := testDB(rng, 3, 1+rng.Intn(6))
+		if err := d.ValidateWorldProbabilities(10); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestWorldProbMatchesNuWorld(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := testDB(rng, 3, 4)
+	err := d.ForEachWorld(10, func(b *rel.Structure, nu *big.Rat) bool {
+		direct, err := d.NuWorld(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Cmp(nu) != 0 {
+			t.Fatalf("NuWorld %v != enumeration prob %v", direct, nu)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNuWorldZeroCases(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	s := rel.MustStructure(2, voc)
+	s.MustAdd("S", 0)
+	d := New(s)
+	d.MustSetError(atomS(1), big.NewRat(1, 2))
+	// World differing on the certain atom S(0) has probability zero.
+	b := s.Clone()
+	b.Rel("S").Toggle(rel.Tuple{0})
+	nu, err := d.NuWorld(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nu.Sign() != 0 {
+		t.Errorf("nu of impossible world = %v, want 0", nu)
+	}
+	// Mismatched universe errors.
+	if _, err := d.NuWorld(rel.MustStructure(3, voc)); err == nil {
+		t.Error("universe mismatch accepted")
+	}
+}
+
+func TestSureFlips(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	s := rel.MustStructure(2, voc)
+	s.MustAdd("S", 0)
+	d := New(s)
+	d.MustSetError(atomS(0), big.NewRat(1, 1)) // certainly wrong
+	if d.NumUncertain() != 0 || len(d.SureFlips()) != 1 {
+		t.Fatal("mu=1 atom not classified as sure flip")
+	}
+	w := d.World(0)
+	if w.Holds("S", rel.Tuple{0}) {
+		t.Error("sure flip not applied in world")
+	}
+	// Exactly one possible world.
+	if d.WorldCount().Int64() != 1 {
+		t.Errorf("WorldCount = %v, want 1", d.WorldCount())
+	}
+	// Sampling also applies it.
+	b := d.SampleWorld(rand.New(rand.NewSource(1)))
+	if b.Holds("S", rel.Tuple{0}) {
+		t.Error("sure flip not applied in sample")
+	}
+}
+
+func TestEnumerationBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := testDB(rng, 4, 8)
+	if err := d.ForEachWorld(4, func(*rel.Structure, *big.Rat) bool { return true }); err == nil {
+		t.Error("budget not enforced")
+	}
+}
+
+func TestGClearsAllWorlds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 15; iter++ {
+		d := testDB(rng, 3, 1+rng.Intn(5))
+		g := d.G()
+		err := d.ForEachWorld(10, func(_ *rel.Structure, nu *big.Rat) bool {
+			x := new(big.Rat).Mul(nu, new(big.Rat).SetInt(g))
+			if !x.IsInt() {
+				t.Fatalf("iter %d: nu*g = %v not integral (g=%v)", iter, x, g)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGPaperLCMErratum(t *testing.T) {
+	// Two atoms with probability 1/2: the paper's gcd-loop gives g = 2,
+	// but nu(B) = 1/4 so the defining property nu(B)·g ∈ ℕ fails.
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	d := New(rel.MustStructure(2, voc))
+	d.MustSetError(atomS(0), big.NewRat(1, 2))
+	d.MustSetError(atomS(1), big.NewRat(1, 2))
+	lcm := d.GPaperLCM()
+	if lcm.Int64() != 2 {
+		t.Fatalf("paper's algorithm returned %v, expected lcm 2", lcm)
+	}
+	nu := d.WorldProb(0) // 1/4
+	x := new(big.Rat).Mul(nu, new(big.Rat).SetInt(lcm))
+	if x.IsInt() {
+		t.Fatal("expected the paper's g to fail on this instance")
+	}
+	// The corrected g works.
+	g := d.G()
+	if g.Int64() != 4 {
+		t.Fatalf("corrected g = %v, want 4", g)
+	}
+	y := new(big.Rat).Mul(nu, new(big.Rat).SetInt(g))
+	if !y.IsInt() {
+		t.Fatal("corrected g failed")
+	}
+}
+
+func TestGPaperLCMAgreesOnCoprimeDenominators(t *testing.T) {
+	// With a single uncertain atom (or coprime denominators and one
+	// atom per world factor) lcm and product agree.
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	d := New(rel.MustStructure(1, voc))
+	d.MustSetError(atomS(0), big.NewRat(2, 7))
+	if d.G().Cmp(d.GPaperLCM()) != 0 {
+		t.Error("g variants disagree on single atom")
+	}
+}
+
+func TestSampleWorldDistribution(t *testing.T) {
+	// Single atom with mu = 1/4: flip frequency should be near 1/4.
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	s := rel.MustStructure(1, voc)
+	s.MustAdd("S", 0)
+	d := New(s)
+	d.MustSetError(atomS(0), big.NewRat(1, 4))
+	rng := rand.New(rand.NewSource(5))
+	flips := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if !d.SampleWorld(rng).Holds("S", rel.Tuple{0}) {
+			flips++
+		}
+	}
+	freq := float64(flips) / trials
+	if freq < 0.22 || freq > 0.28 {
+		t.Errorf("flip frequency %.4f far from 0.25", freq)
+	}
+}
+
+func TestWorldMaskRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := testDB(rng, 3, 3)
+	atoms := d.UncertainAtoms()
+	for mask := uint64(0); mask < 8; mask++ {
+		w := d.World(mask)
+		for i, a := range atoms {
+			flipped := mask&(1<<uint(i)) != 0
+			if (w.Holds(a.Rel, a.Args) != d.A.Holds(a.Rel, a.Args)) != flipped {
+				t.Fatalf("mask %d atom %v flip state wrong", mask, a)
+			}
+		}
+	}
+}
+
+func TestIsPositiveOnly(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	s := rel.MustStructure(2, voc)
+	s.MustAdd("S", 0)
+	d := New(s)
+	d.MustSetError(atomS(0), big.NewRat(1, 2))
+	if !d.IsPositiveOnly() {
+		t.Error("errors on present facts only should be positive-only")
+	}
+	d.MustSetError(atomS(1), big.NewRat(1, 2))
+	if d.IsPositiveOnly() {
+		t.Error("error on absent atom should break positive-only")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := testDB(rng, 3, 2)
+	c := d.Clone()
+	if c.NumUncertain() != d.NumUncertain() {
+		t.Fatal("clone lost uncertain atoms")
+	}
+	c.MustSetError(atomS(0), big.NewRat(1, 3))
+	if d.ErrorProb(atomS(0)).Cmp(c.ErrorProb(atomS(0))) == 0 {
+		t.Error("clone shares mu storage")
+	}
+}
+
+func TestFromProbabilitiesMarginals(t *testing.T) {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	nu := map[rel.AtomKey]*big.Rat{
+		atomS(0).Key(): big.NewRat(3, 4),
+		atomS(1).Key(): big.NewRat(1, 5),
+		atomS(2).Key(): big.NewRat(1, 2),
+	}
+	d, err := FromProbabilities(4, voc, nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observed database is the modal world.
+	if !d.A.Holds("S", rel.Tuple{0}) || d.A.Holds("S", rel.Tuple{1}) || !d.A.Holds("S", rel.Tuple{2}) {
+		t.Errorf("observed database wrong: %v", d.A)
+	}
+	// Marginals: Pr[atom holds] computed by enumeration equals nu.
+	for k, want := range nu {
+		atom := k.Atom()
+		total := new(big.Rat)
+		d.ForEachWorld(10, func(b *rel.Structure, p *big.Rat) bool {
+			if b.Holds(atom.Rel, atom.Args) {
+				total.Add(total, p)
+			}
+			return true
+		})
+		if total.Cmp(want) != 0 {
+			t.Errorf("marginal of %v = %v, want %v", atom, total, want)
+		}
+	}
+	// Round trip through Probabilities.
+	back := d.Probabilities()
+	for k, want := range nu {
+		if got, ok := back[k]; !ok || got.Cmp(want) != 0 {
+			t.Errorf("Probabilities()[%v] = %v, want %v", k.Atom(), got, want)
+		}
+	}
+	// Validation of inputs.
+	bad := map[rel.AtomKey]*big.Rat{atomS(0).Key(): big.NewRat(7, 4)}
+	if _, err := FromProbabilities(4, voc, bad); err == nil {
+		t.Error("out-of-range nu accepted")
+	}
+}

@@ -1,0 +1,216 @@
+// Package workload provides seeded, deterministic generators for the
+// experiment harness, benchmarks and examples: random unreliable
+// relational databases, graph databases, kDNF formulas, probability
+// assignments, metafinite databases, and a synthetic census scenario.
+// The paper reports no datasets; these generators define the workloads
+// used to reproduce each proposition's complexity shape (see
+// EXPERIMENTS.md).
+package workload
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"qrel/internal/metafinite"
+	"qrel/internal/prop"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// GraphVoc is the vocabulary used by the random graph databases.
+func GraphVoc() *rel.Vocabulary {
+	return rel.MustVocabulary(rel.RelSym{Name: "E", Arity: 2}, rel.RelSym{Name: "S", Arity: 1})
+}
+
+// RandomStructure draws a structure over E/2, S/1 with edge density p
+// and label density q.
+func RandomStructure(rng *rand.Rand, n int, p, q float64) *rel.Structure {
+	s := rel.MustStructure(n, GraphVoc())
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < p {
+				s.MustAdd("E", i, j)
+			}
+		}
+		if rng.Float64() < q {
+			s.MustAdd("S", i)
+		}
+	}
+	return s
+}
+
+// AddUncertainty gives `count` distinct random ground atoms of s an
+// error probability drawn uniformly from {1/d, ..., (d−1)/d}.
+func AddUncertainty(rng *rand.Rand, s *rel.Structure, count, d int) *unreliable.DB {
+	db := unreliable.New(s)
+	if d < 2 {
+		d = 10
+	}
+	for db.NumUncertain() < count {
+		var atom rel.GroundAtom
+		if rng.Intn(2) == 0 {
+			atom = rel.GroundAtom{Rel: "E", Args: rel.Tuple{rng.Intn(s.N), rng.Intn(s.N)}}
+		} else {
+			atom = rel.GroundAtom{Rel: "S", Args: rel.Tuple{rng.Intn(s.N)}}
+		}
+		db.MustSetError(atom, big.NewRat(int64(1+rng.Intn(d-1)), int64(d)))
+	}
+	return db
+}
+
+// RandomUDB combines RandomStructure and AddUncertainty.
+func RandomUDB(rng *rand.Rand, n, uncertain int) *unreliable.DB {
+	return AddUncertainty(rng, RandomStructure(rng, n, 0.3, 0.5), uncertain, 10)
+}
+
+// RandomKDNF draws a kDNF with exactly k literals per term over
+// distinct variables.
+func RandomKDNF(rng *rand.Rand, numVars, numTerms, k int) prop.DNF {
+	if k > numVars {
+		k = numVars
+	}
+	d := prop.DNF{NumVars: numVars}
+	for i := 0; i < numTerms; i++ {
+		perm := rng.Perm(numVars)[:k]
+		t := make(prop.Term, 0, k)
+		for _, v := range perm {
+			t = append(t, prop.Lit{Var: v, Neg: rng.Intn(2) == 0})
+		}
+		d.Terms = append(d.Terms, t)
+	}
+	return d
+}
+
+// RandomProbs draws variable probabilities with denominator d.
+func RandomProbs(rng *rand.Rand, numVars, d int) prop.ProbAssignment {
+	p := make(prop.ProbAssignment, numVars)
+	for i := range p {
+		p[i] = big.NewRat(int64(1+rng.Intn(d-1)), int64(d))
+	}
+	return p
+}
+
+// SparseKDNF draws a kDNF whose terms are all-positive over a small
+// window of variables, producing the low-probability union instances
+// where naive Monte Carlo fails but Karp–Luby retains its relative
+// error guarantee (experiment E4).
+func SparseKDNF(rng *rand.Rand, numVars, numTerms, k int) prop.DNF {
+	d := prop.DNF{NumVars: numVars}
+	for i := 0; i < numTerms; i++ {
+		start := rng.Intn(numVars - k + 1)
+		t := make(prop.Term, 0, k)
+		for j := 0; j < k; j++ {
+			t = append(t, prop.Pos(start+j))
+		}
+		d.Terms = append(d.Terms, t)
+	}
+	return d
+}
+
+// CensusQueries are the example queries of the census scenario, keyed
+// by a short name. They exercise the quantifier-free, conjunctive and
+// universal fragments on the census vocabulary.
+var CensusQueries = map[string]string{
+	// quantifier-free: is this person recorded employed and married to
+	// someone?
+	"inconsistent": "Employed(x) & Retired(x)",
+	// conjunctive: someone employed lives in a flagged district.
+	"flagged-worker": "exists x y . Employed(x) & LivesIn(x,y) & Flagged(y)",
+	// universal: every retired person is unemployed.
+	"retired-clean": "forall x . Retired(x) -> !Employed(x)",
+	// unary: people with an employed spouse.
+	"spouse-employed": "exists y . Married(x,y) & Employed(y)",
+}
+
+// CensusDB generates a synthetic census with `people` persons and
+// `districts` districts: relations Employed/1, Retired/1, Married/2,
+// LivesIn/2, Flagged/1 over a universe of people followed by districts.
+// A fraction of the person attributes carries digitization error
+// probabilities — the dirty-data motivation of the paper's
+// introduction.
+func CensusDB(rng *rand.Rand, people, districts int) (*unreliable.DB, error) {
+	if people < 2 || districts < 1 {
+		return nil, fmt.Errorf("workload: census needs ≥ 2 people and ≥ 1 district")
+	}
+	voc := rel.MustVocabulary(
+		rel.RelSym{Name: "Employed", Arity: 1},
+		rel.RelSym{Name: "Retired", Arity: 1},
+		rel.RelSym{Name: "Married", Arity: 2},
+		rel.RelSym{Name: "LivesIn", Arity: 2},
+		rel.RelSym{Name: "Flagged", Arity: 1},
+	)
+	n := people + districts
+	s, err := rel.NewStructure(n, voc)
+	if err != nil {
+		return nil, err
+	}
+	district := func(i int) int { return people + i }
+	for p := 0; p < people; p++ {
+		if rng.Float64() < 0.6 {
+			s.MustAdd("Employed", p)
+		} else if rng.Float64() < 0.5 {
+			s.MustAdd("Retired", p)
+		}
+		s.MustAdd("LivesIn", p, district(rng.Intn(districts)))
+	}
+	// Marriages: disjoint pairs.
+	perm := rng.Perm(people)
+	for i := 0; i+1 < len(perm); i += 2 {
+		if rng.Float64() < 0.5 {
+			s.MustAdd("Married", perm[i], perm[i+1])
+			s.MustAdd("Married", perm[i+1], perm[i])
+		}
+	}
+	for d := 0; d < districts; d++ {
+		if rng.Float64() < 0.3 {
+			s.MustAdd("Flagged", district(d))
+		}
+	}
+	db := unreliable.New(s)
+	// Digitization noise: employment status of some people is uncertain.
+	for p := 0; p < people; p++ {
+		if rng.Float64() < 0.25 {
+			db.MustSetError(rel.GroundAtom{Rel: "Employed", Args: rel.Tuple{p}}, big.NewRat(1, int64(5+rng.Intn(15))))
+		}
+		if rng.Float64() < 0.1 {
+			db.MustSetError(rel.GroundAtom{Rel: "Retired", Args: rel.Tuple{p}}, big.NewRat(1, int64(8+rng.Intn(12))))
+		}
+	}
+	return db, nil
+}
+
+// SalaryUDB generates a metafinite salary database with n employees,
+// uncertain salaries on a fraction of them — the Section 6 aggregate
+// scenario.
+func SalaryUDB(rng *rand.Rand, n int, uncertainFrac float64) (*metafinite.UDB, error) {
+	db, err := metafinite.NewFDB(n, metafinite.FuncSym{Name: "salary", Arity: 1}, metafinite.FuncSym{Name: "dept", Arity: 1})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		base := int64(300 + rng.Intn(700))
+		if err := db.SetF("salary", base, i); err != nil {
+			return nil, err
+		}
+		if err := db.SetF("dept", int64(rng.Intn(4)), i); err != nil {
+			return nil, err
+		}
+	}
+	u := metafinite.NewUDB(db)
+	for i := 0; i < n; i++ {
+		if rng.Float64() >= uncertainFrac {
+			continue
+		}
+		site := metafinite.Site{Fn: "salary", Args: rel.Tuple{i}}
+		obs := db.Funcs["salary"].Get(rel.Tuple{i})
+		bump := new(big.Rat).Add(obs, big.NewRat(int64(10+rng.Intn(100)), 1))
+		if err := u.SetDist(site, []metafinite.Weighted{
+			{Value: obs, P: big.NewRat(4, 5)},
+			{Value: bump, P: big.NewRat(1, 5)},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
