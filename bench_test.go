@@ -4,6 +4,7 @@
 package qrel_test
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -35,7 +36,7 @@ func BenchmarkE1QuantifierFree(b *testing.B) {
 		db := workload.AddUncertainty(rng, workload.RandomStructure(rng, n, 0.2, 0.5), n/2, 10)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.QuantifierFree(db, f, core.Options{}); err != nil {
+				if _, err := core.QuantifierFree(context.Background(), db, f, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -57,14 +58,14 @@ func BenchmarkE2ConjunctiveExact(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("world-enum/vars=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.WorldEnum(inst.DB, inst.Query, core.Options{}); err != nil {
+				if _, err := core.WorldEnum(context.Background(), inst.DB, inst.Query, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("lineage-bdd/vars=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.LineageBDD(inst.DB, inst.Query, core.Options{}); err != nil {
+				if _, err := core.LineageBDD(context.Background(), inst.DB, inst.Query, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -132,14 +133,14 @@ func BenchmarkE6Lineage(b *testing.B) {
 		db := workload.AddUncertainty(rng, workload.RandomStructure(rng, n, 0.2, 0.5), n, 10)
 		b.Run(fmt.Sprintf("bdd/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.LineageBDD(db, f, core.Options{}); err != nil {
+				if _, err := core.LineageBDD(context.Background(), db, f, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("karpluby/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.LineageKL(db, f, core.Options{Eps: 0.2, Delta: 0.1, Seed: int64(i)}, false); err != nil {
+				if _, err := core.LineageKL(context.Background(), db, f, core.Options{Eps: 0.2, Delta: 0.1, Seed: int64(i)}, false); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -192,7 +193,7 @@ func BenchmarkE8MonteCarlo(b *testing.B) {
 	for _, eps := range []float64{0.2, 0.1} {
 		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := mc.EstimateNuPadded(db, pred, 0.25, eps, 0.1, rng); err != nil {
+				if _, err := mc.EstimateNuPadded(context.Background(), db, pred, 0.25, eps, 0.1, 0, rng); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -310,7 +311,7 @@ func BenchmarkE12SafePlan(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("safe-plan/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.SafePlan(db, f, core.Options{}); err != nil {
+				if _, err := core.SafePlan(context.Background(), db, f, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -318,7 +319,7 @@ func BenchmarkE12SafePlan(b *testing.B) {
 		if n <= 128 {
 			b.Run(fmt.Sprintf("lineage-bdd/n=%d", n), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := core.LineageBDD(db, f, core.Options{}); err != nil {
+					if _, err := core.LineageBDD(context.Background(), db, f, core.Options{}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -335,14 +336,14 @@ func BenchmarkWorldEnumParallel(b *testing.B) {
 	f := logic.MustParse("forall x . exists y . E(x,y)", nil)
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.WorldEnum(db, f, core.Options{}); err != nil {
+			if _, err := core.WorldEnum(context.Background(), db, f, core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.WorldEnumParallel(db, f, core.Options{}, 0); err != nil {
+			if _, err := core.WorldEnumParallel(context.Background(), db, f, core.Options{}, 0); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -41,7 +41,7 @@ func runE1(cfg config, out *report) error {
 			var res core.Result
 			dt, err := timeIt(func() error {
 				var err error
-				res, err = core.QuantifierFree(db, f, core.Options{})
+				res, err = core.QuantifierFree(cfg.ctx, db, f, core.Options{})
 				return err
 			})
 			if err != nil {
@@ -52,7 +52,7 @@ func runE1(cfg config, out *report) error {
 
 			// Cross-check against enumeration where feasible.
 			if n == sizes[0] {
-				exact, err := core.WorldEnum(db, f, core.Options{})
+				exact, err := core.WorldEnum(cfg.ctx, db, f, core.Options{})
 				if err != nil {
 					return err
 				}

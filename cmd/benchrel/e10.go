@@ -66,15 +66,15 @@ func runE10(cfg config, out *report) error {
 	// Ablation 2: Cor 5.5 per-tuple MC vs direct Hamming sampling.
 	query := logic.MustParse("exists y . E(x,y) & S(y)", nil)
 	db := workload.RandomUDB(rand.New(rand.NewSource(cfg.seed)), 6, 10)
-	exactRel, err := core.LineageBDD(db, query, core.Options{})
+	exactRel, err := core.LineageBDD(cfg.ctx, db, query, core.Options{})
 	if err != nil {
 		return err
 	}
-	perTuple, err := core.MonteCarlo(db, query, core.Options{Eps: 0.1, Delta: 0.1, Seed: cfg.seed})
+	perTuple, err := core.MonteCarlo(cfg.ctx, db, query, core.Options{Eps: 0.1, Delta: 0.1, Seed: cfg.seed})
 	if err != nil {
 		return err
 	}
-	directMC, err := core.MonteCarloDirect(db, query, core.Options{Eps: 0.1, Delta: 0.1, Seed: cfg.seed})
+	directMC, err := core.MonteCarloDirect(cfg.ctx, db, query, core.Options{Eps: 0.1, Delta: 0.1, Seed: cfg.seed})
 	if err != nil {
 		return err
 	}
@@ -191,15 +191,15 @@ func runE10Extra(cfg config, out *report) error {
 		return dbr
 	}()
 	rq := logic.MustParse("exists x y . E(x,y) & S(x)", nil)
-	exactRare, err := core.WorldEnum(rareDB, rq, core.Options{MaxEnumAtoms: 16})
+	exactRare, err := core.WorldEnum(cfg.ctx, rareDB, rq, core.Options{MaxEnumAtoms: 16})
 	if err != nil {
 		return err
 	}
-	rare, err := core.MonteCarloRare(rareDB, rq, core.Options{Eps: 0.005, Delta: 0.05, Seed: cfg.seed})
+	rare, err := core.MonteCarloRare(cfg.ctx, rareDB, rq, core.Options{Eps: 0.005, Delta: 0.05, Seed: cfg.seed})
 	if err != nil {
 		return err
 	}
-	plainMC, err := core.MonteCarloDirect(rareDB, rq, core.Options{Eps: 0.005, Delta: 0.05, Seed: cfg.seed})
+	plainMC, err := core.MonteCarloDirect(cfg.ctx, rareDB, rq, core.Options{Eps: 0.005, Delta: 0.05, Seed: cfg.seed})
 	if err != nil {
 		return err
 	}

@@ -37,7 +37,7 @@ func runE12(cfg config, out *report) error {
 			var sp core.Result
 			dt, err := timeIt(func() error {
 				var err error
-				sp, err = core.SafePlan(db, f, core.Options{})
+				sp, err = core.SafePlan(cfg.ctx, db, f, core.Options{})
 				return err
 			})
 			if err != nil {
@@ -45,7 +45,7 @@ func runE12(cfg config, out *report) error {
 			}
 			agree := "-"
 			if db.NumUncertain() <= 14 {
-				we, err := core.WorldEnum(db, f, core.Options{})
+				we, err := core.WorldEnum(cfg.ctx, db, f, core.Options{})
 				if err != nil {
 					return err
 				}
@@ -54,7 +54,7 @@ func runE12(cfg config, out *report) error {
 				agree = boolStr(ok)
 			} else {
 				// Cross-check against the exact BDD at scale.
-				bddRes, err := core.LineageBDD(db, f, core.Options{})
+				bddRes, err := core.LineageBDD(cfg.ctx, db, f, core.Options{})
 				if err != nil {
 					return err
 				}
@@ -84,7 +84,7 @@ func runE12(cfg config, out *report) error {
 	var sp core.Result
 	dt, err := timeIt(func() error {
 		var err error
-		sp, err = core.SafePlan(db, f, core.Options{})
+		sp, err = core.SafePlan(cfg.ctx, db, f, core.Options{})
 		return err
 	})
 	if err != nil {

@@ -49,7 +49,7 @@ func runE13(cfg config, out *report) error {
 		var dt time.Duration
 		for rep := 0; rep < 3; rep++ {
 			d, err := timeIt(func() error {
-				_, err := core.QuantifierFree(db, f, core.Options{})
+				_, err := core.QuantifierFree(cfg.ctx, db, f, core.Options{})
 				return err
 			})
 			if err != nil {
@@ -91,7 +91,7 @@ func runE13(cfg config, out *report) error {
 		rngN := rand.New(rand.NewSource(cfg.seed + int64(n)))
 		dbN := workload.AddUncertainty(rngN, workload.RandomStructure(rngN, n, 0.2, 0.5), n/2, 10)
 		dt, err := timeIt(func() error {
-			_, err := core.QuantifierFree(dbN, f, core.Options{})
+			_, err := core.QuantifierFree(cfg.ctx, dbN, f, core.Options{})
 			return err
 		})
 		if err != nil {

@@ -32,7 +32,7 @@ func runE2(cfg config, out *report) error {
 		var res core.Result
 		tBDD, err := timeIt(func() error {
 			var err error
-			res, err = core.LineageBDD(inst.DB, inst.Query, core.Options{})
+			res, err = core.LineageBDD(cfg.ctx, inst.DB, inst.Query, core.Options{})
 			return err
 		})
 		if err != nil {
@@ -52,7 +52,7 @@ func runE2(cfg config, out *report) error {
 		enumCol := "skipped"
 		if n <= 12 {
 			tEnum, err := timeIt(func() error {
-				res2, err := core.WorldEnum(inst.DB, inst.Query, core.Options{})
+				res2, err := core.WorldEnum(cfg.ctx, inst.DB, inst.Query, core.Options{})
 				if err != nil {
 					return err
 				}

@@ -44,14 +44,14 @@ func runE6(cfg config, out *report) error {
 			var exact core.Result
 			tBDD, err := timeIt(func() error {
 				var err error
-				exact, err = core.LineageBDD(db, f, core.Options{})
+				exact, err = core.LineageBDD(cfg.ctx, db, f, core.Options{})
 				return err
 			})
 			if err != nil {
 				return err
 			}
 			if db.NumUncertain() <= 14 {
-				enum, err := core.WorldEnum(db, f, core.Options{})
+				enum, err := core.WorldEnum(cfg.ctx, db, f, core.Options{})
 				if err != nil {
 					return err
 				}
@@ -60,7 +60,7 @@ func runE6(cfg config, out *report) error {
 			var approx core.Result
 			tKL, err := timeIt(func() error {
 				var err error
-				approx, err = core.LineageKL(db, f, core.Options{Eps: eps, Delta: delta, Seed: cfg.seed}, false)
+				approx, err = core.LineageKL(cfg.ctx, db, f, core.Options{Eps: eps, Delta: delta, Seed: cfg.seed}, false)
 				return err
 			})
 			if err != nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,9 @@ import (
 type config struct {
 	seed  int64
 	quick bool
+	// ctx carries the harness-wide deadline (-timeout) into every engine
+	// call; context.Background() when no timeout is set.
+	ctx context.Context
 }
 
 // experiment is one reproducible experiment.
@@ -36,12 +40,19 @@ type experiment struct {
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E13) or 'all'")
-		seed  = flag.Int64("seed", 1998, "workload seed")
-		quick = flag.Bool("quick", false, "smaller parameter sweeps")
+		which   = flag.String("experiment", "all", "experiment id (E1..E13) or 'all'")
+		seed    = flag.Int64("seed", 1998, "workload seed")
+		quick   = flag.Bool("quick", false, "smaller parameter sweeps")
+		timeout = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 = none)")
 	)
 	flag.Parse()
-	cfg := config{seed: *seed, quick: *quick}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := config{seed: *seed, quick: *quick, ctx: ctx}
 	exps := []experiment{
 		{"E1", "Prop 3.1: quantifier-free reliability is computable in polynomial time", runE1},
 		{"E2", "Prop 3.2: conjunctive expected error encodes #MONOTONE-2SAT exactly", runE2},

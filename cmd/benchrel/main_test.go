@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -38,7 +39,7 @@ func runExperiment(t *testing.T, name string, fn func(config, *report) error) {
 	out, err := captureStdout(t, func() error {
 		rep := newReport(name, "test")
 		start := time.Now()
-		err := fn(config{seed: 1998, quick: true}, rep)
+		err := fn(config{seed: 1998, quick: true, ctx: context.Background()}, rep)
 		rep.finish(time.Since(start), err)
 		if err != nil {
 			return err

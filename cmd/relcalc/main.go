@@ -6,13 +6,15 @@
 //	relcalc -db census.udb -query 'exists x . Employed(x)' [flags]
 //
 // Flags select the engine (default: automatic dispatch on the query
-// class), the accuracy parameters of randomized engines, and the output
-// detail. With -per-tuple the exact per-answer-tuple expected errors
-// are printed; with -absolute the absolute-reliability decision
-// (Definition 5.6) is reported.
+// class), the accuracy parameters of randomized engines, resource
+// budgets (-timeout, -budget-samples, -budget-bdd, -budget-worlds), and
+// the output detail. With -per-tuple the exact per-answer-tuple
+// expected errors are printed; with -absolute the absolute-reliability
+// decision (Definition 5.6) is reported.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,25 +24,30 @@ import (
 
 func main() {
 	var (
-		dbPath   = flag.String("db", "", "path to the unreliable database (qrel text format); '-' for stdin")
-		query    = flag.String("query", "", "query in qrel syntax, e.g. 'exists x y . E(x,y) & S(x)'")
-		engine   = flag.String("engine", "auto", "engine: auto|qfree|world-enum|lineage-bdd|lineage-kl|lineage-kl-thm53|monte-carlo|monte-carlo-direct")
-		eps      = flag.Float64("eps", 0.05, "accuracy parameter of randomized engines")
-		delta    = flag.Float64("delta", 0.05, "confidence parameter of randomized engines")
-		seed     = flag.Int64("seed", 1, "random seed for randomized engines")
-		maxEnum  = flag.Int("max-enum", 16, "uncertain-atom budget for exact world enumeration")
-		perTuple = flag.Bool("per-tuple", false, "print exact per-tuple expected errors (world enumeration)")
-		absolute = flag.Bool("absolute", false, "decide absolute reliability (R = 1) instead of computing R")
-		sens     = flag.Bool("sensitivity", false, "rank uncertain atoms by how strongly they drive the query's risk")
+		dbPath    = flag.String("db", "", "path to the unreliable database (qrel text format); '-' for stdin")
+		query     = flag.String("query", "", "query in qrel syntax, e.g. 'exists x y . E(x,y) & S(x)'")
+		engine    = flag.String("engine", "auto", "engine: auto|qfree|world-enum|lineage-bdd|lineage-kl|lineage-kl-thm53|monte-carlo|monte-carlo-direct")
+		eps       = flag.Float64("eps", 0.05, "accuracy parameter of randomized engines")
+		delta     = flag.Float64("delta", 0.05, "confidence parameter of randomized engines")
+		seed      = flag.Int64("seed", 1, "random seed for randomized engines")
+		maxEnum   = flag.Int("max-enum", 16, "uncertain-atom budget for exact world enumeration")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the computation (0 = none)")
+		maxSamp   = flag.Int("budget-samples", 0, "Monte Carlo sample budget (0 = none); partial runs return a degraded result")
+		maxBDD    = flag.Int("budget-bdd", 0, "BDD node budget for the exact lineage engine (0 = engine default)")
+		maxWorlds = flag.Uint64("budget-worlds", 0, "possible-world budget for exact enumeration (0 = none)")
+		perTuple  = flag.Bool("per-tuple", false, "print exact per-tuple expected errors (world enumeration)")
+		absolute  = flag.Bool("absolute", false, "decide absolute reliability (R = 1) instead of computing R")
+		sens      = flag.Bool("sensitivity", false, "rank uncertain atoms by how strongly they drive the query's risk")
 	)
 	flag.Parse()
-	if err := run(*dbPath, *query, *engine, *eps, *delta, *seed, *maxEnum, *perTuple, *absolute, *sens); err != nil {
+	budget := qrel.Budget{Timeout: *timeout, MaxSamples: *maxSamp, MaxBDDNodes: *maxBDD, MaxWorlds: *maxWorlds}
+	if err := run(*dbPath, *query, *engine, *eps, *delta, *seed, *maxEnum, budget, *perTuple, *absolute, *sens); err != nil {
 		fmt.Fprintln(os.Stderr, "relcalc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, query, engine string, eps, delta float64, seed int64, maxEnum int, perTuple, absolute, sensitivity bool) error {
+func run(dbPath, query, engine string, eps, delta float64, seed int64, maxEnum int, budget qrel.Budget, perTuple, absolute, sensitivity bool) error {
 	if dbPath == "" || query == "" {
 		return fmt.Errorf("both -db and -query are required")
 	}
@@ -61,7 +68,7 @@ func run(dbPath, query, engine string, eps, delta float64, seed int64, maxEnum i
 	if err != nil {
 		return err
 	}
-	opts := qrel.Options{Eps: eps, Delta: delta, Seed: seed, MaxEnumAtoms: maxEnum}
+	opts := qrel.Options{Eps: eps, Delta: delta, Seed: seed, MaxEnumAtoms: maxEnum, Budget: budget}
 	fmt.Printf("universe: %d elements, %d facts, %d uncertain atoms\n",
 		db.A.N, db.A.FactCount(), db.NumUncertain())
 	fmt.Printf("query:    %s  [%v]\n", q, qrel.Classify(q))
@@ -78,11 +85,17 @@ func run(dbPath, query, engine string, eps, delta float64, seed int64, maxEnum i
 		return nil
 	}
 
-	res, err := qrel.ReliabilityWith(qrel.Engine(engine), db, q, opts)
+	res, err := qrel.ReliabilityWith(context.Background(), qrel.Engine(engine), db, q, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("engine:   %s  (%v)\n", res.Engine, res.Guarantee)
+	for _, step := range res.FallbackTrail {
+		fmt.Printf("fallback: %s\n", step)
+	}
+	if res.Degraded {
+		fmt.Printf("DEGRADED: budget/deadline cut the run short; eps widened to %.3g\n", res.Eps)
+	}
 	if res.Guarantee == qrel.Exact {
 		fmt.Printf("H = %s  (= %.6g)\n", res.H.RatString(), res.HFloat)
 		fmt.Printf("R = %s  (= %.6g)\n", res.R.RatString(), res.RFloat)

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"qrel"
 )
 
 const testDB = `
@@ -52,7 +54,7 @@ func TestRunExactEngines(t *testing.T) {
 			query = "exists x . S(x)"
 		}
 		out, err := captureStdout(t, func() error {
-			return run(db, query, engine, 0.05, 0.05, 1, 16, false, false, false)
+			return run(db, query, engine, 0.05, 0.05, 1, 16, qrel.Budget{}, false, false, false)
 		})
 		if err != nil {
 			t.Fatalf("engine %s: %v", engine, err)
@@ -66,7 +68,7 @@ func TestRunExactEngines(t *testing.T) {
 func TestRunRandomizedEngine(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "forall x . exists y . E(x,y)", "monte-carlo-direct", 0.2, 0.2, 1, 16, false, false, false)
+		return run(db, "forall x . exists y . E(x,y)", "monte-carlo-direct", 0.2, 0.2, 1, 16, qrel.Budget{}, false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +81,7 @@ func TestRunRandomizedEngine(t *testing.T) {
 func TestRunPerTupleAndAbsolute(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "exists y . E(x,y)", "auto", 0.05, 0.05, 1, 16, true, false, false)
+		return run(db, "exists y . E(x,y)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, true, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +90,7 @@ func TestRunPerTupleAndAbsolute(t *testing.T) {
 		t.Errorf("per-tuple report missing:\n%s", out)
 	}
 	out, err = captureStdout(t, func() error {
-		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 16, false, true, false)
+		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, false, true, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -104,10 +106,12 @@ func TestRunErrors(t *testing.T) {
 		name string
 		fn   func() error
 	}{
-		{"missing args", func() error { return run("", "", "auto", 0.05, 0.05, 1, 16, false, false, false) }},
-		{"missing file", func() error { return run("/nonexistent", "S(x)", "auto", 0.05, 0.05, 1, 16, false, false, false) }},
-		{"bad query", func() error { return run(db, "S(", "auto", 0.05, 0.05, 1, 16, false, false, false) }},
-		{"bad engine", func() error { return run(db, "S(x)", "bogus", 0.05, 0.05, 1, 16, false, false, false) }},
+		{"missing args", func() error { return run("", "", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, false, false, false) }},
+		{"missing file", func() error {
+			return run("/nonexistent", "S(x)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, false, false, false)
+		}},
+		{"bad query", func() error { return run(db, "S(", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, false, false, false) }},
+		{"bad engine", func() error { return run(db, "S(x)", "bogus", 0.05, 0.05, 1, 16, qrel.Budget{}, false, false, false) }},
 	}
 	for _, c := range cases {
 		if _, err := captureStdout(t, c.fn); err == nil {
@@ -119,7 +123,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunSensitivity(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 16, false, false, true)
+		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, false, false, true)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package qrel_test
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -22,7 +23,7 @@ func ExampleReliability() {
 	db.MustSetError(qrel.GroundAtom{Rel: "Verified", Args: qrel.Tuple{0}}, big.NewRat(1, 10))
 
 	q := qrel.MustParseQuery("exists x y . Follows(x,y) & Verified(x)", voc)
-	res, err := qrel.Reliability(db, q, qrel.Options{})
+	res, err := qrel.Reliability(context.Background(), db, q, qrel.Options{})
 	if err != nil {
 		panic(err)
 	}

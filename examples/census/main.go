@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -41,7 +42,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := qrel.Reliability(db, q, qrel.Options{Seed: *seed})
+		res, err := qrel.Reliability(context.Background(), db, q, qrel.Options{Seed: *seed})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -50,7 +51,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := qrel.Reliability(db, q, qrel.Options{})
+		res, err := qrel.Reliability(context.Background(), db, q, qrel.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

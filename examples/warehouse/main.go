@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -95,7 +96,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rres, err := core.Reliability(db, f, core.Options{})
+		rres, err := core.Reliability(context.Background(), db, f, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package bdd
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -35,7 +36,17 @@ type BDD struct {
 	unique  map[node]int
 	cache   map[[3]int32]int // (op, a, b) -> node
 	maxNode int
+
+	// ctx, when set via WithContext, is polled every ctxCheckEvery node
+	// allocations so runaway compilations stop soon after cancellation.
+	ctx      context.Context
+	ctxCount int
 }
+
+// ctxCheckEvery is the allocation stride between context polls during
+// compilation: frequent enough that cancellation latency is microseconds,
+// rare enough to stay off the profile.
+const ctxCheckEvery = 1024
 
 // Binary operation codes for the apply cache.
 const (
@@ -71,6 +82,14 @@ func New(numVars, maxNodes int) *BDD {
 	return b
 }
 
+// WithContext attaches a cancellation context to the manager: node
+// allocation fails with the context's error once ctx is done. Returns
+// the manager for chaining.
+func (b *BDD) WithContext(ctx context.Context) *BDD {
+	b.ctx = ctx
+	return b
+}
+
 // NumVars returns the number of variables of the manager.
 func (b *BDD) NumVars() int { return b.numVars }
 
@@ -90,6 +109,14 @@ func (b *BDD) mk(v, lo, hi int) (int, error) {
 	}
 	if len(b.nodes) >= b.maxNode {
 		return 0, fmt.Errorf("%w: %d nodes", ErrTooLarge, b.maxNode)
+	}
+	if b.ctx != nil {
+		if b.ctxCount++; b.ctxCount >= ctxCheckEvery {
+			b.ctxCount = 0
+			if err := b.ctx.Err(); err != nil {
+				return 0, fmt.Errorf("bdd: compilation canceled: %w", err)
+			}
+		}
 	}
 	id := len(b.nodes)
 	b.nodes = append(b.nodes, n)

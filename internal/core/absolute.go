@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/big"
 
 	"qrel/internal/logic"
@@ -25,7 +26,7 @@ type AbsoluteResult struct {
 // query in polynomial time (Lemma 5.7): it computes H exactly with the
 // Proposition 3.1 engine and tests H = 0.
 func AbsoluteQF(db *unreliable.DB, f logic.Formula, opts Options) (AbsoluteResult, error) {
-	res, err := QuantifierFree(db, f, opts)
+	res, err := QuantifierFree(context.Background(), db, f, opts)
 	if err != nil {
 		return AbsoluteResult{}, err
 	}

@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -77,12 +78,24 @@ type Result struct {
 	Engine string
 	// Guarantee describes the error semantics.
 	Guarantee Guarantee
-	// Eps, Delta are the parameters of a randomized guarantee.
+	// Eps, Delta are the parameters of a randomized guarantee. When
+	// Degraded is set, Eps is the honestly widened accuracy the realized
+	// sample count supports (anytime estimation), not the requested one.
 	Eps, Delta float64
 	// Samples is the total number of Monte Carlo samples drawn.
 	Samples int
 	// Class is the detected query class.
 	Class logic.Class
+	// Degraded reports that cancellation or a resource budget cut the
+	// computation short and the result carries a weakened (but still
+	// valid) guarantee — see Eps.
+	Degraded bool
+	// FallbackTrail records the engines the dispatcher tried and
+	// abandoned (budget exhaustion, crashes) before the engine named in
+	// Engine produced this result. Empty when the first choice worked.
+	FallbackTrail []FallbackStep
+	// Budget echoes the resource budget the computation ran under.
+	Budget Budget
 }
 
 // setExact fills a Result from exact H with normalizer n^k.
@@ -122,6 +135,9 @@ type Options struct {
 	MaxLineageTerms int
 	// MaxBDDNodes caps the exact BDD engine (default 1<<20).
 	MaxBDDNodes int
+	// Budget bounds wall-clock time, samples, BDD nodes and worlds
+	// uniformly across engines; the zero value imposes no extra bounds.
+	Budget Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -140,16 +156,26 @@ func (o Options) withDefaults() Options {
 	if o.MaxBDDNodes == 0 {
 		o.MaxBDDNodes = 1 << 20
 	}
+	// A tighter BDD budget wins over the structural default.
+	if o.Budget.MaxBDDNodes > 0 && o.Budget.MaxBDDNodes < o.MaxBDDNodes {
+		o.MaxBDDNodes = o.Budget.MaxBDDNodes
+	}
 	return o
 }
 
 // forEachFreeTuple runs fn for every instantiation env of the free
-// variables of f over A^k, in lexicographic order.
-func forEachFreeTuple(s *rel.Structure, f logic.Formula, fn func(env logic.Env, tuple rel.Tuple) error) (arity int, err error) {
+// variables of f over A^k, in lexicographic order, polling ctx between
+// tuples — the per-tuple loop is the outermost hot loop of every
+// tuple-splitting engine.
+func forEachFreeTuple(ctx context.Context, s *rel.Structure, f logic.Formula, fn func(env logic.Env, tuple rel.Tuple) error) (arity int, err error) {
 	vars := logic.FreeVars(f)
 	env := logic.Env{}
 	var innerErr error
 	rel.ForEachTuple(s.N, len(vars), func(t rel.Tuple) bool {
+		if err := ctx.Err(); err != nil {
+			innerErr = err
+			return false
+		}
 		for i, v := range vars {
 			env[v] = t[i]
 		}

@@ -48,11 +48,11 @@ func TestQuantifierFreeMatchesWorldEnum(t *testing.T) {
 		d := randUDB(rng, 2+rng.Intn(2), 1+rng.Intn(5))
 		for _, src := range queries {
 			f := logic.MustParse(src, nil)
-			qf, err := QuantifierFree(d, f, Options{})
+			qf, err := QuantifierFree(bg, d, f, Options{})
 			if err != nil {
 				t.Fatalf("%q: %v", src, err)
 			}
-			we, err := WorldEnum(d, f, Options{})
+			we, err := WorldEnum(bg, d, f, Options{})
 			if err != nil {
 				t.Fatalf("%q: %v", src, err)
 			}
@@ -69,7 +69,7 @@ func TestQuantifierFreeMatchesWorldEnum(t *testing.T) {
 func TestQuantifierFreeRejectsQuantified(t *testing.T) {
 	d := randUDB(rand.New(rand.NewSource(11)), 3, 2)
 	f := logic.MustParse("exists x . S(x)", nil)
-	if _, err := QuantifierFree(d, f, Options{}); err == nil {
+	if _, err := QuantifierFree(bg, d, f, Options{}); err == nil {
 		t.Error("quantified query accepted by qfree engine")
 	}
 }
@@ -88,11 +88,11 @@ func TestLineageBDDMatchesWorldEnum(t *testing.T) {
 		d := randUDB(rng, 2+rng.Intn(2), 1+rng.Intn(5))
 		for _, src := range queries {
 			f := logic.MustParse(src, nil)
-			lb, err := LineageBDD(d, f, Options{})
+			lb, err := LineageBDD(bg, d, f, Options{})
 			if err != nil {
 				t.Fatalf("%q: %v", src, err)
 			}
-			we, err := WorldEnum(d, f, Options{})
+			we, err := WorldEnum(bg, d, f, Options{})
 			if err != nil {
 				t.Fatalf("%q: %v", src, err)
 			}
@@ -106,7 +106,7 @@ func TestLineageBDDMatchesWorldEnum(t *testing.T) {
 func TestLineageBDDRejectsAlternation(t *testing.T) {
 	d := randUDB(rand.New(rand.NewSource(13)), 3, 2)
 	f := logic.MustParse("forall x . exists y . E(x,y)", nil)
-	if _, err := LineageBDD(d, f, Options{}); err == nil {
+	if _, err := LineageBDD(bg, d, f, Options{}); err == nil {
 		t.Error("quantifier alternation accepted by lineage engine")
 	}
 }
@@ -119,11 +119,11 @@ func TestLineageKLApproximatesExact(t *testing.T) {
 		d := randUDB(rng, 2, 1+rng.Intn(4))
 		for _, src := range []string{"exists x . S(x)", "exists x y . E(x,y) & S(y)"} {
 			f := logic.MustParse(src, nil)
-			exact, err := WorldEnum(d, f, Options{})
+			exact, err := WorldEnum(bg, d, f, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			approx, err := LineageKL(d, f, Options{Eps: eps, Delta: delta, Seed: int64(iter)}, false)
+			approx, err := LineageKL(bg, d, f, Options{Eps: eps, Delta: delta, Seed: int64(iter)}, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -142,11 +142,11 @@ func TestLineageKLPaperReduction(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
 	d := randUDB(rng, 2, 3)
 	f := logic.MustParse("exists x . S(x)", nil)
-	exact, err := WorldEnum(d, f, Options{})
+	exact, err := WorldEnum(bg, d, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, err := LineageKL(d, f, Options{Eps: 0.1, Delta: 0.05, Seed: 1}, true)
+	approx, err := LineageKL(bg, d, f, Options{Eps: 0.1, Delta: 0.05, Seed: 1}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,18 +163,18 @@ func TestMonteCarloApproximates(t *testing.T) {
 	d := randUDB(rng, 3, 4)
 	// Quantifier alternation: only MC engines apply at scale.
 	f := logic.MustParse("forall x . exists y . E(x,y)", nil)
-	exact, err := WorldEnum(d, f, Options{})
+	exact, err := WorldEnum(bg, d, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mcRes, err := MonteCarlo(d, f, Options{Eps: 0.1, Delta: 0.05, Seed: 2})
+	mcRes, err := MonteCarlo(bg, d, f, Options{Eps: 0.1, Delta: 0.05, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(mcRes.RFloat-exact.RFloat) > 0.1 {
 		t.Errorf("MC %v, exact %v", mcRes.RFloat, exact.RFloat)
 	}
-	direct, err := MonteCarloDirect(d, f, Options{Eps: 0.1, Delta: 0.05, Seed: 3})
+	direct, err := MonteCarloDirect(bg, d, f, Options{Eps: 0.1, Delta: 0.05, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,12 +190,12 @@ func TestMonteCarloKAry(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	d := randUDB(rng, 2, 3)
 	f := logic.MustParse("exists y . E(x,y) & S(y)", nil) // unary query
-	exact, err := WorldEnum(d, f, Options{})
+	exact, err := WorldEnum(bg, d, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, engine := range []Engine{EngineMonteCarlo, EngineMCDirect} {
-		res, err := ReliabilityWith(engine, d, f, Options{Eps: 0.1, Delta: 0.05, Seed: 4})
+		res, err := ReliabilityWith(bg, engine, d, f, Options{Eps: 0.1, Delta: 0.05, Seed: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,10 +211,10 @@ func TestMonteCarloKAry(t *testing.T) {
 func TestMonteCarloRejectsSecondOrder(t *testing.T) {
 	d := randUDB(rand.New(rand.NewSource(18)), 3, 2)
 	f := logic.MustParse("existsrel C/1 . exists x . C(x)", nil)
-	if _, err := MonteCarlo(d, f, Options{}); err == nil {
+	if _, err := MonteCarlo(bg, d, f, Options{}); err == nil {
 		t.Error("second-order accepted by MC engine")
 	}
-	if _, err := MonteCarloDirect(d, f, Options{}); err == nil {
+	if _, err := MonteCarloDirect(bg, d, f, Options{}); err == nil {
 		t.Error("second-order accepted by MC-direct engine")
 	}
 }
@@ -232,7 +232,7 @@ func TestWorldEnumSecondOrder(t *testing.T) {
 	d.MustSetError(rel.GroundAtom{Rel: "E", Args: rel.Tuple{2, 0}}, big.NewRat(1, 2))
 	d.MustSetError(rel.GroundAtom{Rel: "E", Args: rel.Tuple{0, 2}}, big.NewRat(1, 2))
 	f := logic.MustParse("existsrel C/1 . forall x y . E(x,y) -> ((C(x) & !C(y)) | (!C(x) & C(y)))", nil)
-	res, err := WorldEnum(d, f, Options{})
+	res, err := WorldEnum(bg, d, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestExpectedErrorPerTupleSumsToH(t *testing.T) {
 	for _, te := range per {
 		sum.Add(sum, te.H)
 	}
-	we, err := WorldEnum(d, f, Options{})
+	we, err := WorldEnum(bg, d, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +338,7 @@ func TestDispatcher(t *testing.T) {
 		{"forall x . exists y . E(x,y)", "world-enum"},
 	}
 	for _, c := range cases {
-		res, err := Reliability(d, logic.MustParse(c.src, nil), Options{})
+		res, err := Reliability(bg, d, logic.MustParse(c.src, nil), Options{})
 		if err != nil {
 			t.Fatalf("%q: %v", c.src, err)
 		}
@@ -349,14 +349,14 @@ func TestDispatcher(t *testing.T) {
 	// With the enumeration budget forced to 0, non-safe existential
 	// queries go to the lineage engine and FO alternation to Monte Carlo.
 	optsTiny := Options{MaxEnumAtoms: -1, Eps: 0.2, Delta: 0.1}
-	res, err := Reliability(d, logic.MustParse("exists x y . S(x) & S(y) & E(x,y)", nil), optsTiny)
+	res, err := Reliability(bg, d, logic.MustParse("exists x y . S(x) & S(y) & E(x,y)", nil), optsTiny)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Engine != "lineage-bdd" {
 		t.Errorf("tiny budget existential: engine %q, want lineage-bdd", res.Engine)
 	}
-	res, err = Reliability(d, logic.MustParse("forall x . exists y . E(x,y)", nil), optsTiny)
+	res, err = Reliability(bg, d, logic.MustParse("forall x . exists y . E(x,y)", nil), optsTiny)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +364,7 @@ func TestDispatcher(t *testing.T) {
 		t.Errorf("tiny budget FO: engine %q, want monte-carlo-direct", res.Engine)
 	}
 	// Unknown engine name.
-	if _, err := ReliabilityWith("bogus", d, logic.MustParse("S(x)", nil), Options{}); err == nil {
+	if _, err := ReliabilityWith(bg, "bogus", d, logic.MustParse("S(x)", nil), Options{}); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }
@@ -373,7 +373,7 @@ func TestDispatcherSecondOrderTooBig(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	d := randUDB(rng, 6, 2) // universe 6: SO quantifier budget exceeded
 	f := logic.MustParse("existsrel R/2 . exists x y . R(x,y) & E(x,y)", nil)
-	if _, err := Reliability(d, f, Options{}); err == nil {
+	if _, err := Reliability(bg, d, f, Options{}); err == nil {
 		t.Error("infeasible second-order query should error")
 	}
 }
@@ -382,7 +382,7 @@ func TestResultFields(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	d := randUDB(rng, 3, 2)
 	f := logic.MustParse("exists x . S(x)", nil)
-	res, err := WorldEnum(d, f, Options{})
+	res, err := WorldEnum(bg, d, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +413,7 @@ func TestBooleanQueryReliabilityIdentity(t *testing.T) {
 	for iter := 0; iter < 10; iter++ {
 		d := randUDB(rng, 2, 3)
 		f := logic.MustParse("exists x y . E(x,y) & S(x)", nil)
-		nu, err := NuExistential(d, f, Options{})
+		nu, err := NuExistential(bg, d, f, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -421,7 +421,7 @@ func TestBooleanQueryReliabilityIdentity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		we, err := WorldEnum(d, f, Options{})
+		we, err := WorldEnum(bg, d, f, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -439,7 +439,7 @@ func TestBooleanQueryReliabilityIdentity(t *testing.T) {
 
 func TestNuExistentialRequiresSentence(t *testing.T) {
 	d := randUDB(rand.New(rand.NewSource(24)), 2, 1)
-	if _, err := NuExistential(d, logic.MustParse("S(x)", nil), Options{}); err == nil {
+	if _, err := NuExistential(bg, d, logic.MustParse("S(x)", nil), Options{}); err == nil {
 		t.Error("free variables accepted")
 	}
 }
@@ -457,11 +457,11 @@ func TestSafePlanEngineMatchesExact(t *testing.T) {
 		d := randUDB(rng, 3, 5)
 		for _, src := range queries {
 			f := logic.MustParse(src, nil)
-			sp, err := SafePlan(d, f, Options{})
+			sp, err := SafePlan(bg, d, f, Options{})
 			if err != nil {
 				t.Fatalf("%q: %v", src, err)
 			}
-			we, err := WorldEnum(d, f, Options{})
+			we, err := WorldEnum(bg, d, f, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -476,7 +476,7 @@ func TestSafePlanEngineMatchesExact(t *testing.T) {
 		"exists x y . S(x) & S(y) & E(x,y)", // self-join
 		"forall x . S(x)",                   // not conjunctive
 	} {
-		if _, err := SafePlan(d, logic.MustParse(src, nil), Options{}); err == nil {
+		if _, err := SafePlan(bg, d, logic.MustParse(src, nil), Options{}); err == nil {
 			t.Errorf("%q accepted by safe plan", src)
 		}
 	}
@@ -493,12 +493,12 @@ func TestWorldEnumParallelMatchesSequential(t *testing.T) {
 		d := randUDB(rng, 3, 6)
 		for _, src := range queries {
 			f := logic.MustParse(src, nil)
-			seq, err := WorldEnum(d, f, Options{})
+			seq, err := WorldEnum(bg, d, f, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{1, 3, 8, 100} {
-				par, err := WorldEnumParallel(d, f, Options{}, workers)
+				par, err := WorldEnumParallel(bg, d, f, Options{}, workers)
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
@@ -511,7 +511,7 @@ func TestWorldEnumParallelMatchesSequential(t *testing.T) {
 	}
 	// Budget enforcement.
 	d := randUDB(rng, 3, 6)
-	if _, err := WorldEnumParallel(d, logic.MustParse("exists x . S(x)", nil), Options{MaxEnumAtoms: -1}, 4); err == nil {
+	if _, err := WorldEnumParallel(bg, d, logic.MustParse("exists x . S(x)", nil), Options{MaxEnumAtoms: -1}, 4); err == nil {
 		t.Error("budget not enforced")
 	}
 }
@@ -528,25 +528,25 @@ func TestMonteCarloRareMatchesExact(t *testing.T) {
 	d.MustSetError(rel.GroundAtom{Rel: "E", Args: rel.Tuple{0, 1}}, big.NewRat(1, 100))
 	d.MustSetError(rel.GroundAtom{Rel: "S", Args: rel.Tuple{0}}, big.NewRat(1, 80))
 	f := logic.MustParse("exists x y . E(x,y) & S(x)", nil)
-	exact, err := WorldEnum(d, f, Options{})
+	exact, err := WorldEnum(bg, d, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rare, err := MonteCarloRare(d, f, Options{Eps: 0.002, Delta: 0.05, Seed: 5})
+	rare, err := MonteCarloRare(bg, d, f, Options{Eps: 0.002, Delta: 0.05, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(rare.RFloat-exact.RFloat) > 0.002 {
 		t.Errorf("rare %v, exact %v", rare.RFloat, exact.RFloat)
 	}
-	plain, err := MonteCarloDirect(d, f, Options{Eps: 0.002, Delta: 0.05, Seed: 5})
+	plain, err := MonteCarloDirect(bg, d, f, Options{Eps: 0.002, Delta: 0.05, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rare.Samples*20 > plain.Samples {
 		t.Errorf("rare used %d samples vs plain %d; expected ≥20x saving", rare.Samples, plain.Samples)
 	}
-	if _, err := MonteCarloRare(d, logic.MustParse("existsrel C/1 . exists x . C(x)", nil), Options{}); err == nil {
+	if _, err := MonteCarloRare(bg, d, logic.MustParse("existsrel C/1 . exists x . C(x)", nil), Options{}); err == nil {
 		t.Error("second-order accepted")
 	}
 }

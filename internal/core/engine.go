@@ -1,12 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
-	"qrel/internal/bdd"
 	"qrel/internal/logic"
-	"qrel/internal/prop"
 	"qrel/internal/unreliable"
 )
 
@@ -40,88 +39,158 @@ const (
 //   - other first-order → the Theorem 5.12 Monte Carlo estimator
 //     (direct Hamming-sampling variant, see MonteCarloDirect; use
 //     EngineMCRare explicitly when error probabilities are small);
-//   - second-order with many uncertain atoms → an error: no feasible
-//     engine exists (and under standard assumptions cannot exist).
-func Reliability(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
-	return ReliabilityWith(EngineAuto, db, f, opts)
+//   - second-order with many uncertain atoms → ErrInfeasible: no
+//     feasible engine exists (and under standard assumptions cannot
+//     exist).
+//
+// The computation honors ctx and opts.Budget: cancellation returns an
+// error matching ErrCanceled (or, for anytime Monte Carlo engines, a
+// Degraded partial result), and when an engine exhausts a resource
+// budget or crashes, the dispatcher degrades down the ladder above,
+// recording each abandoned engine in Result.FallbackTrail.
+func Reliability(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	return ReliabilityWith(ctx, EngineAuto, db, f, opts)
 }
 
 // ReliabilityWith runs a specific engine, or dispatches when engine is
-// EngineAuto (or empty).
-func ReliabilityWith(engine Engine, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+// EngineAuto (or empty). Every engine runs behind the fault barrier:
+// panics surface as ErrEngineFailed, substrate budget errors as
+// ErrBudgetExceeded, and context errors as ErrCanceled.
+func ReliabilityWith(ctx context.Context, engine Engine, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
+	ctx, cancel := withBudgetContext(ctx, opts.Budget)
+	defer cancel()
+	var res Result
+	var err error
 	switch engine {
 	case EngineQFree:
-		return QuantifierFree(db, f, opts)
+		res, err = runEngine(string(engine), func() (Result, error) { return QuantifierFree(ctx, db, f, opts) })
 	case EngineWorldEnum:
-		return WorldEnum(db, f, opts)
+		res, err = runEngine(string(engine), func() (Result, error) { return WorldEnum(ctx, db, f, opts) })
 	case EngineLineageBDD:
-		return LineageBDD(db, f, opts)
+		res, err = runEngine(string(engine), func() (Result, error) { return LineageBDD(ctx, db, f, opts) })
 	case EngineLineageKL:
-		return LineageKL(db, f, opts, false)
+		res, err = runEngine(string(engine), func() (Result, error) { return LineageKL(ctx, db, f, opts, false) })
 	case EngineLineageKL53:
-		return LineageKL(db, f, opts, true)
+		res, err = runEngine(string(engine), func() (Result, error) { return LineageKL(ctx, db, f, opts, true) })
 	case EngineMonteCarlo:
-		return MonteCarlo(db, f, opts)
+		res, err = runEngine(string(engine), func() (Result, error) { return MonteCarlo(ctx, db, f, opts) })
 	case EngineMCDirect:
-		return MonteCarloDirect(db, f, opts)
+		res, err = runEngine(string(engine), func() (Result, error) { return MonteCarloDirect(ctx, db, f, opts) })
 	case EngineSafePlan:
-		return SafePlan(db, f, opts)
+		res, err = runEngine(string(engine), func() (Result, error) { return SafePlan(ctx, db, f, opts) })
 	case EngineMCRare:
-		return MonteCarloRare(db, f, opts)
+		res, err = runEngine(string(engine), func() (Result, error) { return MonteCarloRare(ctx, db, f, opts) })
 	case EngineAuto, Engine(""):
-		return dispatch(db, f, opts)
+		res, err = dispatch(ctx, db, f, opts)
 	default:
 		return Result{}, fmt.Errorf("core: unknown engine %q", engine)
 	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Budget = opts.Budget
+	return res, nil
 }
 
-func dispatch(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+// dispatch walks the degradation ladder. Each rung runs behind the
+// fault barrier; a rung that fails for any reason other than
+// cancellation is recorded in the trail and the next sound rung is
+// tried. Cancellation propagates immediately — a canceled computation
+// never silently restarts on a cheaper engine, because the caller's
+// deadline has already passed.
+func dispatch(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
 	cls := logic.Classify(f)
+	var trail []FallbackStep
+
+	// attempt runs one rung behind the fault barrier; on success the
+	// accumulated trail is attached to the result.
+	attempt := func(engine Engine, fn func() (Result, error)) (Result, error) {
+		res, err := runEngine(string(engine), fn)
+		if err == nil {
+			res.FallbackTrail = trail
+		}
+		return res, err
+	}
+	// abandon records a failed rung, unless the failure is cancellation,
+	// which must propagate.
+	abandon := func(engine Engine, err error) error {
+		if errors.Is(err, ErrCanceled) {
+			return err
+		}
+		trail = append(trail, FallbackStep{Engine: string(engine), Err: err.Error()})
+		return nil
+	}
+
 	// Proposition 3.1: quantifier-free queries are exactly solvable in
 	// polynomial time.
 	if cls == logic.ClassQuantifierFree {
-		return QuantifierFree(db, f, opts)
+		res, err := attempt(EngineQFree, func() (Result, error) { return QuantifierFree(ctx, db, f, opts) })
+		if err == nil {
+			return res, nil
+		}
+		if perr := abandon(EngineQFree, err); perr != nil {
+			return Result{}, perr
+		}
 	}
 	// Hierarchical conjunctive queries without self-joins: the
 	// Dalvi–Suciu extensional plan is exact and polynomial — the best
 	// possible outcome, so try it before anything exponential.
 	if cls == logic.ClassConjunctive {
-		if res, err := SafePlan(db, f, opts); err == nil {
-			return res, nil
-		}
-		// Outside the safe fragment (or non-plain atoms): fall through to
-		// the intensional engines.
-	}
-	// Small world space: exact enumeration is cheap and exact.
-	if db.NumUncertain() <= opts.MaxEnumAtoms {
-		res, err := WorldEnum(db, f, opts)
+		res, err := attempt(EngineSafePlan, func() (Result, error) { return SafePlan(ctx, db, f, opts) })
 		if err == nil {
 			return res, nil
 		}
-		// Second-order evaluation can exceed its own budget; fall
-		// through only if another engine can take over.
+		// Outside the safe fragment (or non-plain atoms): degrade to the
+		// intensional engines.
+		if perr := abandon(EngineSafePlan, err); perr != nil {
+			return Result{}, perr
+		}
+	}
+	// Small world space: exact enumeration is cheap and exact — but only
+	// when the budget admits the 2^u worlds.
+	if db.NumUncertain() <= opts.MaxEnumAtoms && opts.Budget.allowsWorlds(db) {
+		res, err := attempt(EngineWorldEnum, func() (Result, error) { return WorldEnum(ctx, db, f, opts) })
+		if err == nil {
+			return res, nil
+		}
+		// Second-order evaluation has no weaker engine to degrade to.
 		if cls == logic.ClassSecondOrder {
 			return Result{}, err
+		}
+		if perr := abandon(EngineWorldEnum, err); perr != nil {
+			return Result{}, perr
 		}
 	}
 	switch cls {
 	case logic.ClassConjunctive, logic.ClassExistential, logic.ClassUniversal:
-		// Theorem 5.4 route: exact if the lineage BDD stays small,
-		// otherwise the FPTRAS.
-		res, err := LineageBDD(db, f, opts)
+		// Theorem 5.4 route: exact if the lineage BDD stays small, then
+		// the FPTRAS, then — if the FPTRAS is over budget or crashes — the
+		// budget-bounded anytime absolute-error estimator.
+		res, err := attempt(EngineLineageBDD, func() (Result, error) { return LineageBDD(ctx, db, f, opts) })
 		if err == nil {
 			return res, nil
 		}
-		if !errors.Is(err, prop.ErrBudget) && !errors.Is(err, bdd.ErrTooLarge) {
-			return Result{}, err
+		if perr := abandon(EngineLineageBDD, err); perr != nil {
+			return Result{}, perr
 		}
-		return LineageKL(db, f, opts, false)
-	case logic.ClassFirstOrder:
-		// Theorem 5.12.
-		return MonteCarloDirect(db, f, opts)
+		res, err = attempt(EngineLineageKL, func() (Result, error) { return LineageKL(ctx, db, f, opts, false) })
+		if err == nil {
+			return res, nil
+		}
+		if perr := abandon(EngineLineageKL, err); perr != nil {
+			return Result{}, perr
+		}
+		return attempt(EngineMCDirect, func() (Result, error) { return MonteCarloDirect(ctx, db, f, opts) })
+	case logic.ClassQuantifierFree, logic.ClassFirstOrder:
+		// Theorem 5.12 (also the last resort for a quantifier-free query
+		// whose exact engines failed).
+		return attempt(EngineMCDirect, func() (Result, error) { return MonteCarloDirect(ctx, db, f, opts) })
 	default:
-		return Result{}, fmt.Errorf("core: no feasible engine for a %v query with %d uncertain atoms (exact enumeration budget %d)",
-			cls, db.NumUncertain(), opts.MaxEnumAtoms)
+		return Result{}, fmt.Errorf("%w: %v query with %d uncertain atoms (exact enumeration budget %d, world budget %s)",
+			ErrInfeasible, cls, db.NumUncertain(), opts.MaxEnumAtoms, opts.Budget)
 	}
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math/big"
 
+	"qrel/internal/faultinject"
 	"qrel/internal/logic"
 	"qrel/internal/rel"
 	"qrel/internal/unreliable"
@@ -17,9 +20,18 @@ import (
 // This is the deterministic simulation of the FP^#P algorithm of
 // Theorem 4.2 (see package sharpp for the oracle view); its running
 // time is 2^u query evaluations for u uncertain atoms, bounded by
-// opts.MaxEnumAtoms.
-func WorldEnum(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+// opts.MaxEnumAtoms and opts.Budget.MaxWorlds. The enumeration polls
+// ctx between worlds.
+func WorldEnum(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
+	if err := faultinject.Hit(faultinject.SiteWorldEnum); err != nil {
+		return Result{}, err
+	}
+	if !opts.Budget.allowsWorlds(db) {
+		return Result{}, fmt.Errorf("%w: world space %v exceeds budget of %d worlds",
+			ErrBudgetExceeded, db.WorldCount(), opts.Budget.MaxWorlds)
+	}
 	observed, err := answerSet(db.A, f)
 	if err != nil {
 		return Result{}, err
@@ -27,7 +39,7 @@ func WorldEnum(db *unreliable.DB, f logic.Formula, opts Options) (Result, error)
 	k := len(logic.FreeVars(f))
 	h := new(big.Rat)
 	var evalErr error
-	err = db.ForEachWorld(opts.MaxEnumAtoms, func(b *rel.Structure, nu *big.Rat) bool {
+	err = db.ForEachWorldCtx(ctx, opts.MaxEnumAtoms, func(b *rel.Structure, nu *big.Rat) bool {
 		actual, err := answerSet(b, f)
 		if err != nil {
 			evalErr = err
@@ -53,6 +65,9 @@ func WorldEnum(db *unreliable.DB, f logic.Formula, opts Options) (Result, error)
 
 // answerSet computes psi^A as a set of tuple keys.
 func answerSet(s *rel.Structure, f logic.Formula) (map[uint64]struct{}, error) {
+	if err := faultinject.Hit(faultinject.SiteAnswerSet); err != nil {
+		return nil, err
+	}
 	ans, err := logic.Answer(s, f)
 	if err != nil {
 		return nil, err

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
 
 	"qrel/internal/bdd"
+	"qrel/internal/faultinject"
 	"qrel/internal/karpluby"
 	"qrel/internal/logic"
 	"qrel/internal/prop"
@@ -32,8 +34,9 @@ func lineageForm(f logic.Formula) (logic.Formula, bool, error) {
 // Deterministic atoms (nu ∈ {0, 1}) are constant-folded away before the
 // DNF distribution, so the lineage only mentions uncertain atoms — the
 // step that makes the Theorem 5.4 pipeline practical on databases whose
-// certain part is large.
-func tupleLineage(db *unreliable.DB, f logic.Formula, env logic.Env, maxTerms int) (prop.DNF, prop.ProbAssignment, error) {
+// certain part is large. The DNF distribution — the potentially
+// exponential step — polls ctx.
+func tupleLineage(ctx context.Context, db *unreliable.DB, f logic.Formula, env logic.Env, maxTerms int) (prop.DNF, prop.ProbAssignment, error) {
 	ix := logic.NewAtomIndex()
 	pf, err := logic.Ground(db.A, f, env, ix)
 	if err != nil {
@@ -49,7 +52,7 @@ func tupleLineage(db *unreliable.DB, f logic.Formula, env logic.Env, maxTerms in
 		}
 	}
 	pf = prop.Fold(pf, fixed)
-	d, err := prop.ToDNF(pf, ix.Len(), maxTerms)
+	d, err := prop.ToDNFCtx(ctx, pf, ix.Len(), maxTerms)
 	if err != nil {
 		return prop.DNF{}, nil, err
 	}
@@ -60,21 +63,27 @@ func tupleLineage(db *unreliable.DB, f logic.Formula, env logic.Env, maxTerms in
 // universal query by compiling each tuple's Theorem 5.4 lineage to a
 // BDD and evaluating nu(psi”) exactly. Exponential in the worst case
 // (the problem is #P-hard, Proposition 3.2) but fast on many practical
-// lineages; bounded by opts.MaxBDDNodes.
-func LineageBDD(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+// lineages; bounded by opts.MaxBDDNodes (and opts.Budget.MaxBDDNodes,
+// whichever is smaller). The per-tuple loop and the BDD compilation
+// both poll ctx.
+func LineageBDD(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
+	if err := faultinject.Hit(faultinject.SiteLineageBDD); err != nil {
+		return Result{}, err
+	}
 	lf, flipped, err := lineageForm(f)
 	if err != nil {
 		return Result{}, err
 	}
 	one := big.NewRat(1, 1)
 	h := new(big.Rat)
-	k, err := forEachFreeTuple(db.A, f, func(env logic.Env, _ rel.Tuple) error {
-		d, nu, err := tupleLineage(db, lf, env, opts.MaxLineageTerms)
+	k, err := forEachFreeTuple(ctx, db.A, f, func(env logic.Env, _ rel.Tuple) error {
+		d, nu, err := tupleLineage(ctx, db, lf, env, opts.MaxLineageTerms)
 		if err != nil {
 			return err
 		}
-		mgr := bdd.New(d.NumVars, opts.MaxBDDNodes)
+		mgr := bdd.New(d.NumVars, opts.MaxBDDNodes).WithContext(ctx)
 		root, err := mgr.FromDNF(d)
 		if err != nil {
 			return err
@@ -112,11 +121,22 @@ func LineageBDD(db *unreliable.DB, f logic.Formula, opts Options) (Result, error
 // 5.5 the per-tuple accuracy is (ε/n^k, δ/n^k) so that the summed
 // reliability satisfies Pr[|R − estimate| > ε] < δ.
 //
+// The per-tuple loop polls ctx. opts.Budget.MaxSamples bounds the total
+// Karp–Luby samples: the FPTRAS guarantee is relative, so a partial run
+// carries no usable bound — when the next tuple's required sample size
+// would exceed the remaining budget the engine fails with
+// ErrBudgetExceeded, letting the dispatcher degrade to an anytime
+// absolute-error estimator instead.
+//
 // If usePaperReduction is set, each tuple uses the Theorem 5.3 binary
 // encoding + #DNF route instead of the direct weighted estimator (the
 // E10 ablation compares the two).
-func LineageKL(db *unreliable.DB, f logic.Formula, opts Options, usePaperReduction bool) (Result, error) {
+func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options, usePaperReduction bool) (Result, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
+	if err := faultinject.Hit(faultinject.SiteLineageKL); err != nil {
+		return Result{}, err
+	}
 	lf, flipped, err := lineageForm(f)
 	if err != nil {
 		return Result{}, err
@@ -135,10 +155,20 @@ func LineageKL(db *unreliable.DB, f logic.Formula, opts Options, usePaperReducti
 	if usePaperReduction {
 		engine = "lineage-karpluby-thm53"
 	}
-	_, err = forEachFreeTuple(db.A, f, func(env logic.Env, _ rel.Tuple) error {
-		d, nu, err := tupleLineage(db, lf, env, opts.MaxLineageTerms)
+	_, err = forEachFreeTuple(ctx, db.A, f, func(env logic.Env, _ rel.Tuple) error {
+		d, nu, err := tupleLineage(ctx, db, lf, env, opts.MaxLineageTerms)
 		if err != nil {
 			return err
+		}
+		if opts.Budget.MaxSamples > 0 && len(d.Terms) > 0 {
+			need, err := karpluby.SampleSize(epsT, deltaT, len(d.Terms))
+			if err != nil {
+				return err
+			}
+			if samples+need > opts.Budget.MaxSamples {
+				return fmt.Errorf("%w: Karp–Luby needs %d more samples with %d of %d already drawn",
+					ErrBudgetExceeded, need, samples, opts.Budget.MaxSamples)
+			}
 		}
 		var res karpluby.CountResult
 		if usePaperReduction {
@@ -186,7 +216,8 @@ func LineageKL(db *unreliable.DB, f logic.Formula, opts Options, usePaperReducti
 // via complement) Boolean query, exactly with the BDD engine. It is the
 // quantity for which Theorem 5.4 provides an FPTRAS; exposed for the
 // experiment harness.
-func NuExistential(db *unreliable.DB, f logic.Formula, opts Options) (*big.Rat, error) {
+func NuExistential(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options) (*big.Rat, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
 	if len(logic.FreeVars(f)) != 0 {
 		return nil, fmt.Errorf("core: NuExistential requires a Boolean query")
@@ -195,11 +226,11 @@ func NuExistential(db *unreliable.DB, f logic.Formula, opts Options) (*big.Rat, 
 	if err != nil {
 		return nil, err
 	}
-	d, nu, err := tupleLineage(db, lf, logic.Env{}, opts.MaxLineageTerms)
+	d, nu, err := tupleLineage(ctx, db, lf, logic.Env{}, opts.MaxLineageTerms)
 	if err != nil {
 		return nil, err
 	}
-	mgr := bdd.New(d.NumVars, opts.MaxBDDNodes)
+	mgr := bdd.New(d.NumVars, opts.MaxBDDNodes).WithContext(ctx)
 	root, err := mgr.FromDNF(d)
 	if err != nil {
 		return nil, err

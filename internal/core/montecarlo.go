@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
+	"qrel/internal/faultinject"
 	"qrel/internal/logic"
 	"qrel/internal/mc"
 	"qrel/internal/rel"
@@ -16,15 +20,28 @@ import (
 // 1−δ, per Theorem 5.12. Per tuple ā it runs the paper's padded
 // estimator at accuracy (ε/n^k, δ/n^k) and sums, exactly as in the
 // k-ary case of the proof.
-func MonteCarlo(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+//
+// Anytime semantics: when ctx is canceled or opts.Budget.MaxSamples
+// runs out mid-computation, tuples already estimated keep their
+// (possibly widened) per-tuple accuracy, each unestimated tuple
+// contributes the midpoint 1/2 with worst-case error 1/2, and the
+// result carries Degraded = true with Eps honestly re-summed from the
+// realized per-tuple errors. Only a cancellation that arrives before
+// any sample at all is an error.
+func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
+	if err := faultinject.Hit(faultinject.SiteMonteCarlo); err != nil {
+		return Result{}, err
+	}
 	if cls := logic.Classify(f); cls == logic.ClassSecondOrder {
 		// Second-order evaluation is not polynomial-time; Theorem 5.12
 		// does not apply. (WorldEnum still handles small instances.)
 		return Result{}, fmt.Errorf("core: MonteCarlo requires a polynomial-time evaluable query, got %v", cls)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	k := len(logic.FreeVars(f))
+	vars := logic.FreeVars(f)
+	k := len(vars)
 	normF := float64(1)
 	for i := 0; i < k; i++ {
 		normF *= float64(db.A.N)
@@ -32,30 +49,75 @@ func MonteCarlo(db *unreliable.DB, f logic.Formula, opts Options) (Result, error
 	epsT := opts.Eps / normF
 	deltaT := opts.Delta / normF
 	hFloat := 0.0
+	epsSum := 0.0
 	samples := 0
+	degraded := false
+	stopped := false // ctx canceled or budget exhausted: midpoint-fill the rest
 	ev := func(env logic.Env) func(*rel.Structure) (bool, error) {
 		frozen := env.Clone()
 		return func(b *rel.Structure) (bool, error) { return logic.Eval(b, f, frozen) }
 	}
-	_, err := forEachFreeTuple(db.A, f, func(env logic.Env, _ rel.Tuple) error {
+	env := logic.Env{}
+	var innerErr error
+	rel.ForEachTuple(db.A.N, k, func(t rel.Tuple) bool {
+		if !stopped && ctx.Err() != nil {
+			stopped, degraded = true, true
+		}
+		budgetLeft := 0 // unlimited
+		if opts.Budget.MaxSamples > 0 {
+			if budgetLeft = opts.Budget.MaxSamples - samples; budgetLeft <= 0 {
+				stopped, degraded = true, true
+			}
+		}
+		if stopped {
+			hFloat += 0.5
+			epsSum += 0.5
+			return true
+		}
+		for i, v := range vars {
+			env[v] = t[i]
+		}
 		obs, err := logic.Eval(db.A, f, env)
 		if err != nil {
-			return err
+			innerErr = err
+			return false
 		}
-		est, err := mc.EstimateNuPadded(db, ev(env), opts.Xi, epsT, deltaT, rng)
+		est, err := mc.EstimateNuPadded(ctx, db, ev(env), opts.Xi, epsT, deltaT, budgetLeft, rng)
+		if errors.Is(err, mc.ErrNoSamples) {
+			// Canceled before this tuple could draw anything: fill it (and
+			// the rest) with the midpoint.
+			stopped, degraded = true, true
+			hFloat += 0.5
+			epsSum += 0.5
+			return true
+		}
 		if err != nil {
-			return err
+			innerErr = err
+			return false
 		}
 		samples += est.Samples
+		epsSum += est.Eps
+		if est.Partial {
+			degraded = true
+		}
 		if obs {
 			hFloat += 1 - est.Value
 		} else {
 			hFloat += est.Value
 		}
-		return nil
+		return true
 	})
-	if err != nil {
-		return Result{}, err
+	if innerErr != nil {
+		return Result{}, innerErr
+	}
+	if degraded && samples == 0 {
+		// Nothing was estimated at all; there is no partial result to
+		// report honestly.
+		return Result{}, fmt.Errorf("%w: canceled or out of budget before any sample", mc.ErrNoSamples)
+	}
+	eps := opts.Eps
+	if degraded {
+		eps = math.Min(1, epsSum/normF)
 	}
 	return Result{
 		HFloat:    hFloat,
@@ -63,10 +125,11 @@ func MonteCarlo(db *unreliable.DB, f logic.Formula, opts Options) (Result, error
 		Arity:     k,
 		Engine:    "monte-carlo",
 		Guarantee: AbsoluteError,
-		Eps:       opts.Eps,
+		Eps:       eps,
 		Delta:     opts.Delta,
 		Samples:   samples,
 		Class:     logic.Classify(f),
+		Degraded:  degraded,
 	}, nil
 }
 
@@ -76,8 +139,17 @@ func MonteCarlo(db *unreliable.DB, f logic.Formula, opts Options) (Result, error
 // 5.5's n^k per-tuple estimators. It needs one query evaluation per
 // sampled world per tuple but only ⌈ln(2/δ)/2ε²⌉ worlds total, which is
 // dramatically cheaper for k > 0; the E10 ablation quantifies the gap.
-func MonteCarloDirect(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+//
+// This is the runtime's anytime engine of last resort: a cancellation
+// or sample budget mid-run yields the partial estimate with Degraded =
+// true and the honestly widened Hoeffding Eps for the realized sample
+// count.
+func MonteCarloDirect(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
+	if err := faultinject.Hit(faultinject.SiteMCDirect); err != nil {
+		return Result{}, err
+	}
 	if cls := logic.Classify(f); cls == logic.ClassSecondOrder {
 		return Result{}, fmt.Errorf("core: MonteCarloDirect requires a polynomial-time evaluable query, got %v", cls)
 	}
@@ -91,13 +163,13 @@ func MonteCarloDirect(db *unreliable.DB, f logic.Formula, opts Options) (Result,
 	for i := 0; i < k; i++ {
 		normF *= float64(db.A.N)
 	}
-	est, err := mc.EstimateMean(db, func(b *rel.Structure) (float64, error) {
+	est, err := mc.EstimateMean(ctx, db, func(b *rel.Structure) (float64, error) {
 		actual, err := answerSet(b, f)
 		if err != nil {
 			return 0, err
 		}
 		return float64(symmetricDiffSize(observed, actual)) / normF, nil
-	}, opts.Eps, opts.Delta, rng)
+	}, opts.Eps, opts.Delta, opts.Budget.MaxSamples, rng)
 	if err != nil {
 		return Result{}, err
 	}
@@ -107,10 +179,11 @@ func MonteCarloDirect(db *unreliable.DB, f logic.Formula, opts Options) (Result,
 		Arity:     k,
 		Engine:    "monte-carlo-direct",
 		Guarantee: AbsoluteError,
-		Eps:       opts.Eps,
+		Eps:       est.Eps,
 		Delta:     opts.Delta,
 		Samples:   est.Samples,
 		Class:     logic.Classify(f),
+		Degraded:  est.Partial,
 	}, nil
 }
 
@@ -120,9 +193,14 @@ func MonteCarloDirect(db *unreliable.DB, f logic.Formula, opts Options) (Result,
 // by a factor Z² where Z = Pr[some atom flips]. The estimator of choice
 // when error probabilities are small (the regime the paper's
 // introduction cares about: "even if the error probabilities of the
-// atomic statements are small...").
-func MonteCarloRare(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+// atomic statements are small..."). Anytime semantics match
+// MonteCarloDirect.
+func MonteCarloRare(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
+	if err := faultinject.Hit(faultinject.SiteMCRare); err != nil {
+		return Result{}, err
+	}
 	if cls := logic.Classify(f); cls == logic.ClassSecondOrder {
 		return Result{}, fmt.Errorf("core: MonteCarloRare requires a polynomial-time evaluable query, got %v", cls)
 	}
@@ -136,13 +214,13 @@ func MonteCarloRare(db *unreliable.DB, f logic.Formula, opts Options) (Result, e
 	for i := 0; i < k; i++ {
 		normF *= float64(db.A.N)
 	}
-	est, err := mc.EstimateMeanRare(db, func(b *rel.Structure) (float64, error) {
+	est, err := mc.EstimateMeanRare(ctx, db, func(b *rel.Structure) (float64, error) {
 		actual, err := answerSet(b, f)
 		if err != nil {
 			return 0, err
 		}
 		return float64(symmetricDiffSize(observed, actual)) / normF, nil
-	}, opts.Eps, opts.Delta, rng)
+	}, opts.Eps, opts.Delta, opts.Budget.MaxSamples, rng)
 	if err != nil {
 		return Result{}, err
 	}
@@ -152,9 +230,10 @@ func MonteCarloRare(db *unreliable.DB, f logic.Formula, opts Options) (Result, e
 		Arity:     k,
 		Engine:    "monte-carlo-rare",
 		Guarantee: AbsoluteError,
-		Eps:       opts.Eps,
+		Eps:       est.Eps,
 		Delta:     opts.Delta,
 		Samples:   est.Samples,
 		Class:     logic.Classify(f),
+		Degraded:  est.Partial,
 	}, nil
 }

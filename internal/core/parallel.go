@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"runtime"
 	"sync"
 
+	"qrel/internal/faultinject"
 	"qrel/internal/logic"
 	"qrel/internal/unreliable"
 )
@@ -16,14 +19,25 @@ import (
 // partials are summed at the end. The result is bit-identical to the
 // sequential engine (exact rational arithmetic commutes); the speedup
 // is near-linear because world evaluation dominates.
-func WorldEnumParallel(db *unreliable.DB, f logic.Formula, opts Options, workers int) (Result, error) {
+//
+// Workers poll a derived context every few masks: the first worker to
+// fail cancels its siblings, and an external cancellation (ctx or
+// opts.Budget.Timeout) stops the whole pool promptly instead of
+// finishing the enumeration.
+func WorldEnumParallel(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options, workers int) (Result, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	u := db.NumUncertain()
 	if u > opts.MaxEnumAtoms || u > unreliable.MaxEnumAtoms {
-		return Result{}, fmt.Errorf("core: %d uncertain atoms exceed enumeration budget %d", u, opts.MaxEnumAtoms)
+		return Result{}, fmt.Errorf("%w: %d uncertain atoms exceed enumeration budget %d",
+			unreliable.ErrEnumBudget, u, opts.MaxEnumAtoms)
+	}
+	if !opts.Budget.allowsWorlds(db) {
+		return Result{}, fmt.Errorf("%w: world space %v exceeds budget of %d worlds",
+			ErrBudgetExceeded, db.WorldCount(), opts.Budget.MaxWorlds)
 	}
 	observed, err := answerSet(db.A, f)
 	if err != nil {
@@ -34,6 +48,11 @@ func WorldEnumParallel(db *unreliable.DB, f logic.Formula, opts Options, workers
 	if workers > int(total) {
 		workers = int(total)
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// ctxPollMasks balances cancellation latency against Err() overhead in
+	// the per-mask loop.
+	const ctxPollMasks = 64
 	type partial struct {
 		h   *big.Rat
 		err error
@@ -50,12 +69,26 @@ func WorldEnumParallel(db *unreliable.DB, f logic.Formula, opts Options, workers
 		wg.Add(1)
 		go func(w int, lo, hi uint64) {
 			defer wg.Done()
+			fail := func(err error) {
+				parts[w] = partial{err: err}
+				cancel() // stop the sibling workers promptly
+			}
 			h := new(big.Rat)
 			for mask := lo; mask < hi; mask++ {
+				if (mask-lo)%ctxPollMasks == 0 {
+					if err := ctx.Err(); err != nil {
+						fail(err)
+						return
+					}
+				}
+				if err := faultinject.Hit(faultinject.SiteWorldWorker); err != nil {
+					fail(err)
+					return
+				}
 				b := db.World(mask)
 				actual, err := answerSet(b, f)
 				if err != nil {
-					parts[w] = partial{err: err}
+					fail(err)
 					return
 				}
 				if diff := symmetricDiffSize(observed, actual); diff > 0 {
@@ -67,14 +100,30 @@ func WorldEnumParallel(db *unreliable.DB, f logic.Formula, opts Options, workers
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	// Prefer a root-cause error over the context errors of the workers
+	// that were merely canceled in its wake.
+	var firstErr error
+	for _, p := range parts {
+		if p.err == nil {
+			continue
+		}
+		if firstErr == nil || (isCtxErr(firstErr) && !isCtxErr(p.err)) {
+			firstErr = p.err
+		}
+	}
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
 	h := new(big.Rat)
 	for _, p := range parts {
-		if p.err != nil {
-			return Result{}, p.err
-		}
 		h.Add(h, p.h)
 	}
 	res := Result{Engine: "world-enum-parallel", Class: logic.Classify(f)}
 	setExact(&res, h, db.A.N, k)
 	return res, nil
+}
+
+// isCtxErr reports whether err is a bare cancellation.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
+	"qrel/internal/faultinject"
 	"qrel/internal/logic"
 	"qrel/internal/rel"
 	"qrel/internal/unreliable"
@@ -13,15 +15,20 @@ import (
 // query in polynomial time (Proposition 3.1, de Rougemont): for each of
 // the n^k tuples ā, the ground formula psi(ā) mentions at most n(psi)
 // atoms, so its expected error is the sum over the 2^n(psi) truth
-// assignments of those atoms — a constant amount of work per tuple.
-func QuantifierFree(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+// assignments of those atoms — a constant amount of work per tuple. The
+// per-tuple loop polls ctx.
+func QuantifierFree(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
+	if err := faultinject.Hit(faultinject.SiteQFree); err != nil {
+		return Result{}, err
+	}
 	if !logic.IsQuantifierFree(f) {
 		return Result{}, fmt.Errorf("core: QuantifierFree engine requires a quantifier-free query, got %v", logic.Classify(f))
 	}
 	one := big.NewRat(1, 1)
 	h := new(big.Rat)
-	k, err := forEachFreeTuple(db.A, f, func(env logic.Env, _ rel.Tuple) error {
+	k, err := forEachFreeTuple(ctx, db.A, f, func(env logic.Env, _ rel.Tuple) error {
 		// Ground psi(ā) over a fresh per-tuple atom index: at most
 		// n(psi) variables regardless of database size.
 		ix := logic.NewAtomIndex()

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"math/big"
 
+	"qrel/internal/faultinject"
 	"qrel/internal/logic"
 	"qrel/internal/rel"
 	"qrel/internal/safeplan"
@@ -15,13 +17,18 @@ import (
 // queries, each tuple's instantiation psi(ā) is evaluated by its own
 // plan. Queries outside the safe fragment get
 // safeplan.ErrNotHierarchical (or a validation error); the dispatcher
-// then falls back to the intensional engines.
-func SafePlan(db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+// then falls back to the intensional engines. The per-tuple loop polls
+// ctx.
+func SafePlan(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options) (Result, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
+	if err := faultinject.Hit(faultinject.SiteSafePlan); err != nil {
+		return Result{}, err
+	}
 	one := big.NewRat(1, 1)
 	h := new(big.Rat)
 	vars := logic.FreeVars(f)
-	k, err := forEachFreeTuple(db.A, f, func(env logic.Env, tuple rel.Tuple) error {
+	k, err := forEachFreeTuple(ctx, db.A, f, func(env logic.Env, tuple rel.Tuple) error {
 		bound := f
 		if len(vars) > 0 {
 			subst := make(map[string]logic.Term, len(vars))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -58,11 +59,11 @@ func AtomSensitivity(db *unreliable.DB, f logic.Formula, atom rel.GroundAtom, op
 	// answer (the user still holds psi^A), so evaluate with WorldEnum on
 	// databases whose observed structure is unchanged: Condition keeps A
 	// and only reshapes mu, which is exactly what we need.
-	resT, err := WorldEnum(condT, f, opts)
+	resT, err := WorldEnum(context.Background(), condT, f, opts)
 	if err != nil {
 		return Sensitivity{}, err
 	}
-	resF, err := WorldEnum(condF, f, opts)
+	resF, err := WorldEnum(context.Background(), condF, f, opts)
 	if err != nil {
 		return Sensitivity{}, err
 	}

@@ -39,7 +39,7 @@ func TestAtomSensitivityHand(t *testing.T) {
 		t.Errorf("spread = %v, want 1/2", sens.Spread)
 	}
 	// Law of total probability: HResolved equals the unconditional H.
-	base, err := WorldEnum(db, f, Options{})
+	base, err := WorldEnum(bg, db, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestRankSensitivities(t *testing.T) {
 		}
 	}
 	// Law of total probability holds for every atom.
-	base, err := WorldEnum(db, f, Options{})
+	base, err := WorldEnum(bg, db, f, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,117 @@
+// Package faultinject provides a process-wide fault injection registry
+// for the reliability engines. Production code calls Hit at well-known
+// sites (engine entry points and the shared query-evaluation path);
+// with no faults armed, Hit is a single atomic load and returns nil.
+// Tests arm faults — evaluation failures, delays, and forced panics —
+// to prove that every rung of the dispatcher's degradation ladder
+// actually fires and that the engine boundary converts panics into the
+// typed error taxonomy.
+//
+// The registry is safe for concurrent use (the parallel world-enum
+// engine hits it from many goroutines under -race).
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical injection sites. Engines pass these to Hit; tests pass them
+// to Enable. Keeping them here (rather than as loose strings at call
+// sites) makes the set of injectable points discoverable.
+const (
+	SiteQFree       = "engine/qfree"
+	SiteWorldEnum   = "engine/world-enum"
+	SiteSafePlan    = "engine/safe-plan"
+	SiteLineageBDD  = "engine/lineage-bdd"
+	SiteLineageKL   = "engine/lineage-kl"
+	SiteMonteCarlo  = "engine/monte-carlo"
+	SiteMCDirect    = "engine/monte-carlo-direct"
+	SiteMCRare      = "engine/monte-carlo-rare"
+	SiteAnswerSet   = "eval/answer-set"
+	SiteWorldWorker = "eval/world-worker"
+)
+
+// Fault describes one armed fault. The zero value is a no-op; set at
+// least one of Err, Delay, or Panic.
+type Fault struct {
+	// Err is returned by Hit as an injected evaluation failure.
+	Err error
+	// Delay is slept before Hit returns (combinable with Err/Panic), for
+	// deadline and cancellation tests.
+	Delay time.Duration
+	// Panic, when non-empty, makes Hit panic with this message after the
+	// delay — exercising the engine-boundary recovery.
+	Panic string
+	// Times bounds how often the fault fires; 0 means every Hit until
+	// Disable/Reset. A fault with Times = 1 fires exactly once.
+	Times int
+}
+
+var (
+	mu     sync.Mutex
+	faults = map[string]*Fault{}
+	// armed counts registered faults so the disarmed fast path costs one
+	// atomic load and no lock.
+	armed atomic.Int64
+)
+
+// Enable arms a fault at a site, replacing any previous fault there.
+func Enable(site string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := faults[site]; !ok {
+		armed.Add(1)
+	}
+	cp := f
+	faults[site] = &cp
+}
+
+// Disable removes the fault at a site, if any.
+func Disable(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := faults[site]; ok {
+		delete(faults, site)
+		armed.Add(-1)
+	}
+}
+
+// Reset removes every armed fault. Tests should defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	faults = map[string]*Fault{}
+	armed.Store(0)
+}
+
+// Hit is called by production code at an injection site. With no fault
+// armed at the site it returns nil; otherwise it applies the fault's
+// delay, panics if requested, and returns the injected error.
+func Hit(site string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	f, ok := faults[site]
+	if ok && f.Times > 0 {
+		f.Times--
+		if f.Times == 0 {
+			delete(faults, site)
+			armed.Add(-1)
+		}
+	}
+	mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", site, f.Panic))
+	}
+	return f.Err
+}

@@ -6,6 +6,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -15,17 +16,73 @@ import (
 	"qrel/internal/unreliable"
 )
 
+// ErrNoSamples is wrapped in errors returned when an estimator is
+// canceled (or budgeted to zero) before drawing a single sample: with no
+// data there is no partial estimate to degrade to.
+var ErrNoSamples = fmt.Errorf("mc: canceled before any sample was drawn")
+
 // Estimate is the result of a randomized approximation.
 type Estimate struct {
 	// Value is the estimated quantity.
 	Value float64
-	// Samples is the number of sampled worlds.
+	// Samples is the number of sampled worlds actually drawn.
 	Samples int
-	// Eps and Delta are the guarantee parameters the sample size was
-	// derived from: Pr[|Value − truth| > Eps] < Delta.
+	// Requested is the sample size implied by the requested accuracy;
+	// Samples < Requested when the run was cut short.
+	Requested int
+	// Eps and Delta are the guarantee parameters the estimate satisfies:
+	// Pr[|Value − truth| > Eps] < Delta. When Partial is set, Eps is the
+	// honestly *widened* accuracy achievable with the samples actually
+	// drawn (same Delta) — the anytime guarantee.
 	Eps, Delta float64
-	// Method names the estimator ("hoeffding", "padded").
+	// Partial reports an anytime estimate: the run was stopped early by
+	// cancellation or a sample budget, and Eps was recomputed from the
+	// realized sample count.
+	Partial bool
+	// Method names the estimator ("hoeffding", "padded", "rare-event").
 	Method string
+}
+
+// anytime tracks the cooperative-stopping state shared by the sampling
+// loops: a context polled every stride samples and an optional hard cap
+// on the number of samples.
+//
+// The contract implemented by every estimator in this package: when the
+// run is cut short after ≥ 1 samples, the estimator returns the partial
+// mean with Partial = true and a widened Eps valid at the same Delta;
+// when it is cut short before the first sample, it returns an error
+// wrapping ErrNoSamples and the context's error.
+const ctxPollStride = 64
+
+// clampSamples applies the budget cap to the requested sample size,
+// reporting whether the cap bit (partial from the start) was taken.
+func clampSamples(t, maxSamples int) (int, bool) {
+	if maxSamples > 0 && t > maxSamples {
+		return maxSamples, true
+	}
+	return t, false
+}
+
+// WidenedHoeffdingEps returns the absolute error achievable by a
+// t-sample mean of [0,1] variables at confidence 1 − delta:
+// ε(t) = sqrt(ln(2/δ) / 2t) — the inverse of HoeffdingSampleSize,
+// capped at 1 (an absolute error of 1 on a [0,1] quantity is vacuous
+// but honest).
+func WidenedHoeffdingEps(delta float64, t int) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Min(1, math.Sqrt(math.Log(2/delta)/(2*float64(t))))
+}
+
+// widenedPaddedEps inverts PaperSampleSize at the realized sample count:
+// the padded estimator run at ε/2 with t = (9/2ξ(ε/2)²)·ln(1/δ) samples
+// achieves, after t' samples, ε(t') = 2·sqrt(9·ln(1/δ) / (2ξt')).
+func widenedPaddedEps(xi, delta float64, t int) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Min(1, 2*math.Sqrt(9*math.Log(1/delta)/(2*xi*float64(t))))
 }
 
 // HoeffdingSampleSize returns the number of samples of a [0,1]-valued
@@ -62,13 +119,29 @@ func PaperSampleSize(xi, eps, delta float64) (int, error) {
 // EstimateMean estimates E[f(B)] for a [0,1]-valued polynomial-time
 // computable f over random worlds B ∈ Omega(D), with absolute error eps
 // and confidence 1−delta (Hoeffding).
-func EstimateMean(db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, rng *rand.Rand) (Estimate, error) {
-	t, err := HoeffdingSampleSize(eps, delta)
+//
+// The estimator is *anytime*: when ctx is canceled or maxSamples
+// (0 = unlimited) stops the loop early, the partial mean is returned
+// with Partial = true and Eps widened to the accuracy the realized
+// sample count supports. Only a stop before the very first sample is an
+// error (wrapping ErrNoSamples).
+func EstimateMean(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, rng *rand.Rand) (Estimate, error) {
+	requested, err := HoeffdingSampleSize(eps, delta)
 	if err != nil {
-		return Estimate{}, err
+		// The requested accuracy is unaffordable; with a sample budget we
+		// can still run an anytime pass, otherwise surface the error.
+		if maxSamples <= 0 {
+			return Estimate{}, err
+		}
+		requested = maxSamples + 1 // any realized count reads as partial
 	}
+	t, _ := clampSamples(requested, maxSamples)
 	sum := 0.0
+	drawn := 0
 	for i := 0; i < t; i++ {
+		if i%ctxPollStride == 0 && ctx.Err() != nil {
+			break
+		}
 		b := db.SampleWorld(rng)
 		v, err := f(b)
 		if err != nil {
@@ -78,14 +151,23 @@ func EstimateMean(db *unreliable.DB, f func(*rel.Structure) (float64, error), ep
 			return Estimate{}, fmt.Errorf("mc: sample value %v outside [0,1]", v)
 		}
 		sum += v
+		drawn++
 	}
-	return Estimate{Value: sum / float64(t), Samples: t, Eps: eps, Delta: delta, Method: "hoeffding"}, nil
+	if drawn == 0 {
+		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSamples, ctx.Err())
+	}
+	est := Estimate{Value: sum / float64(drawn), Samples: drawn, Requested: requested, Eps: eps, Delta: delta, Method: "hoeffding"}
+	if drawn < requested {
+		est.Partial = true
+		est.Eps = WidenedHoeffdingEps(delta, drawn)
+	}
+	return est, nil
 }
 
 // EstimateNu estimates nu(psi) = Pr[B ⊨ psi] by plain Monte Carlo with
 // the Hoeffding sample size.
-func EstimateNu(db *unreliable.DB, pred func(*rel.Structure) (bool, error), eps, delta float64, rng *rand.Rand) (Estimate, error) {
-	return EstimateMean(db, func(b *rel.Structure) (float64, error) {
+func EstimateNu(ctx context.Context, db *unreliable.DB, pred func(*rel.Structure) (bool, error), eps, delta float64, maxSamples int, rng *rand.Rand) (Estimate, error) {
+	return EstimateMean(ctx, db, func(b *rel.Structure) (float64, error) {
 		v, err := pred(b)
 		if err != nil {
 			return 0, err
@@ -94,7 +176,7 @@ func EstimateNu(db *unreliable.DB, pred func(*rel.Structure) (bool, error), eps,
 			return 1, nil
 		}
 		return 0, nil
-	}, eps, delta, rng)
+	}, eps, delta, maxSamples, rng)
 }
 
 // DefaultXi is the ξ used by EstimateNuPadded when the caller passes 0.
@@ -114,17 +196,30 @@ const DefaultXi = 0.25
 // coins per sample, which has exactly the distribution of the paper's
 // database modification D' (see PadDB for the literal structural
 // construction, equivalence verified in tests and E8).
-func EstimateNuPadded(db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, rng *rand.Rand) (Estimate, error) {
+//
+// Anytime semantics match EstimateMean: an early stop (ctx canceled or
+// maxSamples reached, 0 = unlimited) yields the partial estimate with
+// Partial = true and Eps widened by inverting the Theorem 5.12 sample
+// bound at the realized count.
+func EstimateNuPadded(ctx context.Context, db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, maxSamples int, rng *rand.Rand) (Estimate, error) {
 	if xi == 0 {
 		xi = DefaultXi
 	}
 	half := eps / 2
-	t, err := PaperSampleSize(xi, half, delta)
+	requested, err := PaperSampleSize(xi, half, delta)
 	if err != nil {
-		return Estimate{}, err
+		if maxSamples <= 0 {
+			return Estimate{}, err
+		}
+		requested = maxSamples + 1
 	}
+	t, _ := clampSamples(requested, maxSamples)
 	hits := 0
+	drawn := 0
 	for i := 0; i < t; i++ {
+		if i%ctxPollStride == 0 && ctx.Err() != nil {
+			break
+		}
 		b := db.SampleWorld(rng)
 		v, err := pred(b)
 		if err != nil {
@@ -135,12 +230,21 @@ func EstimateNuPadded(db *unreliable.DB, pred func(*rel.Structure) (bool, error)
 		if (v || rc) && rd {
 			hits++
 		}
+		drawn++
 	}
-	xTilde := float64(hits) / float64(t)
+	if drawn == 0 {
+		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSamples, ctx.Err())
+	}
+	xTilde := float64(hits) / float64(drawn)
 	alpha := (xTilde - xi*xi) / (xi - xi*xi)
 	// The algebra can leave [0,1] by sampling noise; probabilities can't.
 	alpha = math.Max(0, math.Min(1, alpha))
-	return Estimate{Value: alpha, Samples: t, Eps: eps, Delta: delta, Method: "padded"}, nil
+	est := Estimate{Value: alpha, Samples: drawn, Requested: requested, Eps: eps, Delta: delta, Method: "padded"}
+	if drawn < requested {
+		est.Partial = true
+		est.Eps = widenedPaddedEps(xi, delta, drawn)
+	}
+	return est, nil
 }
 
 // PadRel is the name of the fresh unary relation added by PadDB.
@@ -218,7 +322,7 @@ func PadDB(db *unreliable.DB, xi *big.Rat) (*unreliable.DB, rel.GroundAtom, rel.
 // psi' = (psi ∨ Rc) ∧ Rd on its worlds. It exists to validate the
 // algebraic shortcut; the two estimators have identical sample
 // distributions.
-func EstimateNuPaddedStructural(db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, rng *rand.Rand) (Estimate, error) {
+func EstimateNuPaddedStructural(ctx context.Context, db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, maxSamples int, rng *rand.Rand) (Estimate, error) {
 	if xi == 0 {
 		xi = DefaultXi
 	}
@@ -229,12 +333,20 @@ func EstimateNuPaddedStructural(db *unreliable.DB, pred func(*rel.Structure) (bo
 	}
 	xiF, _ := xiRat.Float64()
 	half := eps / 2
-	t, err := PaperSampleSize(xiF, half, delta)
+	requested, err := PaperSampleSize(xiF, half, delta)
 	if err != nil {
-		return Estimate{}, err
+		if maxSamples <= 0 {
+			return Estimate{}, err
+		}
+		requested = maxSamples + 1
 	}
+	t, _ := clampSamples(requested, maxSamples)
 	hits := 0
+	drawn := 0
 	for i := 0; i < t; i++ {
+		if i%ctxPollStride == 0 && ctx.Err() != nil {
+			break
+		}
 		b := padded.SampleWorld(rng)
 		v, err := pred(b)
 		if err != nil {
@@ -243,9 +355,18 @@ func EstimateNuPaddedStructural(db *unreliable.DB, pred func(*rel.Structure) (bo
 		if (v || b.Holds(rc.Rel, rc.Args)) && b.Holds(rd.Rel, rd.Args) {
 			hits++
 		}
+		drawn++
 	}
-	xTilde := float64(hits) / float64(t)
+	if drawn == 0 {
+		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSamples, ctx.Err())
+	}
+	xTilde := float64(hits) / float64(drawn)
 	alpha := (xTilde - xiF*xiF) / (xiF - xiF*xiF)
 	alpha = math.Max(0, math.Min(1, alpha))
-	return Estimate{Value: alpha, Samples: t, Eps: eps, Delta: delta, Method: "padded-structural"}, nil
+	est := Estimate{Value: alpha, Samples: drawn, Requested: requested, Eps: eps, Delta: delta, Method: "padded-structural"}
+	if drawn < requested {
+		est.Partial = true
+		est.Eps = widenedPaddedEps(xiF, delta, drawn)
+	}
+	return est, nil
 }

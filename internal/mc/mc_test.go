@@ -1,6 +1,8 @@
 package mc
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/big"
 	"math/rand"
@@ -9,6 +11,9 @@ import (
 	"qrel/internal/rel"
 	"qrel/internal/unreliable"
 )
+
+// bg is the no-deadline context shared by the non-cancellation tests.
+var bg = context.Background()
 
 // oneAtomDB is a database with a single uncertain fact S(0), mu = 1/4.
 // Pr[B ⊨ S(0)] = 3/4.
@@ -61,7 +66,7 @@ func TestPaperSampleSize(t *testing.T) {
 func TestEstimateNuConverges(t *testing.T) {
 	d := oneAtomDB()
 	rng := rand.New(rand.NewSource(1))
-	est, err := EstimateNu(d, predS0, 0.02, 0.01, rng)
+	est, err := EstimateNu(bg, d, predS0, 0.02, 0.01, 0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +84,7 @@ func TestEstimateNuConverges(t *testing.T) {
 func TestEstimateNuPaddedConverges(t *testing.T) {
 	d := oneAtomDB()
 	rng := rand.New(rand.NewSource(2))
-	est, err := EstimateNuPadded(d, predS0, 0.25, 0.05, 0.02, rng)
+	est, err := EstimateNuPadded(bg, d, predS0, 0.25, 0.05, 0.02, 0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +92,7 @@ func TestEstimateNuPaddedConverges(t *testing.T) {
 		t.Errorf("padded estimate %v, want 0.75 ± 0.05", est.Value)
 	}
 	// Default xi kicks in on 0.
-	est2, err := EstimateNuPadded(d, predS0, 0, 0.05, 0.02, rng)
+	est2, err := EstimateNuPadded(bg, d, predS0, 0, 0.05, 0.02, 0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +104,7 @@ func TestEstimateNuPaddedConverges(t *testing.T) {
 func TestEstimateNuPaddedStructuralMatches(t *testing.T) {
 	d := oneAtomDB()
 	rng := rand.New(rand.NewSource(3))
-	est, err := EstimateNuPaddedStructural(d, predS0, 0.25, 0.05, 0.02, rng)
+	est, err := EstimateNuPaddedStructural(bg, d, predS0, 0.25, 0.05, 0.02, 0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,16 +120,16 @@ func TestEstimateExtremeProbabilities(t *testing.T) {
 	s.MustAdd("S", 0)
 	d := unreliable.New(s) // no uncertainty at all
 	rng := rand.New(rand.NewSource(4))
-	est, err := EstimateNuPadded(d, predS0, 0.25, 0.05, 0.02, rng)
+	est, err := EstimateNuPadded(bg, d, predS0, 0.25, 0.05, 0.02, 0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(est.Value-1) > 0.05 {
 		t.Errorf("certain-true estimate %v", est.Value)
 	}
-	est, err = EstimateNuPadded(d, func(b *rel.Structure) (bool, error) {
+	est, err = EstimateNuPadded(bg, d, func(b *rel.Structure) (bool, error) {
 		return b.Holds("S", rel.Tuple{1}), nil
-	}, 0.25, 0.05, 0.02, rng)
+	}, 0.25, 0.05, 0.02, 0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,15 +138,53 @@ func TestEstimateExtremeProbabilities(t *testing.T) {
 	}
 }
 
+func TestEstimateAnytimePartial(t *testing.T) {
+	d := oneAtomDB()
+	rng := rand.New(rand.NewSource(6))
+	// eps=0.01 needs ~18k Hoeffding samples; a 200-sample budget forces a
+	// partial result with an honestly widened interval.
+	est, err := EstimateNu(bg, d, predS0, 0.01, 0.05, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Partial {
+		t.Fatal("200-sample run not marked Partial")
+	}
+	if est.Samples != 200 {
+		t.Errorf("samples %d, want exactly the budget", est.Samples)
+	}
+	wantEps := math.Sqrt(math.Log(2/0.05) / (2 * 200))
+	if math.Abs(est.Eps-wantEps) > 1e-12 {
+		t.Errorf("widened eps %v, want Hoeffding eps at t'=200: %v", est.Eps, wantEps)
+	}
+	// The widened interval still brackets the truth generously.
+	if math.Abs(est.Value-0.75) > est.Eps {
+		t.Errorf("partial estimate %v ± %v misses 0.75", est.Value, est.Eps)
+	}
+}
+
+func TestEstimateCanceledBeforeFirstSample(t *testing.T) {
+	d := oneAtomDB()
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	rng := rand.New(rand.NewSource(7))
+	if _, err := EstimateNu(ctx, d, predS0, 0.1, 0.1, 0, rng); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("EstimateNu error %v, want ErrNoSamples", err)
+	}
+	if _, err := EstimateNuPadded(ctx, d, predS0, 0.25, 0.1, 0.1, 0, rng); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("EstimateNuPadded error %v, want ErrNoSamples", err)
+	}
+}
+
 func TestEstimateMeanValidation(t *testing.T) {
 	d := oneAtomDB()
 	rng := rand.New(rand.NewSource(5))
-	if _, err := EstimateMean(d, func(*rel.Structure) (float64, error) { return 2, nil }, 0.1, 0.1, rng); err == nil {
+	if _, err := EstimateMean(bg, d, func(*rel.Structure) (float64, error) { return 2, nil }, 0.1, 0.1, 0, rng); err == nil {
 		t.Error("out-of-range sample value accepted")
 	}
-	if _, err := EstimateMean(d, func(*rel.Structure) (float64, error) {
+	if _, err := EstimateMean(bg, d, func(*rel.Structure) (float64, error) {
 		return 0, errTest
-	}, 0.1, 0.1, rng); err == nil {
+	}, 0.1, 0.1, 0, rng); err == nil {
 		t.Error("predicate error swallowed")
 	}
 }

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -91,7 +92,12 @@ func SampleWorldConditional(db *unreliable.DB, rng *rand.Rand) (*rel.Structure, 
 // of f on conditional worlds, with t = ⌈Z²·ln(2/δ)/(2ε²)⌉ — a factor Z²
 // below the unconditional Hoeffding size. Falls back to EstimateMean
 // when Z ≥ 1 (a sure flip exists).
-func EstimateMeanRare(db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, rng *rand.Rand) (Estimate, error) {
+//
+// Anytime semantics match EstimateMean: an early stop (ctx canceled or
+// maxSamples reached, 0 = unlimited) yields the partial estimate with
+// Partial = true and Eps = Z·ε_Hoeffding(t') widened to the realized
+// sample count.
+func EstimateMeanRare(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, rng *rand.Rand) (Estimate, error) {
 	if eps <= 0 || delta <= 0 || delta >= 1 {
 		return Estimate{}, fmt.Errorf("mc: need eps > 0 and 0 < delta < 1, got eps=%v delta=%v", eps, delta)
 	}
@@ -102,18 +108,26 @@ func EstimateMeanRare(db *unreliable.DB, f func(*rel.Structure) (float64, error)
 		return Estimate{Value: 0, Samples: 0, Eps: eps, Delta: delta, Method: "rare-event"}, nil
 	}
 	if zf >= 1 {
-		return EstimateMean(db, f, eps, delta, rng)
+		return EstimateMean(ctx, db, f, eps, delta, maxSamples, rng)
 	}
 	// Conditional mean must be estimated to eps/Z absolute error.
-	t := int(math.Ceil(zf * zf * math.Log(2/delta) / (2 * eps * eps)))
-	if t < 1 {
-		t = 1
+	requested := int(math.Ceil(zf * zf * math.Log(2/delta) / (2 * eps * eps)))
+	if requested < 1 {
+		requested = 1
 	}
-	if t > 1e9 {
-		return Estimate{}, fmt.Errorf("mc: sample size %d exceeds 1e9; relax eps/delta", t)
+	if requested > 1e9 {
+		if maxSamples <= 0 {
+			return Estimate{}, fmt.Errorf("mc: sample size %d exceeds 1e9; relax eps/delta", requested)
+		}
+		requested = maxSamples + 1
 	}
+	t, _ := clampSamples(requested, maxSamples)
 	sum := 0.0
+	drawn := 0
 	for i := 0; i < t; i++ {
+		if i%ctxPollStride == 0 && ctx.Err() != nil {
+			break
+		}
 		b, err := SampleWorldConditional(db, rng)
 		if err != nil {
 			return Estimate{}, err
@@ -126,12 +140,24 @@ func EstimateMeanRare(db *unreliable.DB, f func(*rel.Structure) (float64, error)
 			return Estimate{}, fmt.Errorf("mc: sample value %v outside [0,1]", v)
 		}
 		sum += v
+		drawn++
 	}
-	return Estimate{
-		Value:   zf * sum / float64(t),
-		Samples: t,
-		Eps:     eps,
-		Delta:   delta,
-		Method:  "rare-event",
-	}, nil
+	if drawn == 0 {
+		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSamples, ctx.Err())
+	}
+	est := Estimate{
+		Value:     zf * sum / float64(drawn),
+		Samples:   drawn,
+		Requested: requested,
+		Eps:       eps,
+		Delta:     delta,
+		Method:    "rare-event",
+	}
+	if drawn < requested {
+		est.Partial = true
+		// The conditional mean is known to ε_H(t') absolute error; scaling
+		// by Z scales the error bound by Z as well.
+		est.Eps = math.Min(1, zf*WidenedHoeffdingEps(delta, drawn))
+	}
+	return est, nil
 }

@@ -106,7 +106,7 @@ func TestEstimateMeanRareMatchesExact(t *testing.T) {
 	// Exact E[flippedFrac] = (1/100 + 1/50 + 1/200)/3 by linearity.
 	exact := (1.0/100 + 1.0/50 + 1.0/200) / 3
 	rng := rand.New(rand.NewSource(2))
-	est, err := EstimateMeanRare(d, flippedFrac, 0.001, 0.02, rng)
+	est, err := EstimateMeanRare(bg, d, flippedFrac, 0.001, 0.02, 0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestEstimateMeanRareEdgeCases(t *testing.T) {
 	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
 	s := rel.MustStructure(2, voc)
 	d := unreliable.New(s)
-	est, err := EstimateMeanRare(d, func(*rel.Structure) (float64, error) { return 0, nil }, 0.01, 0.05, rand.New(rand.NewSource(1)))
+	est, err := EstimateMeanRare(bg, d, func(*rel.Structure) (float64, error) { return 0, nil }, 0.01, 0.05, 0, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestEstimateMeanRareEdgeCases(t *testing.T) {
 	// mu = 1 atom: falls back to the plain estimator (Z = 1).
 	d2 := rareDB()
 	d2.MustSetError(rel.GroundAtom{Rel: "S", Args: rel.Tuple{0}}, big.NewRat(1, 1))
-	est2, err := EstimateMeanRare(d2, flippedFrac, 0.05, 0.05, rand.New(rand.NewSource(3)))
+	est2, err := EstimateMeanRare(bg, d2, flippedFrac, 0.05, 0.05, 0, rand.New(rand.NewSource(3)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestEstimateMeanRareEdgeCases(t *testing.T) {
 		t.Errorf("method %q, want plain fallback", est2.Method)
 	}
 	// Parameter validation.
-	if _, err := EstimateMeanRare(rareDB(), flippedFrac, 0, 0.5, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := EstimateMeanRare(bg, rareDB(), flippedFrac, 0, 0.5, 0, rand.New(rand.NewSource(1))); err == nil {
 		t.Error("bad eps accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package prop
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -125,7 +126,16 @@ func MaxVar(f Formula) int {
 // distributing. maxTerms bounds the intermediate term count; ErrBudget
 // is returned (wrapped) when exceeded.
 func ToDNF(f Formula, numVars, maxTerms int) (DNF, error) {
-	terms, err := dnfTerms(f, false, maxTerms)
+	return ToDNFCtx(context.Background(), f, numVars, maxTerms)
+}
+
+// ToDNFCtx is ToDNF with cooperative cancellation: the distribution —
+// the one potentially exponential loop of the grounding pipeline —
+// polls ctx as terms accumulate and stops with ctx's error once it is
+// done.
+func ToDNFCtx(ctx context.Context, f Formula, numVars, maxTerms int) (DNF, error) {
+	c := &dnfConv{ctx: ctx, maxTerms: maxTerms}
+	terms, err := c.terms(f, false)
 	if err != nil {
 		return DNF{}, err
 	}
@@ -146,8 +156,24 @@ func ToDNF(f Formula, numVars, maxTerms int) (DNF, error) {
 	return d, nil
 }
 
-// dnfTerms returns the terms of the DNF of f (negated when neg is set).
-func dnfTerms(f Formula, neg bool, maxTerms int) ([]Term, error) {
+// dnfConv carries the budget and cancellation context through the DNF
+// distribution recursion.
+type dnfConv struct {
+	ctx      context.Context
+	maxTerms int
+	steps    int
+}
+
+// poll checks the context every few hundred distribution steps.
+func (c *dnfConv) poll() error {
+	if c.steps++; c.steps&255 != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+// terms returns the terms of the DNF of f (negated when neg is set).
+func (c *dnfConv) terms(f Formula, neg bool) ([]Term, error) {
 	switch g := f.(type) {
 	case FVar:
 		return []Term{{Lit{Var: int(g), Neg: neg}}}, nil
@@ -162,54 +188,57 @@ func dnfTerms(f Formula, neg bool, maxTerms int) ([]Term, error) {
 		}
 		return nil, nil
 	case FNot:
-		return dnfTerms(g.F, !neg, maxTerms)
+		return c.terms(g.F, !neg)
 	case FAnd:
 		// De Morgan: a negated conjunction distributes as a disjunction.
 		if neg {
-			return dnfOr([]Formula(g), true, maxTerms)
+			return c.or([]Formula(g), true)
 		}
-		return dnfAnd([]Formula(g), false, maxTerms)
+		return c.and([]Formula(g), false)
 	case FOr:
 		if neg {
-			return dnfAnd([]Formula(g), true, maxTerms)
+			return c.and([]Formula(g), true)
 		}
-		return dnfOr([]Formula(g), false, maxTerms)
+		return c.or([]Formula(g), false)
 	default:
 		return nil, fmt.Errorf("prop: unknown formula node %T", f)
 	}
 }
 
-func dnfOr(fs []Formula, neg bool, maxTerms int) ([]Term, error) {
+func (c *dnfConv) or(fs []Formula, neg bool) ([]Term, error) {
 	var out []Term
 	for _, f := range fs {
-		ts, err := dnfTerms(f, neg, maxTerms)
+		ts, err := c.terms(f, neg)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, ts...)
-		if len(out) > maxTerms {
-			return nil, fmt.Errorf("%w: DNF conversion exceeds %d terms", ErrBudget, maxTerms)
+		if len(out) > c.maxTerms {
+			return nil, fmt.Errorf("%w: DNF conversion exceeds %d terms", ErrBudget, c.maxTerms)
 		}
 	}
 	return out, nil
 }
 
-func dnfAnd(fs []Formula, neg bool, maxTerms int) ([]Term, error) {
+func (c *dnfConv) and(fs []Formula, neg bool) ([]Term, error) {
 	out := []Term{{}}
 	for _, f := range fs {
-		ts, err := dnfTerms(f, neg, maxTerms)
+		ts, err := c.terms(f, neg)
 		if err != nil {
 			return nil, err
 		}
 		var next []Term
 		for _, a := range out {
+			if err := c.poll(); err != nil {
+				return nil, fmt.Errorf("prop: DNF conversion canceled: %w", err)
+			}
 			for _, b := range ts {
 				prod := append(a.Clone(), b...)
 				if nt, sat := prod.Normalize(); sat {
 					next = append(next, nt)
 				}
-				if len(next) > maxTerms {
-					return nil, fmt.Errorf("%w: DNF conversion exceeds %d terms", ErrBudget, maxTerms)
+				if len(next) > c.maxTerms {
+					return nil, fmt.Errorf("%w: DNF conversion exceeds %d terms", ErrBudget, c.maxTerms)
 				}
 			}
 		}

@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -44,11 +45,11 @@ func TestRAReliabilityEndToEnd(t *testing.T) {
 		t.Fatalf("observed answer %v", res.Rows())
 	}
 	// Reliability, exactly, via two engines.
-	exact, err := core.WorldEnum(db, f, core.Options{})
+	exact, err := core.WorldEnum(context.Background(), db, f, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaBDD, err := core.LineageBDD(db, f, core.Options{})
+	viaBDD, err := core.LineageBDD(context.Background(), db, f, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestRAReliabilityEndToEnd(t *testing.T) {
 		t.Errorf("H = %v, want 1/10", exact.H)
 	}
 	// The dispatcher handles the compiled query too.
-	auto, err := core.Reliability(db, f, core.Options{})
+	auto, err := core.Reliability(context.Background(), db, f, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package reductions
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -196,7 +197,7 @@ func TestProposition32Reduction(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Engine 1: exact lineage BDD (scales to large n).
-		res, err := core.LineageBDD(inst.DB, inst.Query, core.Options{})
+		res, err := core.LineageBDD(context.Background(), inst.DB, inst.Query, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +213,7 @@ func TestProposition32Reduction(t *testing.T) {
 			t.Fatalf("iter %d: reduction count %v, #SAT %v (formula %+v)", iter, count, want, c)
 		}
 		// Engine 2: world enumeration agrees.
-		res2, err := core.WorldEnum(inst.DB, inst.Query, core.Options{})
+		res2, err := core.WorldEnum(context.Background(), inst.DB, inst.Query, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -239,7 +240,7 @@ func TestProposition32LargeInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.LineageBDD(inst.DB, inst.Query, core.Options{})
+	res, err := core.LineageBDD(context.Background(), inst.DB, inst.Query, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestMon2SatInstanceShape(t *testing.T) {
 	}
 	// The observed database satisfies psi (the all-false assignment
 	// fails the formula).
-	obs, err := core.WorldEnum(inst.DB, inst.Query, core.Options{})
+	obs, err := core.WorldEnum(context.Background(), inst.DB, inst.Query, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package safeplan_test
 
 import (
+	"context"
 	"errors"
 	"math/big"
 	"math/rand"
@@ -149,7 +150,7 @@ func TestProbMatchesBDDExactly(t *testing.T) {
 			if err != nil {
 				t.Fatalf("iter %d %q: %v", iter, src, err)
 			}
-			want, err := core.NuExistential(db, f, core.Options{})
+			want, err := core.NuExistential(context.Background(), db, f, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}

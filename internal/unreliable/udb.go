@@ -9,6 +9,7 @@
 package unreliable
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -231,18 +232,35 @@ func (d *DB) WorldProb(mask uint64) *big.Rat {
 // enumeration (2^u worlds).
 const MaxEnumAtoms = 30
 
+// ErrEnumBudget is wrapped in errors returned when the uncertain-atom
+// count exceeds an enumeration budget; callers use it to distinguish
+// "instance too large for this engine" from evaluation failures.
+var ErrEnumBudget = fmt.Errorf("unreliable: uncertain atoms exceed enumeration budget")
+
 // ForEachWorld enumerates the possible worlds B ∈ Omega(D) with their
 // probabilities nu(B), calling fn for each; fn returning false stops the
 // enumeration. The structure passed to fn is freshly cloned per world
 // and may be retained. budget caps the number of uncertain atoms (u ≤
 // budget); prefer small budgets — the enumeration visits 2^u worlds.
 func (d *DB) ForEachWorld(budget int, fn func(b *rel.Structure, nu *big.Rat) bool) error {
+	return d.ForEachWorldCtx(context.Background(), budget, fn)
+}
+
+// ForEachWorldCtx is ForEachWorld with cooperative cancellation: the
+// enumeration checks ctx between worlds and returns ctx's error when it
+// is canceled or its deadline passes. This is the inner loop behind
+// every exact enumeration engine, so a cancellation here propagates a
+// bounded-latency stop through the whole exact stack.
+func (d *DB) ForEachWorldCtx(ctx context.Context, budget int, fn func(b *rel.Structure, nu *big.Rat) bool) error {
 	d.refresh()
 	u := len(d.uncertain)
 	if u > budget || u > MaxEnumAtoms {
-		return fmt.Errorf("unreliable: %d uncertain atoms exceed enumeration budget %d", u, budget)
+		return fmt.Errorf("%w: %d uncertain atoms, budget %d", ErrEnumBudget, u, budget)
 	}
 	for mask := uint64(0); mask < uint64(1)<<uint(u); mask++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if !fn(d.World(mask), d.WorldProb(mask)) {
 			return nil
 		}

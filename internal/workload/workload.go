@@ -41,11 +41,17 @@ func RandomStructure(rng *rand.Rand, n int, p, q float64) *rel.Structure {
 }
 
 // AddUncertainty gives `count` distinct random ground atoms of s an
-// error probability drawn uniformly from {1/d, ..., (d−1)/d}.
+// error probability drawn uniformly from {1/d, ..., (d−1)/d}. The graph
+// vocabulary has only n²+n distinct ground atoms (n² edges, n labels);
+// a larger `count` is clamped to that total instead of rejection-sampling
+// forever for atoms that do not exist.
 func AddUncertainty(rng *rand.Rand, s *rel.Structure, count, d int) *unreliable.DB {
 	db := unreliable.New(s)
 	if d < 2 {
 		d = 10
+	}
+	if max := s.N*s.N + s.N; count > max {
+		count = max
 	}
 	for db.NumUncertain() < count {
 		var atom rel.GroundAtom

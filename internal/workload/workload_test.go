@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -25,6 +26,23 @@ func TestRandomUDBDeterminism(t *testing.T) {
 	}
 	if err := a.ValidateWorldProbabilities(10); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestAddUncertaintyClampsToVocabulary(t *testing.T) {
+	// A 2-element graph structure has only 2² + 2 = 6 distinct ground
+	// atoms. Asking for more used to rejection-sample forever; now the
+	// count clamps to the vocabulary total.
+	rng := rand.New(rand.NewSource(8))
+	s := RandomStructure(rng, 2, 0.5, 0.5)
+	db := AddUncertainty(rng, s, 1000, 10)
+	if got := db.NumUncertain(); got != 6 {
+		t.Errorf("NumUncertain = %d, want all 6 ground atoms", got)
+	}
+	// Sane requests are unaffected.
+	db = AddUncertainty(rng, RandomStructure(rng, 4, 0.5, 0.5), 5, 10)
+	if got := db.NumUncertain(); got != 5 {
+		t.Errorf("NumUncertain = %d, want 5", got)
 	}
 }
 
@@ -103,7 +121,7 @@ func TestCensusDB(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if db.NumUncertain() <= 16 {
-			if _, err := core.Reliability(db, f, core.Options{}); err != nil {
+			if _, err := core.Reliability(context.Background(), db, f, core.Options{}); err != nil {
 				t.Errorf("%s: %v", name, err)
 			}
 		}

@@ -29,7 +29,7 @@
 //	db := qrel.NewDB(s)
 //	db.MustSetError(qrel.GroundAtom{Rel: "E", Args: qrel.Tuple{0, 1}}, big.NewRat(1, 10))
 //	q := qrel.MustParseQuery("exists x y . E(x,y)", voc)
-//	res, err := qrel.Reliability(db, q, qrel.Options{})
+//	res, err := qrel.Reliability(context.Background(), db, q, qrel.Options{})
 //	// res.R is exact when res.Guarantee == qrel.Exact.
 //
 // The subpackages under internal/ contain the substrates (relational
@@ -39,6 +39,7 @@
 package qrel
 
 import (
+	"context"
 	"io"
 
 	"qrel/internal/core"
@@ -89,6 +90,24 @@ type (
 	TupleError = core.TupleError
 	// AbsoluteResult is the outcome of an absolute-reliability decision.
 	AbsoluteResult = core.AbsoluteResult
+	// Budget bounds the resources one computation may consume.
+	Budget = core.Budget
+	// FallbackStep is one abandoned rung of the degradation ladder.
+	FallbackStep = core.FallbackStep
+)
+
+// Runtime error taxonomy: every error leaving Reliability or
+// ReliabilityWith matches (errors.Is) exactly one of these sentinels or
+// is an input-validation error.
+var (
+	// ErrCanceled: the context was canceled or a deadline passed.
+	ErrCanceled = core.ErrCanceled
+	// ErrBudgetExceeded: a resource budget was exhausted.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrInfeasible: no engine covers the query's fragment at this size.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrEngineFailed: an engine crashed and was contained.
+	ErrEngineFailed = core.ErrEngineFailed
 )
 
 // Guarantee levels.
@@ -154,14 +173,19 @@ func MustParseQuery(src string, voc *Vocabulary) Query { return logic.MustParse(
 func Classify(q Query) Class { return logic.Classify(q) }
 
 // Reliability computes the reliability of q on db with the dispatcher
-// described in the package documentation.
-func Reliability(db *DB, q Query, opts Options) (Result, error) {
-	return core.Reliability(db, q, opts)
+// described in the package documentation. The computation honors ctx
+// and opts.Budget: cancellation and budget exhaustion surface as
+// ErrCanceled/ErrBudgetExceeded, anytime Monte Carlo engines instead
+// return a partial Result with Degraded set and an honestly widened
+// Eps, and engines that fail mid-ladder are recorded in
+// Result.FallbackTrail.
+func Reliability(ctx context.Context, db *DB, q Query, opts Options) (Result, error) {
+	return core.Reliability(ctx, db, q, opts)
 }
 
 // ReliabilityWith runs a specific engine.
-func ReliabilityWith(engine Engine, db *DB, q Query, opts Options) (Result, error) {
-	return core.ReliabilityWith(engine, db, q, opts)
+func ReliabilityWith(ctx context.Context, engine Engine, db *DB, q Query, opts Options) (Result, error) {
+	return core.ReliabilityWith(ctx, engine, db, q, opts)
 }
 
 // ExpectedErrorPerTuple computes the exact expected error of every

@@ -2,6 +2,7 @@ package qrel_test
 
 import (
 	"bytes"
+	"context"
 	"math/big"
 	"strings"
 	"testing"
@@ -31,7 +32,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if got := qrel.Classify(q); got != qrel.ClassConjunctive {
 		t.Errorf("Classify = %v", got)
 	}
-	res, err := qrel.Reliability(db, q, qrel.Options{})
+	res, err := qrel.Reliability(context.Background(), db, q, qrel.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +53,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 func TestFacadeEngineSelection(t *testing.T) {
 	db := exampleDB(t)
 	q := qrel.MustParseQuery("exists x y . E(x,y) & S(x)", nil)
-	exact, err := qrel.ReliabilityWith(qrel.EngineWorldEnum, db, q, qrel.Options{})
+	exact, err := qrel.ReliabilityWith(context.Background(), qrel.EngineWorldEnum, db, q, qrel.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	bddRes, err := qrel.ReliabilityWith(qrel.EngineLineageBDD, db, q, qrel.Options{})
+	bddRes, err := qrel.ReliabilityWith(context.Background(), qrel.EngineLineageBDD, db, q, qrel.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,18 +141,18 @@ func TestFacadeSensitivityAndModality(t *testing.T) {
 func TestFacadeRareEngine(t *testing.T) {
 	db := exampleDB(t)
 	q := qrel.MustParseQuery("exists x y . E(x,y) & S(x)", nil)
-	exact, err := qrel.ReliabilityWith(qrel.EngineWorldEnum, db, q, qrel.Options{})
+	exact, err := qrel.ReliabilityWith(context.Background(), qrel.EngineWorldEnum, db, q, qrel.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rare, err := qrel.ReliabilityWith(qrel.EngineMCRare, db, q, qrel.Options{Eps: 0.02, Delta: 0.05, Seed: 9})
+	rare, err := qrel.ReliabilityWith(context.Background(), qrel.EngineMCRare, db, q, qrel.Options{Eps: 0.02, Delta: 0.05, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d := rare.RFloat - exact.RFloat; d > 0.02 || d < -0.02 {
 		t.Errorf("rare engine %v, exact %v", rare.RFloat, exact.RFloat)
 	}
-	safe, err := qrel.ReliabilityWith(qrel.EngineSafePlan, db, q, qrel.Options{})
+	safe, err := qrel.ReliabilityWith(context.Background(), qrel.EngineSafePlan, db, q, qrel.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
