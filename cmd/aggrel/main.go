@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 
+	"qrel/internal/cliutil"
 	"qrel/internal/metafinite"
 )
 
@@ -32,13 +33,21 @@ func main() {
 	flag.Parse()
 	if err := run(*dbPath, *query, *engine, *eps, *delta, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "aggrel:", err)
-		os.Exit(1)
+		// Same exit-code contract as relcalc: usage 2, canceled 3,
+		// budget 4, infeasible 5, engine 6, anything else 1.
+		os.Exit(cliutil.ExitCode(err))
 	}
 }
 
-func run(dbPath, query, engine string, eps, delta float64, seed int64) error {
+func run(dbPath, query, engine string, eps, delta float64, seed int64) (err error) {
+	defer cliutil.Recover(&err)
 	if dbPath == "" || query == "" {
-		return fmt.Errorf("both -db and -query are required")
+		return cliutil.UsageErrorf("both -db and -query are required")
+	}
+	switch engine {
+	case "auto", "", "qfree", "enum", "mc":
+	default:
+		return cliutil.UsageErrorf("unknown engine %q", engine)
 	}
 	in := os.Stdin
 	if dbPath != "-" {

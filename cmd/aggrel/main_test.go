@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"qrel/internal/cliutil"
 )
 
 const testMFDB = `
@@ -93,5 +95,28 @@ func TestAggrelErrors(t *testing.T) {
 		if _, err := captureStdout(t, c.fn); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
+	}
+}
+
+// TestAggrelExitCodes pins aggrel to the shared exit-code contract.
+func TestAggrelExitCodes(t *testing.T) {
+	db := writeMFDB(t)
+	cases := []struct {
+		name string
+		code int
+		fn   func() error
+	}{
+		{"missing args", cliutil.ExitUsage, func() error { return run("", "", "auto", 0.1, 0.1, 1) }},
+		{"unknown engine", cliutil.ExitUsage, func() error { return run(db, "1", "bogus", 0.1, 0.1, 1) }},
+		{"missing file", cliutil.ExitFailure, func() error { return run("/nonexistent", "1", "auto", 0.1, 0.1, 1) }},
+		{"bad query", cliutil.ExitFailure, func() error { return run(db, "sum_(x)", "auto", 0.1, 0.1, 1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := captureStdout(t, c.fn)
+			if got := cliutil.ExitCode(err); got != c.code {
+				t.Errorf("exit code %d (err %v), want %d", got, err, c.code)
+			}
+		})
 	}
 }

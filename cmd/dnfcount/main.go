@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"qrel/internal/bdd"
+	"qrel/internal/cliutil"
 	"qrel/internal/karpluby"
 	"qrel/internal/prop"
 )
@@ -37,13 +38,22 @@ func main() {
 	flag.Parse()
 	if err := run(*in, *method, *eps, *delta, *seed, *probs); err != nil {
 		fmt.Fprintln(os.Stderr, "dnfcount:", err)
-		os.Exit(1)
+		os.Exit(cliutil.ExitCode(err))
 	}
 }
 
-func run(in, method string, eps, delta float64, seed int64, probsCSV string) error {
+func run(in, method string, eps, delta float64, seed int64, probsCSV string) (err error) {
+	defer cliutil.Recover(&err)
 	if in == "" {
-		return fmt.Errorf("-in is required")
+		return cliutil.UsageErrorf("-in is required")
+	}
+	switch method {
+	case "brute", "ie", "bdd", "karpluby", "thm53":
+	default:
+		return cliutil.UsageErrorf("unknown method %q", method)
+	}
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return cliutil.UsageErrorf("-eps and -delta must lie in (0, 1)")
 	}
 	f := os.Stdin
 	if in != "-" {
@@ -136,7 +146,7 @@ func run(in, method string, eps, delta float64, seed int64, probsCSV string) err
 			res.Float(), res.Samples, res.Hits, eps, 1-delta)
 	case "thm53":
 		if p == nil {
-			return fmt.Errorf("-method thm53 solves Prob-kDNF; provide -probs")
+			return cliutil.UsageErrorf("-method thm53 solves Prob-kDNF; provide -probs")
 		}
 		red, err := karpluby.Reduce(d, p)
 		if err != nil {

@@ -97,6 +97,8 @@ func TestRunErrors(t *testing.T) {
 		{"missing in", func() error { return run("", "bdd", 0.1, 0.1, 1, "") }},
 		{"missing file", func() error { return run("/nonexistent", "bdd", 0.1, 0.1, 1, "") }},
 		{"bad method", func() error { return run(path, "bogus", 0.1, 0.1, 1, "") }},
+		{"bad eps", func() error { return run(path, "bdd", 1.5, 0.1, 1, "") }},
+		{"bad delta", func() error { return run(path, "bdd", 0.1, 0, 1, "") }},
 		{"probs length", func() error { return run(path, "bdd", 0.1, 0.1, 1, "1/2") }},
 		{"probs syntax", func() error { return run(path, "bdd", 0.1, 0.1, 1, "a,b,c") }},
 		{"thm53 needs probs", func() error { return run(path, "thm53", 0.1, 0.1, 1, "") }},
@@ -104,6 +106,43 @@ func TestRunErrors(t *testing.T) {
 	for _, c := range cases {
 		if _, err := captureStdout(t, c.fn); err == nil {
 			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// TestCorruptInputs feeds broken DNF files through every method and
+// demands a one-line error, never a panic.
+func TestCorruptInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		dnf  string
+	}{
+		{"empty file", ""},
+		{"binary junk", "\x00\x01\xff\xfe\x89PNG"},
+		{"bad header", "p cnf 3 2\n1 0\n"},
+		{"non-numeric counts", "p dnf three two\n1 0\n"},
+		{"negative var count", "p dnf -3 1\n1 0\n"},
+		{"literal out of range", "p dnf 2 1\n5 0\n"},
+		{"zero literal only", "p dnf 2 1\n0\n0\n0\n"},
+		{"unterminated term", "p dnf 2 1\n1 2"},
+	}
+	for _, c := range cases {
+		path := filepath.Join(t.TempDir(), "corrupt.dnf")
+		if err := os.WriteFile(path, []byte(c.dnf), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, method := range []string{"brute", "ie", "bdd", "karpluby"} {
+			t.Run(c.name+"/"+method, func(t *testing.T) {
+				_, err := captureStdout(t, func() error {
+					return run(path, method, 0.1, 0.1, 1, "")
+				})
+				if err == nil {
+					t.Skip("parser tolerates this input; acceptable as long as it does not panic")
+				}
+				if strings.Contains(err.Error(), "\n") {
+					t.Errorf("multi-line error for corrupt input: %q", err)
+				}
+			})
 		}
 	}
 }

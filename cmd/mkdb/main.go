@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"qrel"
+	"qrel/internal/cliutil"
 	"qrel/internal/workload"
 )
 
@@ -30,27 +31,33 @@ func main() {
 	flag.Parse()
 	if err := run(os.Stdout, *kind, *n, *uncertain, *density, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "mkdb:", err)
-		os.Exit(1)
+		os.Exit(cliutil.ExitCode(err))
 	}
 }
 
-func run(out io.Writer, kind string, n, uncertain int, density float64, seed int64) error {
+func run(out io.Writer, kind string, n, uncertain int, density float64, seed int64) (err error) {
+	defer cliutil.Recover(&err)
+	if n < 1 {
+		return cliutil.UsageErrorf("need -n ≥ 1")
+	}
+	if uncertain < 0 {
+		return cliutil.UsageErrorf("need -uncertain ≥ 0")
+	}
+	if density < 0 || density > 1 {
+		return cliutil.UsageErrorf("need -density in [0, 1], got %g", density)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var db *qrel.DB
 	switch kind {
 	case "graph":
-		if n < 1 {
-			return fmt.Errorf("need -n ≥ 1")
-		}
 		db = workload.AddUncertainty(rng, workload.RandomStructure(rng, n, density, 0.4), uncertain, 10)
 	case "census":
-		var err error
 		db, err = workload.CensusDB(rng, n, 3)
 		if err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown kind %q (want graph or census)", kind)
+		return cliutil.UsageErrorf("unknown kind %q (want graph or census)", kind)
 	}
 	return qrel.WriteDB(out, db)
 }

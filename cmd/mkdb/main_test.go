@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"qrel"
+	"qrel/internal/cliutil"
 )
 
 func TestGenerateGraphParses(t *testing.T) {
@@ -41,14 +42,29 @@ func TestGenerateCensusParses(t *testing.T) {
 }
 
 func TestGenerateErrors(t *testing.T) {
-	var buf bytes.Buffer
-	if err := run(&buf, "nope", 4, 2, 0.2, 1); err == nil {
-		t.Error("unknown kind accepted")
+	cases := []struct {
+		name  string
+		usage bool
+		fn    func(*bytes.Buffer) error
+	}{
+		{"unknown kind", true, func(b *bytes.Buffer) error { return run(b, "nope", 4, 2, 0.2, 1) }},
+		{"empty universe", true, func(b *bytes.Buffer) error { return run(b, "graph", 0, 2, 0.2, 1) }},
+		{"negative universe", true, func(b *bytes.Buffer) error { return run(b, "graph", -5, 2, 0.2, 1) }},
+		{"negative uncertain", true, func(b *bytes.Buffer) error { return run(b, "graph", 4, -1, 0.2, 1) }},
+		{"density below range", true, func(b *bytes.Buffer) error { return run(b, "graph", 4, 2, -0.1, 1) }},
+		{"density above range", true, func(b *bytes.Buffer) error { return run(b, "graph", 4, 2, 1.5, 1) }},
+		{"tiny census", false, func(b *bytes.Buffer) error { return run(b, "census", 1, 0, 0, 1) }},
 	}
-	if err := run(&buf, "graph", 0, 2, 0.2, 1); err == nil {
-		t.Error("empty universe accepted")
-	}
-	if err := run(&buf, "census", 1, 0, 0, 1); err == nil {
-		t.Error("tiny census accepted")
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := c.fn(&buf)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if got := cliutil.IsUsage(err); got != c.usage {
+				t.Errorf("IsUsage = %v (err %v), want %v", got, err, c.usage)
+			}
+		})
 	}
 }

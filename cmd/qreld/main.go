@@ -1,0 +1,140 @@
+// Command qreld serves qrel reliability computations over HTTP/JSON,
+// robustly: a bounded worker pool with a bounded admission queue sheds
+// overload with 503 + Retry-After, per-request deadlines map onto the
+// runtime's resource budgets, per-engine circuit breakers skip dispatch
+// rungs that keep crashing, and SIGTERM drains gracefully — in-flight
+// requests finish (or are canceled at the drain deadline) before the
+// process exits 0.
+//
+// Usage:
+//
+//	qreld -addr :8080 -preload census=census.udb -preload g=g.udb
+//	curl -s localhost:8080/v1/reliability -d '{"db":"census","query":"exists x . Employed(x)"}'
+//	qreld -selftest
+//
+// Endpoints: POST /v1/reliability, GET /healthz, /readyz, /statz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"qrel"
+	"qrel/internal/cliutil"
+	"qrel/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 4, "pool workers (max concurrent computations)")
+		queue        = flag.Int("queue", 64, "admission queue depth; overflow is shed with 503")
+		defTimeout   = flag.Duration("default-timeout", 10*time.Second, "per-request budget when the request carries none")
+		maxTimeout   = flag.Duration("max-timeout", 60*time.Second, "cap on the per-request budget")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "SIGTERM drain deadline; in-flight work is canceled after it")
+		retryAfter   = flag.Duration("retry-after", time.Second, "backoff hint attached to 503 responses")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive engine crashes that trip a rung's circuit breaker")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open time before a tripped breaker half-open probes")
+		selftest     = flag.Bool("selftest", false, "start an in-process server, exercise shed/breaker/drain through the retrying client, and exit")
+		preloads     []string
+	)
+	flag.Func("preload", "register a database as name=path (repeatable)", func(v string) error {
+		preloads = append(preloads, v)
+		return nil
+	})
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		RetryAfter:     *retryAfter,
+		Breaker:        server.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+	}
+	if *selftest {
+		if err := runSelftest(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "qreld: selftest:", err)
+			os.Exit(cliutil.ExitCode(err))
+		}
+		fmt.Println("qreld: selftest ok")
+		return
+	}
+	if err := serve(*addr, cfg, preloads, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "qreld:", err)
+		os.Exit(cliutil.ExitCode(err))
+	}
+}
+
+// serve runs the service until SIGTERM/SIGINT, then drains and returns
+// nil so the process exits 0.
+func serve(addr string, cfg server.Config, preloads []string, drainTimeout time.Duration) error {
+	s := server.New(cfg)
+	for _, spec := range preloads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || path == "" {
+			return cliutil.UsageErrorf("-preload %q: want name=path", spec)
+		}
+		db, err := loadDB(path)
+		if err != nil {
+			return fmt.Errorf("preloading %q: %w", spec, err)
+		}
+		s.Register(name, db)
+		log.Printf("registered database %q from %s (%d uncertain atoms)", name, path, db.NumUncertain())
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("qreld listening on %s (%d workers, queue %d)", addr, cfg.Workers, cfg.QueueDepth)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		log.Printf("%v: draining (deadline %v)", got, drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		// Deadline hit: in-flight requests were canceled, not stranded.
+		// That is the contract — log it and still exit cleanly.
+		log.Printf("drain: %v", err)
+	}
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	log.Printf("qreld drained; exiting")
+	return nil
+}
+
+// loadDB reads an unreliable database in the qrel text format.
+func loadDB(path string) (*qrel.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return qrel.ParseDB(f)
+}
+
+func listenLocal() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

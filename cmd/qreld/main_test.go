@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"qrel/internal/cliutil"
+	"qrel/internal/server"
+)
+
+// TestServeDrainsOnSIGTERM proves the acceptance contract end to end:
+// a SIGTERM makes serve drain and return nil (the process exits 0).
+func TestServeDrainsOnSIGTERM(t *testing.T) {
+	done := make(chan error, 1)
+	go func() { done <- serve("127.0.0.1:0", server.Config{}, nil, 2*time.Second) }()
+	time.Sleep(100 * time.Millisecond) // let the listener and signal handler install
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after SIGTERM, want nil (exit 0)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}
+
+func TestBadPreloadIsUsageError(t *testing.T) {
+	err := serve("127.0.0.1:0", server.Config{}, []string{"no-equals-sign"}, time.Second)
+	if err == nil || !cliutil.IsUsage(err) {
+		t.Fatalf("error %v, want a usage error (exit %d)", err, cliutil.ExitUsage)
+	}
+}
+
+// TestSelftest runs the full deployment smoke test in-process.
+func TestSelftest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest exercises wall-clock backoff and cooldowns")
+	}
+	if err := runSelftest(server.Config{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"qrel"
+	"qrel/internal/faultinject"
+	"qrel/internal/server"
+	"qrel/internal/server/client"
+)
+
+// runSelftest boots an in-process server on a loopback port and drives
+// it through the retrying client: a basic exact computation, load
+// shedding at capacity, a circuit breaker tripping and recovering, and
+// a graceful drain. It is the deployment smoke test — if it passes, the
+// binary's whole serving stack (pool, shed, breakers, drain, client
+// backoff) works on this machine.
+func runSelftest(cfg server.Config) error {
+	defer faultinject.Reset()
+	// A tiny pool makes saturation cheap to provoke; a short cooldown
+	// keeps the breaker recovery step fast.
+	cfg.Workers = 2
+	cfg.QueueDepth = 2
+	cfg.Breaker = server.BreakerConfig{Threshold: 2, Cooldown: 200 * time.Millisecond}
+
+	s := server.New(cfg)
+	s.Register("selftest", selftestDB())
+	ln, err := listenLocal()
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	base := "http://" + ln.Addr().String()
+	c := client.New(base)
+	ctx := context.Background()
+	req := qreldRequest("exists x y . E(x,y)")
+
+	// 1. Basic exact computation end to end.
+	res, err := c.Reliability(ctx, req)
+	if err != nil {
+		return fmt.Errorf("basic request: %w", err)
+	}
+	if res.RExact == "" || res.R < 0 || res.R > 1 {
+		return fmt.Errorf("basic request: implausible result %+v", res)
+	}
+	fmt.Printf("selftest: basic ok        (R = %s via %s)\n", res.RExact, res.Engine)
+
+	// 2. Saturation sheds with 503 + Retry-After; the retrying client
+	// rides through it.
+	faultinject.Enable(faultinject.SiteServerHandle, faultinject.Fault{Delay: 100 * time.Millisecond})
+	var wg sync.WaitGroup
+	shed := make(chan struct{}, 64)
+	raw := client.New(base)
+	raw.MaxAttempts = 1 // no retries: count raw sheds
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := raw.Reliability(ctx, req); err != nil && client.IsShed(err) {
+				shed <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	faultinject.Reset()
+	if len(shed) == 0 {
+		return fmt.Errorf("shedding: 10 concurrent requests on a 2+2 pool produced no 503")
+	}
+	if _, err := c.Reliability(ctx, req); err != nil {
+		return fmt.Errorf("shedding: retrying client failed after load dropped: %w", err)
+	}
+	fmt.Printf("selftest: shedding ok     (%d of 10 shed at capacity 2+2)\n", len(shed))
+
+	// 3. Breaker: two injected qfree panics trip the rung; the ladder
+	// still answers; after the cooldown a half-open probe closes it.
+	faultinject.Enable(faultinject.SiteQFree, faultinject.Fault{Panic: "selftest crash"})
+	qf := qreldRequest("S(x)")
+	for i := 0; i < 3; i++ {
+		if _, err := c.Reliability(ctx, qf); err != nil {
+			return fmt.Errorf("breaker: request %d failed: %w", i, err)
+		}
+	}
+	st, err := c.Statz(ctx)
+	if err != nil {
+		return fmt.Errorf("statz: %w", err)
+	}
+	if b := st.Breakers["qfree"]; b.State != "open" {
+		return fmt.Errorf("breaker: qfree state %q after repeated crashes, want open", b.State)
+	}
+	faultinject.Reset()
+	time.Sleep(250 * time.Millisecond)
+	if _, err := c.Reliability(ctx, qf); err != nil {
+		return fmt.Errorf("breaker: probe request failed: %w", err)
+	}
+	if st, err = c.Statz(ctx); err != nil {
+		return err
+	}
+	if b := st.Breakers["qfree"]; b.State != "closed" {
+		return fmt.Errorf("breaker: qfree state %q after healthy probe, want closed", b.State)
+	}
+	fmt.Printf("selftest: breaker ok      (tripped open, recovered closed)\n")
+
+	// 4. Drain: a slow in-flight request finishes, new work is refused,
+	// and Drain returns within its deadline.
+	faultinject.Enable(faultinject.SiteServerHandle, faultinject.Fault{Delay: 150 * time.Millisecond})
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := raw.Reliability(ctx, req)
+		inflight <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	drainCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-inflight; err != nil {
+		return fmt.Errorf("drain: in-flight request stranded: %w", err)
+	}
+	if _, err := raw.Reliability(ctx, req); err == nil || !client.IsShed(err) {
+		return fmt.Errorf("drain: post-drain request got %v, want a 503", err)
+	}
+	fmt.Printf("selftest: drain ok        (in-flight finished, new work refused)\n")
+	return nil
+}
+
+// selftestDB builds the selftest's small uncertain graph.
+func selftestDB() *qrel.DB {
+	voc := qrel.MustVocabulary(qrel.RelSym{Name: "E", Arity: 2}, qrel.RelSym{Name: "S", Arity: 1})
+	st := qrel.MustStructure(5, voc)
+	st.MustAdd("S", 0)
+	st.MustAdd("S", 3)
+	rng := rand.New(rand.NewSource(7))
+	db := qrel.NewDB(st)
+	for added := 0; added < 6; {
+		a, b := rng.Intn(5), rng.Intn(5)
+		atom := qrel.GroundAtom{Rel: "E", Args: qrel.Tuple{a, b}}
+		if db.ErrorProb(atom).Sign() != 0 {
+			continue
+		}
+		db.MustSetError(atom, big.NewRat(1, 5))
+		added++
+	}
+	return db
+}
+
+// qreldRequest targets the selftest database.
+func qreldRequest(query string) server.Request {
+	return server.Request{DB: "selftest", Query: query}
+}

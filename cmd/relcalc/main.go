@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"qrel"
+	"qrel/internal/cliutil"
 )
 
 func main() {
@@ -43,13 +44,20 @@ func main() {
 	budget := qrel.Budget{Timeout: *timeout, MaxSamples: *maxSamp, MaxBDDNodes: *maxBDD, MaxWorlds: *maxWorlds}
 	if err := run(*dbPath, *query, *engine, *eps, *delta, *seed, *maxEnum, budget, *perTuple, *absolute, *sens); err != nil {
 		fmt.Fprintln(os.Stderr, "relcalc:", err)
-		os.Exit(1)
+		// The typed runtime taxonomy maps onto distinct exit codes
+		// (usage 2, canceled 3, budget 4, infeasible 5, engine 6) so
+		// scripts can branch on the failure mode.
+		os.Exit(cliutil.ExitCode(err))
 	}
 }
 
-func run(dbPath, query, engine string, eps, delta float64, seed int64, maxEnum int, budget qrel.Budget, perTuple, absolute, sensitivity bool) error {
+func run(dbPath, query, engine string, eps, delta float64, seed int64, maxEnum int, budget qrel.Budget, perTuple, absolute, sensitivity bool) (err error) {
+	defer cliutil.Recover(&err)
 	if dbPath == "" || query == "" {
-		return fmt.Errorf("both -db and -query are required")
+		return cliutil.UsageErrorf("both -db and -query are required")
+	}
+	if !qrel.KnownEngine(qrel.Engine(engine)) {
+		return cliutil.UsageErrorf("unknown engine %q", engine)
 	}
 	in := os.Stdin
 	if dbPath != "-" {

@@ -5,8 +5,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"qrel"
+	"qrel/internal/cliutil"
+	"qrel/internal/faultinject"
 )
 
 const testDB = `
@@ -117,6 +120,99 @@ func TestRunErrors(t *testing.T) {
 		if _, err := captureStdout(t, c.fn); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
+	}
+}
+
+// TestExitCodes pins the documented exit-code contract: each failure
+// class of the runtime taxonomy maps to its own code, so scripts can
+// branch on $? without parsing stderr.
+func TestExitCodes(t *testing.T) {
+	defer faultinject.Reset()
+	db := writeDB(t)
+	secondOrder := "existsrel C/1 . exists x . C(x)"
+	cases := []struct {
+		name string
+		code int
+		arm  func()
+		fn   func() error
+	}{
+		{"missing args", cliutil.ExitUsage, nil, func() error {
+			return run("", "", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, false, false, false)
+		}},
+		{"unknown engine", cliutil.ExitUsage, nil, func() error {
+			return run(db, "S(x)", "warp-drive", 0.05, 0.05, 1, 16, qrel.Budget{}, false, false, false)
+		}},
+		{"missing file", cliutil.ExitFailure, nil, func() error {
+			return run("/nonexistent", "S(x)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, false, false, false)
+		}},
+		{"timeout", cliutil.ExitCanceled, nil, func() error {
+			return run(db, "exists x . S(x)", "world-enum", 0.05, 0.05, 1, 16,
+				qrel.Budget{Timeout: time.Nanosecond}, false, false, false)
+		}},
+		{"world budget", cliutil.ExitBudget, nil, func() error {
+			return run(db, "exists x y . E(x,y)", "world-enum", 0.05, 0.05, 1, 16,
+				qrel.Budget{MaxWorlds: 2}, false, false, false)
+		}},
+		{"infeasible", cliutil.ExitInfeasible, nil, func() error {
+			return run(db, secondOrder, "auto", 0.05, 0.05, 1, 16,
+				qrel.Budget{MaxWorlds: 2}, false, false, false)
+		}},
+		{"engine panic", cliutil.ExitEngine, func() {
+			faultinject.Enable(faultinject.SiteQFree, faultinject.Fault{Panic: "injected crash"})
+		}, func() error {
+			return run(db, "S(x)", "qfree", 0.05, 0.05, 1, 16, qrel.Budget{}, false, false, false)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			faultinject.Reset()
+			if c.arm != nil {
+				c.arm()
+			}
+			_, err := captureStdout(t, c.fn)
+			if got := cliutil.ExitCode(err); got != c.code {
+				t.Errorf("exit code %d (err %v), want %d", got, err, c.code)
+			}
+		})
+	}
+}
+
+// TestCorruptInputs feeds deliberately broken database files through
+// the full run path and demands a clean error — never a panic, which
+// cliutil.Recover would surface as an "internal error" exit-1 failure
+// rather than a stack trace.
+func TestCorruptInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		db   string
+	}{
+		{"empty file", ""},
+		{"binary junk", "\x00\x01\x02\xff\xfe PNG \x89"},
+		{"bad universe", "universe banana\nrel S/1\n"},
+		{"negative universe", "universe -3\nrel S/1\n"},
+		{"bad arity", "universe 2\nrel S/x\n"},
+		{"tuple out of range", "universe 2\nrel S/1\nS 7\n"},
+		{"bad rational", "universe 2\nrel S/1\nS 0 err one/half\n"},
+		{"prob out of range", "universe 2\nrel S/1\nS 0 err 3/2\n"},
+		{"truncated line", "universe 2\nrel E/2\nE 0\n"},
+		{"unknown relation", "universe 2\nrel S/1\nT 0\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "corrupt.udb")
+			if err := os.WriteFile(path, []byte(c.db), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := captureStdout(t, func() error {
+				return run(path, "exists x . S(x)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, false, false, false)
+			})
+			if err == nil {
+				t.Fatal("corrupt database accepted")
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Errorf("multi-line error for corrupt input: %q", err)
+			}
+		})
 	}
 }
 

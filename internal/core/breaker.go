@@ -1,0 +1,36 @@
+package core
+
+import "fmt"
+
+// RungBreaker lets a serving layer veto individual rungs of the
+// dispatch degradation ladder. The dispatcher consults Allow before
+// running a rung: a vetoed rung is skipped (recorded in the
+// FallbackTrail) and the next sound rung is tried, exactly as if the
+// rung had failed. After every rung that does run, Report delivers the
+// outcome (nil on success) so the breaker can track per-engine health —
+// typically tripping on repeated ErrEngineFailed (panic recoveries) and
+// re-admitting the rung with half-open probes after a cooldown.
+//
+// Implementations must be safe for concurrent use: one breaker is
+// shared by every in-flight computation of a server. The zero case
+// (Options.Breaker == nil) costs nothing.
+type RungBreaker interface {
+	// Allow reports whether the rung may run now. Returning false skips
+	// the rung; it is not an error and Report is not called for it.
+	Allow(engine Engine) bool
+	// Report observes the outcome of a rung that ran: nil for success,
+	// otherwise the classified error (ErrEngineFailed for contained
+	// crashes). Report is called exactly once per allowed attempt.
+	Report(engine Engine, err error)
+}
+
+// breakerSkipped is the trail annotation for a rung vetoed by the
+// circuit breaker.
+const breakerSkipped = "skipped: circuit breaker open"
+
+// errBreakerOpen marks a rung vetoed by the RungBreaker. Inside the
+// ladder it is absorbed by the next sound rung like any other rung
+// failure; if every remaining rung is also vetoed it surfaces to the
+// caller, folding into the taxonomy as ErrEngineFailed (the engine has
+// been failing — that is why its breaker is open).
+var errBreakerOpen = fmt.Errorf("%w: %s", ErrEngineFailed, breakerSkipped)

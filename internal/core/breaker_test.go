@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qrel/internal/logic"
+)
+
+// recordingBreaker vetoes a fixed set of engines and records every
+// Allow/Report call.
+type recordingBreaker struct {
+	mu      sync.Mutex
+	deny    map[Engine]bool
+	allowed []Engine
+	reports map[Engine][]error
+}
+
+func newRecordingBreaker(deny ...Engine) *recordingBreaker {
+	b := &recordingBreaker{deny: map[Engine]bool{}, reports: map[Engine][]error{}}
+	for _, e := range deny {
+		b.deny[e] = true
+	}
+	return b
+}
+
+func (b *recordingBreaker) Allow(e Engine) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.allowed = append(b.allowed, e)
+	return !b.deny[e]
+}
+
+func (b *recordingBreaker) Report(e Engine, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reports[e] = append(b.reports[e], err)
+}
+
+func TestBreakerSkipsVetoedRung(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := randUDB(rng, 3, 3)
+	f := logic.MustParse("S(x)", nil)
+	br := newRecordingBreaker(EngineQFree)
+	res, err := Reliability(bg, d, f, Options{Breaker: br})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine == string(EngineQFree) {
+		t.Fatalf("vetoed engine ran: %q", res.Engine)
+	}
+	if len(res.FallbackTrail) == 0 || res.FallbackTrail[0].Engine != string(EngineQFree) ||
+		res.FallbackTrail[0].Err != breakerSkipped {
+		t.Errorf("trail %v, want leading %q step for qfree", res.FallbackTrail, breakerSkipped)
+	}
+	// The vetoed rung was never attempted, so it must not be Reported.
+	if got := br.reports[EngineQFree]; len(got) != 0 {
+		t.Errorf("vetoed rung reported %v, want no reports", got)
+	}
+	// The rung that produced the result must be Reported with success.
+	winner := Engine(res.Engine)
+	if got := br.reports[winner]; len(got) != 1 || got[0] != nil {
+		t.Errorf("winning rung reports %v, want one nil", got)
+	}
+}
+
+func TestBreakerVetoOnExplicitEngineFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := randUDB(rng, 3, 3)
+	f := logic.MustParse("S(x)", nil)
+	br := newRecordingBreaker(EngineQFree)
+	_, err := ReliabilityWith(bg, EngineQFree, d, f, Options{Breaker: br})
+	if !errors.Is(err, ErrEngineFailed) {
+		t.Fatalf("error %v, want ErrEngineFailed for an explicitly selected open-breaker engine", err)
+	}
+	if len(br.reports[EngineQFree]) != 0 {
+		t.Errorf("vetoed explicit engine reported %v, want none", br.reports[EngineQFree])
+	}
+	// An allowed explicit engine reports its outcome.
+	br2 := newRecordingBreaker()
+	if _, err := ReliabilityWith(bg, EngineQFree, d, f, Options{Breaker: br2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := br2.reports[EngineQFree]; len(got) != 1 || got[0] != nil {
+		t.Errorf("explicit engine reports %v, want one nil", got)
+	}
+}
+
+func TestBreakerVetoOnEveryRungSurfacesEngineFailed(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := randUDB(rng, 3, 3)
+	f := logic.MustParse("S(x)", nil)
+	br := newRecordingBreaker(EngineQFree, EngineSafePlan, EngineWorldEnum,
+		EngineLineageBDD, EngineLineageKL, EngineMCDirect)
+	_, err := Reliability(bg, d, f, Options{Breaker: br})
+	if !errors.Is(err, ErrEngineFailed) {
+		t.Fatalf("error %v, want ErrEngineFailed when every rung is vetoed", err)
+	}
+}

@@ -138,6 +138,11 @@ type Options struct {
 	// Budget bounds wall-clock time, samples, BDD nodes and worlds
 	// uniformly across engines; the zero value imposes no extra bounds.
 	Budget Budget
+	// Breaker, when non-nil, is consulted before every dispatch rung and
+	// observes every rung outcome — see RungBreaker. A serving layer
+	// shares one breaker across requests so that an engine crashing
+	// repeatedly is skipped process-wide until it recovers.
+	Breaker RungBreaker
 }
 
 func (o Options) withDefaults() Options {

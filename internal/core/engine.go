@@ -27,6 +27,19 @@ const (
 	EngineMCRare      Engine = "monte-carlo-rare"
 )
 
+// KnownEngine reports whether e names a selectable engine (EngineAuto
+// and the empty string included). Serving layers use it to reject bad
+// engine names at admission, before consuming a queue slot.
+func KnownEngine(e Engine) bool {
+	switch e {
+	case EngineAuto, Engine(""), EngineQFree, EngineWorldEnum, EngineLineageBDD,
+		EngineLineageKL, EngineLineageKL53, EngineMonteCarlo, EngineMCDirect,
+		EngineSafePlan, EngineMCRare:
+		return true
+	}
+	return false
+}
+
 // Reliability computes (exactly or approximately) the reliability of f
 // on db, dispatching on the paper's query classification:
 //
@@ -63,6 +76,11 @@ func ReliabilityWith(ctx context.Context, engine Engine, db *unreliable.DB, f lo
 	opts = opts.withDefaults()
 	ctx, cancel := withBudgetContext(ctx, opts.Budget)
 	defer cancel()
+	if opts.Breaker != nil && engine != EngineAuto && engine != Engine("") && !opts.Breaker.Allow(engine) {
+		// An explicitly selected engine has no ladder to degrade down, so
+		// an open breaker fails the call outright instead of skipping.
+		return Result{}, fmt.Errorf("%w: engine %s: circuit breaker open", ErrEngineFailed, engine)
+	}
 	var res Result
 	var err error
 	switch engine {
@@ -89,6 +107,9 @@ func ReliabilityWith(ctx context.Context, engine Engine, db *unreliable.DB, f lo
 	default:
 		return Result{}, fmt.Errorf("core: unknown engine %q", engine)
 	}
+	if opts.Breaker != nil && engine != EngineAuto && engine != Engine("") {
+		opts.Breaker.Report(engine, err)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -107,9 +128,18 @@ func dispatch(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opti
 	var trail []FallbackStep
 
 	// attempt runs one rung behind the fault barrier; on success the
-	// accumulated trail is attached to the result.
+	// accumulated trail is attached to the result. A rung vetoed by the
+	// breaker never runs: it fails with errBreakerOpen (which a later
+	// rung absorbs exactly like any other rung failure) and the breaker
+	// is not Reported, since nothing was attempted.
 	attempt := func(engine Engine, fn func() (Result, error)) (Result, error) {
+		if opts.Breaker != nil && !opts.Breaker.Allow(engine) {
+			return Result{}, errBreakerOpen
+		}
 		res, err := runEngine(string(engine), fn)
+		if opts.Breaker != nil {
+			opts.Breaker.Report(engine, err)
+		}
 		if err == nil {
 			res.FallbackTrail = trail
 		}
@@ -121,7 +151,11 @@ func dispatch(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opti
 		if errors.Is(err, ErrCanceled) {
 			return err
 		}
-		trail = append(trail, FallbackStep{Engine: string(engine), Err: err.Error()})
+		msg := err.Error()
+		if errors.Is(err, errBreakerOpen) {
+			msg = breakerSkipped
+		}
+		trail = append(trail, FallbackStep{Engine: string(engine), Err: msg})
 		return nil
 	}
 

@@ -32,6 +32,14 @@ const (
 	SiteMCRare      = "engine/monte-carlo-rare"
 	SiteAnswerSet   = "eval/answer-set"
 	SiteWorldWorker = "eval/world-worker"
+	// Serving-layer sites (internal/server): SiteServerAdmit fires in
+	// the admission path before a request is queued (delays there hold
+	// the HTTP goroutine, not a worker); SiteServerHandle fires inside a
+	// pool worker just before the reliability computation (delays there
+	// keep workers busy, which is how the shedding tests saturate the
+	// queue deterministically).
+	SiteServerAdmit  = "server/admit"
+	SiteServerHandle = "server/handle"
 )
 
 // Fault describes one armed fault. The zero value is a no-op; set at

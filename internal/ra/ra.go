@@ -296,6 +296,13 @@ func Eval(db *rel.Structure, e Expr) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Result rows are keyed with the packed tuple encoding, which caps
+	// the arity; reject wider schemas here instead of panicking inside
+	// Tuple.Key when a join/rename chain exceeds the limit.
+	if len(schema) > rel.MaxArity {
+		return nil, fmt.Errorf("ra: schema %v has %d attributes; the tuple encoding supports at most %d",
+			schema, len(schema), rel.MaxArity)
+	}
 	switch x := e.(type) {
 	case Base:
 		out := newResult(schema)

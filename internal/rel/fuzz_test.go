@@ -1,0 +1,53 @@
+package rel
+
+import (
+	"testing"
+)
+
+// FuzzTupleKeyRoundTrip checks the packed tuple encoding: any key
+// unpacked at a legal arity repacks to the same key (restricted to the
+// bits the arity can hold), and unpacking never panics.
+func FuzzTupleKeyRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(0x0001000200030004), uint8(4))
+	f.Add(uint64(0xffff), uint8(1))
+	f.Add(uint64(0xdeadbeef), uint8(2))
+	f.Add(^uint64(0), uint8(4))
+	f.Add(uint64(1)<<48, uint8(3))
+	f.Fuzz(func(t *testing.T, k uint64, arity uint8) {
+		a := int(arity) % (MaxArity + 1)
+		tup := KeyToTuple(k, a)
+		if len(tup) != a {
+			t.Fatalf("KeyToTuple(%#x, %d) has arity %d", k, a, len(tup))
+		}
+		for _, e := range tup {
+			if e < 0 || e >= MaxUniverse {
+				t.Fatalf("KeyToTuple(%#x, %d) component %d outside [0,%d)", k, a, e, MaxUniverse)
+			}
+		}
+		var mask uint64
+		if a > 0 {
+			mask = ^uint64(0) >> (64 - 16*a)
+		}
+		if got := tup.Key(); got != k&mask {
+			t.Fatalf("round trip %#x -> %v -> %#x (want %#x)", k, tup, got, k&mask)
+		}
+	})
+}
+
+// FuzzGroundAtomKey checks that GroundAtom.Key and AtomKey.Atom are
+// mutually inverse for every relation name and legal tuple.
+func FuzzGroundAtomKey(f *testing.F) {
+	f.Add("E", uint64(0x00010002), uint8(2))
+	f.Add("Salary", uint64(7), uint8(1))
+	f.Add("", uint64(0), uint8(0))
+	f.Add("weird name\n", uint64(0xffffffffffffffff), uint8(4))
+	f.Fuzz(func(t *testing.T, name string, k uint64, arity uint8) {
+		a := int(arity) % (MaxArity + 1)
+		atom := GroundAtom{Rel: name, Args: KeyToTuple(k, a)}
+		back := atom.Key().Atom()
+		if !back.Equal(atom) {
+			t.Fatalf("atom %v -> key %v -> %v", atom, atom.Key(), back)
+		}
+	})
+}

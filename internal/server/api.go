@@ -1,0 +1,147 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"qrel/internal/core"
+)
+
+// Request is the JSON body of POST /v1/reliability. Exactly one of DB
+// (the name of a database registered with the server) or DBText (an
+// inline database in the qrel text format) must be set.
+type Request struct {
+	// DB names a database registered with the server.
+	DB string `json:"db,omitempty"`
+	// DBText is an inline unreliable database in the qrel text format.
+	DBText string `json:"db_text,omitempty"`
+	// Query is the query in qrel syntax.
+	Query string `json:"query"`
+	// Engine selects an engine ("auto" or empty dispatches on the query
+	// class).
+	Engine string `json:"engine,omitempty"`
+	// Eps, Delta are the randomized-guarantee parameters (defaulted by
+	// the engines when zero).
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	// Seed seeds the deterministic RNG of randomized engines.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS is the wall-clock budget in milliseconds. Zero uses the
+	// server default; values above the server maximum are clamped. The
+	// deadline starts at admission, so time spent queued counts.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxSamples, MaxBDDNodes, MaxWorlds are the remaining core.Budget
+	// dimensions (zero = no extra bound).
+	MaxSamples  int    `json:"max_samples,omitempty"`
+	MaxBDDNodes int    `json:"max_bdd_nodes,omitempty"`
+	MaxWorlds   uint64 `json:"max_worlds,omitempty"`
+}
+
+// TrailStep mirrors core.FallbackStep on the wire.
+type TrailStep struct {
+	Engine string `json:"engine"`
+	Err    string `json:"err"`
+}
+
+// Response is the JSON body of a successful reliability computation.
+type Response struct {
+	// R, H are float renderings of the reliability and expected error.
+	R float64 `json:"r"`
+	H float64 `json:"h"`
+	// RExact, HExact are exact rationals ("3/4"), present only when the
+	// engine's guarantee is exact.
+	RExact string `json:"r_exact,omitempty"`
+	HExact string `json:"h_exact,omitempty"`
+	// Engine names the engine that produced the result; Guarantee is its
+	// error semantics ("exact", "relative(eps,delta)", ...).
+	Engine    string `json:"engine"`
+	Guarantee string `json:"guarantee"`
+	// Eps, Delta, Samples describe a randomized guarantee. When Degraded
+	// is true, Eps is the honestly widened accuracy the realized sample
+	// count supports.
+	Eps     float64 `json:"eps,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+	Samples int     `json:"samples,omitempty"`
+	// Class is the detected query class.
+	Class string `json:"class"`
+	// Degraded reports that a budget or deadline cut the run short and
+	// the guarantee was weakened (but remains valid).
+	Degraded bool `json:"degraded"`
+	// FallbackTrail lists the dispatch rungs that were tried and
+	// abandoned (or skipped by an open circuit breaker) before Engine
+	// produced this result.
+	FallbackTrail []TrailStep `json:"fallback_trail,omitempty"`
+	// ElapsedMS is the server-side wall-clock time in milliseconds,
+	// including queueing.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	// Error is a one-line human-readable cause.
+	Error string `json:"error"`
+	// Kind is the machine-readable failure class: "bad-request",
+	// "not-found", "canceled", "budget-exceeded", "infeasible",
+	// "engine-failed", "shedding", or "draining".
+	Kind string `json:"kind"`
+	// RetryAfterMS echoes the Retry-After header for "shedding" and
+	// "draining" responses.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Failure kinds of ErrorResponse.Kind.
+const (
+	KindBadRequest   = "bad-request"
+	KindNotFound     = "not-found"
+	KindCanceled     = "canceled"
+	KindBudget       = "budget-exceeded"
+	KindInfeasible   = "infeasible"
+	KindEngineFailed = "engine-failed"
+	KindShedding     = "shedding"
+	KindDraining     = "draining"
+)
+
+// statusFor maps the PR 1 typed error taxonomy onto HTTP statuses:
+// ErrCanceled→408, ErrBudgetExceeded→413, ErrInfeasible→422,
+// ErrEngineFailed→500. Anything else out of the runtime is an
+// input-validation failure and maps to 400.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, core.ErrCanceled):
+		return http.StatusRequestTimeout, KindCanceled
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return http.StatusRequestEntityTooLarge, KindBudget
+	case errors.Is(err, core.ErrInfeasible):
+		return http.StatusUnprocessableEntity, KindInfeasible
+	case errors.Is(err, core.ErrEngineFailed):
+		return http.StatusInternalServerError, KindEngineFailed
+	default:
+		return http.StatusBadRequest, KindBadRequest
+	}
+}
+
+// toResponse renders a core.Result on the wire.
+func toResponse(res core.Result, elapsedMS int64) *Response {
+	out := &Response{
+		R:         res.RFloat,
+		H:         res.HFloat,
+		Engine:    res.Engine,
+		Guarantee: res.Guarantee.String(),
+		Eps:       res.Eps,
+		Delta:     res.Delta,
+		Samples:   res.Samples,
+		Class:     res.Class.String(),
+		Degraded:  res.Degraded,
+		ElapsedMS: elapsedMS,
+	}
+	if res.R != nil {
+		out.RExact = res.R.RatString()
+	}
+	if res.H != nil {
+		out.HExact = res.H.RatString()
+	}
+	for _, s := range res.FallbackTrail {
+		out.FallbackTrail = append(out.FallbackTrail, TrailStep{Engine: s.Engine, Err: s.Err})
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"qrel/internal/core"
+)
+
+// BreakerConfig tunes the per-engine circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive ErrEngineFailed outcomes
+	// (panic recoveries) that trips a rung's breaker. Default 3.
+	Threshold int
+	// Cooldown is how long a tripped breaker stays open before admitting
+	// a single half-open probe. Default 5s.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// rungBreaker is the health record of one dispatch rung.
+type rungBreaker struct {
+	state    string
+	failures int // consecutive ErrEngineFailed outcomes while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    int64
+}
+
+// Breakers is a set of per-engine circuit breakers implementing
+// core.RungBreaker. One instance is shared by every in-flight request
+// of a server, so an engine that keeps crashing — for any caller — is
+// skipped process-wide until a half-open probe succeeds.
+//
+// State machine per rung: closed (healthy; Threshold consecutive
+// ErrEngineFailed outcomes trip it) → open (vetoes the rung for
+// Cooldown) → half-open (admits exactly one probe; success closes,
+// failure re-opens). Outcomes other than ErrEngineFailed — success,
+// budget exhaustion, fragment mismatch — count as health: the engine
+// ran and did not crash.
+type Breakers struct {
+	mu    sync.Mutex
+	cfg   BreakerConfig
+	now   func() time.Time // injectable clock for tests
+	rungs map[core.Engine]*rungBreaker
+}
+
+// NewBreakers builds a breaker set with the given configuration.
+func NewBreakers(cfg BreakerConfig) *Breakers {
+	return &Breakers{cfg: cfg.withDefaults(), now: time.Now, rungs: map[core.Engine]*rungBreaker{}}
+}
+
+// rung returns (creating if needed) the record for an engine.
+// Caller holds b.mu.
+func (b *Breakers) rung(e core.Engine) *rungBreaker {
+	r, ok := b.rungs[e]
+	if !ok {
+		r = &rungBreaker{state: breakerClosed}
+		b.rungs[e] = r
+	}
+	return r
+}
+
+// Allow implements core.RungBreaker: closed rungs run; open rungs are
+// vetoed until the cooldown elapses, at which point exactly one caller
+// is admitted as the half-open probe.
+func (b *Breakers) Allow(e core.Engine) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.rung(e)
+	switch r.state {
+	case breakerOpen:
+		if b.now().Sub(r.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		r.state = breakerHalfOpen
+		r.probing = true
+		return true
+	case breakerHalfOpen:
+		if r.probing {
+			return false
+		}
+		r.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// Report implements core.RungBreaker, observing the outcome of a rung
+// that actually ran.
+func (b *Breakers) Report(e core.Engine, err error) {
+	crashed := err != nil && errors.Is(err, core.ErrEngineFailed)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.rung(e)
+	switch r.state {
+	case breakerHalfOpen:
+		r.probing = false
+		if crashed {
+			r.state = breakerOpen
+			r.openedAt = b.now()
+			r.trips++
+		} else {
+			r.state = breakerClosed
+			r.failures = 0
+		}
+	case breakerClosed:
+		if !crashed {
+			r.failures = 0
+			return
+		}
+		r.failures++
+		if r.failures >= b.cfg.Threshold {
+			r.state = breakerOpen
+			r.openedAt = b.now()
+			r.trips++
+		}
+	default:
+		// A straggler report for a rung that tripped while it was
+		// running: keep the breaker open, refreshing the cooldown only
+		// on further crashes.
+		if crashed {
+			r.openedAt = b.now()
+		}
+	}
+}
+
+// BreakerStatz is the /statz rendering of one rung's breaker.
+type BreakerStatz struct {
+	State string `json:"state"`
+	// ConsecutiveFailures is the current crash streak (closed state).
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Trips counts closed→open transitions since startup.
+	Trips int64 `json:"trips"`
+}
+
+// Snapshot returns the current breaker states keyed by engine name.
+// Engines that have never run are absent.
+func (b *Breakers) Snapshot() map[string]BreakerStatz {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]BreakerStatz, len(b.rungs))
+	for e, r := range b.rungs {
+		out[string(e)] = BreakerStatz{State: r.state, ConsecutiveFailures: r.failures, Trips: r.trips}
+	}
+	return out
+}

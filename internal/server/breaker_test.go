@@ -1,0 +1,143 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"qrel/internal/core"
+)
+
+// fakeClock drives Breakers deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestBreakers(threshold int, cooldown time.Duration) (*Breakers, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreakers(BreakerConfig{Threshold: threshold, Cooldown: cooldown})
+	b.now = clk.now
+	return b, clk
+}
+
+var crash = fmt.Errorf("%w: test crash", core.ErrEngineFailed)
+
+func TestBreakerLifecycle(t *testing.T) {
+	b, clk := newTestBreakers(3, time.Minute)
+	e := core.EngineLineageBDD
+
+	// Closed: crashes below threshold keep the rung admitted.
+	for i := 0; i < 2; i++ {
+		if !b.Allow(e) {
+			t.Fatalf("crash %d: rung vetoed below threshold", i)
+		}
+		b.Report(e, crash)
+	}
+	// A success resets the streak.
+	if !b.Allow(e) {
+		t.Fatal("healthy rung vetoed")
+	}
+	b.Report(e, nil)
+	if got := b.Snapshot()[string(e)]; got.State != breakerClosed || got.ConsecutiveFailures != 0 {
+		t.Fatalf("after success: %+v, want closed with 0 failures", got)
+	}
+
+	// Three consecutive crashes trip it.
+	for i := 0; i < 3; i++ {
+		b.Allow(e)
+		b.Report(e, crash)
+	}
+	if got := b.Snapshot()[string(e)]; got.State != breakerOpen || got.Trips != 1 {
+		t.Fatalf("after threshold: %+v, want open/1 trip", got)
+	}
+	if b.Allow(e) {
+		t.Fatal("open breaker admitted a rung before cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	clk.advance(time.Minute)
+	if !b.Allow(e) {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if b.Allow(e) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe succeeds: closed again.
+	b.Report(e, nil)
+	if got := b.Snapshot()[string(e)]; got.State != breakerClosed {
+		t.Fatalf("after probe success: %+v, want closed", got)
+	}
+	if !b.Allow(e) {
+		t.Fatal("closed breaker vetoed")
+	}
+}
+
+func TestBreakerProbeFailure(t *testing.T) {
+	b, clk := newTestBreakers(1, time.Minute)
+	e := core.EngineMCDirect
+	b.Allow(e)
+	b.Report(e, crash) // trips at threshold 1
+	clk.advance(time.Minute)
+	if !b.Allow(e) {
+		t.Fatal("probe not admitted")
+	}
+	b.Report(e, crash) // probe fails: re-open, cooldown restarts
+	if got := b.Snapshot()[string(e)]; got.State != breakerOpen || got.Trips != 2 {
+		t.Fatalf("after probe crash: %+v, want open/2 trips", got)
+	}
+	clk.advance(30 * time.Second)
+	if b.Allow(e) {
+		t.Fatal("rung admitted mid-cooldown after failed probe")
+	}
+	clk.advance(31 * time.Second)
+	if !b.Allow(e) {
+		t.Fatal("second probe not admitted after full cooldown")
+	}
+}
+
+func TestBreakerOnlyEngineFailedCounts(t *testing.T) {
+	b, _ := newTestBreakers(1, time.Minute)
+	e := core.EngineLineageKL
+	// Budget exhaustion, infeasibility, and cancellation are not crashes:
+	// the engine ran and behaved. None of them may trip the breaker.
+	for _, err := range []error{core.ErrBudgetExceeded, core.ErrInfeasible, core.ErrCanceled,
+		errors.New("fragment mismatch")} {
+		b.Allow(e)
+		b.Report(e, err)
+		if got := b.Snapshot()[string(e)]; got.State != breakerClosed {
+			t.Fatalf("%v tripped the breaker: %+v", err, got)
+		}
+	}
+	b.Allow(e)
+	b.Report(e, crash)
+	if got := b.Snapshot()[string(e)]; got.State != breakerOpen {
+		t.Fatalf("ErrEngineFailed did not trip a threshold-1 breaker: %+v", got)
+	}
+}
+
+func TestBreakersIndependentPerEngine(t *testing.T) {
+	b, _ := newTestBreakers(1, time.Minute)
+	b.Allow(core.EngineQFree)
+	b.Report(core.EngineQFree, crash)
+	if b.Allow(core.EngineQFree) {
+		t.Fatal("tripped rung admitted")
+	}
+	if !b.Allow(core.EngineWorldEnum) {
+		t.Fatal("healthy sibling rung vetoed")
+	}
+}

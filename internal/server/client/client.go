@@ -1,0 +1,217 @@
+// Package client is a small retrying client for the qrel reliability
+// service (internal/server). It retries transport failures and 503
+// shed/drain responses with exponential backoff and full jitter,
+// honoring the server's Retry-After hint, and surfaces every other
+// failure as a typed *APIError carrying the HTTP status and the
+// server's machine-readable failure kind.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"qrel/internal/server"
+)
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Kind is the server's failure class (server.Kind*).
+	Kind string
+	// Message is the server's one-line cause.
+	Message string
+	// retryAfter is the server's parsed Retry-After hint, if any.
+	retryAfter time.Duration
+}
+
+// Error renders "status kind: message".
+func (e *APIError) Error() string {
+	return fmt.Sprintf("qreld: %d %s: %s", e.Status, e.Kind, e.Message)
+}
+
+// IsShed reports whether the error is (or wraps) a 503 — load shedding
+// or draining.
+func IsShed(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable
+}
+
+// Client calls the reliability service. The zero value is not usable;
+// construct with New.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient is the underlying transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call, the first included (default 4).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay; it doubles per attempt with
+	// full jitter (default 50ms). A server Retry-After hint overrides
+	// the computed delay when larger.
+	BaseBackoff time.Duration
+	// MaxBackoff caps any single delay (default 2s).
+	MaxBackoff time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a client with the default retry policy.
+func New(base string) *Client {
+	return &Client{
+		Base:        base,
+		HTTPClient:  http.DefaultClient,
+		MaxAttempts: 4,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// jitter draws uniformly from (0, d] — full jitter keeps a retrying
+// fleet from re-converging on the same instant.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return time.Duration(c.rng.Int63n(int64(d))) + 1
+}
+
+// backoff computes the delay before retry attempt (0-based), taking
+// the larger of the jittered exponential and the server's Retry-After.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.BaseBackoff << uint(attempt)
+	if d > c.MaxBackoff || d <= 0 {
+		d = c.MaxBackoff
+	}
+	d = c.jitter(d)
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > c.MaxBackoff {
+		d = c.MaxBackoff
+	}
+	return d
+}
+
+// Reliability posts one computation request, retrying 503s and
+// transport errors per the client's policy. Non-retryable failures
+// return immediately as *APIError.
+func (c *Client) Reliability(ctx context.Context, req server.Request) (*server.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.backoff(attempt-1, retryAfterOf(lastErr))):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		res, err := c.post(ctx, bytes.NewReader(body))
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if apiErr, ok := err.(*APIError); ok && apiErr.Status != http.StatusServiceUnavailable {
+			return nil, err // the server answered; retrying cannot help
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.MaxAttempts, lastErr)
+}
+
+// retryAfterOf extracts a Retry-After hint from a shed response.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.retryAfter > 0 {
+		return apiErr.retryAfter
+	}
+	return 0
+}
+
+// post performs one attempt.
+func (c *Client) post(ctx context.Context, body io.Reader) (*server.Response, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/reliability", body)
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	resp, err := httpClient.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var out server.Response
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, fmt.Errorf("client: decoding response: %w", err)
+		}
+		return &out, nil
+	}
+	apiErr := &APIError{Status: resp.StatusCode, retryAfter: parseRetryAfter(resp)}
+	var ec server.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ec); err == nil {
+		apiErr.Kind = ec.Kind
+		apiErr.Message = ec.Error
+	} else {
+		apiErr.Message = resp.Status
+	}
+	return nil, apiErr
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After header.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// Statz fetches the server's /statz snapshot.
+func (c *Client) Statz(ctx context.Context) (*server.Statz, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/statz", nil)
+	if err != nil {
+		return nil, err
+	}
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	resp, err := httpClient.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{Status: resp.StatusCode, Message: resp.Status}
+	}
+	var out server.Statz
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,120 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qrel/internal/server"
+)
+
+// shedThenServe fakes a qreld that sheds the first n requests with
+// 503 + Retry-After and then answers successfully.
+func shedThenServe(n int64, retryAfterSecs string) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			if retryAfterSecs != "" {
+				w.Header().Set("Retry-After", retryAfterSecs)
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "full", Kind: server.KindShedding})
+			return
+		}
+		json.NewEncoder(w).Encode(server.Response{R: 0.5, Engine: "qfree-exact", Guarantee: "exact"})
+	}))
+	return ts, &calls
+}
+
+func fastClient(base string) *Client {
+	c := New(base)
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 10 * time.Millisecond
+	return c
+}
+
+func TestClientRetriesShedding(t *testing.T) {
+	ts, calls := shedThenServe(2, "")
+	defer ts.Close()
+	res, err := fastClient(ts.URL).Reliability(context.Background(), server.Request{DB: "g", Query: "S(x)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R != 0.5 {
+		t.Errorf("R = %v, want 0.5", res.R)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("%d attempts, want 3 (2 shed + 1 ok)", got)
+	}
+}
+
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	ts, calls := shedThenServe(1000, "")
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.MaxAttempts = 3
+	_, err := c.Reliability(context.Background(), server.Request{DB: "g", Query: "S(x)"})
+	if err == nil {
+		t.Fatal("expected an error after exhausting retries")
+	}
+	if !IsShed(err) {
+		t.Errorf("final error %v does not unwrap to a shed APIError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("%d attempts, want exactly MaxAttempts=3", got)
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	ts, _ := shedThenServe(1, "1") // 1-second hint, larger than the 10ms backoff cap
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.MaxBackoff = 2 * time.Second // allow the hint through
+	start := time.Now()
+	if _, err := c.Reliability(context.Background(), server.Request{DB: "g", Query: "S(x)"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("retry after %v, want >= 1s per the Retry-After hint", elapsed)
+	}
+}
+
+func TestClientDoesNotRetryCallerErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "bad query", Kind: server.KindBadRequest})
+	}))
+	defer ts.Close()
+	_, err := fastClient(ts.URL).Reliability(context.Background(), server.Request{DB: "g", Query: "("})
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != http.StatusBadRequest || apiErr.Kind != server.KindBadRequest {
+		t.Fatalf("error %v, want a 400 APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d attempts on a 400, want 1 (no retry)", got)
+	}
+}
+
+func TestClientContextCancelStopsRetries(t *testing.T) {
+	ts, _ := shedThenServe(1000, "")
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.MaxAttempts = 1000
+	c.BaseBackoff = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Reliability(ctx, server.Request{DB: "g", Query: "S(x)"})
+	if err == nil {
+		t.Fatal("expected a context error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("canceled retry loop ran %v", elapsed)
+	}
+}

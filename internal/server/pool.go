@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"qrel/internal/core"
+	"qrel/internal/faultinject"
+	"qrel/internal/logic"
+	"qrel/internal/unreliable"
+)
+
+// task is one admitted reliability computation: the parsed inputs, and
+// a done channel closed by the worker once res/err are set. The
+// admitting handler goroutine blocks on done (or the client
+// disconnecting) — computation happens only on pool workers, so
+// concurrency is bounded by Config.Workers no matter how many HTTP
+// connections are open.
+type task struct {
+	ctx    context.Context
+	db     *unreliable.DB
+	q      logic.Formula
+	engine core.Engine // empty = auto dispatch
+	opts   core.Options
+	res    core.Result
+	err    error
+	done   chan struct{}
+}
+
+// startWorkers launches the bounded worker pool. Workers run until
+// stopWorkers is closed, which Drain does only after every admitted
+// task has finished — a worker never abandons a queued task.
+func (s *Server) startWorkers() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			for {
+				select {
+				case t := <-s.tasks:
+					s.runTask(t)
+				case <-s.stopWorkers:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// admit places a task in the bounded queue without blocking. False
+// means the queue is full: the caller sheds the request with 503.
+func (s *Server) admit(t *task) bool {
+	s.taskWG.Add(1)
+	select {
+	case s.tasks <- t:
+		s.stats.accepted.Add(1)
+		return true
+	default:
+		s.taskWG.Done()
+		s.stats.shed.Add(1)
+		return false
+	}
+}
+
+// runTask executes one computation on a pool worker.
+func (s *Server) runTask(t *task) {
+	defer s.taskWG.Done()
+	defer close(t.done)
+	s.stats.inflight.Add(1)
+	defer s.stats.inflight.Add(-1)
+	if err := faultinject.Hit(faultinject.SiteServerHandle); err != nil {
+		t.err = err
+	} else {
+		t.res, t.err = core.ReliabilityWith(t.ctx, t.engine, t.db, t.q, t.opts)
+	}
+	switch {
+	case t.err == nil:
+		s.stats.completed.Add(1)
+	case errors.Is(t.err, core.ErrCanceled):
+		s.stats.canceled.Add(1)
+	default:
+		s.stats.failed.Add(1)
+	}
+}

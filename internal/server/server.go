@@ -1,0 +1,366 @@
+// Package server exposes the qrel reliability engines as a
+// self-protecting HTTP/JSON service. The design goal is robustness by
+// construction: every request runs through a bounded worker pool fed by
+// a bounded admission queue (overflow is shed with 503 + Retry-After —
+// never an unbounded goroutine), per-request deadlines map onto
+// core.Budget so queueing time counts against the caller's allowance,
+// the PR 1 typed error taxonomy maps onto HTTP statuses, per-engine
+// circuit breakers skip dispatch rungs that keep crashing (with
+// half-open probes to recover), and Drain stops admission and finishes
+// or cancels in-flight work under a deadline so a SIGTERM never strands
+// a request.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qrel/internal/core"
+	"qrel/internal/faultinject"
+	"qrel/internal/logic"
+	"qrel/internal/unreliable"
+)
+
+// Config tunes the server. The zero value is usable: every field has a
+// production-safe default.
+type Config struct {
+	// Workers is the number of pool workers — the hard bound on
+	// concurrent reliability computations. Default 4.
+	Workers int
+	// QueueDepth is the admission queue capacity; a full queue sheds new
+	// requests with 503. Default 64.
+	QueueDepth int
+	// DefaultTimeout is the per-request wall-clock budget applied when
+	// the request does not carry one. Default 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps the per-request budget a caller may ask for.
+	// Default 60s.
+	MaxTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 503 responses.
+	// Default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds the request body (inline databases included).
+	// Default 4 MiB.
+	MaxBodyBytes int64
+	// Breaker configures the per-engine circuit breakers.
+	Breaker BreakerConfig
+	// MaxEnumAtoms caps exact world enumeration per request (zero keeps
+	// the core default).
+	MaxEnumAtoms int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	return c
+}
+
+// Server is the reliability service. Create with New, mount Handler on
+// an http.Server, and call Drain (then Close) to shut down.
+type Server struct {
+	cfg      Config
+	breakers *Breakers
+	stats    stats
+	start    time.Time
+
+	tasks       chan *task
+	stopWorkers chan struct{}
+	workerWG    sync.WaitGroup // pool workers
+	taskWG      sync.WaitGroup // admitted, unfinished tasks
+
+	// drainMu makes the draining check-and-admit atomic against Drain,
+	// so no task is admitted (taskWG.Add) after Drain began waiting.
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+
+	// baseCtx cancels every in-flight computation when the drain
+	// deadline expires (or on Close).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	dbMu sync.RWMutex
+	dbs  map[string]*unreliable.DB
+}
+
+// New creates a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		breakers:    NewBreakers(cfg.Breaker),
+		start:       time.Now(),
+		tasks:       make(chan *task, cfg.QueueDepth),
+		stopWorkers: make(chan struct{}),
+		dbs:         map[string]*unreliable.DB{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.startWorkers()
+	return s
+}
+
+// Register adds a named database. Registered databases are shared by
+// concurrent requests and must not be mutated afterwards; Register
+// warms the lazily built uncertain-atom caches so later concurrent
+// reads are safe.
+func (s *Server) Register(name string, db *unreliable.DB) {
+	db.NumUncertain() // force the lazy refresh now, single-threaded
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	s.dbs[name] = db
+}
+
+// DatabaseNames lists the registered databases, sorted.
+func (s *Server) DatabaseNames() []string {
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	names := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookup resolves a registered database.
+func (s *Server) lookup(name string) (*unreliable.DB, bool) {
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	db, ok := s.dbs[name]
+	return db, ok
+}
+
+// Handler returns the service mux:
+//
+//	POST /v1/reliability — run a reliability computation
+//	GET  /healthz        — liveness (200 while the process runs)
+//	GET  /readyz         — readiness (503 once draining)
+//	GET  /statz          — JSON snapshot of queue/breaker/shed state
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/reliability", s.handleReliability)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+// Drain stops admission and waits for every admitted task to finish.
+// If ctx expires first, all in-flight computations are canceled (they
+// unwind promptly through the engines' context polling) and Drain keeps
+// waiting for the — now fast — completions. On return no task is
+// running or queued and the workers have exited; the HTTP listener can
+// be shut down and the process can exit 0. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	first := !s.draining.Swap(true)
+	s.drainMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.taskWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline: cancel in-flight work and wait for the unwinding.
+		s.baseCancel()
+		<-done
+		err = fmt.Errorf("server: drain deadline hit; in-flight requests canceled: %w", ctx.Err())
+	}
+	if first {
+		close(s.stopWorkers)
+	}
+	s.workerWG.Wait()
+	return err
+}
+
+// Close shuts down immediately: admission stops, in-flight work is
+// canceled, workers exit.
+func (s *Server) Close() {
+	s.baseCancel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(ctx)
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a one-error JSON body with the given status/kind.
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	writeJSON(w, status, &ErrorResponse{Error: msg, Kind: kind})
+}
+
+// writeUnavailable sheds a request with 503 + Retry-After.
+func (s *Server) writeUnavailable(w http.ResponseWriter, kind, msg string) {
+	retry := s.cfg.RetryAfter
+	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+	writeJSON(w, http.StatusServiceUnavailable,
+		&ErrorResponse{Error: msg, Kind: kind, RetryAfterMS: retry.Milliseconds()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, KindDraining, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Statz())
+}
+
+// parseRequest decodes and validates the request body, resolving the
+// database and parsing the query. All failures here are the caller's
+// fault: 400 or 404, before any queue slot is consumed.
+func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*task, int, string, error) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("decoding request: %w", err)
+	}
+	if req.Query == "" {
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("missing \"query\"")
+	}
+	var db *unreliable.DB
+	switch {
+	case req.DB != "" && req.DBText != "":
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("set exactly one of \"db\" and \"db_text\"")
+	case req.DB != "":
+		var ok bool
+		if db, ok = s.lookup(req.DB); !ok {
+			return nil, http.StatusNotFound, KindNotFound, fmt.Errorf("unknown database %q", req.DB)
+		}
+	case req.DBText != "":
+		var err error
+		if db, err = unreliable.ParseDB(strings.NewReader(req.DBText)); err != nil {
+			return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("parsing db_text: %w", err)
+		}
+	default:
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("set one of \"db\" and \"db_text\"")
+	}
+	q, err := logic.Parse(req.Query, db.A.Voc)
+	if err != nil {
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("parsing query: %w", err)
+	}
+	if req.Eps < 0 || req.Eps >= 1 || req.Delta < 0 || req.Delta >= 1 {
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("eps and delta must lie in [0,1)")
+	}
+	engine := core.Engine(req.Engine)
+	if !core.KnownEngine(engine) {
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("unknown engine %q", req.Engine)
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	opts := core.Options{
+		Eps:          req.Eps,
+		Delta:        req.Delta,
+		Seed:         req.Seed,
+		MaxEnumAtoms: s.cfg.MaxEnumAtoms,
+		Breaker:      s.breakers,
+		Budget: core.Budget{
+			Timeout:     timeout,
+			MaxSamples:  req.MaxSamples,
+			MaxBDDNodes: req.MaxBDDNodes,
+			MaxWorlds:   req.MaxWorlds,
+		},
+	}
+	return &task{db: db, q: q, opts: opts, done: make(chan struct{}), engine: engine}, 0, "", nil
+}
+
+// handleReliability is the admission path: parse, admit (or shed), then
+// block until the worker finishes the task.
+func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required")
+		return
+	}
+	if err := faultinject.Hit(faultinject.SiteServerAdmit); err != nil {
+		s.writeUnavailable(w, KindShedding, "injected admission fault: "+err.Error())
+		s.stats.shed.Add(1)
+		return
+	}
+	start := time.Now()
+	t, status, kind, err := s.parseRequest(w, r)
+	if err != nil {
+		writeError(w, status, kind, err.Error())
+		return
+	}
+
+	// The computation context: canceled by the client disconnecting, by
+	// the drain deadline, and (inside core) by the budget timeout. The
+	// deadline starts here, at admission, so queue wait counts against
+	// the caller's allowance.
+	ctx, cancel := context.WithTimeout(r.Context(), t.opts.Budget.Timeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+	t.ctx = ctx
+
+	s.drainMu.RLock()
+	if s.draining.Load() {
+		s.drainMu.RUnlock()
+		s.writeUnavailable(w, KindDraining, "server is draining")
+		s.stats.drained.Add(1)
+		return
+	}
+	admitted := s.admit(t)
+	s.drainMu.RUnlock()
+	if !admitted {
+		s.writeUnavailable(w, KindShedding,
+			fmt.Sprintf("admission queue full (%d queued, %d in flight)", cap(s.tasks), s.cfg.Workers))
+		return
+	}
+
+	// The worker closes t.done even if the client goes away; waiting on
+	// it (rather than racing r.Context) keeps accounting exact.
+	<-t.done
+	if t.err != nil {
+		status, kind := statusFor(t.err)
+		writeError(w, status, kind, t.err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(t.res, time.Since(start).Milliseconds()))
+}

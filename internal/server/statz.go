@@ -1,0 +1,73 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// stats holds the server's monotonic counters and gauges. All fields
+// are updated with atomics; /statz reads are lock-free snapshots.
+type stats struct {
+	// accepted counts requests admitted into the queue; shed counts
+	// requests rejected at admission (queue full); drained counts
+	// requests rejected because the server was draining.
+	accepted atomic.Int64
+	shed     atomic.Int64
+	drained  atomic.Int64
+	// completed / failed / canceled partition finished computations by
+	// outcome: success, error, and error matching ErrCanceled.
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	// inflight gauges computations currently running in a worker.
+	inflight atomic.Int64
+}
+
+// Statz is the JSON body of GET /statz: a point-in-time snapshot of the
+// server's self-protection state.
+type Statz struct {
+	// QueueDepth is the number of admitted requests waiting for a
+	// worker; QueueCapacity and Workers echo the configuration.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Workers       int `json:"workers"`
+	// InFlight is the number of computations running right now.
+	InFlight int64 `json:"in_flight"`
+	// Accepted/Shed/DrainRejected count admission outcomes since start.
+	Accepted      int64 `json:"accepted"`
+	Shed          int64 `json:"shed"`
+	DrainRejected int64 `json:"drain_rejected"`
+	// Completed/Failed/Canceled count finished computations by outcome.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	// Draining reports that the server has stopped accepting work.
+	Draining bool `json:"draining"`
+	// Breakers maps engine names to their circuit-breaker state.
+	Breakers map[string]BreakerStatz `json:"breakers"`
+	// Databases lists the registered database names.
+	Databases []string `json:"databases"`
+	// UptimeMS is milliseconds since the server was created.
+	UptimeMS int64 `json:"uptime_ms"`
+}
+
+// Statz snapshots the server state for GET /statz (also usable
+// programmatically, e.g. by tests and the selftest).
+func (s *Server) Statz() Statz {
+	return Statz{
+		QueueDepth:    len(s.tasks),
+		QueueCapacity: cap(s.tasks),
+		Workers:       s.cfg.Workers,
+		InFlight:      s.stats.inflight.Load(),
+		Accepted:      s.stats.accepted.Load(),
+		Shed:          s.stats.shed.Load(),
+		DrainRejected: s.stats.drained.Load(),
+		Completed:     s.stats.completed.Load(),
+		Failed:        s.stats.failed.Load(),
+		Canceled:      s.stats.canceled.Load(),
+		Draining:      s.draining.Load(),
+		Breakers:      s.breakers.Snapshot(),
+		Databases:     s.DatabaseNames(),
+		UptimeMS:      time.Since(s.start).Milliseconds(),
+	}
+}

@@ -172,6 +172,10 @@ func MustParseQuery(src string, voc *Vocabulary) Query { return logic.MustParse(
 // Classify returns the most restricted syntactic class containing q.
 func Classify(q Query) Class { return logic.Classify(q) }
 
+// KnownEngine reports whether e names a selectable engine (EngineAuto
+// and the empty string included).
+func KnownEngine(e Engine) bool { return core.KnownEngine(e) }
+
 // Reliability computes the reliability of q on db with the dispatcher
 // described in the package documentation. The computation honors ctx
 // and opts.Budget: cancellation and budget exhaustion surface as
