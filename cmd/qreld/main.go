@@ -12,7 +12,15 @@
 //	curl -s localhost:8080/v1/reliability -d '{"db":"census","query":"exists x . Employed(x)"}'
 //	qreld -selftest
 //
-// Endpoints: POST /v1/reliability, GET /healthz, /readyz, /statz.
+// With -checkpoint-dir the service also runs durable jobs: POST
+// /v1/jobs starts a computation that checkpoints its estimator state
+// crash-safely and survives process death — a restart resumes every
+// interrupted job and finishes it bit-identical to an uninterrupted
+// run. A drain, too, leaves in-flight jobs resumable instead of
+// discarding their work.
+//
+// Endpoints: POST /v1/reliability, POST /v1/jobs, GET /v1/jobs/{id},
+// GET /healthz, /readyz, /statz.
 package main
 
 import (
@@ -45,7 +53,9 @@ func main() {
 		retryAfter   = flag.Duration("retry-after", time.Second, "backoff hint attached to 503 responses")
 		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive engine crashes that trip a rung's circuit breaker")
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open time before a tripped breaker half-open probes")
-		selftest     = flag.Bool("selftest", false, "start an in-process server, exercise shed/breaker/drain through the retrying client, and exit")
+		ckptDir      = flag.String("checkpoint-dir", "", "enable durable jobs (POST /v1/jobs): per-job crash-safe checkpoints live here, and jobs interrupted by a crash or drain are resumed on startup")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "snapshot a job's estimator state every n samples (0 = engine default)")
+		selftest     = flag.Bool("selftest", false, "start an in-process server, exercise shed/breaker/drain/job-resume through the retrying client, and exit")
 		preloads     []string
 	)
 	flag.Func("preload", "register a database as name=path (repeatable)", func(v string) error {
@@ -55,12 +65,14 @@ func main() {
 	flag.Parse()
 
 	cfg := server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		RetryAfter:     *retryAfter,
-		Breaker:        server.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		RetryAfter:      *retryAfter,
+		Breaker:         server.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
 	}
 	if *selftest {
 		if err := runSelftest(cfg); err != nil {
@@ -91,6 +103,17 @@ func serve(addr string, cfg server.Config, preloads []string, drainTimeout time.
 		}
 		s.Register(name, db)
 		log.Printf("registered database %q from %s (%d uncertain atoms)", name, path, db.NumUncertain())
+	}
+	// Resume jobs interrupted by the previous process — after the
+	// databases they reference are registered.
+	if cfg.CheckpointDir != "" {
+		n, err := s.RecoverJobs()
+		if err != nil {
+			return fmt.Errorf("recovering jobs from %s: %w", cfg.CheckpointDir, err)
+		}
+		if n > 0 {
+			log.Printf("resumed %d interrupted job(s) from %s", n, cfg.CheckpointDir)
+		}
 	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}

@@ -1,0 +1,369 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qrel/internal/faultinject"
+)
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := mustOpen(t, Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Save([]byte(fmt.Sprintf("state-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "state-2" {
+		t.Fatalf("LoadLatest = %q, want state-2", got)
+	}
+}
+
+func TestLoadEmptyStore(t *testing.T) {
+	s := mustOpen(t, Options{})
+	if _, err := s.LoadLatest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty store: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestRetentionKeepsLastN(t *testing.T) {
+	s := mustOpen(t, Options{KeepLast: 2})
+	for i := 0; i < 5; i++ {
+		if err := s.Save([]byte(fmt.Sprintf("s%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := s.sequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("retention kept %d snapshots, want 2", len(seqs))
+	}
+	got, err := s.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "s4" {
+		t.Fatalf("LoadLatest = %q, want s4", got)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Save([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "two" {
+		t.Fatalf("LoadLatest after reopen = %q, want two", got)
+	}
+}
+
+// newestSnapshot returns the path of the newest committed snapshot.
+func newestSnapshot(t *testing.T, s *Store) string {
+	t.Helper()
+	seqs, err := s.sequences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) == 0 {
+		t.Fatal("no snapshots")
+	}
+	return s.name(seqs[len(seqs)-1])
+}
+
+// TestCorruptSnapshotsRejected is the table-driven torn/corrupt
+// handling test: every mutilation of a committed snapshot must surface
+// as ErrCorruptCheckpoint — never a panic, never silent acceptance —
+// and an older good snapshot must be served instead when one exists.
+func TestCorruptSnapshotsRejected(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func(t *testing.T, path string)
+	}{
+		{"truncate-mid-payload", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			writeFile(t, path, data[:len(data)-3])
+		}},
+		{"truncate-into-header", func(t *testing.T, path string) {
+			writeFile(t, path, readFile(t, path)[:headerSize-2])
+		}},
+		{"truncate-to-empty", func(t *testing.T, path string) {
+			writeFile(t, path, nil)
+		}},
+		{"bit-flip-payload", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			data[len(data)-1] ^= 0x01
+			writeFile(t, path, data)
+		}},
+		{"bit-flip-magic", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			data[0] ^= 0x01
+			writeFile(t, path, data)
+		}},
+		{"bit-flip-crc", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			data[len(magic)+4+8] ^= 0x80
+			writeFile(t, path, data)
+		}},
+		{"zero-fill", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			writeFile(t, path, make([]byte, len(data)))
+		}},
+		{"length-overflow", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			for i := 0; i < 8; i++ {
+				data[len(magic)+4+i] = 0xff
+			}
+			writeFile(t, path, data)
+		}},
+		{"extra-trailing-bytes", func(t *testing.T, path string) {
+			writeFile(t, path, append(readFile(t, path), 0xde, 0xad))
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			metrics := &Metrics{}
+			s, err := Open(t.TempDir(), Options{Metrics: metrics})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Only snapshot corrupted: the typed error must surface.
+			if err := s.Save([]byte("only")); err != nil {
+				t.Fatal(err)
+			}
+			tc.mut(t, newestSnapshot(t, s))
+			if _, err := s.LoadLatest(); !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("LoadLatest on corrupt-only store: err = %v, want ErrCorruptCheckpoint", err)
+			}
+			// With an older good snapshot: fall back to it.
+			s2, err := Open(t.TempDir(), Options{Metrics: metrics})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Save([]byte("good")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Save([]byte("bad")); err != nil {
+				t.Fatal(err)
+			}
+			tc.mut(t, newestSnapshot(t, s2))
+			got, err := s2.LoadLatest()
+			if err != nil {
+				t.Fatalf("LoadLatest with good fallback: %v", err)
+			}
+			if string(got) != "good" {
+				t.Fatalf("LoadLatest = %q, want the older good snapshot", got)
+			}
+			if metrics.Snapshot().CorruptRejected < 2 {
+				t.Fatalf("CorruptRejected = %d, want >= 2", metrics.Snapshot().CorruptRejected)
+			}
+		})
+	}
+}
+
+func TestInjectedShortWriteCommitsTornSnapshot(t *testing.T) {
+	defer faultinject.Reset()
+	s := mustOpen(t, Options{})
+	if err := s.Save([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(faultinject.SiteCkptShortWrite, faultinject.Fault{Err: errors.New("torn"), Times: 1})
+	if err := s.Save([]byte("torn-snapshot-payload")); err != nil {
+		t.Fatalf("short write should commit silently (the fault models lost sectors): %v", err)
+	}
+	got, err := s.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good" {
+		t.Fatalf("LoadLatest = %q, want fallback to the pre-fault snapshot", got)
+	}
+}
+
+func TestInjectedBitFlipRejectedOnLoad(t *testing.T) {
+	defer faultinject.Reset()
+	metrics := &Metrics{}
+	s, err := Open(t.TempDir(), Options{Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(faultinject.SiteCkptBitFlip, faultinject.Fault{Err: errors.New("flip"), Times: 1})
+	if err := s.Save([]byte("flipped")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good" {
+		t.Fatalf("LoadLatest = %q, want fallback past the bit-flipped snapshot", got)
+	}
+	if metrics.Snapshot().CorruptRejected == 0 {
+		t.Fatal("bit-flipped snapshot was not counted as corrupt")
+	}
+}
+
+func TestInjectedRenameFailureKeepsPreviousSnapshot(t *testing.T) {
+	defer faultinject.Reset()
+	s := mustOpen(t, Options{})
+	if err := s.Save([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(faultinject.SiteCkptRename, faultinject.Fault{Err: errors.New("EIO"), Times: 1})
+	if err := s.Save([]byte("never-committed")); err == nil {
+		t.Fatal("Save with failing rename returned nil")
+	}
+	got, err := s.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good" {
+		t.Fatalf("LoadLatest = %q, want the pre-failure snapshot", got)
+	}
+}
+
+func TestInjectedCrashWindowLeavesTmpAndRecovers(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(faultinject.SiteCkptCrash, faultinject.Fault{Err: errors.New("SIGKILL"), Times: 1})
+	if err := s.Save([]byte("in-the-window")); err == nil {
+		t.Fatal("Save in the crash window returned nil")
+	}
+	// The orphaned temp file must not confuse a restarted store.
+	if n := countFiles(t, dir, tmpExt); n != 1 {
+		t.Fatalf("crash window left %d temp files, want 1", n)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good" {
+		t.Fatalf("LoadLatest after crash = %q, want good", got)
+	}
+	if err := s2.Save([]byte("after-restart")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s2.LoadLatest(); string(got) != "after-restart" {
+		t.Fatalf("LoadLatest = %q, want after-restart", got)
+	}
+	// The successful save garbage-collects the orphan.
+	if n := countFiles(t, dir, tmpExt); n != 0 {
+		t.Fatalf("%d orphaned temp files survived a successful save", n)
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	metrics := &Metrics{}
+	s, err := Open(t.TempDir(), Options{Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadLatest(); err != nil {
+		t.Fatal(err)
+	}
+	snap := metrics.Snapshot()
+	if snap.Written != 1 || snap.Resumed != 1 {
+		t.Fatalf("metrics = %+v, want Written=1 Resumed=1", snap)
+	}
+	if snap.BytesWritten <= int64(len("abc")) {
+		t.Fatalf("BytesWritten = %d, want > payload size (frame overhead)", snap.BytesWritten)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.json")
+	if err := WriteFileAtomic(path, []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte(`{"a":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); string(got) != `{"a":2}` {
+		t.Fatalf("content = %s", got)
+	}
+	if n := countFiles(t, dir, tmpExt); n != 0 {
+		t.Fatalf("%d temp files left behind", n)
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countFiles(t *testing.T, dir, suffix string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), suffix) {
+			n++
+		}
+	}
+	return n
+}

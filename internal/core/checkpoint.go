@@ -1,0 +1,161 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"qrel/internal/checkpoint"
+	"qrel/internal/logic"
+	"qrel/internal/mc"
+)
+
+// Checkpoint/resume wiring for the estimation engines. The estimators
+// are sampling loops; their complete state at a sample (or answer
+// tuple) boundary is a handful of counters plus the serializable PRNG
+// state, captured here in an engineState envelope and persisted
+// through a checkpoint.Store. Because the envelope pins the PRNG
+// stream position, a resumed run consumes exactly the stream an
+// uninterrupted run would have: for a fixed seed the final estimate is
+// bit-identical, so every (ε, δ) guarantee proved for the
+// uninterrupted estimator holds verbatim for the resumed one.
+
+// DefaultCheckpointEvery is the sample interval between periodic
+// snapshots when CheckpointConfig.Every is zero.
+const DefaultCheckpointEvery = 1 << 14
+
+// ErrCheckpointMismatch reports a snapshot that was taken by a
+// different computation (engine, seed, accuracy, or query differ) and
+// therefore cannot be resumed into this one.
+var ErrCheckpointMismatch = errors.New("core: checkpoint does not match this computation")
+
+// CheckpointConfig plumbs a snapshot store into the estimation
+// engines. One config (and one store directory) belongs to one logical
+// job: the snapshot fingerprint pins engine, seed, accuracy, and query,
+// and resuming a store written by a different computation fails with
+// ErrCheckpointMismatch.
+type CheckpointConfig struct {
+	// Store is the snapshot store (required).
+	Store *checkpoint.Store
+	// Every is the number of samples between periodic snapshots
+	// (default DefaultCheckpointEvery). Engines additionally snapshot
+	// when a cancellation stops them — the final checkpoint that makes a
+	// drained run resumable — and at completion.
+	Every int
+	// Resume makes the engine load the newest good snapshot and continue
+	// from it; with no snapshot present the run starts fresh.
+	Resume bool
+}
+
+// engineState is the JSON payload of one snapshot: the fingerprint of
+// the computation plus the loop state at a boundary.
+type engineState struct {
+	// Fingerprint: a snapshot resumes only into the identical
+	// computation.
+	Engine string  `json:"engine"`
+	Seed   int64   `json:"seed"`
+	Eps    float64 `json:"eps"`
+	Delta  float64 `json:"delta"`
+	Query  string  `json:"query"`
+
+	// Per-tuple engines (monte-carlo, lineage-karpluby): the index of
+	// the next unprocessed answer tuple, the accumulators over completed
+	// tuples, and the PRNG state at the boundary.
+	Tuple   int         `json:"tuple,omitempty"`
+	HFloat  float64     `json:"h_float,omitempty"`
+	EpsSum  float64     `json:"eps_sum,omitempty"`
+	Samples int         `json:"samples,omitempty"`
+	RNG     mc.RNGState `json:"rng,omitempty"`
+
+	// Single-loop engines (monte-carlo-direct, monte-carlo-rare): the
+	// estimator loop state.
+	Loop *mc.LoopState `json:"loop,omitempty"`
+}
+
+// ckptRun carries the checkpoint plumbing of one engine invocation.
+// A nil *ckptRun (checkpointing off) is valid and inert.
+type ckptRun struct {
+	cfg     *CheckpointConfig
+	head    engineState // fingerprint fields
+	resumed bool
+}
+
+// newCkptRun opens the checkpoint plumbing for an engine invocation
+// and, when cfg.Resume is set, loads and validates the newest good
+// snapshot. Returns (nil, nil, nil) when checkpointing is off.
+func newCkptRun(cfg *CheckpointConfig, engine string, f logic.Formula, opts Options) (*ckptRun, *engineState, error) {
+	if cfg == nil || cfg.Store == nil {
+		return nil, nil, nil
+	}
+	run := &ckptRun{cfg: cfg, head: engineState{
+		Engine: engine,
+		Seed:   opts.Seed,
+		Eps:    opts.Eps,
+		Delta:  opts.Delta,
+		Query:  fmt.Sprint(f),
+	}}
+	if !cfg.Resume {
+		return run, nil, nil
+	}
+	payload, err := cfg.Store.LoadLatest()
+	if errors.Is(err, checkpoint.ErrNoCheckpoint) {
+		return run, nil, nil // nothing saved yet: a fresh start is the resume
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var st engineState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, nil, fmt.Errorf("%w: undecodable snapshot payload: %v", checkpoint.ErrCorruptCheckpoint, err)
+	}
+	if st.Engine != run.head.Engine || st.Seed != run.head.Seed ||
+		st.Eps != run.head.Eps || st.Delta != run.head.Delta || st.Query != run.head.Query {
+		return nil, nil, fmt.Errorf("%w: snapshot is for engine=%s seed=%d eps=%v delta=%v query=%q; this run is engine=%s seed=%d eps=%v delta=%v query=%q",
+			ErrCheckpointMismatch, st.Engine, st.Seed, st.Eps, st.Delta, st.Query,
+			run.head.Engine, run.head.Seed, run.head.Eps, run.head.Delta, run.head.Query)
+	}
+	run.resumed = true
+	return run, &st, nil
+}
+
+// every returns the periodic snapshot interval.
+func (r *ckptRun) every() int {
+	if r.cfg.Every > 0 {
+		return r.cfg.Every
+	}
+	return DefaultCheckpointEvery
+}
+
+// save persists one snapshot, stamping the fingerprint.
+func (r *ckptRun) save(st engineState) error {
+	st.Engine, st.Seed, st.Eps, st.Delta, st.Query =
+		r.head.Engine, r.head.Seed, r.head.Eps, r.head.Delta, r.head.Query
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("core: marshaling snapshot: %w", err)
+	}
+	return r.cfg.Store.Save(payload)
+}
+
+// wasResumed reports whether this run actually restored a snapshot
+// (nil-safe).
+func (r *ckptRun) wasResumed() bool { return r != nil && r.resumed }
+
+// loopCkpt builds the mc.Ckpt bridging a single-loop estimator to the
+// store. Returns nil when checkpointing is off.
+func (r *ckptRun) loopCkpt(resume *engineState) *mc.Ckpt {
+	if r == nil {
+		return nil
+	}
+	var ls *mc.LoopState
+	if resume != nil {
+		ls = resume.Loop
+	}
+	return &mc.Ckpt{
+		Every: r.every(),
+		Save: func(st mc.LoopState) error {
+			return r.save(engineState{Samples: st.Drawn, Loop: &st})
+		},
+		Resume: ls,
+	}
+}

@@ -90,6 +90,15 @@ type Result struct {
 	// computation short and the result carries a weakened (but still
 	// valid) guarantee — see Eps.
 	Degraded bool
+	// Seed echoes the PRNG seed the computation ran under (Options.Seed).
+	// Recording it in the result is what makes a run reproducible and a
+	// checkpoint resumable: rerunning with this seed (and the same query,
+	// database, and accuracy) yields bit-identical estimates.
+	Seed int64
+	// Resumed reports that the computation restored a checkpoint and
+	// continued from it rather than starting fresh (see
+	// Options.Checkpoint).
+	Resumed bool
 	// FallbackTrail records the engines the dispatcher tried and
 	// abandoned (budget exhaustion, crashes) before the engine named in
 	// Engine produced this result. Empty when the first choice worked.
@@ -143,6 +152,12 @@ type Options struct {
 	// shares one breaker across requests so that an engine crashing
 	// repeatedly is skipped process-wide until it recovers.
 	Breaker RungBreaker
+	// Checkpoint, when non-nil, makes the randomized engines persist
+	// their loop state (counters plus PRNG state) through the configured
+	// snapshot store and, with Checkpoint.Resume set, continue from the
+	// newest good snapshot. A resumed run is bit-identical to an
+	// uninterrupted run with the same Seed. Exact engines ignore it.
+	Checkpoint *CheckpointConfig
 }
 
 func (o Options) withDefaults() Options {

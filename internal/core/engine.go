@@ -114,6 +114,7 @@ func ReliabilityWith(ctx context.Context, engine Engine, db *unreliable.DB, f lo
 		return Result{}, err
 	}
 	res.Budget = opts.Budget
+	res.Seed = opts.Seed
 	return res, nil
 }
 

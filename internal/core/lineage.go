@@ -2,14 +2,17 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"math/rand"
 
 	"qrel/internal/bdd"
+	"qrel/internal/checkpoint"
 	"qrel/internal/faultinject"
 	"qrel/internal/karpluby"
 	"qrel/internal/logic"
+	"qrel/internal/mc"
 	"qrel/internal/prop"
 	"qrel/internal/rel"
 	"qrel/internal/unreliable"
@@ -141,7 +144,16 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 	if err != nil {
 		return Result{}, err
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	engine := "lineage-karpluby"
+	if usePaperReduction {
+		engine = "lineage-karpluby-thm53"
+	}
+	src := mc.NewSource(opts.Seed)
+	rng := rand.New(src)
+	run, resumeSt, err := newCkptRun(opts.Checkpoint, engine, f, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	k := len(logic.FreeVars(f))
 	normF := float64(1)
 	for i := 0; i < k; i++ {
@@ -151,11 +163,35 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 	deltaT := opts.Delta / normF
 	hFloat := 0.0
 	samples := 0
-	engine := "lineage-karpluby"
-	if usePaperReduction {
-		engine = "lineage-karpluby-thm53"
+	startTuple := 0
+	if resumeSt != nil {
+		if err := src.SetState(resumeSt.RNG); err != nil {
+			return Result{}, fmt.Errorf("%w: %v", checkpoint.ErrCorruptCheckpoint, err)
+		}
+		startTuple = resumeSt.Tuple
+		hFloat = resumeSt.HFloat
+		samples = resumeSt.Samples
+	}
+	tupleIdx := 0
+	lastSaved := samples
+	// saveBoundary snapshots "tuples before nextTuple are fully
+	// accumulated; the PRNG stream is at st", making a resumed run
+	// bit-identical to an uninterrupted one.
+	saveBoundary := func(nextTuple int, st mc.RNGState) error {
+		if run == nil {
+			return nil
+		}
+		lastSaved = samples
+		return run.save(engineState{Tuple: nextTuple, HFloat: hFloat, Samples: samples, RNG: st})
 	}
 	_, err = forEachFreeTuple(ctx, db.A, f, func(env logic.Env, _ rel.Tuple) error {
+		idx := tupleIdx
+		tupleIdx++
+		if idx < startTuple {
+			// Already accumulated by the restored snapshot.
+			return nil
+		}
+		preTuple := src.State()
 		d, nu, err := tupleLineage(ctx, db, lf, env, opts.MaxLineageTerms)
 		if err != nil {
 			return err
@@ -166,6 +202,11 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 				return err
 			}
 			if samples+need > opts.Budget.MaxSamples {
+				// Snapshot before failing: rerun with a larger budget (and
+				// Resume set) continues here instead of starting over.
+				if serr := saveBoundary(idx, preTuple); serr != nil {
+					return serr
+				}
 				return fmt.Errorf("%w: Karp–Luby needs %d more samples with %d of %d already drawn",
 					ErrBudgetExceeded, need, samples, opts.Budget.MaxSamples)
 			}
@@ -193,10 +234,29 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 		} else {
 			hFloat += p
 		}
+		if run != nil && samples-lastSaved >= run.every() {
+			return saveBoundary(idx+1, src.State())
+		}
 		return nil
 	})
 	if err != nil {
+		if run != nil && samples != lastSaved &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// Final checkpoint on cancellation (graceful drain): the next
+			// unprocessed tuple is tupleIdx and the stream is at src.State(),
+			// so a restarted run resumes here at full accuracy. The original
+			// cancellation error still propagates.
+			if serr := saveBoundary(tupleIdx, src.State()); serr != nil {
+				return Result{}, serr
+			}
+		}
 		return Result{}, err
+	}
+	if run != nil && samples != lastSaved {
+		// Completion snapshot: resuming a finished run is an instant replay.
+		if serr := saveBoundary(tupleIdx, src.State()); serr != nil {
+			return Result{}, serr
+		}
 	}
 	rFloat := 1 - hFloat/normF
 	return Result{
@@ -209,6 +269,8 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 		Delta:     opts.Delta,
 		Samples:   samples,
 		Class:     logic.Classify(f),
+		Seed:      opts.Seed,
+		Resumed:   run.wasResumed(),
 	}, nil
 }
 

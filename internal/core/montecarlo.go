@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 
+	"qrel/internal/checkpoint"
 	"qrel/internal/faultinject"
 	"qrel/internal/logic"
 	"qrel/internal/mc"
@@ -39,7 +40,12 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 		// does not apply. (WorldEnum still handles small instances.)
 		return Result{}, fmt.Errorf("core: MonteCarlo requires a polynomial-time evaluable query, got %v", cls)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	src := mc.NewSource(opts.Seed)
+	rng := rand.New(src)
+	run, resumeSt, err := newCkptRun(opts.Checkpoint, "monte-carlo", f, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	vars := logic.FreeVars(f)
 	k := len(vars)
 	normF := float64(1)
@@ -51,6 +57,16 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 	hFloat := 0.0
 	epsSum := 0.0
 	samples := 0
+	startTuple := 0
+	if resumeSt != nil {
+		if err := src.SetState(resumeSt.RNG); err != nil {
+			return Result{}, fmt.Errorf("%w: %v", checkpoint.ErrCorruptCheckpoint, err)
+		}
+		startTuple = resumeSt.Tuple
+		hFloat = resumeSt.HFloat
+		epsSum = resumeSt.EpsSum
+		samples = resumeSt.Samples
+	}
 	degraded := false
 	stopped := false // ctx canceled or budget exhausted: midpoint-fill the rest
 	ev := func(env logic.Env) func(*rel.Structure) (bool, error) {
@@ -58,15 +74,42 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 		return func(b *rel.Structure) (bool, error) { return logic.Eval(b, f, frozen) }
 	}
 	env := logic.Env{}
+	tupleIdx := 0
+	lastSaved := samples
+	var ckErr error
+	// saveBoundary snapshots "tuples before nextTuple are fully
+	// accumulated; the PRNG stream is at st". A run resumed from such a
+	// snapshot replays exactly the stream an uninterrupted run consumes,
+	// so the final estimate is bit-identical.
+	saveBoundary := func(nextTuple int, st mc.RNGState) bool {
+		if run == nil {
+			return true
+		}
+		lastSaved = samples
+		if err := run.save(engineState{Tuple: nextTuple, HFloat: hFloat, EpsSum: epsSum, Samples: samples, RNG: st}); err != nil {
+			ckErr = err
+			return false
+		}
+		return true
+	}
 	var innerErr error
 	rel.ForEachTuple(db.A.N, k, func(t rel.Tuple) bool {
-		if !stopped && ctx.Err() != nil {
-			stopped, degraded = true, true
+		idx := tupleIdx
+		tupleIdx++
+		if idx < startTuple {
+			// Already accumulated by the restored snapshot.
+			return true
 		}
 		budgetLeft := 0 // unlimited
 		if opts.Budget.MaxSamples > 0 {
-			if budgetLeft = opts.Budget.MaxSamples - samples; budgetLeft <= 0 {
-				stopped, degraded = true, true
+			budgetLeft = opts.Budget.MaxSamples - samples
+		}
+		if !stopped && (ctx.Err() != nil || (opts.Budget.MaxSamples > 0 && budgetLeft <= 0)) {
+			stopped, degraded = true, true
+			// The boundary snapshot that makes a drained run resumable: a
+			// restart replays from tuple idx at full accuracy.
+			if !saveBoundary(idx, src.State()) {
+				return false
 			}
 		}
 		if stopped {
@@ -82,11 +125,15 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 			innerErr = err
 			return false
 		}
+		preTuple := src.State()
 		est, err := mc.EstimateNuPadded(ctx, db, ev(env), opts.Xi, epsT, deltaT, budgetLeft, rng)
 		if errors.Is(err, mc.ErrNoSamples) {
-			// Canceled before this tuple could draw anything: fill it (and
-			// the rest) with the midpoint.
+			// Canceled before this tuple could draw anything: snapshot its
+			// start, then fill it (and the rest) with the midpoint.
 			stopped, degraded = true, true
+			if !saveBoundary(idx, preTuple) {
+				return false
+			}
 			hFloat += 0.5
 			epsSum += 0.5
 			return true
@@ -95,20 +142,41 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 			innerErr = err
 			return false
 		}
+		if est.Partial {
+			// The tuple was cut short mid-estimation. Snapshot the state at
+			// its start — excluding the partial draws — so a resumed run
+			// replays it in full; keep its widened contribution only for
+			// this run's degraded result.
+			stopped, degraded = true, true
+			if !saveBoundary(idx, preTuple) {
+				return false
+			}
+		}
 		samples += est.Samples
 		epsSum += est.Eps
-		if est.Partial {
-			degraded = true
-		}
 		if obs {
 			hFloat += 1 - est.Value
 		} else {
 			hFloat += est.Value
 		}
+		if run != nil && !stopped && samples-lastSaved >= run.every() {
+			if !saveBoundary(idx+1, src.State()) {
+				return false
+			}
+		}
 		return true
 	})
+	if ckErr != nil {
+		return Result{}, ckErr
+	}
 	if innerErr != nil {
 		return Result{}, innerErr
+	}
+	if run != nil && !stopped && samples != lastSaved {
+		// Completion snapshot: resuming a finished run is an instant replay.
+		if !saveBoundary(tupleIdx, src.State()) {
+			return Result{}, ckErr
+		}
 	}
 	if degraded && samples == 0 {
 		// Nothing was estimated at all; there is no partial result to
@@ -130,6 +198,8 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 		Samples:   samples,
 		Class:     logic.Classify(f),
 		Degraded:  degraded,
+		Seed:      opts.Seed,
+		Resumed:   run.wasResumed(),
 	}, nil
 }
 
@@ -153,7 +223,11 @@ func MonteCarloDirect(ctx context.Context, db *unreliable.DB, f logic.Formula, o
 	if cls := logic.Classify(f); cls == logic.ClassSecondOrder {
 		return Result{}, fmt.Errorf("core: MonteCarloDirect requires a polynomial-time evaluable query, got %v", cls)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	src := mc.NewSource(opts.Seed)
+	run, resumeSt, err := newCkptRun(opts.Checkpoint, "monte-carlo-direct", f, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	observed, err := answerSet(db.A, f)
 	if err != nil {
 		return Result{}, err
@@ -163,13 +237,13 @@ func MonteCarloDirect(ctx context.Context, db *unreliable.DB, f logic.Formula, o
 	for i := 0; i < k; i++ {
 		normF *= float64(db.A.N)
 	}
-	est, err := mc.EstimateMean(ctx, db, func(b *rel.Structure) (float64, error) {
+	est, err := mc.EstimateMeanCk(ctx, db, func(b *rel.Structure) (float64, error) {
 		actual, err := answerSet(b, f)
 		if err != nil {
 			return 0, err
 		}
 		return float64(symmetricDiffSize(observed, actual)) / normF, nil
-	}, opts.Eps, opts.Delta, opts.Budget.MaxSamples, rng)
+	}, opts.Eps, opts.Delta, opts.Budget.MaxSamples, src, run.loopCkpt(resumeSt))
 	if err != nil {
 		return Result{}, err
 	}
@@ -184,6 +258,8 @@ func MonteCarloDirect(ctx context.Context, db *unreliable.DB, f logic.Formula, o
 		Samples:   est.Samples,
 		Class:     logic.Classify(f),
 		Degraded:  est.Partial,
+		Seed:      opts.Seed,
+		Resumed:   run.wasResumed(),
 	}, nil
 }
 
@@ -204,7 +280,11 @@ func MonteCarloRare(ctx context.Context, db *unreliable.DB, f logic.Formula, opt
 	if cls := logic.Classify(f); cls == logic.ClassSecondOrder {
 		return Result{}, fmt.Errorf("core: MonteCarloRare requires a polynomial-time evaluable query, got %v", cls)
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	src := mc.NewSource(opts.Seed)
+	run, resumeSt, err := newCkptRun(opts.Checkpoint, "monte-carlo-rare", f, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	observed, err := answerSet(db.A, f)
 	if err != nil {
 		return Result{}, err
@@ -214,13 +294,13 @@ func MonteCarloRare(ctx context.Context, db *unreliable.DB, f logic.Formula, opt
 	for i := 0; i < k; i++ {
 		normF *= float64(db.A.N)
 	}
-	est, err := mc.EstimateMeanRare(ctx, db, func(b *rel.Structure) (float64, error) {
+	est, err := mc.EstimateMeanRareCk(ctx, db, func(b *rel.Structure) (float64, error) {
 		actual, err := answerSet(b, f)
 		if err != nil {
 			return 0, err
 		}
 		return float64(symmetricDiffSize(observed, actual)) / normF, nil
-	}, opts.Eps, opts.Delta, opts.Budget.MaxSamples, rng)
+	}, opts.Eps, opts.Delta, opts.Budget.MaxSamples, src, run.loopCkpt(resumeSt))
 	if err != nil {
 		return Result{}, err
 	}
@@ -235,5 +315,7 @@ func MonteCarloRare(ctx context.Context, db *unreliable.DB, f logic.Formula, opt
 		Samples:   est.Samples,
 		Class:     logic.Classify(f),
 		Degraded:  est.Partial,
+		Seed:      opts.Seed,
+		Resumed:   run.wasResumed(),
 	}, nil
 }

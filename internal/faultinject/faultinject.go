@@ -40,6 +40,24 @@ const (
 	// queue deterministically).
 	SiteServerAdmit  = "server/admit"
 	SiteServerHandle = "server/handle"
+	// Disk-fault sites (internal/checkpoint). Each simulates one failure
+	// window of the write-temp + fsync + rename protocol; arm with any
+	// non-nil Err (the error value doubles as the trigger).
+	//
+	//   SiteCkptShortWrite — only half the snapshot bytes reach the disk
+	//   but the rename still happens: a torn snapshot is committed, which
+	//   the CRC check must reject on load.
+	//   SiteCkptBitFlip — one payload byte is flipped after the write:
+	//   silent media corruption, again caught only by the CRC.
+	//   SiteCkptRename — the rename fails: Save errors, the previous
+	//   snapshot stays the newest good one.
+	//   SiteCkptCrash — the process "dies" between the temp write and the
+	//   rename: Save errors, an orphaned .tmp file is left behind and
+	//   must be ignored (and cleaned up) by later loads and saves.
+	SiteCkptShortWrite = "ckpt/short-write"
+	SiteCkptBitFlip    = "ckpt/bit-flip"
+	SiteCkptRename     = "ckpt/rename"
+	SiteCkptCrash      = "ckpt/crash-window"
 )
 
 // Fault describes one armed fault. The zero value is a no-op; set at

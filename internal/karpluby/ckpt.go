@@ -1,0 +1,63 @@
+package karpluby
+
+import (
+	"fmt"
+
+	"qrel/internal/mc"
+)
+
+// Checkpoint plumbing for the Karp–Luby iteration loops, mirroring the
+// contract of the mc package: the complete loop state at an iteration
+// boundary is (iterations done, hits, PRNG state), so a resumed run
+// draws the identical remainder of the sample stream and its estimate
+// is bit-identical to an uninterrupted run with the same seed.
+
+// klMethod tags Karp–Luby snapshots; restoring a snapshot taken by a
+// different estimator is rejected.
+const klMethod = "karp-luby"
+
+// restoreLoop applies ck.Resume (if any) to the loop counters.
+func restoreLoop(ck *mc.Ckpt, src *mc.Source, iter, hits *int) error {
+	if ck == nil || ck.Resume == nil {
+		return nil
+	}
+	st := ck.Resume
+	if st.Method != klMethod {
+		return fmt.Errorf("karpluby: snapshot was taken by estimator %q, cannot resume %q", st.Method, klMethod)
+	}
+	if src == nil {
+		return fmt.Errorf("karpluby: resuming requires a serializable source")
+	}
+	if st.Drawn < 0 || st.Hits < 0 || st.Hits > st.Drawn {
+		return fmt.Errorf("karpluby: implausible snapshot state drawn=%d hits=%d", st.Drawn, st.Hits)
+	}
+	if err := src.SetState(st.RNG); err != nil {
+		return err
+	}
+	*iter = st.Drawn
+	*hits = st.Hits
+	return nil
+}
+
+// maybeSaveLoop snapshots every ck.Every iterations.
+func maybeSaveLoop(ck *mc.Ckpt, src *mc.Source, iter, hits int) error {
+	if ck == nil || ck.Save == nil || ck.Every <= 0 || iter == 0 || iter%ck.Every != 0 {
+		return nil
+	}
+	if ck.Resume != nil && iter == ck.Resume.Drawn {
+		return nil // the resumed boundary is already persisted
+	}
+	return ck.Save(mc.LoopState{Method: klMethod, Drawn: iter, Hits: hits, RNG: src.State()})
+}
+
+// finalSaveLoop snapshots the completed loop so a re-run replays
+// instantly instead of resampling.
+func finalSaveLoop(ck *mc.Ckpt, src *mc.Source, iter, hits int) error {
+	if ck == nil || ck.Save == nil {
+		return nil
+	}
+	if ck.Resume != nil && iter == ck.Resume.Drawn {
+		return nil
+	}
+	return ck.Save(mc.LoopState{Method: klMethod, Drawn: iter, Hits: hits, RNG: src.State()})
+}

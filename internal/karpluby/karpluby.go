@@ -11,6 +11,7 @@ import (
 	"math/big"
 	"math/rand"
 
+	"qrel/internal/mc"
 	"qrel/internal/prop"
 )
 
@@ -96,6 +97,19 @@ func (r CountResult) Float() float64 {
 // The estimator is unbiased with expectation #DNF/U ≥ 1/m, so Lemma
 // 5.11 gives the (ε, δ) guarantee for t = SampleSize(eps, delta, m).
 func CountDNF(d prop.DNF, eps, delta float64, rng *rand.Rand) (CountResult, error) {
+	return countDNFLoop(d, eps, delta, rng, nil, nil)
+}
+
+// CountDNFCk is CountDNF over a serializable source with
+// checkpoint/resume plumbing (see mc.Ckpt): the loop state — iteration
+// count, hit count, PRNG state — is snapshotted every ck.Every
+// iterations and at completion, and a run resumed from a snapshot is
+// bit-identical to an uninterrupted one.
+func CountDNFCk(d prop.DNF, eps, delta float64, src *mc.Source, ck *mc.Ckpt) (CountResult, error) {
+	return countDNFLoop(d, eps, delta, rand.New(src), src, ck)
+}
+
+func countDNFLoop(d prop.DNF, eps, delta float64, rng *rand.Rand, src *mc.Source, ck *mc.Ckpt) (CountResult, error) {
 	norm := normalizedTerms(d)
 	if len(norm) == 0 {
 		return CountResult{Estimate: new(big.Rat)}, nil
@@ -110,13 +124,23 @@ func CountDNF(d prop.DNF, eps, delta float64, rng *rand.Rand) (CountResult, erro
 		return CountResult{Estimate: new(big.Rat)}, nil
 	}
 	hits := 0
+	iter := 0
+	if err := restoreLoop(ck, src, &iter, &hits); err != nil {
+		return CountResult{}, err
+	}
 	a := make([]bool, d.NumVars)
-	for iter := 0; iter < t; iter++ {
+	for ; iter < t; iter++ {
+		if err := maybeSaveLoop(ck, src, iter, hits); err != nil {
+			return CountResult{}, err
+		}
 		i := pickCumulative(rng, cum, total)
 		sampleTermAssignment(rng, norm[i], a, nil)
 		if firstSatisfied(norm, a) == i {
 			hits++
 		}
+	}
+	if err := finalSaveLoop(ck, src, iter, hits); err != nil {
+		return CountResult{}, err
 	}
 	est := new(big.Rat).SetInt(total)
 	est.Mul(est, big.NewRat(int64(hits), int64(t)))
@@ -133,6 +157,17 @@ func CountDNF(d prop.DNF, eps, delta float64, rng *rand.Rand) (CountResult, erro
 // implemented by Reduce (Theorem 5.3). Both are compared in experiment
 // E10.
 func ProbDNF(d prop.DNF, p prop.ProbAssignment, eps, delta float64, rng *rand.Rand) (CountResult, error) {
+	return probDNFLoop(d, p, eps, delta, rng, nil, nil)
+}
+
+// ProbDNFCk is ProbDNF over a serializable source with
+// checkpoint/resume plumbing (see mc.Ckpt); a run resumed from a
+// snapshot is bit-identical to an uninterrupted one.
+func ProbDNFCk(d prop.DNF, p prop.ProbAssignment, eps, delta float64, src *mc.Source, ck *mc.Ckpt) (CountResult, error) {
+	return probDNFLoop(d, p, eps, delta, rand.New(src), src, ck)
+}
+
+func probDNFLoop(d prop.DNF, p prop.ProbAssignment, eps, delta float64, rng *rand.Rand, src *mc.Source, ck *mc.Ckpt) (CountResult, error) {
 	if err := p.Validate(d.NumVars); err != nil {
 		return CountResult{}, err
 	}
@@ -164,8 +199,15 @@ func ProbDNF(d prop.DNF, p prop.ProbAssignment, eps, delta float64, rng *rand.Ra
 		return CountResult{Estimate: new(big.Rat)}, nil
 	}
 	hits := 0
+	iter := 0
+	if err := restoreLoop(ck, src, &iter, &hits); err != nil {
+		return CountResult{}, err
+	}
 	a := make([]bool, d.NumVars)
-	for iter := 0; iter < t; iter++ {
+	for ; iter < t; iter++ {
+		if err := maybeSaveLoop(ck, src, iter, hits); err != nil {
+			return CountResult{}, err
+		}
 		r := rng.Float64() * sum
 		i := 0
 		for i < len(cum)-1 && cum[i] <= r {
@@ -175,6 +217,9 @@ func ProbDNF(d prop.DNF, p prop.ProbAssignment, eps, delta float64, rng *rand.Ra
 		if firstSatisfied(norm, a) == i {
 			hits++
 		}
+	}
+	if err := finalSaveLoop(ck, src, iter, hits); err != nil {
+		return CountResult{}, err
 	}
 	est := new(big.Rat).Set(weightsExact)
 	est.Mul(est, big.NewRat(int64(hits), int64(t)))

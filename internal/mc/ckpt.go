@@ -1,0 +1,99 @@
+package mc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// Checkpoint plumbing for the sampling loops. Every estimator in this
+// package is a loop drawing i.i.d. samples from a PRNG stream; its
+// complete state at a sample boundary is the number of samples drawn,
+// the running aggregate (sum or hit count), and the PRNG state. A
+// LoopState captures exactly that, so a run resumed from a snapshot
+// consumes the identical remainder of the stream an uninterrupted run
+// would have — the resumed estimate is bit-identical, and every
+// statistical guarantee derived for the uninterrupted run carries over
+// unchanged.
+
+// LoopState is the serializable state of one estimator loop at a
+// sample boundary.
+type LoopState struct {
+	// Method names the estimator that produced the state ("hoeffding",
+	// "padded", "rare-event", "karp-luby"); restoring into a different
+	// estimator is rejected.
+	Method string `json:"method"`
+	// Drawn is the number of samples already drawn.
+	Drawn int `json:"drawn"`
+	// Hits is the success count of counting estimators.
+	Hits int `json:"hits,omitempty"`
+	// Sum is the running sum of mean estimators.
+	Sum float64 `json:"sum,omitempty"`
+	// RNG is the PRNG state immediately after sample Drawn.
+	RNG RNGState `json:"rng"`
+}
+
+// Ckpt wires periodic checkpointing into a sampling loop. The loop
+// calls Save at sample boundaries: every Every samples, on context
+// cancellation (so a drained or deadline-hit run remains resumable),
+// and once more at completion. A Save error aborts the run — silent
+// loss of durability is not an option in the robustness line. Resume,
+// when non-nil, restores the loop to a previously saved state before
+// the first draw.
+type Ckpt struct {
+	// Every is the number of samples between periodic snapshots
+	// (<= 0 disables periodic saves; boundary saves still fire).
+	Every int
+	// Save persists one snapshot; an error aborts the estimator.
+	Save func(LoopState) error
+	// Resume, when non-nil, is the state to continue from.
+	Resume *LoopState
+}
+
+// restore validates and applies ck.Resume to the loop counters.
+func (ck *Ckpt) restore(method string, src *Source, drawn, hits *int, sum *float64) error {
+	st := ck.Resume
+	if st.Method != method {
+		return fmt.Errorf("mc: snapshot was taken by estimator %q, cannot resume %q", st.Method, method)
+	}
+	if src == nil {
+		return fmt.Errorf("mc: resuming requires a serializable Source")
+	}
+	if st.Drawn < 0 || (hits != nil && (st.Hits < 0 || st.Hits > st.Drawn)) {
+		return fmt.Errorf("mc: implausible snapshot state drawn=%d hits=%d", st.Drawn, st.Hits)
+	}
+	if err := src.SetState(st.RNG); err != nil {
+		return err
+	}
+	*drawn = st.Drawn
+	if hits != nil {
+		*hits = st.Hits
+	}
+	if sum != nil {
+		*sum = st.Sum
+	}
+	return nil
+}
+
+// EstimateMeanCk is EstimateMean over a serializable source with
+// checkpoint/resume plumbing. With ck == nil it is EstimateMean.
+func EstimateMeanCk(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, src *Source, ck *Ckpt) (Estimate, error) {
+	return estimateMeanLoop(ctx, db, f, eps, delta, maxSamples, rand.New(src), src, ck)
+}
+
+// EstimateNuPaddedCk is EstimateNuPadded over a serializable source
+// with checkpoint/resume plumbing. With ck == nil it is
+// EstimateNuPadded.
+func EstimateNuPaddedCk(ctx context.Context, db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, maxSamples int, src *Source, ck *Ckpt) (Estimate, error) {
+	return estimateNuPaddedLoop(ctx, db, pred, xi, eps, delta, maxSamples, rand.New(src), src, ck)
+}
+
+// EstimateMeanRareCk is EstimateMeanRare over a serializable source
+// with checkpoint/resume plumbing. With ck == nil it is
+// EstimateMeanRare.
+func EstimateMeanRareCk(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, src *Source, ck *Ckpt) (Estimate, error) {
+	return estimateMeanRareLoop(ctx, db, f, eps, delta, maxSamples, rand.New(src), src, ck)
+}

@@ -126,6 +126,12 @@ func PaperSampleSize(xi, eps, delta float64) (int, error) {
 // sample count supports. Only a stop before the very first sample is an
 // error (wrapping ErrNoSamples).
 func EstimateMean(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, rng *rand.Rand) (Estimate, error) {
+	return estimateMeanLoop(ctx, db, f, eps, delta, maxSamples, rng, nil, nil)
+}
+
+// estimateMeanLoop is the shared sampling loop behind EstimateMean and
+// EstimateMeanCk; src and ck are nil for uncheckpointed runs.
+func estimateMeanLoop(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, rng *rand.Rand, src *Source, ck *Ckpt) (Estimate, error) {
 	requested, err := HoeffdingSampleSize(eps, delta)
 	if err != nil {
 		// The requested accuracy is unaffordable; with a sample budget we
@@ -138,20 +144,44 @@ func EstimateMean(ctx context.Context, db *unreliable.DB, f func(*rel.Structure)
 	t, _ := clampSamples(requested, maxSamples)
 	sum := 0.0
 	drawn := 0
-	for i := 0; i < t; i++ {
-		if i%ctxPollStride == 0 && ctx.Err() != nil {
+	if ck != nil && ck.Resume != nil {
+		if err := ck.restore("hoeffding", src, &drawn, nil, &sum); err != nil {
+			return Estimate{}, err
+		}
+	}
+	lastSave := drawn
+	save := func() error {
+		if ck == nil || ck.Save == nil || drawn == lastSave {
+			return nil
+		}
+		lastSave = drawn
+		return ck.Save(LoopState{Method: "hoeffding", Drawn: drawn, Sum: sum, RNG: src.State()})
+	}
+	for drawn < t {
+		if drawn%ctxPollStride == 0 && ctx.Err() != nil {
 			break
+		}
+		if ck != nil && ck.Every > 0 && drawn-lastSave >= ck.Every {
+			if err := save(); err != nil {
+				return Estimate{}, err
+			}
 		}
 		b := db.SampleWorld(rng)
 		v, err := f(b)
 		if err != nil {
-			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", i, err)
+			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", drawn, err)
 		}
 		if v < 0 || v > 1 {
 			return Estimate{}, fmt.Errorf("mc: sample value %v outside [0,1]", v)
 		}
 		sum += v
 		drawn++
+	}
+	// Boundary snapshot: after a cancellation this is the final state a
+	// restart resumes from (the drain contract); after completion it lets
+	// a re-run of the same job replay the finished state instantly.
+	if err := save(); err != nil {
+		return Estimate{}, err
 	}
 	if drawn == 0 {
 		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSamples, ctx.Err())
@@ -202,6 +232,13 @@ const DefaultXi = 0.25
 // Partial = true and Eps widened by inverting the Theorem 5.12 sample
 // bound at the realized count.
 func EstimateNuPadded(ctx context.Context, db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, maxSamples int, rng *rand.Rand) (Estimate, error) {
+	return estimateNuPaddedLoop(ctx, db, pred, xi, eps, delta, maxSamples, rng, nil, nil)
+}
+
+// estimateNuPaddedLoop is the shared sampling loop behind
+// EstimateNuPadded and EstimateNuPaddedCk; src and ck are nil for
+// uncheckpointed runs.
+func estimateNuPaddedLoop(ctx context.Context, db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, maxSamples int, rng *rand.Rand, src *Source, ck *Ckpt) (Estimate, error) {
 	if xi == 0 {
 		xi = DefaultXi
 	}
@@ -216,14 +253,32 @@ func EstimateNuPadded(ctx context.Context, db *unreliable.DB, pred func(*rel.Str
 	t, _ := clampSamples(requested, maxSamples)
 	hits := 0
 	drawn := 0
-	for i := 0; i < t; i++ {
-		if i%ctxPollStride == 0 && ctx.Err() != nil {
+	if ck != nil && ck.Resume != nil {
+		if err := ck.restore("padded", src, &drawn, &hits, nil); err != nil {
+			return Estimate{}, err
+		}
+	}
+	lastSave := drawn
+	save := func() error {
+		if ck == nil || ck.Save == nil || drawn == lastSave {
+			return nil
+		}
+		lastSave = drawn
+		return ck.Save(LoopState{Method: "padded", Drawn: drawn, Hits: hits, RNG: src.State()})
+	}
+	for drawn < t {
+		if drawn%ctxPollStride == 0 && ctx.Err() != nil {
 			break
+		}
+		if ck != nil && ck.Every > 0 && drawn-lastSave >= ck.Every {
+			if err := save(); err != nil {
+				return Estimate{}, err
+			}
 		}
 		b := db.SampleWorld(rng)
 		v, err := pred(b)
 		if err != nil {
-			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", i, err)
+			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", drawn, err)
 		}
 		rc := rng.Float64() < xi
 		rd := rng.Float64() < xi
@@ -231,6 +286,9 @@ func EstimateNuPadded(ctx context.Context, db *unreliable.DB, pred func(*rel.Str
 			hits++
 		}
 		drawn++
+	}
+	if err := save(); err != nil {
+		return Estimate{}, err
 	}
 	if drawn == 0 {
 		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSamples, ctx.Err())

@@ -98,6 +98,13 @@ func SampleWorldConditional(db *unreliable.DB, rng *rand.Rand) (*rel.Structure, 
 // Partial = true and Eps = Z·ε_Hoeffding(t') widened to the realized
 // sample count.
 func EstimateMeanRare(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, rng *rand.Rand) (Estimate, error) {
+	return estimateMeanRareLoop(ctx, db, f, eps, delta, maxSamples, rng, nil, nil)
+}
+
+// estimateMeanRareLoop is the shared sampling loop behind
+// EstimateMeanRare and EstimateMeanRareCk; src and ck are nil for
+// uncheckpointed runs.
+func estimateMeanRareLoop(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, rng *rand.Rand, src *Source, ck *Ckpt) (Estimate, error) {
 	if eps <= 0 || delta <= 0 || delta >= 1 {
 		return Estimate{}, fmt.Errorf("mc: need eps > 0 and 0 < delta < 1, got eps=%v delta=%v", eps, delta)
 	}
@@ -108,7 +115,9 @@ func EstimateMeanRare(ctx context.Context, db *unreliable.DB, f func(*rel.Struct
 		return Estimate{Value: 0, Samples: 0, Eps: eps, Delta: delta, Method: "rare-event"}, nil
 	}
 	if zf >= 1 {
-		return EstimateMean(ctx, db, f, eps, delta, maxSamples, rng)
+		// Z is a function of the database alone, so a job that fell back
+		// here on its first run falls back identically on resume.
+		return estimateMeanLoop(ctx, db, f, eps, delta, maxSamples, rng, src, ck)
 	}
 	// Conditional mean must be estimated to eps/Z absolute error.
 	requested := int(math.Ceil(zf * zf * math.Log(2/delta) / (2 * eps * eps)))
@@ -124,9 +133,27 @@ func EstimateMeanRare(ctx context.Context, db *unreliable.DB, f func(*rel.Struct
 	t, _ := clampSamples(requested, maxSamples)
 	sum := 0.0
 	drawn := 0
-	for i := 0; i < t; i++ {
-		if i%ctxPollStride == 0 && ctx.Err() != nil {
+	if ck != nil && ck.Resume != nil {
+		if err := ck.restore("rare-event", src, &drawn, nil, &sum); err != nil {
+			return Estimate{}, err
+		}
+	}
+	lastSave := drawn
+	save := func() error {
+		if ck == nil || ck.Save == nil || drawn == lastSave {
+			return nil
+		}
+		lastSave = drawn
+		return ck.Save(LoopState{Method: "rare-event", Drawn: drawn, Sum: sum, RNG: src.State()})
+	}
+	for drawn < t {
+		if drawn%ctxPollStride == 0 && ctx.Err() != nil {
 			break
+		}
+		if ck != nil && ck.Every > 0 && drawn-lastSave >= ck.Every {
+			if err := save(); err != nil {
+				return Estimate{}, err
+			}
 		}
 		b, err := SampleWorldConditional(db, rng)
 		if err != nil {
@@ -134,13 +161,16 @@ func EstimateMeanRare(ctx context.Context, db *unreliable.DB, f func(*rel.Struct
 		}
 		v, err := f(b)
 		if err != nil {
-			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", i, err)
+			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", drawn, err)
 		}
 		if v < 0 || v > 1 {
 			return Estimate{}, fmt.Errorf("mc: sample value %v outside [0,1]", v)
 		}
 		sum += v
 		drawn++
+	}
+	if err := save(); err != nil {
+		return Estimate{}, err
 	}
 	if drawn == 0 {
 		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSamples, ctx.Err())

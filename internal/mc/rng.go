@@ -1,0 +1,91 @@
+package mc
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// This file provides the serializable PRNG used by every randomized
+// engine. The stock math/rand source hides its state, so a sampling
+// loop interrupted by a crash could never resume on the same random
+// stream; Source is a xoshiro256** generator (Blackman & Vigna) whose
+// 256-bit state can be captured at any sample boundary and restored
+// later, making a resumed run bit-identical to an uninterrupted run
+// with the same seed. All engines construct their generator through
+// NewRand, so the checkpoint/resume guarantee holds whether or not a
+// particular run checkpoints.
+
+// RNGState is the serializable 256-bit state of a Source. The zero
+// value is invalid (xoshiro's state must never be all-zero); states
+// obtained from Source.State are always valid.
+type RNGState [4]uint64
+
+// IsZero reports the invalid all-zero state.
+func (st RNGState) IsZero() bool { return st == RNGState{} }
+
+// Source is a serializable rand.Source64: xoshiro256** seeded through
+// splitmix64, per the reference implementation's recommendation. Not
+// safe for concurrent use (neither is rand.Rand).
+type Source struct {
+	s [4]uint64
+}
+
+// NewSource returns a Source deterministically seeded from seed.
+func NewSource(seed int64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// NewRand returns a *rand.Rand over a fresh Source. This is how every
+// engine turns Options.Seed into its generator.
+func NewRand(seed int64) *rand.Rand { return rand.New(NewSource(seed)) }
+
+// Seed resets the source to the deterministic state derived from seed
+// by four rounds of splitmix64 (which cannot produce the forbidden
+// all-zero xoshiro state from any input).
+func (s *Source) Seed(seed int64) {
+	x := uint64(seed)
+	for i := range s.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		s.s[i] = z ^ (z >> 31)
+	}
+	if s.s == [4]uint64{} {
+		s.s[0] = 1 // unreachable in practice; keep the invariant anyway
+	}
+}
+
+// Uint64 advances the generator (xoshiro256**).
+func (s *Source) Uint64() uint64 {
+	r := bits.RotateLeft64(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = bits.RotateLeft64(s.s[3], 45)
+	return r
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// State captures the current state; restoring it with SetState resumes
+// the stream at exactly this point.
+func (s *Source) State() RNGState { return RNGState(s.s) }
+
+// SetState restores a state captured by State. The all-zero state is
+// rejected: it is xoshiro's absorbing fixed point and can only come
+// from a zero-valued (never-captured) snapshot.
+func (s *Source) SetState(st RNGState) error {
+	if st.IsZero() {
+		return fmt.Errorf("mc: refusing to restore all-zero RNG state")
+	}
+	s.s = st
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net/http"
 
+	"qrel/internal/checkpoint"
 	"qrel/internal/core"
 )
 
@@ -35,6 +36,11 @@ type Request struct {
 	MaxSamples  int    `json:"max_samples,omitempty"`
 	MaxBDDNodes int    `json:"max_bdd_nodes,omitempty"`
 	MaxWorlds   uint64 `json:"max_worlds,omitempty"`
+	// IdempotencyKey names a durable job (POST /v1/jobs only). The job ID
+	// is derived from it, so re-submitting the same key returns the
+	// existing job — running, done, or failed — instead of starting a
+	// duplicate computation.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // TrailStep mirrors core.FallbackStep on the wire.
@@ -71,6 +77,13 @@ type Response struct {
 	// abandoned (or skipped by an open circuit breaker) before Engine
 	// produced this result.
 	FallbackTrail []TrailStep `json:"fallback_trail,omitempty"`
+	// Seed echoes the PRNG seed the computation ran under; rerunning with
+	// it (same query, database, accuracy) reproduces the estimate
+	// bit-for-bit.
+	Seed int64 `json:"seed"`
+	// Resumed reports that the computation restored a checkpoint and
+	// continued from it rather than starting fresh.
+	Resumed bool `json:"resumed,omitempty"`
 	// ElapsedMS is the server-side wall-clock time in milliseconds,
 	// including queueing.
 	ElapsedMS int64 `json:"elapsed_ms"`
@@ -99,6 +112,8 @@ const (
 	KindEngineFailed = "engine-failed"
 	KindShedding     = "shedding"
 	KindDraining     = "draining"
+	KindCheckpoint   = "checkpoint"
+	KindJobsDisabled = "jobs-disabled"
 )
 
 // statusFor maps the PR 1 typed error taxonomy onto HTTP statuses:
@@ -107,6 +122,8 @@ const (
 // input-validation failure and maps to 400.
 func statusFor(err error) (int, string) {
 	switch {
+	case errors.Is(err, core.ErrCheckpointMismatch), errors.Is(err, checkpoint.ErrCorruptCheckpoint):
+		return http.StatusConflict, KindCheckpoint
 	case errors.Is(err, core.ErrCanceled):
 		return http.StatusRequestTimeout, KindCanceled
 	case errors.Is(err, core.ErrBudgetExceeded):
@@ -132,6 +149,8 @@ func toResponse(res core.Result, elapsedMS int64) *Response {
 		Samples:   res.Samples,
 		Class:     res.Class.String(),
 		Degraded:  res.Degraded,
+		Seed:      res.Seed,
+		Resumed:   res.Resumed,
 		ElapsedMS: elapsedMS,
 	}
 	if res.R != nil {

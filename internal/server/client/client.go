@@ -191,6 +191,81 @@ func parseRetryAfter(resp *http.Response) time.Duration {
 	return 0
 }
 
+// SubmitJob posts a durable job (POST /v1/jobs). The request must
+// carry an idempotency key; re-submitting the same key re-attaches to
+// the existing job, so SubmitJob is safe to retry blindly.
+func (c *Client) SubmitJob(ctx context.Context, req server.Request) (*server.JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	return c.doJob(httpReq)
+}
+
+// GetJob polls a durable job (GET /v1/jobs/{id}).
+func (c *Client) GetJob(ctx context.Context, id string) (*server.JobStatus, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.doJob(httpReq)
+}
+
+// WaitJob polls a job until it leaves the running state (or ctx ends).
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*server.JobStatus, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.GetJob(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != server.JobRunning {
+			return st, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// doJob performs one job-API request and decodes the status body.
+func (c *Client) doJob(httpReq *http.Request) (*server.JobStatus, error) {
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	resp, err := httpClient.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		var st server.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return nil, fmt.Errorf("client: decoding job status: %w", err)
+		}
+		return &st, nil
+	}
+	apiErr := &APIError{Status: resp.StatusCode, retryAfter: parseRetryAfter(resp)}
+	var ec server.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ec); err == nil {
+		apiErr.Kind = ec.Kind
+		apiErr.Message = ec.Error
+	} else {
+		apiErr.Message = resp.Status
+	}
+	return nil, apiErr
+}
+
 // Statz fetches the server's /statz snapshot.
 func (c *Client) Statz(ctx context.Context) (*server.Statz, error) {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/statz", nil)

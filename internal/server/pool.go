@@ -25,6 +25,11 @@ type task struct {
 	res    core.Result
 	err    error
 	done   chan struct{}
+	// onDone, when set, runs on the worker after res/err are set and
+	// before done closes — the hook durable jobs use to journal their
+	// outcome (or, when the drain canceled them, to stay journaled as
+	// running so a restart resumes them).
+	onDone func(*task)
 }
 
 // startWorkers launches the bounded worker pool. Workers run until
@@ -80,5 +85,8 @@ func (s *Server) runTask(t *task) {
 		s.stats.canceled.Add(1)
 	default:
 		s.stats.failed.Add(1)
+	}
+	if t.onDone != nil {
+		t.onDone(t)
 	}
 }

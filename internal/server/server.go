@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qrel/internal/checkpoint"
 	"qrel/internal/core"
 	"qrel/internal/faultinject"
 	"qrel/internal/logic"
@@ -55,6 +56,14 @@ type Config struct {
 	// MaxEnumAtoms caps exact world enumeration per request (zero keeps
 	// the core default).
 	MaxEnumAtoms int
+	// CheckpointDir is the root directory for durable jobs: each job gets
+	// a journal plus a crash-safe snapshot store under it, and a restart
+	// scans it to resume interrupted jobs (see RecoverJobs). Empty
+	// disables the /v1/jobs API.
+	CheckpointDir string
+	// CheckpointEvery is the number of samples between job snapshots
+	// (zero uses core.DefaultCheckpointEvery).
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +113,13 @@ type Server struct {
 
 	dbMu sync.RWMutex
 	dbs  map[string]*unreliable.DB
+
+	// Durable-job state (nil maps/zero values when CheckpointDir is
+	// unset). jobMu guards jobs; ckptMetrics aggregates snapshot-store
+	// counters across every job for /statz.
+	jobMu       sync.Mutex
+	jobs        map[string]*JobStatus
+	ckptMetrics checkpoint.Metrics
 }
 
 // New creates a server and starts its worker pool.
@@ -116,6 +132,7 @@ func New(cfg Config) *Server {
 		tasks:       make(chan *task, cfg.QueueDepth),
 		stopWorkers: make(chan struct{}),
 		dbs:         map[string]*unreliable.DB{},
+		jobs:        map[string]*JobStatus{},
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.startWorkers()
@@ -156,12 +173,16 @@ func (s *Server) lookup(name string) (*unreliable.DB, bool) {
 // Handler returns the service mux:
 //
 //	POST /v1/reliability — run a reliability computation
+//	POST /v1/jobs        — submit (or re-attach to) a durable job
+//	GET  /v1/jobs/{id}   — poll a durable job
 //	GET  /healthz        — liveness (200 while the process runs)
 //	GET  /readyz         — readiness (503 once draining)
 //	GET  /statz          — JSON snapshot of queue/breaker/shed state
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reliability", s.handleReliability)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statz", s.handleStatz)
@@ -249,12 +270,29 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 // database and parsing the query. All failures here are the caller's
 // fault: 400 or 404, before any queue slot is consumed.
 func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*task, int, string, error) {
+	req, status, kind, err := s.decodeRequest(w, r)
+	if err != nil {
+		return nil, status, kind, err
+	}
+	return s.buildTask(req)
+}
+
+// decodeRequest reads and unmarshals the JSON body.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request, int, string, error) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("decoding request: %w", err)
 	}
+	return &req, 0, "", nil
+}
+
+// buildTask validates a decoded request — resolving the database,
+// parsing the query, assembling core.Options — and returns the pool
+// task. Shared by the synchronous endpoint, job submission, and the
+// startup job-recovery scan (which replays journaled requests).
+func (s *Server) buildTask(req *Request) (*task, int, string, error) {
 	if req.Query == "" {
 		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("missing \"query\"")
 	}

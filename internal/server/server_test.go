@@ -271,9 +271,9 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 	s, ts := newTestServer(t, Config{Breaker: BreakerConfig{Threshold: 1, Cooldown: 30 * time.Millisecond}})
 	faultinject.Enable(faultinject.SiteQFree, faultinject.Fault{Panic: "still down"})
 	req := Request{DB: "g", Query: "S(x)"}
-	post(t, ts.URL, req)                        // trips (threshold 1)
-	time.Sleep(40 * time.Millisecond)           // cooldown elapses
-	post(t, ts.URL, req)                        // half-open probe crashes again
+	post(t, ts.URL, req)              // trips (threshold 1)
+	time.Sleep(40 * time.Millisecond) // cooldown elapses
+	post(t, ts.URL, req)              // half-open probe crashes again
 	if b := s.breakers.Snapshot()["qfree"]; b.State != breakerOpen || b.Trips != 2 {
 		t.Fatalf("breaker %+v, want re-opened with 2 trips", b)
 	}
@@ -402,4 +402,3 @@ func getStatus(t *testing.T, url string) int {
 	resp.Body.Close()
 	return resp.StatusCode
 }
-

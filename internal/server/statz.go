@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"qrel/internal/checkpoint"
 )
 
 // stats holds the server's monotonic counters and gauges. All fields
@@ -21,6 +23,15 @@ type stats struct {
 	canceled  atomic.Int64
 	// inflight gauges computations currently running in a worker.
 	inflight atomic.Int64
+	// Durable-job counters: submitted (new jobs accepted), done/failed
+	// (finalized outcomes), suspended (drain-canceled jobs left journaled
+	// as running for the next process to resume), recovered (jobs
+	// re-admitted by the startup scan).
+	jobsSubmitted atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsSuspended atomic.Int64
+	jobsRecovered atomic.Int64
 }
 
 // Statz is the JSON body of GET /statz: a point-in-time snapshot of the
@@ -43,6 +54,12 @@ type Statz struct {
 	Canceled  int64 `json:"canceled"`
 	// Draining reports that the server has stopped accepting work.
 	Draining bool `json:"draining"`
+	// Jobs counts durable-job outcomes since start; Checkpoints
+	// aggregates the snapshot stores of every job (written, resumed,
+	// corrupt-rejected, bytes). Present only when a checkpoint dir is
+	// configured.
+	Jobs        *JobStatz            `json:"jobs,omitempty"`
+	Checkpoints *checkpoint.Snapshot `json:"checkpoints,omitempty"`
 	// Breakers maps engine names to their circuit-breaker state.
 	Breakers map[string]BreakerStatz `json:"breakers"`
 	// Databases lists the registered database names.
@@ -51,10 +68,34 @@ type Statz struct {
 	UptimeMS int64 `json:"uptime_ms"`
 }
 
+// JobStatz is the durable-job section of Statz.
+type JobStatz struct {
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Suspended int64 `json:"suspended"`
+	Recovered int64 `json:"recovered"`
+}
+
 // Statz snapshots the server state for GET /statz (also usable
 // programmatically, e.g. by tests and the selftest).
 func (s *Server) Statz() Statz {
+	var jobs *JobStatz
+	var ckpts *checkpoint.Snapshot
+	if s.jobsEnabled() {
+		jobs = &JobStatz{
+			Submitted: s.stats.jobsSubmitted.Load(),
+			Done:      s.stats.jobsDone.Load(),
+			Failed:    s.stats.jobsFailed.Load(),
+			Suspended: s.stats.jobsSuspended.Load(),
+			Recovered: s.stats.jobsRecovered.Load(),
+		}
+		snap := s.ckptMetrics.Snapshot()
+		ckpts = &snap
+	}
 	return Statz{
+		Jobs:          jobs,
+		Checkpoints:   ckpts,
 		QueueDepth:    len(s.tasks),
 		QueueCapacity: cap(s.tasks),
 		Workers:       s.cfg.Workers,

@@ -42,6 +42,7 @@ import (
 	"context"
 	"io"
 
+	"qrel/internal/checkpoint"
 	"qrel/internal/core"
 	"qrel/internal/logic"
 	"qrel/internal/rel"
@@ -108,7 +109,38 @@ var (
 	ErrInfeasible = core.ErrInfeasible
 	// ErrEngineFailed: an engine crashed and was contained.
 	ErrEngineFailed = core.ErrEngineFailed
+	// ErrCorruptCheckpoint: every snapshot in a checkpoint store failed
+	// its integrity check (torn write, bit rot, or truncation).
+	ErrCorruptCheckpoint = checkpoint.ErrCorruptCheckpoint
+	// ErrCheckpointMismatch: a checkpoint was taken by a different
+	// computation (engine, seed, accuracy, or query differ) and resuming
+	// from it would be statistically meaningless.
+	ErrCheckpointMismatch = core.ErrCheckpointMismatch
 )
+
+// Checkpoint & resume: attach a CheckpointConfig to Options.Checkpoint
+// and a Monte Carlo engine periodically snapshots its estimator state —
+// sample counts plus the PRNG stream position — into the store. A run
+// resumed from the store consumes exactly the remaining portion of the
+// original sample stream, so for a fixed Options.Seed the resumed
+// result is bit-identical to one that was never interrupted.
+type (
+	// CheckpointStore is a crash-safe snapshot store: atomic
+	// write-temp+fsync+rename commits, CRC-verified loads, keep-last-N
+	// retention.
+	CheckpointStore = checkpoint.Store
+	// CheckpointOptions configures a CheckpointStore.
+	CheckpointOptions = checkpoint.Options
+	// CheckpointConfig attaches a store to one computation via
+	// Options.Checkpoint.
+	CheckpointConfig = core.CheckpointConfig
+)
+
+// OpenCheckpointStore opens (creating the directory if needed) a
+// crash-safe snapshot store.
+func OpenCheckpointStore(dir string, opts CheckpointOptions) (*CheckpointStore, error) {
+	return checkpoint.Open(dir, opts)
+}
 
 // Guarantee levels.
 const (
