@@ -31,6 +31,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +46,7 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled; never exposed on the serving mux)")
 		workers      = flag.Int("workers", 4, "pool workers (max concurrent computations)")
 		queue        = flag.Int("queue", 64, "admission queue depth; overflow is shed with 503")
 		defTimeout   = flag.Duration("default-timeout", 10*time.Second, "per-request budget when the request carries none")
@@ -82,7 +84,7 @@ func main() {
 		fmt.Println("qreld: selftest ok")
 		return
 	}
-	if err := serve(*addr, cfg, preloads, *drainTimeout); err != nil {
+	if err := serve(*addr, *debugAddr, cfg, preloads, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "qreld:", err)
 		os.Exit(cliutil.ExitCode(err))
 	}
@@ -90,7 +92,7 @@ func main() {
 
 // serve runs the service until SIGTERM/SIGINT, then drains and returns
 // nil so the process exits 0.
-func serve(addr string, cfg server.Config, preloads []string, drainTimeout time.Duration) error {
+func serve(addr, debugAddr string, cfg server.Config, preloads []string, drainTimeout time.Duration) error {
 	s := server.New(cfg)
 	for _, spec := range preloads {
 		name, path, ok := strings.Cut(spec, "=")
@@ -125,6 +127,19 @@ func serve(addr string, cfg server.Config, preloads []string, drainTimeout time.
 		}
 	}()
 
+	// Profiling runs on its own listener and mux, never the serving one:
+	// -debug-addr should bind a loopback or otherwise private address.
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux()}
+		go func() {
+			log.Printf("qreld pprof listening on %s", debugAddr)
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	select {
@@ -144,8 +159,25 @@ func serve(addr string, cfg server.Config, preloads []string, drainTimeout time.
 	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel2()
 	_ = httpSrv.Shutdown(shutdownCtx)
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
+	}
 	log.Printf("qreld drained; exiting")
 	return nil
+}
+
+// debugMux builds a fresh mux carrying only the net/http/pprof
+// endpoints. Registering explicitly (instead of importing the package
+// for its DefaultServeMux side effect) guarantees the profiling
+// handlers can never leak onto the serving mux.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // loadDB reads an unreliable database in the qrel text format.

@@ -14,7 +14,7 @@ import (
 // a SIGTERM makes serve drain and return nil (the process exits 0).
 func TestServeDrainsOnSIGTERM(t *testing.T) {
 	done := make(chan error, 1)
-	go func() { done <- serve("127.0.0.1:0", server.Config{}, nil, 2*time.Second) }()
+	go func() { done <- serve("127.0.0.1:0", "", server.Config{}, nil, 2*time.Second) }()
 	time.Sleep(100 * time.Millisecond) // let the listener and signal handler install
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -30,7 +30,7 @@ func TestServeDrainsOnSIGTERM(t *testing.T) {
 }
 
 func TestBadPreloadIsUsageError(t *testing.T) {
-	err := serve("127.0.0.1:0", server.Config{}, []string{"no-equals-sign"}, time.Second)
+	err := serve("127.0.0.1:0", "", server.Config{}, []string{"no-equals-sign"}, time.Second)
 	if err == nil || !cliutil.IsUsage(err) {
 		t.Fatalf("error %v, want a usage error (exit %d)", err, cliutil.ExitUsage)
 	}

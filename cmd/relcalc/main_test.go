@@ -57,7 +57,7 @@ func TestRunExactEngines(t *testing.T) {
 			query = "exists x . S(x)"
 		}
 		out, err := captureStdout(t, func() error {
-			return run(db, query, engine, 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, query, engine, 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		})
 		if err != nil {
 			t.Fatalf("engine %s: %v", engine, err)
@@ -71,7 +71,7 @@ func TestRunExactEngines(t *testing.T) {
 func TestRunRandomizedEngine(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "forall x . exists y . E(x,y)", "monte-carlo-direct", 0.2, 0.2, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+		return run(db, "forall x . exists y . E(x,y)", "monte-carlo-direct", 0.2, 0.2, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestRunRandomizedEngine(t *testing.T) {
 func TestRunPerTupleAndAbsolute(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "exists y . E(x,y)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, true, false, false)
+		return run(db, "exists y . E(x,y)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, true, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +93,7 @@ func TestRunPerTupleAndAbsolute(t *testing.T) {
 		t.Errorf("per-tuple report missing:\n%s", out)
 	}
 	out, err = captureStdout(t, func() error {
-		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, true, false)
+		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, true, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -110,16 +110,16 @@ func TestRunErrors(t *testing.T) {
 		fn   func() error
 	}{
 		{"missing args", func() error {
-			return run("", "", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("", "", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"missing file", func() error {
-			return run("/nonexistent", "S(x)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("/nonexistent", "S(x)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"bad query", func() error {
-			return run(db, "S(", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "S(", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"bad engine", func() error {
-			return run(db, "S(x)", "bogus", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "S(x)", "bogus", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 	}
 	for _, c := range cases {
@@ -143,30 +143,30 @@ func TestExitCodes(t *testing.T) {
 		fn   func() error
 	}{
 		{"missing args", cliutil.ExitUsage, nil, func() error {
-			return run("", "", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("", "", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"unknown engine", cliutil.ExitUsage, nil, func() error {
-			return run(db, "S(x)", "warp-drive", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "S(x)", "warp-drive", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"missing file", cliutil.ExitFailure, nil, func() error {
-			return run("/nonexistent", "S(x)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("/nonexistent", "S(x)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"timeout", cliutil.ExitCanceled, nil, func() error {
-			return run(db, "exists x . S(x)", "world-enum", 0.05, 0.05, 1, 16,
+			return run(db, "exists x . S(x)", "world-enum", 0.05, 0.05, 1, 0, 16,
 				qrel.Budget{Timeout: time.Nanosecond}, ckptFlags{}, false, false, false)
 		}},
 		{"world budget", cliutil.ExitBudget, nil, func() error {
-			return run(db, "exists x y . E(x,y)", "world-enum", 0.05, 0.05, 1, 16,
+			return run(db, "exists x y . E(x,y)", "world-enum", 0.05, 0.05, 1, 0, 16,
 				qrel.Budget{MaxWorlds: 2}, ckptFlags{}, false, false, false)
 		}},
 		{"infeasible", cliutil.ExitInfeasible, nil, func() error {
-			return run(db, secondOrder, "auto", 0.05, 0.05, 1, 16,
+			return run(db, secondOrder, "auto", 0.05, 0.05, 1, 0, 16,
 				qrel.Budget{MaxWorlds: 2}, ckptFlags{}, false, false, false)
 		}},
 		{"engine panic", cliutil.ExitEngine, func() {
 			faultinject.Enable(faultinject.SiteQFree, faultinject.Fault{Panic: "injected crash"})
 		}, func() error {
-			return run(db, "S(x)", "qfree", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "S(x)", "qfree", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 	}
 	for _, c := range cases {
@@ -210,7 +210,7 @@ func TestCorruptInputs(t *testing.T) {
 				t.Fatal(err)
 			}
 			_, err := captureStdout(t, func() error {
-				return run(path, "exists x . S(x)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+				return run(path, "exists x . S(x)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 			})
 			if err == nil {
 				t.Fatal("corrupt database accepted")
@@ -240,7 +240,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 
 	ref, err := captureStdout(t, func() error {
-		return run(db, q, "monte-carlo-direct", 0.05, 0.1, 3, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+		return run(db, q, "monte-carlo-direct", 0.05, 0.1, 3, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -248,7 +248,7 @@ func TestRunCheckpointResume(t *testing.T) {
 
 	dir := t.TempDir()
 	interrupted, err := captureStdout(t, func() error {
-		return run(db, q, "monte-carlo-direct", 0.05, 0.1, 3, 16,
+		return run(db, q, "monte-carlo-direct", 0.05, 0.1, 3, 0, 16,
 			qrel.Budget{MaxSamples: 500}, ckptFlags{dir: dir, every: 100}, false, false, false)
 	})
 	if err != nil {
@@ -259,7 +259,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 
 	resumed, err := captureStdout(t, func() error {
-		return run(db, q, "monte-carlo-direct", 0.05, 0.1, 3, 16,
+		return run(db, q, "monte-carlo-direct", 0.05, 0.1, 3, 0, 16,
 			qrel.Budget{}, ckptFlags{dir: dir, resume: true}, false, false, false)
 	})
 	if err != nil {
@@ -280,7 +280,7 @@ func TestRunCheckpointResume(t *testing.T) {
 func TestRunResumeRequiresCheckpoint(t *testing.T) {
 	db := writeDB(t)
 	_, err := captureStdout(t, func() error {
-		return run(db, "S(x)", "auto", 0.05, 0.05, 1, 16,
+		return run(db, "S(x)", "auto", 0.05, 0.05, 1, 0, 16,
 			qrel.Budget{}, ckptFlags{resume: true}, false, false, false)
 	})
 	if cliutil.ExitCode(err) != cliutil.ExitUsage {
@@ -291,7 +291,7 @@ func TestRunResumeRequiresCheckpoint(t *testing.T) {
 func TestRunSensitivity(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 16, qrel.Budget{}, ckptFlags{}, false, false, true)
+		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, true)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -34,7 +34,7 @@ type BDD struct {
 	numVars int
 	nodes   []node
 	unique  map[node]int
-	cache   map[[3]int32]int // (op, a, b) -> node
+	cache   map[uint64]int // packed (op, a, b) -> node, see applyKey
 	maxNode int
 
 	// ctx, when set via WithContext, is polled every ctxCheckEvery node
@@ -55,6 +55,26 @@ const (
 	opNot
 )
 
+// applyKey packs an apply-cache entry (op, x, y) into one uint64: the
+// op in the top two bits, the operands in 31 bits each. Node ids are
+// bounded by the node budget, which the int32-sized cache has always
+// capped below 2^31, so the packing is collision-free — and a uint64
+// map key hashes without the memory loads of an array key.
+func applyKey(op, x, y int) uint64 {
+	return uint64(op)<<62 | uint64(uint32(x))<<31 | uint64(uint32(y))
+}
+
+// tableSizeHint pre-sizes the unique and apply tables from the node
+// budget, clamped so a huge budget does not preallocate a huge empty
+// map.
+func tableSizeHint(maxNodes int) int {
+	const clamp = 4096
+	if maxNodes > clamp {
+		return clamp
+	}
+	return maxNodes
+}
+
 // DefaultMaxNodes caps BDD growth; compilation fails with ErrTooLarge
 // beyond it.
 const DefaultMaxNodes = 1 << 22
@@ -69,11 +89,13 @@ func New(numVars, maxNodes int) *BDD {
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
 	}
+	hint := tableSizeHint(maxNodes)
 	b := &BDD{
 		numVars: numVars,
-		unique:  map[node]int{},
-		cache:   map[[3]int32]int{},
+		unique:  make(map[node]int, hint),
+		cache:   make(map[uint64]int, hint),
 		maxNode: maxNodes,
+		nodes:   make([]node, 0, hint),
 	}
 	b.nodes = append(b.nodes,
 		node{v: numVars, lo: False, hi: False}, // False terminal
@@ -143,7 +165,7 @@ func (b *BDD) Not(a int) (int, error) {
 	case True:
 		return False, nil
 	}
-	key := [3]int32{opNot, int32(a), 0}
+	key := applyKey(opNot, a, 0)
 	if r, ok := b.cache[key]; ok {
 		return r, nil
 	}
@@ -202,7 +224,7 @@ func (b *BDD) apply(op, x, y int) (int, error) {
 	if x > y {
 		x, y = y, x // both ops are commutative
 	}
-	key := [3]int32{int32(op), int32(x), int32(y)}
+	key := applyKey(op, x, y)
 	if r, ok := b.cache[key]; ok {
 		return r, nil
 	}
@@ -343,20 +365,24 @@ func (b *BDD) Eval(n int, a []bool) bool {
 // Size returns the number of nodes reachable from n (including
 // terminals).
 func (b *BDD) Size(n int) int {
-	seen := map[int]struct{}{}
+	// Node ids are dense indices into b.nodes, so a flat visited slice
+	// replaces the set: one allocation, O(1) membership.
+	seen := make([]bool, len(b.nodes))
+	count := 0
 	var visit func(int)
 	visit = func(m int) {
-		if _, ok := seen[m]; ok {
+		if seen[m] {
 			return
 		}
-		seen[m] = struct{}{}
+		seen[m] = true
+		count++
 		if m > True {
 			visit(b.nodes[m].lo)
 			visit(b.nodes[m].hi)
 		}
 	}
 	visit(n)
-	return len(seen)
+	return count
 }
 
 // Prob computes the exact probability that the function rooted at n is
@@ -367,13 +393,13 @@ func (b *BDD) Prob(n int, p prop.ProbAssignment) (*big.Rat, error) {
 		return nil, err
 	}
 	one := big.NewRat(1, 1)
-	memo := map[int]*big.Rat{
-		False: new(big.Rat),
-		True:  big.NewRat(1, 1),
-	}
+	// Dense node ids make a slice the natural memo; nil marks unvisited.
+	memo := make([]*big.Rat, len(b.nodes))
+	memo[False] = new(big.Rat)
+	memo[True] = big.NewRat(1, 1)
 	var visit func(int) *big.Rat
 	visit = func(m int) *big.Rat {
-		if r, ok := memo[m]; ok {
+		if r := memo[m]; r != nil {
 			return r
 		}
 		nd := b.nodes[m]
@@ -393,10 +419,11 @@ func (b *BDD) Prob(n int, p prop.ProbAssignment) (*big.Rat, error) {
 // rooted at n over all numVars variables.
 func (b *BDD) Count(n int) *big.Int {
 	// f(m) = #models over variables [var(m), numVars).
-	memo := map[int]*big.Int{}
+	// Dense node ids make a slice the natural memo; nil marks unvisited.
+	memo := make([]*big.Int, len(b.nodes))
 	var visit func(int) *big.Int
 	visit = func(m int) *big.Int {
-		if r, ok := memo[m]; ok {
+		if r := memo[m]; r != nil {
 			return r
 		}
 		nd := b.nodes[m]

@@ -51,12 +51,17 @@ type CheckpointConfig struct {
 // the computation plus the loop state at a boundary.
 type engineState struct {
 	// Fingerprint: a snapshot resumes only into the identical
-	// computation.
+	// computation. Lanes is the RNG lane count of the run (0 for the
+	// sequential single-stream path): the estimate is a function of the
+	// lane count, so resuming across lane counts would silently change
+	// it. The worker count is deliberately NOT part of the fingerprint —
+	// it only schedules the lanes.
 	Engine string  `json:"engine"`
 	Seed   int64   `json:"seed"`
 	Eps    float64 `json:"eps"`
 	Delta  float64 `json:"delta"`
 	Query  string  `json:"query"`
+	Lanes  int     `json:"lanes,omitempty"`
 
 	// Per-tuple engines (monte-carlo, lineage-karpluby): the index of
 	// the next unprocessed answer tuple, the accumulators over completed
@@ -93,6 +98,7 @@ func newCkptRun(cfg *CheckpointConfig, engine string, f logic.Formula, opts Opti
 		Eps:    opts.Eps,
 		Delta:  opts.Delta,
 		Query:  fmt.Sprint(f),
+		Lanes:  laneCountFor(opts),
 	}}
 	if !cfg.Resume {
 		return run, nil, nil
@@ -114,6 +120,10 @@ func newCkptRun(cfg *CheckpointConfig, engine string, f logic.Formula, opts Opti
 			ErrCheckpointMismatch, st.Engine, st.Seed, st.Eps, st.Delta, st.Query,
 			run.head.Engine, run.head.Seed, run.head.Eps, run.head.Delta, run.head.Query)
 	}
+	if st.Lanes != run.head.Lanes {
+		return nil, nil, fmt.Errorf("%w: snapshot was taken with %d RNG lanes, this run uses %d (the estimate depends on the lane count; rerun with the original Workers setting or start fresh)",
+			ErrCheckpointMismatch, st.Lanes, run.head.Lanes)
+	}
 	run.resumed = true
 	return run, &st, nil
 }
@@ -126,10 +136,25 @@ func (r *ckptRun) every() int {
 	return DefaultCheckpointEvery
 }
 
+// laneCountFor returns the RNG lane count of an engine run under opts:
+// 0 for the sequential single-stream path, mc.DefaultLanes for the
+// lane-split parallel runtime.
+func laneCountFor(opts Options) int {
+	if opts.Workers > 0 {
+		return mc.DefaultLanes
+	}
+	return 0
+}
+
+// parFor returns the lane-split configuration of a parallel run.
+func parFor(opts Options) mc.Par {
+	return mc.Par{Lanes: mc.DefaultLanes, Workers: opts.Workers}
+}
+
 // save persists one snapshot, stamping the fingerprint.
 func (r *ckptRun) save(st engineState) error {
-	st.Engine, st.Seed, st.Eps, st.Delta, st.Query =
-		r.head.Engine, r.head.Seed, r.head.Eps, r.head.Delta, r.head.Query
+	st.Engine, st.Seed, st.Eps, st.Delta, st.Query, st.Lanes =
+		r.head.Engine, r.head.Seed, r.head.Eps, r.head.Delta, r.head.Query, r.head.Lanes
 	payload, err := json.Marshal(st)
 	if err != nil {
 		return fmt.Errorf("core: marshaling snapshot: %w", err)

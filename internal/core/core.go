@@ -138,6 +138,16 @@ type Options struct {
 	Xi float64
 	// Seed seeds the deterministic RNG of randomized engines.
 	Seed int64
+	// Workers > 0 runs the randomized engines on the lane-split parallel
+	// sampling runtime: the sample stream derived from Seed is split
+	// into mc.DefaultLanes fixed RNG lanes scheduled on up to Workers
+	// goroutines. The estimate is a function of (Seed, lane count) only
+	// — any Workers >= 1 yields the identical, bit-reproducible result —
+	// but it differs from the Workers == 0 sequential stream, so the
+	// lane count is part of the checkpoint fingerprint and a snapshot
+	// never silently resumes across the two modes. Workers == 0
+	// (default) keeps the legacy sequential single-stream path.
+	Workers int
 	// MaxEnumAtoms caps exact world enumeration (default 16).
 	MaxEnumAtoms int
 	// MaxLineageTerms caps the lineage DNF size (default 1<<16).

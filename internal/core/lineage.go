@@ -148,8 +148,18 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 	if usePaperReduction {
 		engine = "lineage-karpluby-thm53"
 	}
+	parallel := opts.Workers > 0
 	src := mc.NewSource(opts.Seed)
 	rng := rand.New(src)
+	// streamState mirrors MonteCarlo: the parallel mode re-derives every
+	// tuple's lanes from mc.TupleSeed(Seed, idx), so snapshots carry the
+	// zero PRNG state and resume skips restoring it.
+	streamState := func() mc.RNGState {
+		if parallel {
+			return mc.RNGState{}
+		}
+		return src.State()
+	}
 	run, resumeSt, err := newCkptRun(opts.Checkpoint, engine, f, opts)
 	if err != nil {
 		return Result{}, err
@@ -165,8 +175,10 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 	samples := 0
 	startTuple := 0
 	if resumeSt != nil {
-		if err := src.SetState(resumeSt.RNG); err != nil {
-			return Result{}, fmt.Errorf("%w: %v", checkpoint.ErrCorruptCheckpoint, err)
+		if !parallel {
+			if err := src.SetState(resumeSt.RNG); err != nil {
+				return Result{}, fmt.Errorf("%w: %v", checkpoint.ErrCorruptCheckpoint, err)
+			}
 		}
 		startTuple = resumeSt.Tuple
 		hFloat = resumeSt.HFloat
@@ -191,7 +203,7 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 			// Already accumulated by the restored snapshot.
 			return nil
 		}
-		preTuple := src.State()
+		preTuple := streamState()
 		d, nu, err := tupleLineage(ctx, db, lf, env, opts.MaxLineageTerms)
 		if err != nil {
 			return err
@@ -212,12 +224,25 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 			}
 		}
 		var res karpluby.CountResult
-		if usePaperReduction {
+		switch {
+		case parallel && usePaperReduction:
+			res, err = karpluby.ProbViaReductionPar(ctx, d, nu, epsT, deltaT, mc.TupleSeed(opts.Seed, idx), parFor(opts), nil)
+		case parallel:
+			res, err = karpluby.ProbDNFPar(ctx, d, nu, epsT, deltaT, mc.TupleSeed(opts.Seed, idx), parFor(opts), nil)
+		case usePaperReduction:
 			res, err = karpluby.ProbViaReduction(d, nu, epsT, deltaT, rng)
-		} else {
+		default:
 			res, err = karpluby.ProbDNF(d, nu, epsT, deltaT, rng)
 		}
 		if err != nil {
+			// A mid-tuple cancellation in parallel mode surfaces here (the
+			// sequential estimator has no context); snapshot the tuple's own
+			// start so a restart replays it in full.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				if serr := saveBoundary(idx, preTuple); serr != nil {
+					return serr
+				}
+			}
 			return err
 		}
 		p := res.Float()
@@ -235,7 +260,7 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 			hFloat += p
 		}
 		if run != nil && samples-lastSaved >= run.every() {
-			return saveBoundary(idx+1, src.State())
+			return saveBoundary(idx+1, streamState())
 		}
 		return nil
 	})
@@ -246,7 +271,7 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 			// unprocessed tuple is tupleIdx and the stream is at src.State(),
 			// so a restarted run resumes here at full accuracy. The original
 			// cancellation error still propagates.
-			if serr := saveBoundary(tupleIdx, src.State()); serr != nil {
+			if serr := saveBoundary(tupleIdx, streamState()); serr != nil {
 				return Result{}, serr
 			}
 		}
@@ -254,7 +279,7 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 	}
 	if run != nil && samples != lastSaved {
 		// Completion snapshot: resuming a finished run is an instant replay.
-		if serr := saveBoundary(tupleIdx, src.State()); serr != nil {
+		if serr := saveBoundary(tupleIdx, streamState()); serr != nil {
 			return Result{}, serr
 		}
 	}

@@ -40,8 +40,20 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 		// does not apply. (WorldEnum still handles small instances.)
 		return Result{}, fmt.Errorf("core: MonteCarlo requires a polynomial-time evaluable query, got %v", cls)
 	}
+	parallel := opts.Workers > 0
 	src := mc.NewSource(opts.Seed)
 	rng := rand.New(src)
+	// streamState is the PRNG fingerprint of a snapshot boundary. The
+	// parallel mode has no single sequential stream — every tuple's lanes
+	// re-derive deterministically from mc.TupleSeed(Seed, idx) — so it
+	// saves the zero state and resume skips restoring it; the Lanes
+	// fingerprint field keeps the two modes from resuming each other.
+	streamState := func() mc.RNGState {
+		if parallel {
+			return mc.RNGState{}
+		}
+		return src.State()
+	}
 	run, resumeSt, err := newCkptRun(opts.Checkpoint, "monte-carlo", f, opts)
 	if err != nil {
 		return Result{}, err
@@ -59,8 +71,10 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 	samples := 0
 	startTuple := 0
 	if resumeSt != nil {
-		if err := src.SetState(resumeSt.RNG); err != nil {
-			return Result{}, fmt.Errorf("%w: %v", checkpoint.ErrCorruptCheckpoint, err)
+		if !parallel {
+			if err := src.SetState(resumeSt.RNG); err != nil {
+				return Result{}, fmt.Errorf("%w: %v", checkpoint.ErrCorruptCheckpoint, err)
+			}
 		}
 		startTuple = resumeSt.Tuple
 		hFloat = resumeSt.HFloat
@@ -108,7 +122,7 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 			stopped, degraded = true, true
 			// The boundary snapshot that makes a drained run resumable: a
 			// restart replays from tuple idx at full accuracy.
-			if !saveBoundary(idx, src.State()) {
+			if !saveBoundary(idx, streamState()) {
 				return false
 			}
 		}
@@ -125,8 +139,14 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 			innerErr = err
 			return false
 		}
-		preTuple := src.State()
-		est, err := mc.EstimateNuPadded(ctx, db, ev(env), opts.Xi, epsT, deltaT, budgetLeft, rng)
+		preTuple := streamState()
+		var est mc.Estimate
+		if parallel {
+			est, err = mc.EstimateNuPaddedPar(ctx, db, ev(env), opts.Xi, epsT, deltaT, budgetLeft,
+				mc.TupleSeed(opts.Seed, idx), parFor(opts), nil)
+		} else {
+			est, err = mc.EstimateNuPadded(ctx, db, ev(env), opts.Xi, epsT, deltaT, budgetLeft, rng)
+		}
 		if errors.Is(err, mc.ErrNoSamples) {
 			// Canceled before this tuple could draw anything: snapshot its
 			// start, then fill it (and the rest) with the midpoint.
@@ -160,7 +180,7 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 			hFloat += est.Value
 		}
 		if run != nil && !stopped && samples-lastSaved >= run.every() {
-			if !saveBoundary(idx+1, src.State()) {
+			if !saveBoundary(idx+1, streamState()) {
 				return false
 			}
 		}
@@ -174,7 +194,7 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 	}
 	if run != nil && !stopped && samples != lastSaved {
 		// Completion snapshot: resuming a finished run is an instant replay.
-		if !saveBoundary(tupleIdx, src.State()) {
+		if !saveBoundary(tupleIdx, streamState()) {
 			return Result{}, ckErr
 		}
 	}
@@ -237,13 +257,20 @@ func MonteCarloDirect(ctx context.Context, db *unreliable.DB, f logic.Formula, o
 	for i := 0; i < k; i++ {
 		normF *= float64(db.A.N)
 	}
-	est, err := mc.EstimateMeanCk(ctx, db, func(b *rel.Structure) (float64, error) {
+	stat := func(b *rel.Structure) (float64, error) {
 		actual, err := answerSet(b, f)
 		if err != nil {
 			return 0, err
 		}
 		return float64(symmetricDiffSize(observed, actual)) / normF, nil
-	}, opts.Eps, opts.Delta, opts.Budget.MaxSamples, src, run.loopCkpt(resumeSt))
+	}
+	var est mc.Estimate
+	if opts.Workers > 0 {
+		est, err = mc.EstimateMeanPar(ctx, db, stat, opts.Eps, opts.Delta, opts.Budget.MaxSamples,
+			opts.Seed, parFor(opts), run.loopCkpt(resumeSt))
+	} else {
+		est, err = mc.EstimateMeanCk(ctx, db, stat, opts.Eps, opts.Delta, opts.Budget.MaxSamples, src, run.loopCkpt(resumeSt))
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -294,13 +321,20 @@ func MonteCarloRare(ctx context.Context, db *unreliable.DB, f logic.Formula, opt
 	for i := 0; i < k; i++ {
 		normF *= float64(db.A.N)
 	}
-	est, err := mc.EstimateMeanRareCk(ctx, db, func(b *rel.Structure) (float64, error) {
+	stat := func(b *rel.Structure) (float64, error) {
 		actual, err := answerSet(b, f)
 		if err != nil {
 			return 0, err
 		}
 		return float64(symmetricDiffSize(observed, actual)) / normF, nil
-	}, opts.Eps, opts.Delta, opts.Budget.MaxSamples, src, run.loopCkpt(resumeSt))
+	}
+	var est mc.Estimate
+	if opts.Workers > 0 {
+		est, err = mc.EstimateMeanRarePar(ctx, db, stat, opts.Eps, opts.Delta, opts.Budget.MaxSamples,
+			opts.Seed, parFor(opts), run.loopCkpt(resumeSt))
+	} else {
+		est, err = mc.EstimateMeanRareCk(ctx, db, stat, opts.Eps, opts.Delta, opts.Budget.MaxSamples, src, run.loopCkpt(resumeSt))
+	}
 	if err != nil {
 		return Result{}, err
 	}

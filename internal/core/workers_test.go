@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"qrel/internal/logic"
+)
+
+// TestWorkersDeterministicAcrossCounts pins the engine-level lane
+// contract: with Workers > 0 the result is a function of the seed and
+// the fixed lane count only, so every worker count produces the
+// byte-identical Result fields.
+func TestWorkersDeterministicAcrossCounts(t *testing.T) {
+	d := randUDB(rand.New(rand.NewSource(51)), 3, 6)
+	f := logic.MustParse("E(x,y) & S(x)", nil)
+	base := Options{Eps: 0.2, Delta: 0.1, Seed: 13, Workers: 1}
+
+	engines := map[string]func(opts Options) (Result, error){
+		"montecarlo-direct": func(opts Options) (Result, error) { return MonteCarloDirect(bg, d, f, opts) },
+		"montecarlo":        func(opts Options) (Result, error) { return MonteCarlo(bg, d, f, opts) },
+		"montecarlo-rare":   func(opts Options) (Result, error) { return MonteCarloRare(bg, d, f, opts) },
+		"lineage-kl":        func(opts Options) (Result, error) { return LineageKL(bg, d, f, opts, false) },
+	}
+	for name, run := range engines {
+		ref, err := run(base)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", name, err)
+		}
+		for _, w := range []int{2, 7} {
+			opts := base
+			opts.Workers = w
+			got, err := run(opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			if got.HFloat != ref.HFloat || got.RFloat != ref.RFloat || got.Samples != ref.Samples {
+				t.Errorf("%s workers=%d: H=%v R=%v Samples=%d, workers=1: H=%v R=%v Samples=%d",
+					name, w, got.HFloat, got.RFloat, got.Samples, ref.HFloat, ref.RFloat, ref.Samples)
+			}
+		}
+	}
+}
+
+// TestWorkersParallelResumeBitIdentical interrupts a parallel direct
+// estimate with a sample budget and resumes it: the multi-lane snapshot
+// round-trips through the store and the resumed run matches the
+// uninterrupted one exactly.
+func TestWorkersParallelResumeBitIdentical(t *testing.T) {
+	d := randUDB(rand.New(rand.NewSource(52)), 3, 6)
+	f := logic.MustParse("E(x,y) & S(x)", nil)
+	base := Options{Eps: 0.05, Delta: 0.05, Seed: 21, Workers: 4}
+
+	full, err := MonteCarloDirect(bg, d, f, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	interrupted := base
+	interrupted.Budget = Budget{MaxSamples: 300}
+	interrupted.Checkpoint = &CheckpointConfig{Store: openStore(t, dir, nil), Every: 64}
+	if _, err := MonteCarloDirect(bg, d, f, interrupted); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := base
+	resumed.Checkpoint = &CheckpointConfig{Store: openStore(t, dir, nil), Resume: true}
+	res, err := MonteCarloDirect(bg, d, f, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed {
+		t.Fatal("resumed run did not report Resumed")
+	}
+	if res.HFloat != full.HFloat || res.RFloat != full.RFloat || res.Samples != full.Samples {
+		t.Fatalf("resumed H=%v R=%v Samples=%d, uninterrupted H=%v R=%v Samples=%d",
+			res.HFloat, res.RFloat, res.Samples, full.HFloat, full.RFloat, full.Samples)
+	}
+}
+
+// TestWorkersLaneFingerprintMismatch requires a snapshot taken on the
+// sequential stream to be rejected by a lane-split run and vice versa:
+// the estimate depends on the lane count, so silently resuming across
+// it would change the answer.
+func TestWorkersLaneFingerprintMismatch(t *testing.T) {
+	d := randUDB(rand.New(rand.NewSource(53)), 3, 6)
+	f := logic.MustParse("E(x,y) & S(x)", nil)
+	base := Options{Eps: 0.05, Delta: 0.05, Seed: 33}
+
+	dir := t.TempDir()
+	seq := base
+	seq.Budget = Budget{MaxSamples: 200}
+	seq.Checkpoint = &CheckpointConfig{Store: openStore(t, dir, nil), Every: 64}
+	if _, err := MonteCarloDirect(bg, d, f, seq); err != nil {
+		t.Fatal(err)
+	}
+
+	par := base
+	par.Workers = 4
+	par.Checkpoint = &CheckpointConfig{Store: openStore(t, dir, nil), Resume: true}
+	if _, err := MonteCarloDirect(bg, d, f, par); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("sequential snapshot into parallel run: err = %v, want ErrCheckpointMismatch", err)
+	}
+
+	// And the reverse: parallel snapshot into a sequential run.
+	dir2 := t.TempDir()
+	par2 := base
+	par2.Workers = 4
+	par2.Budget = Budget{MaxSamples: 200}
+	par2.Checkpoint = &CheckpointConfig{Store: openStore(t, dir2, nil), Every: 64}
+	if _, err := MonteCarloDirect(bg, d, f, par2); err != nil {
+		t.Fatal(err)
+	}
+	seq2 := base
+	seq2.Checkpoint = &CheckpointConfig{Store: openStore(t, dir2, nil), Resume: true}
+	if _, err := MonteCarloDirect(bg, d, f, seq2); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("parallel snapshot into sequential run: err = %v, want ErrCheckpointMismatch", err)
+	}
+}

@@ -32,6 +32,10 @@ const (
 	SiteMCRare      = "engine/monte-carlo-rare"
 	SiteAnswerSet   = "eval/answer-set"
 	SiteWorldWorker = "eval/world-worker"
+	// SiteLaneWorker fires once per lane claimed by a lane-pool worker
+	// (mc.RunLanes) before the lane starts sampling; the race tests arm
+	// it to prove first-error cancellation of sibling lanes.
+	SiteLaneWorker = "mc/lane-worker"
 	// Serving-layer sites (internal/server): SiteServerAdmit fires in
 	// the admission path before a request is queued (delays there hold
 	// the HTTP goroutine, not a worker); SiteServerHandle fires inside a

@@ -1,63 +1,65 @@
 package karpluby
 
 import (
-	"fmt"
+	"context"
 
 	"qrel/internal/mc"
 )
 
-// Checkpoint plumbing for the Karp–Luby iteration loops, mirroring the
-// contract of the mc package: the complete loop state at an iteration
-// boundary is (iterations done, hits, PRNG state), so a resumed run
-// draws the identical remainder of the sample stream and its estimate
-// is bit-identical to an uninterrupted run with the same seed.
+// Lane-pool plumbing for the Karp–Luby iteration loops, built on the
+// shared runtime in the mc package: the sample stream is split into
+// fixed RNG lanes merged in lane-index order, so the W-worker estimate
+// for a seed is bit-identical to the 1-worker estimate, and the
+// complete loop state at an iteration boundary — per-lane iteration
+// counts, hit counts, and PRNG states — snapshots and resumes
+// bit-identically.
 
 // klMethod tags Karp–Luby snapshots; restoring a snapshot taken by a
 // different estimator is rejected.
 const klMethod = "karp-luby"
 
-// restoreLoop applies ck.Resume (if any) to the loop counters.
-func restoreLoop(ck *mc.Ckpt, src *mc.Source, iter, hits *int) error {
-	if ck == nil || ck.Resume == nil {
-		return nil
-	}
-	st := ck.Resume
-	if st.Method != klMethod {
-		return fmt.Errorf("karpluby: snapshot was taken by estimator %q, cannot resume %q", st.Method, klMethod)
-	}
-	if src == nil {
-		return fmt.Errorf("karpluby: resuming requires a serializable source")
-	}
-	if st.Drawn < 0 || st.Hits < 0 || st.Hits > st.Drawn {
-		return fmt.Errorf("karpluby: implausible snapshot state drawn=%d hits=%d", st.Drawn, st.Hits)
-	}
-	if err := src.SetState(st.RNG); err != nil {
+// ctxPollStride matches the mc package: lanes poll their context once
+// every this many iterations.
+const ctxPollStride = 64
+
+// runKLLanes drives the Karp–Luby iteration lanes: assign quotas,
+// restore a snapshot, run with periodic checkpoint publication, and
+// persist the final boundary. setup builds the per-lane iteration step
+// (owning the lane's scratch buffers); the step draws exactly one
+// sample from ln.Rng and bumps ln.Hits on a hit.
+//
+// Unlike the mc estimators, Karp–Luby is not anytime — a partial hit
+// count has no widened-eps interpretation under the relative-error
+// guarantee — so cancellation aborts with ctx.Err() rather than
+// returning a partial estimate. Periodic snapshots still make the run
+// resumable.
+func runKLLanes(ctx context.Context, lanes []*mc.Lane, workers, total int, ck *mc.Ckpt, setup func(ln *mc.Lane) func()) error {
+	mc.AssignQuotas(lanes, total)
+	if err := mc.RestoreLanes(klMethod, lanes, ck); err != nil {
 		return err
 	}
-	*iter = st.Drawn
-	*hits = st.Hits
-	return nil
-}
-
-// maybeSaveLoop snapshots every ck.Every iterations.
-func maybeSaveLoop(ck *mc.Ckpt, src *mc.Source, iter, hits int) error {
-	if ck == nil || ck.Save == nil || ck.Every <= 0 || iter == 0 || iter%ck.Every != 0 {
-		return nil
+	lc := mc.NewLaneCkpt(klMethod, lanes, ck)
+	every := lc.PerLaneEvery(len(lanes))
+	err := mc.RunLanes(ctx, lanes, workers, func(ctx context.Context, ln *mc.Lane) error {
+		step := setup(ln)
+		lastSave := ln.Drawn
+		for ln.Drawn < ln.Quota {
+			if ln.Drawn%ctxPollStride == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if every > 0 && ln.Drawn-lastSave >= every {
+				lastSave = ln.Drawn
+				if err := lc.Publish(ln, true); err != nil {
+					return err
+				}
+			}
+			step()
+			ln.Drawn++
+		}
+		return lc.Publish(ln, false)
+	})
+	if err != nil {
+		return err
 	}
-	if ck.Resume != nil && iter == ck.Resume.Drawn {
-		return nil // the resumed boundary is already persisted
-	}
-	return ck.Save(mc.LoopState{Method: klMethod, Drawn: iter, Hits: hits, RNG: src.State()})
-}
-
-// finalSaveLoop snapshots the completed loop so a re-run replays
-// instantly instead of resampling.
-func finalSaveLoop(ck *mc.Ckpt, src *mc.Source, iter, hits int) error {
-	if ck == nil || ck.Save == nil {
-		return nil
-	}
-	if ck.Resume != nil && iter == ck.Resume.Drawn {
-		return nil
-	}
-	return ck.Save(mc.LoopState{Method: klMethod, Drawn: iter, Hits: hits, RNG: src.State()})
+	return lc.FinalSave()
 }

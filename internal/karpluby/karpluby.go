@@ -6,6 +6,7 @@
 package karpluby
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -44,17 +45,32 @@ func Lemma511Bound(eps float64, t int, p float64) float64 {
 	return 2 * math.Exp(-2*eps*eps*float64(t)*p/(9*(1-p)))
 }
 
-// randBigBelow draws a uniform big.Int in [0, n).
-func randBigBelow(rng *rand.Rand, n *big.Int) *big.Int {
+// bigScratch holds the reusable buffers of randBigBelowScratch so the
+// per-iteration term draw of the counting loop allocates nothing.
+type bigScratch struct {
+	buf []byte
+	v   *big.Int
+}
+
+// randBigBelowScratch draws a uniform big.Int in [0, n), reusing the
+// scratch buffers; the result aliases sc.v and is valid until the next
+// call.
+func randBigBelowScratch(rng *rand.Rand, n *big.Int, sc *bigScratch) *big.Int {
+	if sc.v == nil {
+		sc.v = new(big.Int)
+	}
 	if n.Sign() <= 0 {
-		return new(big.Int)
+		return sc.v.SetInt64(0)
 	}
 	// Rejection sampling over the enclosing power of two.
 	bits := n.BitLen()
-	bytes := (bits + 7) / 8
-	buf := make([]byte, bytes)
-	mask := byte(0xff >> (uint(bytes*8 - bits)))
-	v := new(big.Int)
+	nb := (bits + 7) / 8
+	if cap(sc.buf) < nb {
+		sc.buf = make([]byte, nb)
+	}
+	buf := sc.buf[:nb]
+	mask := byte(0xff >> (uint(nb*8 - bits)))
+	v := sc.v
 	for {
 		for i := range buf {
 			buf[i] = byte(rng.Intn(256))
@@ -65,6 +81,12 @@ func randBigBelow(rng *rand.Rand, n *big.Int) *big.Int {
 			return v
 		}
 	}
+}
+
+// randBigBelow draws a uniform big.Int in [0, n).
+func randBigBelow(rng *rand.Rand, n *big.Int) *big.Int {
+	var sc bigScratch
+	return randBigBelowScratch(rng, n, &sc)
 }
 
 // CountResult reports a Karp–Luby estimate.
@@ -109,7 +131,22 @@ func CountDNFCk(d prop.DNF, eps, delta float64, src *mc.Source, ck *mc.Ckpt) (Co
 	return countDNFLoop(d, eps, delta, rand.New(src), src, ck)
 }
 
+// CountDNFPar is CountDNF over the lane-split parallel runtime: the
+// sample stream derived from seed is split into par.Lanes fixed RNG
+// lanes scheduled on par.Workers goroutines, and the estimate is
+// bit-identical for any worker count (see mc.Par).
+func CountDNFPar(ctx context.Context, d prop.DNF, eps, delta float64, seed int64, par mc.Par, ck *mc.Ckpt) (CountResult, error) {
+	lanes, workers := mc.LanesFor(seed, par)
+	return countDNFLanes(ctx, d, eps, delta, lanes, workers, ck)
+}
+
+// countDNFLoop is the sequential single-lane path behind CountDNF and
+// CountDNFCk; src and ck are nil for uncheckpointed runs.
 func countDNFLoop(d prop.DNF, eps, delta float64, rng *rand.Rand, src *mc.Source, ck *mc.Ckpt) (CountResult, error) {
+	return countDNFLanes(context.Background(), d, eps, delta, []*mc.Lane{{Src: src, Rng: rng}}, 1, ck)
+}
+
+func countDNFLanes(ctx context.Context, d prop.DNF, eps, delta float64, lanes []*mc.Lane, workers int, ck *mc.Ckpt) (CountResult, error) {
 	norm := normalizedTerms(d)
 	if len(norm) == 0 {
 		return CountResult{Estimate: new(big.Rat)}, nil
@@ -123,24 +160,23 @@ func countDNFLoop(d prop.DNF, eps, delta float64, rng *rand.Rand, src *mc.Source
 	if total.Sign() == 0 {
 		return CountResult{Estimate: new(big.Rat)}, nil
 	}
+	err = runKLLanes(ctx, lanes, workers, t, ck, func(ln *mc.Lane) func() {
+		a := make([]bool, d.NumVars)
+		sc := &bigScratch{}
+		return func() {
+			i := pickCumulativeScratch(ln.Rng, cum, total, sc)
+			sampleTermAssignment(ln.Rng, norm[i], a, nil)
+			if firstSatisfied(norm, a) == i {
+				ln.Hits++
+			}
+		}
+	})
+	if err != nil {
+		return CountResult{}, err
+	}
 	hits := 0
-	iter := 0
-	if err := restoreLoop(ck, src, &iter, &hits); err != nil {
-		return CountResult{}, err
-	}
-	a := make([]bool, d.NumVars)
-	for ; iter < t; iter++ {
-		if err := maybeSaveLoop(ck, src, iter, hits); err != nil {
-			return CountResult{}, err
-		}
-		i := pickCumulative(rng, cum, total)
-		sampleTermAssignment(rng, norm[i], a, nil)
-		if firstSatisfied(norm, a) == i {
-			hits++
-		}
-	}
-	if err := finalSaveLoop(ck, src, iter, hits); err != nil {
-		return CountResult{}, err
+	for _, ln := range lanes {
+		hits += ln.Hits
 	}
 	est := new(big.Rat).SetInt(total)
 	est.Mul(est, big.NewRat(int64(hits), int64(t)))
@@ -167,7 +203,20 @@ func ProbDNFCk(d prop.DNF, p prop.ProbAssignment, eps, delta float64, src *mc.So
 	return probDNFLoop(d, p, eps, delta, rand.New(src), src, ck)
 }
 
+// ProbDNFPar is ProbDNF over the lane-split parallel runtime; see
+// CountDNFPar for the determinism contract.
+func ProbDNFPar(ctx context.Context, d prop.DNF, p prop.ProbAssignment, eps, delta float64, seed int64, par mc.Par, ck *mc.Ckpt) (CountResult, error) {
+	lanes, workers := mc.LanesFor(seed, par)
+	return probDNFLanes(ctx, d, p, eps, delta, lanes, workers, ck)
+}
+
+// probDNFLoop is the sequential single-lane path behind ProbDNF and
+// ProbDNFCk; src and ck are nil for uncheckpointed runs.
 func probDNFLoop(d prop.DNF, p prop.ProbAssignment, eps, delta float64, rng *rand.Rand, src *mc.Source, ck *mc.Ckpt) (CountResult, error) {
+	return probDNFLanes(context.Background(), d, p, eps, delta, []*mc.Lane{{Src: src, Rng: rng}}, 1, ck)
+}
+
+func probDNFLanes(ctx context.Context, d prop.DNF, p prop.ProbAssignment, eps, delta float64, lanes []*mc.Lane, workers int, ck *mc.Ckpt) (CountResult, error) {
 	if err := p.Validate(d.NumVars); err != nil {
 		return CountResult{}, err
 	}
@@ -198,28 +247,26 @@ func probDNFLoop(d prop.DNF, p prop.ProbAssignment, eps, delta float64, rng *ran
 	if weightsExact.Sign() == 0 {
 		return CountResult{Estimate: new(big.Rat)}, nil
 	}
+	err = runKLLanes(ctx, lanes, workers, t, ck, func(ln *mc.Lane) func() {
+		a := make([]bool, d.NumVars)
+		return func() {
+			r := ln.Rng.Float64() * sum
+			i := 0
+			for i < len(cum)-1 && cum[i] <= r {
+				i++
+			}
+			sampleTermAssignment(ln.Rng, norm[i], a, pf)
+			if firstSatisfied(norm, a) == i {
+				ln.Hits++
+			}
+		}
+	})
+	if err != nil {
+		return CountResult{}, err
+	}
 	hits := 0
-	iter := 0
-	if err := restoreLoop(ck, src, &iter, &hits); err != nil {
-		return CountResult{}, err
-	}
-	a := make([]bool, d.NumVars)
-	for ; iter < t; iter++ {
-		if err := maybeSaveLoop(ck, src, iter, hits); err != nil {
-			return CountResult{}, err
-		}
-		r := rng.Float64() * sum
-		i := 0
-		for i < len(cum)-1 && cum[i] <= r {
-			i++
-		}
-		sampleTermAssignment(rng, norm[i], a, pf)
-		if firstSatisfied(norm, a) == i {
-			hits++
-		}
-	}
-	if err := finalSaveLoop(ck, src, iter, hits); err != nil {
-		return CountResult{}, err
+	for _, ln := range lanes {
+		hits += ln.Hits
 	}
 	est := new(big.Rat).Set(weightsExact)
 	est.Mul(est, big.NewRat(int64(hits), int64(t)))
@@ -240,7 +287,14 @@ func normalizedTerms(d prop.DNF) []prop.Term {
 // pickCumulative draws an index proportional to the big.Int weights
 // described by the cumulative sums cum (with grand total).
 func pickCumulative(rng *rand.Rand, cum []*big.Int, total *big.Int) int {
-	r := randBigBelow(rng, total)
+	var sc bigScratch
+	return pickCumulativeScratch(rng, cum, total, &sc)
+}
+
+// pickCumulativeScratch is pickCumulative with caller-owned scratch
+// buffers, for allocation-free draws in the hot sampling loops.
+func pickCumulativeScratch(rng *rand.Rand, cum []*big.Int, total *big.Int, sc *bigScratch) int {
+	r := randBigBelowScratch(rng, total, sc)
 	lo, hi := 0, len(cum)-1
 	for lo < hi {
 		mid := (lo + hi) / 2

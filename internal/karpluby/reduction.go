@@ -1,10 +1,12 @@
 package karpluby
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
 
+	"qrel/internal/mc"
 	"qrel/internal/prop"
 )
 
@@ -138,6 +140,22 @@ func ProbViaReduction(d prop.DNF, p prop.ProbAssignment, eps, delta float64, rng
 		return CountResult{}, err
 	}
 	res, err := CountDNF(red.PhiPP, eps, delta, rng)
+	if err != nil {
+		return CountResult{}, err
+	}
+	res.Estimate = red.Recover(res.Estimate)
+	return res, nil
+}
+
+// ProbViaReductionPar is ProbViaReduction with the #DNF estimation step
+// run on the lane-split parallel runtime; see CountDNFPar for the
+// determinism contract.
+func ProbViaReductionPar(ctx context.Context, d prop.DNF, p prop.ProbAssignment, eps, delta float64, seed int64, par mc.Par, ck *mc.Ckpt) (CountResult, error) {
+	red, err := Reduce(d, p)
+	if err != nil {
+		return CountResult{}, err
+	}
+	res, err := CountDNFPar(ctx, red.PhiPP, eps, delta, seed, par, ck)
 	if err != nil {
 		return CountResult{}, err
 	}

@@ -36,7 +36,10 @@ type Evaluator struct {
 
 // NewEvaluator returns an evaluator for the structure.
 func NewEvaluator(s *rel.Structure) *Evaluator {
-	return &Evaluator{s: s, extra: map[string]*rel.Relation{}}
+	// extra is allocated lazily by the first second-order quantifier:
+	// first-order evaluation — the Monte Carlo per-sample hot path —
+	// never pays for it (nil-map reads are fine).
+	return &Evaluator{s: s}
 }
 
 // Eval evaluates f on s under env. It is a convenience wrapper around
@@ -82,7 +85,17 @@ func (ev *Evaluator) Eval(f Formula, env Env) (bool, error) {
 	case Bool:
 		return bool(g), nil
 	case Atom:
-		tup := make(rel.Tuple, len(g.Args))
+		// Atom arity is bounded by MaxArity for every relation that can
+		// contain the tuple, so a fixed stack buffer serves the common
+		// case without a per-atom heap allocation (the Monte Carlo
+		// per-sample hot path evaluates thousands of atoms per world).
+		var tupBuf [rel.MaxArity]int
+		var tup rel.Tuple
+		if len(g.Args) <= rel.MaxArity {
+			tup = tupBuf[:len(g.Args)]
+		} else {
+			tup = make(rel.Tuple, len(g.Args))
+		}
 		for i, t := range g.Args {
 			e, err := ev.term(t, env)
 			if err != nil {
@@ -163,13 +176,54 @@ func (ev *Evaluator) Eval(f Formula, env Env) (bool, error) {
 	}
 }
 
+// quantSaveMax is the widest quantifier block whose shadowed bindings
+// are saved in fixed stack arrays; wider blocks fall back to cloning
+// the environment.
+const quantSaveMax = 8
+
 // evalFOQuant evaluates a block of like quantifiers by enumerating
 // A^len(vars).
 func (ev *Evaluator) evalFOQuant(vars []string, body Formula, env Env, existential bool) (bool, error) {
 	if len(vars) == 0 {
 		return ev.Eval(body, env)
 	}
-	env = env.Clone()
+	// Bind in place and restore the shadowed values on return instead of
+	// cloning the environment: the per-block map copy dominated the
+	// Monte Carlo per-sample allocation profile.
+	var savedVal [quantSaveMax]int
+	var savedOK [quantSaveMax]bool
+	if len(vars) <= quantSaveMax {
+		for i, v := range vars {
+			savedVal[i], savedOK[i] = env[v]
+		}
+		defer func() {
+			for i, v := range vars {
+				if savedOK[i] {
+					env[v] = savedVal[i]
+				} else {
+					delete(env, v)
+				}
+			}
+		}()
+	} else {
+		env = env.Clone()
+	}
+	// Single-variable blocks — the common shape — walk the universe
+	// directly, skipping ForEachTuple's per-call tuple allocation.
+	if len(vars) == 1 {
+		v := vars[0]
+		for e := 0; e < ev.s.N; e++ {
+			env[v] = e
+			val, err := ev.Eval(body, env)
+			if err != nil {
+				return false, err
+			}
+			if val == existential {
+				return existential, nil
+			}
+		}
+		return !existential, nil
+	}
 	result := !existential
 	var innerErr error
 	rel.ForEachTuple(ev.s.N, len(vars), func(t rel.Tuple) bool {
@@ -212,6 +266,9 @@ func (ev *Evaluator) evalSOQuant(q SOQuant, env Env) (bool, error) {
 		tuples = append(tuples, t.Clone())
 		return true
 	})
+	if ev.extra == nil {
+		ev.extra = map[string]*rel.Relation{}
+	}
 	defer delete(ev.extra, q.Rel)
 	for mask := uint64(0); mask < uint64(1)<<uint(space); mask++ {
 		r := rel.NewRelation(q.Arity)

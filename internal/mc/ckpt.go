@@ -2,7 +2,6 @@ package mc
 
 import (
 	"context"
-	"fmt"
 	"math/rand"
 
 	"qrel/internal/rel"
@@ -20,19 +19,43 @@ import (
 // unchanged.
 
 // LoopState is the serializable state of one estimator loop at a
-// sample boundary.
+// sample boundary. Single-lane (sequential) runs write the legacy
+// fields only; lane-split parallel runs additionally set LaneCount and
+// Lanes (the versioned multi-lane schema), with the legacy fields
+// carrying the cross-lane totals.
 type LoopState struct {
 	// Method names the estimator that produced the state ("hoeffding",
 	// "padded", "rare-event", "karp-luby"); restoring into a different
 	// estimator is rejected.
 	Method string `json:"method"`
-	// Drawn is the number of samples already drawn.
+	// Drawn is the number of samples already drawn (total across lanes).
 	Drawn int `json:"drawn"`
-	// Hits is the success count of counting estimators.
+	// Hits is the success count of counting estimators (total across
+	// lanes).
 	Hits int `json:"hits,omitempty"`
-	// Sum is the running sum of mean estimators.
+	// Sum is the running sum of mean estimators (total across lanes).
 	Sum float64 `json:"sum,omitempty"`
-	// RNG is the PRNG state immediately after sample Drawn.
+	// RNG is the PRNG state immediately after sample Drawn (lane 0's
+	// state in a multi-lane snapshot; Lanes is authoritative there).
+	RNG RNGState `json:"rng"`
+	// LaneCount > 0 marks a multi-lane snapshot with one entry per lane
+	// in Lanes. A snapshot resumes only into a run with the identical
+	// lane count — the estimate is a function of it. Zero (legacy
+	// single-lane snapshots) resumes only into sequential runs.
+	LaneCount int `json:"lane_count,omitempty"`
+	// Lanes holds the per-lane states of a multi-lane snapshot, in lane
+	// index order.
+	Lanes []LaneState `json:"lanes,omitempty"`
+}
+
+// LaneState is the serializable state of one lane at a sample boundary.
+type LaneState struct {
+	// Drawn is the number of samples this lane has drawn.
+	Drawn int `json:"drawn"`
+	// Hits / Sum are the lane's partial aggregates.
+	Hits int     `json:"hits,omitempty"`
+	Sum  float64 `json:"sum,omitempty"`
+	// RNG is the lane's PRNG state immediately after its sample Drawn.
 	RNG RNGState `json:"rng"`
 }
 
@@ -51,31 +74,6 @@ type Ckpt struct {
 	Save func(LoopState) error
 	// Resume, when non-nil, is the state to continue from.
 	Resume *LoopState
-}
-
-// restore validates and applies ck.Resume to the loop counters.
-func (ck *Ckpt) restore(method string, src *Source, drawn, hits *int, sum *float64) error {
-	st := ck.Resume
-	if st.Method != method {
-		return fmt.Errorf("mc: snapshot was taken by estimator %q, cannot resume %q", st.Method, method)
-	}
-	if src == nil {
-		return fmt.Errorf("mc: resuming requires a serializable Source")
-	}
-	if st.Drawn < 0 || (hits != nil && (st.Hits < 0 || st.Hits > st.Drawn)) {
-		return fmt.Errorf("mc: implausible snapshot state drawn=%d hits=%d", st.Drawn, st.Hits)
-	}
-	if err := src.SetState(st.RNG); err != nil {
-		return err
-	}
-	*drawn = st.Drawn
-	if hits != nil {
-		*hits = st.Hits
-	}
-	if sum != nil {
-		*sum = st.Sum
-	}
-	return nil
 }
 
 // EstimateMeanCk is EstimateMean over a serializable source with

@@ -1,0 +1,383 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"qrel/internal/faultinject"
+)
+
+// Lane-split parallel sampling. A sampling run is divided into a fixed
+// number of RNG lanes: lane i draws from the seed's base xoshiro256**
+// state advanced by i LongJumps (2^192 apart, so the lanes never
+// overlap), and owns a fixed quota of the total sample count. Lanes are
+// executed by a pool of workers, but the estimate is a function of
+// (seed, lane count) only: per-lane aggregates accumulate in sample
+// order within the lane and are merged in lane-index order, so the
+// W-worker estimate for seed s is bit-identical to the 1-worker
+// estimate for seed s, for any W. The lane count is therefore part of
+// the checkpoint fingerprint, while the worker count is free to change
+// between runs (and across a kill/resume).
+
+// DefaultLanes is the number of RNG lanes a lane-split run uses. It is
+// a property of the computation (it determines the estimate), not of
+// the machine: worker counts only schedule the lanes.
+const DefaultLanes = 8
+
+// Par configures a lane-split parallel estimation run.
+type Par struct {
+	// Lanes is the number of RNG lanes the sample stream is split into
+	// (default DefaultLanes). The estimate for a seed depends on the
+	// lane count, never on Workers.
+	Lanes int
+	// Workers caps the goroutines driving the lanes (default
+	// GOMAXPROCS, always clamped to Lanes).
+	Workers int
+}
+
+func (p Par) withDefaults() Par {
+	if p.Lanes <= 0 {
+		p.Lanes = DefaultLanes
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	if p.Workers > p.Lanes {
+		p.Workers = p.Lanes
+	}
+	return p
+}
+
+// Lane is one deterministic RNG lane of a lane-split run: a private
+// substream, a fixed sample quota, and the partial aggregates
+// accumulated in sample order. Lanes are merged in index order.
+type Lane struct {
+	// Idx is the lane index (merge order).
+	Idx int
+	// Src is the lane's serializable substream; Rng draws from it.
+	Src *Source
+	Rng *rand.Rand
+	// Quota is the number of samples this lane owns of the run total.
+	Quota int
+	// Drawn, Hits, Sum are the lane's progress and partial aggregates.
+	Drawn int
+	Hits  int
+	Sum   float64
+}
+
+// SplitLanes derives n non-overlapping lanes from one seed: lane i
+// starts at the seed's base state advanced by i LongJumps (2^192
+// draws apart).
+func SplitLanes(seed int64, n int) []*Lane {
+	base := NewSource(seed)
+	lanes := make([]*Lane, n)
+	for i := 0; i < n; i++ {
+		src := &Source{s: base.s}
+		lanes[i] = &Lane{Idx: i, Src: src, Rng: rand.New(src)}
+		base.LongJump()
+	}
+	return lanes
+}
+
+// LanesFor builds the lane set and effective worker count of a
+// lane-split run.
+func LanesFor(seed int64, par Par) ([]*Lane, int) {
+	par = par.withDefaults()
+	return SplitLanes(seed, par.Lanes), par.Workers
+}
+
+// AssignQuotas splits total samples over the lanes deterministically:
+// lane i gets ⌊total/L⌋ plus one of the total%L remainder slots, in
+// index order.
+func AssignQuotas(lanes []*Lane, total int) {
+	q, rem := total/len(lanes), total%len(lanes)
+	for i, ln := range lanes {
+		ln.Quota = q
+		if i < rem {
+			ln.Quota++
+		}
+	}
+}
+
+// TupleSeed derives the deterministic lane seed of answer tuple idx in
+// a tuple-splitting parallel engine (splitmix64 finalizer over the run
+// seed and the tuple index).
+func TupleSeed(seed int64, idx int) int64 {
+	x := uint64(seed) ^ (0x9e3779b97f4a7c15 * (uint64(idx) + 1))
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
+}
+
+// isCtxErr reports a pure cancellation error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RunLanes drives fn over the lanes with at most workers goroutines.
+// The first real error cancels the sibling lanes via the derived
+// context and is returned (root-cause errors are preferred over the
+// cancellations they provoke — same pattern as core.WorldEnumParallel).
+// fn must treat cancellation of its ctx as a clean early stop when the
+// estimator is anytime (return nil with the lane partially drawn), or
+// return ctx.Err() when it is not.
+func RunLanes(ctx context.Context, lanes []*Lane, workers int, fn func(ctx context.Context, ln *Lane) error) error {
+	if workers > len(lanes) {
+		workers = len(lanes)
+	}
+	if workers <= 1 {
+		for _, ln := range lanes {
+			if err := faultinject.Hit(faultinject.SiteLaneWorker); err != nil {
+				return err
+			}
+			if err := fn(ctx, ln); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(lanes))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(lanes) {
+					return
+				}
+				if err := faultinject.Hit(faultinject.SiteLaneWorker); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+				if err := fn(ctx, lanes[i]); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || (isCtxErr(firstErr) && !isCtxErr(err)) {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// LaneCkpt serializes concurrent per-lane snapshot publication into
+// Ckpt.Save calls. Each lane publishes its state at sample boundaries;
+// a persisted snapshot assembles the last published state of every
+// lane. Lanes are independent streams, so the assembled states need
+// not be from the same instant — any combination of per-lane
+// boundaries is a valid resume point. With a single lane the snapshot
+// is written in the legacy (PR 3) single-lane format, so sequential
+// runs stay byte-compatible with existing stores.
+type LaneCkpt struct {
+	ck     *Ckpt
+	method string
+	inert  bool
+
+	mu         sync.Mutex
+	lanes      []LaneState
+	savedDrawn int // total Drawn at the last persisted (or restored) snapshot
+}
+
+// NewLaneCkpt builds the checkpoint publisher for a lane run; it is
+// inert (all methods no-ops) when ck is nil, has no Save hook, or the
+// lanes carry no serializable Source.
+func NewLaneCkpt(method string, lanes []*Lane, ck *Ckpt) *LaneCkpt {
+	lc := &LaneCkpt{ck: ck, method: method}
+	if ck == nil || ck.Save == nil {
+		lc.inert = true
+		return lc
+	}
+	for _, ln := range lanes {
+		if ln.Src == nil {
+			lc.inert = true
+			return lc
+		}
+	}
+	lc.lanes = make([]LaneState, len(lanes))
+	for i, ln := range lanes {
+		lc.lanes[i] = LaneState{Drawn: ln.Drawn, Hits: ln.Hits, Sum: ln.Sum, RNG: ln.Src.State()}
+		lc.savedDrawn += ln.Drawn
+	}
+	return lc
+}
+
+// PerLaneEvery translates the run-total snapshot interval ck.Every
+// into a per-lane interval (0 disables periodic saves).
+func (lc *LaneCkpt) PerLaneEvery(nLanes int) int {
+	if lc.inert || lc.ck.Every <= 0 {
+		return 0
+	}
+	e := lc.ck.Every / nLanes
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// Publish records ln's current state at a sample boundary; with save
+// set it also persists the assembled multi-lane snapshot (skipped when
+// nothing was drawn since the last persisted one).
+func (lc *LaneCkpt) Publish(ln *Lane, save bool) error {
+	if lc.inert {
+		return nil
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.lanes[ln.Idx] = LaneState{Drawn: ln.Drawn, Hits: ln.Hits, Sum: ln.Sum, RNG: ln.Src.State()}
+	if !save {
+		return nil
+	}
+	return lc.saveLocked()
+}
+
+// FinalSave persists the boundary snapshot after the lanes joined:
+// after a cancellation it is the state a restart resumes from; after
+// completion it makes a re-run an instant replay.
+func (lc *LaneCkpt) FinalSave() error {
+	if lc.inert {
+		return nil
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.saveLocked()
+}
+
+func (lc *LaneCkpt) saveLocked() error {
+	st := LoopState{Method: lc.method}
+	for _, l := range lc.lanes {
+		st.Drawn += l.Drawn
+		st.Hits += l.Hits
+		st.Sum += l.Sum
+	}
+	if st.Drawn == lc.savedDrawn {
+		return nil
+	}
+	st.RNG = lc.lanes[0].RNG
+	if len(lc.lanes) > 1 {
+		st.LaneCount = len(lc.lanes)
+		st.Lanes = append([]LaneState(nil), lc.lanes...)
+	}
+	lc.savedDrawn = st.Drawn
+	return lc.ck.Save(st)
+}
+
+// RestoreLanes applies ck.Resume (if any) to the lanes: a multi-lane
+// (v2) snapshot restores per-lane counters and RNG states; a legacy
+// single-lane snapshot restores only into a single-lane run. Lane
+// count mismatches are rejected — the estimate is a function of the
+// lane count, so resuming across counts would silently change it.
+func RestoreLanes(method string, lanes []*Lane, ck *Ckpt) error {
+	if ck == nil || ck.Resume == nil {
+		return nil
+	}
+	st := ck.Resume
+	if st.Method != method {
+		return fmt.Errorf("mc: snapshot was taken by estimator %q, cannot resume %q", st.Method, method)
+	}
+	for _, ln := range lanes {
+		if ln.Src == nil {
+			return fmt.Errorf("mc: resuming requires a serializable Source")
+		}
+	}
+	if st.LaneCount == 0 {
+		if len(lanes) != 1 {
+			return fmt.Errorf("mc: single-lane snapshot cannot resume a %d-lane run", len(lanes))
+		}
+		if st.Drawn < 0 || st.Hits < 0 || st.Hits > st.Drawn {
+			return fmt.Errorf("mc: implausible snapshot state drawn=%d hits=%d", st.Drawn, st.Hits)
+		}
+		ln := lanes[0]
+		if err := ln.Src.SetState(st.RNG); err != nil {
+			return err
+		}
+		ln.Drawn, ln.Hits, ln.Sum = st.Drawn, st.Hits, st.Sum
+		return nil
+	}
+	if st.LaneCount != len(lanes) || len(st.Lanes) != st.LaneCount {
+		return fmt.Errorf("mc: snapshot has %d lanes (%d lane states), cannot resume a %d-lane run",
+			st.LaneCount, len(st.Lanes), len(lanes))
+	}
+	for i, ln := range lanes {
+		ls := st.Lanes[i]
+		if ls.Drawn < 0 || ls.Hits < 0 || ls.Hits > ls.Drawn {
+			return fmt.Errorf("mc: implausible snapshot state for lane %d: drawn=%d hits=%d", i, ls.Drawn, ls.Hits)
+		}
+		if err := ln.Src.SetState(ls.RNG); err != nil {
+			return fmt.Errorf("mc: lane %d: %w", i, err)
+		}
+		ln.Drawn, ln.Hits, ln.Sum = ls.Drawn, ls.Hits, ls.Sum
+	}
+	return nil
+}
+
+// sampleLanes is the shared skeleton of every sampling estimator in
+// this package: assign quotas, restore a snapshot, run the lanes with
+// periodic checkpoint publication, and persist the final boundary.
+// setup builds the per-lane draw step (owning the lane's scratch
+// buffers); step draws exactly one sample from ln.Rng and updates
+// ln.Sum/ln.Hits. Anytime semantics: cancellation stops lanes cleanly
+// at a sample boundary, leaving the partial aggregates valid.
+func sampleLanes(ctx context.Context, method string, lanes []*Lane, workers, total int, ck *Ckpt,
+	setup func(ln *Lane) func() error) error {
+	AssignQuotas(lanes, total)
+	if err := RestoreLanes(method, lanes, ck); err != nil {
+		return err
+	}
+	lc := NewLaneCkpt(method, lanes, ck)
+	every := lc.PerLaneEvery(len(lanes))
+	err := RunLanes(ctx, lanes, workers, func(ctx context.Context, ln *Lane) error {
+		step := setup(ln)
+		lastSave := ln.Drawn
+		for ln.Drawn < ln.Quota {
+			if ln.Drawn%ctxPollStride == 0 && ctx.Err() != nil {
+				break
+			}
+			if every > 0 && ln.Drawn-lastSave >= every {
+				lastSave = ln.Drawn
+				if err := lc.Publish(ln, true); err != nil {
+					return err
+				}
+			}
+			if err := step(); err != nil {
+				return err
+			}
+			ln.Drawn++
+		}
+		return lc.Publish(ln, false)
+	})
+	if err != nil {
+		return err
+	}
+	return lc.FinalSave()
+}
+
+// laneTotals merges the per-lane aggregates in lane-index order.
+func laneTotals(lanes []*Lane) (drawn, hits int, sum float64) {
+	for _, ln := range lanes {
+		drawn += ln.Drawn
+		hits += ln.Hits
+		sum += ln.Sum
+	}
+	return drawn, hits, sum
+}

@@ -1,0 +1,252 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/big"
+	"sync/atomic"
+	"testing"
+
+	"qrel/internal/faultinject"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+)
+
+// manyAtomDB is a database with several uncertain atoms so lane streams
+// exercise multi-flip world draws.
+func manyAtomDB() *unreliable.DB {
+	voc := rel.MustVocabulary(rel.RelSym{Name: "S", Arity: 1})
+	s := rel.MustStructure(8, voc)
+	d := unreliable.New(s)
+	for i := 0; i < 8; i++ {
+		s.MustAdd("S", i)
+		d.MustSetError(rel.GroundAtom{Rel: "S", Args: rel.Tuple{i}}, big.NewRat(int64(i+1), 10))
+	}
+	return d
+}
+
+// statS counts the fraction of S-facts present in a sampled world.
+func statS(b *rel.Structure) (float64, error) {
+	n := 0
+	for i := 0; i < 8; i++ {
+		if b.Holds("S", rel.Tuple{i}) {
+			n++
+		}
+	}
+	return float64(n) / 8, nil
+}
+
+func predAnyS(b *rel.Structure) (bool, error) {
+	for i := 0; i < 8; i++ {
+		if !b.Holds("S", rel.Tuple{i}) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// TestLaneDeterminismAcrossWorkers is the core contract of the lane
+// runtime: the estimate is a function of (seed, lane count) only — any
+// worker count W >= 1 produces the byte-identical Estimate, because W
+// only schedules the fixed lanes.
+func TestLaneDeterminismAcrossWorkers(t *testing.T) {
+	d := manyAtomDB()
+	const seed = 42
+
+	baseMean, err := EstimateMeanPar(bg, d, statS, 0.05, 0.1, 0, seed, Par{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePadded, err := EstimateNuPaddedPar(bg, d, predAnyS, 0.25, 0.1, 0.1, 0, seed, Par{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRare, err := EstimateMeanRarePar(bg, d, statS, 0.05, 0.1, 0, seed, Par{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseMean.Samples == 0 || basePadded.Samples == 0 || baseRare.Samples == 0 {
+		t.Fatal("baseline drew no samples")
+	}
+
+	for _, w := range []int{2, 4, 7} {
+		mean, err := EstimateMeanPar(bg, d, statS, 0.05, 0.1, 0, seed, Par{Workers: w}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mean != baseMean {
+			t.Errorf("EstimateMeanPar workers=%d: %+v != workers=1 %+v", w, mean, baseMean)
+		}
+		padded, err := EstimateNuPaddedPar(bg, d, predAnyS, 0.25, 0.1, 0.1, 0, seed, Par{Workers: w}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if padded != basePadded {
+			t.Errorf("EstimateNuPaddedPar workers=%d: %+v != workers=1 %+v", w, padded, basePadded)
+		}
+		rare, err := EstimateMeanRarePar(bg, d, statS, 0.05, 0.1, 0, seed, Par{Workers: w}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rare != baseRare {
+			t.Errorf("EstimateMeanRarePar workers=%d: %+v != workers=1 %+v", w, rare, baseRare)
+		}
+	}
+}
+
+// TestLaneCancelWidensEps is the regression test for the partial-result
+// accounting fix: a canceled parallel run must report Drawn as the true
+// total across all lanes and widen eps from that total — not from any
+// single lane's count.
+func TestLaneCancelWidensEps(t *testing.T) {
+	d := manyAtomDB()
+	ctx, cancel := context.WithCancel(bg)
+	var calls atomic.Int64
+	f := func(b *rel.Structure) (float64, error) {
+		if calls.Add(1) == 2000 {
+			cancel()
+		}
+		return statS(b)
+	}
+	const delta = 0.1
+	est, err := EstimateMeanPar(ctx, d, f, 0.01, delta, 0, 7, Par{Workers: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Partial {
+		t.Fatal("canceled run not marked Partial")
+	}
+	if est.Samples < 2000 || est.Samples >= est.Requested {
+		t.Fatalf("Samples = %d, want cross-lane total in [2000, %d)", est.Samples, est.Requested)
+	}
+	want := WidenedHoeffdingEps(delta, est.Samples)
+	if math.Abs(est.Eps-want) > 1e-15 {
+		t.Errorf("widened eps %v, want WidenedHoeffdingEps(delta, %d) = %v", est.Eps, est.Samples, want)
+	}
+}
+
+// TestLaneKillResume kills a multi-lane run mid-flight, checkpoints it,
+// resumes from the snapshot, and requires the final estimate to be
+// bit-identical to an uninterrupted run of the same seed.
+func TestLaneKillResume(t *testing.T) {
+	d := manyAtomDB()
+	const seed, eps, delta = 9, 0.02, 0.1
+
+	uninterrupted, err := EstimateMeanPar(bg, d, statS, eps, delta, 0, seed, Par{Workers: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snap *LoopState
+	save := func(st LoopState) error {
+		snap = &st
+		return nil
+	}
+	ctx, cancel := context.WithCancel(bg)
+	var calls atomic.Int64
+	killer := func(b *rel.Structure) (float64, error) {
+		if calls.Add(1) == 1500 {
+			cancel()
+		}
+		return statS(b)
+	}
+	first, err := EstimateMeanPar(ctx, d, killer, eps, delta, 0, seed, Par{Workers: 3}, &Ckpt{Every: 256, Save: save})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Partial {
+		t.Fatal("killed run not marked Partial")
+	}
+	if snap == nil {
+		t.Fatal("no checkpoint was saved")
+	}
+	if snap.LaneCount != DefaultLanes || len(snap.Lanes) != DefaultLanes {
+		t.Fatalf("snapshot has LaneCount=%d, %d lane states; want %d", snap.LaneCount, len(snap.Lanes), DefaultLanes)
+	}
+
+	resumed, err := EstimateMeanPar(bg, d, statS, eps, delta, 0, seed, Par{Workers: 3}, &Ckpt{Resume: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != uninterrupted {
+		t.Errorf("resumed estimate %+v != uninterrupted %+v", resumed, uninterrupted)
+	}
+}
+
+// TestRestoreLanesRejectsMismatch covers the snapshot/run lane-count
+// compatibility rules: a single-lane snapshot cannot seed a multi-lane
+// run, and lane counts must match exactly.
+func TestRestoreLanesRejectsMismatch(t *testing.T) {
+	single := &LoopState{Method: "hoeffding", Drawn: 10, Sum: 5, RNG: NewSource(1).State()}
+	lanes := SplitLanes(1, DefaultLanes)
+	if err := RestoreLanes("hoeffding", lanes, &Ckpt{Resume: single}); err == nil {
+		t.Error("single-lane snapshot restored into multi-lane run")
+	}
+
+	multi := &LoopState{Method: "hoeffding", LaneCount: 4, RNG: NewSource(1).State()}
+	for i := 0; i < 4; i++ {
+		multi.Lanes = append(multi.Lanes, LaneState{RNG: NewSource(int64(i + 1)).State()})
+	}
+	if err := RestoreLanes("hoeffding", lanes, &Ckpt{Resume: multi}); err == nil {
+		t.Errorf("%d-lane snapshot restored into %d-lane run", 4, DefaultLanes)
+	}
+	if err := RestoreLanes("padded", SplitLanes(1, 4), &Ckpt{Resume: multi}); err == nil {
+		t.Error("snapshot restored into a different estimator")
+	}
+}
+
+// TestLaneWorkerFaultInjection injects a failure into one lane worker
+// and requires the estimator to surface it (not a context error) while
+// sibling lanes are canceled rather than left running.
+func TestLaneWorkerFaultInjection(t *testing.T) {
+	defer faultinject.Reset()
+	d := manyAtomDB()
+	boom := errors.New("injected lane failure")
+	for _, workers := range []int{1, 4} {
+		faultinject.Reset()
+		faultinject.Enable(faultinject.SiteLaneWorker, faultinject.Fault{Err: boom, Times: 1})
+		_, err := EstimateMeanPar(bg, d, statS, 0.05, 0.1, 0, 3, Par{Workers: workers}, nil)
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: error %v, want injected fault", workers, err)
+		}
+	}
+}
+
+// TestRunLanesPrefersRealError makes RunLanes report the causal failure
+// when sibling lanes die of the cancellation it triggered.
+func TestRunLanesPrefersRealError(t *testing.T) {
+	lanes := SplitLanes(5, 4)
+	boom := errors.New("lane 2 failed")
+	err := RunLanes(bg, lanes, 4, func(ctx context.Context, ln *Lane) error {
+		if ln.Idx == 2 {
+			return boom
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("RunLanes error %v, want the non-context lane error", err)
+	}
+}
+
+// TestAssignQuotas checks the fixed-quota split: totals are preserved
+// and remainders go to the lowest-index lanes.
+func TestAssignQuotas(t *testing.T) {
+	lanes := SplitLanes(1, 8)
+	AssignQuotas(lanes, 19)
+	sum := 0
+	for i, ln := range lanes {
+		sum += ln.Quota
+		want := 19 / 8
+		if i < 19%8 {
+			want++
+		}
+		if ln.Quota != want {
+			t.Errorf("lane %d quota %d, want %d", i, ln.Quota, want)
+		}
+	}
+	if sum != 19 {
+		t.Errorf("quotas sum to %d, want 19", sum)
+	}
+}

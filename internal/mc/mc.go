@@ -129,9 +129,28 @@ func EstimateMean(ctx context.Context, db *unreliable.DB, f func(*rel.Structure)
 	return estimateMeanLoop(ctx, db, f, eps, delta, maxSamples, rng, nil, nil)
 }
 
-// estimateMeanLoop is the shared sampling loop behind EstimateMean and
-// EstimateMeanCk; src and ck are nil for uncheckpointed runs.
+// estimateMeanLoop is the sequential single-lane path behind
+// EstimateMean and EstimateMeanCk; src and ck are nil for
+// uncheckpointed runs. It consumes the same RNG stream the seed
+// implementation did, so existing seeds and snapshots stay
+// bit-identical.
 func estimateMeanLoop(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, rng *rand.Rand, src *Source, ck *Ckpt) (Estimate, error) {
+	return estimateMeanLanes(ctx, db, f, eps, delta, maxSamples, []*Lane{{Src: src, Rng: rng}}, 1, ck)
+}
+
+// EstimateMeanPar is EstimateMean over a lane-split parallel runtime:
+// the seed derives par.Lanes non-overlapping RNG lanes, driven by up
+// to par.Workers goroutines. The estimate depends on (seed, lane
+// count) only — any worker count yields the bit-identical value — and
+// multi-lane checkpoints resume under any worker count too.
+func EstimateMeanPar(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, seed int64, par Par, ck *Ckpt) (Estimate, error) {
+	lanes, workers := LanesFor(seed, par)
+	return estimateMeanLanes(ctx, db, f, eps, delta, maxSamples, lanes, workers, ck)
+}
+
+// estimateMeanLanes is the shared lane-pool estimator behind
+// EstimateMean(Ck) and EstimateMeanPar.
+func estimateMeanLanes(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, lanes []*Lane, workers int, ck *Ckpt) (Estimate, error) {
 	requested, err := HoeffdingSampleSize(eps, delta)
 	if err != nil {
 		// The requested accuracy is unaffordable; with a sample budget we
@@ -142,47 +161,27 @@ func estimateMeanLoop(ctx context.Context, db *unreliable.DB, f func(*rel.Struct
 		requested = maxSamples + 1 // any realized count reads as partial
 	}
 	t, _ := clampSamples(requested, maxSamples)
-	sum := 0.0
-	drawn := 0
-	if ck != nil && ck.Resume != nil {
-		if err := ck.restore("hoeffding", src, &drawn, nil, &sum); err != nil {
-			return Estimate{}, err
-		}
-	}
-	lastSave := drawn
-	save := func() error {
-		if ck == nil || ck.Save == nil || drawn == lastSave {
+	err = sampleLanes(ctx, "hoeffding", lanes, workers, t, ck, func(ln *Lane) func() error {
+		buf := db.NewWorldBuf()
+		return func() error {
+			b := db.SampleWorldInto(ln.Rng, buf)
+			v, err := f(b)
+			if err != nil {
+				return fmt.Errorf("mc: evaluating sample %d: %w", ln.Drawn, err)
+			}
+			if v < 0 || v > 1 {
+				return fmt.Errorf("mc: sample value %v outside [0,1]", v)
+			}
+			ln.Sum += v
 			return nil
 		}
-		lastSave = drawn
-		return ck.Save(LoopState{Method: "hoeffding", Drawn: drawn, Sum: sum, RNG: src.State()})
-	}
-	for drawn < t {
-		if drawn%ctxPollStride == 0 && ctx.Err() != nil {
-			break
-		}
-		if ck != nil && ck.Every > 0 && drawn-lastSave >= ck.Every {
-			if err := save(); err != nil {
-				return Estimate{}, err
-			}
-		}
-		b := db.SampleWorld(rng)
-		v, err := f(b)
-		if err != nil {
-			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", drawn, err)
-		}
-		if v < 0 || v > 1 {
-			return Estimate{}, fmt.Errorf("mc: sample value %v outside [0,1]", v)
-		}
-		sum += v
-		drawn++
-	}
-	// Boundary snapshot: after a cancellation this is the final state a
-	// restart resumes from (the drain contract); after completion it lets
-	// a re-run of the same job replay the finished state instantly.
-	if err := save(); err != nil {
+	})
+	if err != nil {
 		return Estimate{}, err
 	}
+	// Drawn is the true total across lanes; a cancelled parallel run
+	// widens eps from this total, never from a single lane's count.
+	drawn, _, sum := laneTotals(lanes)
 	if drawn == 0 {
 		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSamples, ctx.Err())
 	}
@@ -235,10 +234,23 @@ func EstimateNuPadded(ctx context.Context, db *unreliable.DB, pred func(*rel.Str
 	return estimateNuPaddedLoop(ctx, db, pred, xi, eps, delta, maxSamples, rng, nil, nil)
 }
 
-// estimateNuPaddedLoop is the shared sampling loop behind
+// estimateNuPaddedLoop is the sequential single-lane path behind
 // EstimateNuPadded and EstimateNuPaddedCk; src and ck are nil for
 // uncheckpointed runs.
 func estimateNuPaddedLoop(ctx context.Context, db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, maxSamples int, rng *rand.Rand, src *Source, ck *Ckpt) (Estimate, error) {
+	return estimateNuPaddedLanes(ctx, db, pred, xi, eps, delta, maxSamples, []*Lane{{Src: src, Rng: rng}}, 1, ck)
+}
+
+// EstimateNuPaddedPar is EstimateNuPadded over the lane-split parallel
+// runtime; see EstimateMeanPar for the determinism contract.
+func EstimateNuPaddedPar(ctx context.Context, db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, maxSamples int, seed int64, par Par, ck *Ckpt) (Estimate, error) {
+	lanes, workers := LanesFor(seed, par)
+	return estimateNuPaddedLanes(ctx, db, pred, xi, eps, delta, maxSamples, lanes, workers, ck)
+}
+
+// estimateNuPaddedLanes is the shared lane-pool estimator behind
+// EstimateNuPadded(Ck) and EstimateNuPaddedPar.
+func estimateNuPaddedLanes(ctx context.Context, db *unreliable.DB, pred func(*rel.Structure) (bool, error), xi, eps, delta float64, maxSamples int, lanes []*Lane, workers int, ck *Ckpt) (Estimate, error) {
 	if xi == 0 {
 		xi = DefaultXi
 	}
@@ -251,45 +263,26 @@ func estimateNuPaddedLoop(ctx context.Context, db *unreliable.DB, pred func(*rel
 		requested = maxSamples + 1
 	}
 	t, _ := clampSamples(requested, maxSamples)
-	hits := 0
-	drawn := 0
-	if ck != nil && ck.Resume != nil {
-		if err := ck.restore("padded", src, &drawn, &hits, nil); err != nil {
-			return Estimate{}, err
-		}
-	}
-	lastSave := drawn
-	save := func() error {
-		if ck == nil || ck.Save == nil || drawn == lastSave {
+	err = sampleLanes(ctx, "padded", lanes, workers, t, ck, func(ln *Lane) func() error {
+		buf := db.NewWorldBuf()
+		return func() error {
+			b := db.SampleWorldInto(ln.Rng, buf)
+			v, err := pred(b)
+			if err != nil {
+				return fmt.Errorf("mc: evaluating sample %d: %w", ln.Drawn, err)
+			}
+			rc := ln.Rng.Float64() < xi
+			rd := ln.Rng.Float64() < xi
+			if (v || rc) && rd {
+				ln.Hits++
+			}
 			return nil
 		}
-		lastSave = drawn
-		return ck.Save(LoopState{Method: "padded", Drawn: drawn, Hits: hits, RNG: src.State()})
-	}
-	for drawn < t {
-		if drawn%ctxPollStride == 0 && ctx.Err() != nil {
-			break
-		}
-		if ck != nil && ck.Every > 0 && drawn-lastSave >= ck.Every {
-			if err := save(); err != nil {
-				return Estimate{}, err
-			}
-		}
-		b := db.SampleWorld(rng)
-		v, err := pred(b)
-		if err != nil {
-			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", drawn, err)
-		}
-		rc := rng.Float64() < xi
-		rd := rng.Float64() < xi
-		if (v || rc) && rd {
-			hits++
-		}
-		drawn++
-	}
-	if err := save(); err != nil {
+	})
+	if err != nil {
 		return Estimate{}, err
 	}
+	drawn, hits, _ := laneTotals(lanes)
 	if drawn == 0 {
 		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSamples, ctx.Err())
 	}
@@ -401,11 +394,12 @@ func EstimateNuPaddedStructural(ctx context.Context, db *unreliable.DB, pred fun
 	t, _ := clampSamples(requested, maxSamples)
 	hits := 0
 	drawn := 0
+	buf := padded.NewWorldBuf()
 	for i := 0; i < t; i++ {
 		if i%ctxPollStride == 0 && ctx.Err() != nil {
 			break
 		}
-		b := padded.SampleWorld(rng)
+		b := padded.SampleWorldInto(rng, buf)
 		v, err := pred(b)
 		if err != nil {
 			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", i, err)

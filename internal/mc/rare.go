@@ -101,10 +101,57 @@ func EstimateMeanRare(ctx context.Context, db *unreliable.DB, f func(*rel.Struct
 	return estimateMeanRareLoop(ctx, db, f, eps, delta, maxSamples, rng, nil, nil)
 }
 
-// estimateMeanRareLoop is the shared sampling loop behind
+// estimateMeanRareLoop is the sequential single-lane path behind
 // EstimateMeanRare and EstimateMeanRareCk; src and ck are nil for
 // uncheckpointed runs.
 func estimateMeanRareLoop(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, rng *rand.Rand, src *Source, ck *Ckpt) (Estimate, error) {
+	return estimateMeanRareLanes(ctx, db, f, eps, delta, maxSamples, []*Lane{{Src: src, Rng: rng}}, 1, ck)
+}
+
+// EstimateMeanRarePar is EstimateMeanRare over the lane-split parallel
+// runtime; see EstimateMeanPar for the determinism contract.
+func EstimateMeanRarePar(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, seed int64, par Par, ck *Ckpt) (Estimate, error) {
+	lanes, workers := LanesFor(seed, par)
+	return estimateMeanRareLanes(ctx, db, f, eps, delta, maxSamples, lanes, workers, ck)
+}
+
+// condSampler draws conditional worlds without per-sample allocation,
+// consuming the RNG exactly like SampleWorldConditional: one Float64
+// for the first-flip index, then one per later atom. The flip-event
+// data (mus, zf) is shared read-only across lanes; the world buffer is
+// per-lane.
+type condSampler struct {
+	mus []float64
+	zf  float64
+	buf *unreliable.WorldBuf
+}
+
+func (cs *condSampler) sample(rng *rand.Rand) *rel.Structure {
+	r := rng.Float64() * cs.zf
+	first := len(cs.mus) - 1
+	prefixKeep := 1.0
+	for i, mu := range cs.mus {
+		p := prefixKeep * mu
+		if r < p {
+			first = i
+			break
+		}
+		r -= p
+		prefixKeep *= 1 - mu
+	}
+	cs.buf.Reset()
+	cs.buf.ToggleUncertain(first)
+	for i := first + 1; i < len(cs.mus); i++ {
+		if rng.Float64() < cs.mus[i] {
+			cs.buf.ToggleUncertain(i)
+		}
+	}
+	return cs.buf.World()
+}
+
+// estimateMeanRareLanes is the shared lane-pool estimator behind
+// EstimateMeanRare(Ck) and EstimateMeanRarePar.
+func estimateMeanRareLanes(ctx context.Context, db *unreliable.DB, f func(*rel.Structure) (float64, error), eps, delta float64, maxSamples int, lanes []*Lane, workers int, ck *Ckpt) (Estimate, error) {
 	if eps <= 0 || delta <= 0 || delta >= 1 {
 		return Estimate{}, fmt.Errorf("mc: need eps > 0 and 0 < delta < 1, got eps=%v delta=%v", eps, delta)
 	}
@@ -117,7 +164,7 @@ func estimateMeanRareLoop(ctx context.Context, db *unreliable.DB, f func(*rel.St
 	if zf >= 1 {
 		// Z is a function of the database alone, so a job that fell back
 		// here on its first run falls back identically on resume.
-		return estimateMeanLoop(ctx, db, f, eps, delta, maxSamples, rng, src, ck)
+		return estimateMeanLanes(ctx, db, f, eps, delta, maxSamples, lanes, workers, ck)
 	}
 	// Conditional mean must be estimated to eps/Z absolute error.
 	requested := int(math.Ceil(zf * zf * math.Log(2/delta) / (2 * eps * eps)))
@@ -131,47 +178,32 @@ func estimateMeanRareLoop(ctx context.Context, db *unreliable.DB, f func(*rel.St
 		requested = maxSamples + 1
 	}
 	t, _ := clampSamples(requested, maxSamples)
-	sum := 0.0
-	drawn := 0
-	if ck != nil && ck.Resume != nil {
-		if err := ck.restore("rare-event", src, &drawn, nil, &sum); err != nil {
-			return Estimate{}, err
-		}
+	// zf < 1 here, so there are no sure flips and at least one uncertain
+	// atom: the conditional sampler's preconditions hold.
+	atoms := db.UncertainAtoms()
+	mus := make([]float64, len(atoms))
+	for i, a := range atoms {
+		mus[i], _ = db.ErrorProb(a).Float64()
 	}
-	lastSave := drawn
-	save := func() error {
-		if ck == nil || ck.Save == nil || drawn == lastSave {
+	err := sampleLanes(ctx, "rare-event", lanes, workers, t, ck, func(ln *Lane) func() error {
+		cs := &condSampler{mus: mus, zf: zf, buf: db.NewWorldBuf()}
+		return func() error {
+			b := cs.sample(ln.Rng)
+			v, err := f(b)
+			if err != nil {
+				return fmt.Errorf("mc: evaluating sample %d: %w", ln.Drawn, err)
+			}
+			if v < 0 || v > 1 {
+				return fmt.Errorf("mc: sample value %v outside [0,1]", v)
+			}
+			ln.Sum += v
 			return nil
 		}
-		lastSave = drawn
-		return ck.Save(LoopState{Method: "rare-event", Drawn: drawn, Sum: sum, RNG: src.State()})
-	}
-	for drawn < t {
-		if drawn%ctxPollStride == 0 && ctx.Err() != nil {
-			break
-		}
-		if ck != nil && ck.Every > 0 && drawn-lastSave >= ck.Every {
-			if err := save(); err != nil {
-				return Estimate{}, err
-			}
-		}
-		b, err := SampleWorldConditional(db, rng)
-		if err != nil {
-			return Estimate{}, err
-		}
-		v, err := f(b)
-		if err != nil {
-			return Estimate{}, fmt.Errorf("mc: evaluating sample %d: %w", drawn, err)
-		}
-		if v < 0 || v > 1 {
-			return Estimate{}, fmt.Errorf("mc: sample value %v outside [0,1]", v)
-		}
-		sum += v
-		drawn++
-	}
-	if err := save(); err != nil {
+	})
+	if err != nil {
 		return Estimate{}, err
 	}
+	drawn, _, sum := laneTotals(lanes)
 	if drawn == 0 {
 		return Estimate{}, fmt.Errorf("%w: %v", ErrNoSamples, ctx.Err())
 	}

@@ -89,3 +89,41 @@ func (s *Source) SetState(st RNGState) error {
 	s.s = st
 	return nil
 }
+
+// Jump and LongJump polynomials from the reference xoshiro256**
+// implementation (Blackman & Vigna). Applying the polynomial advances
+// the stream by a fixed power of two, so a seed plus a jump count
+// names a deterministic position in the stream.
+var (
+	jumpPoly     = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	longJumpPoly = [4]uint64{0x76e15d3efefdcbbf, 0xc5004e441c522fb3, 0x77710069854ee241, 0x39109bb02acbe635}
+)
+
+// applyJump advances the state by the given jump polynomial.
+func (s *Source) applyJump(poly [4]uint64) {
+	var s0, s1, s2, s3 uint64
+	for _, word := range poly {
+		for b := 0; b < 64; b++ {
+			if word&(1<<uint(b)) != 0 {
+				s0 ^= s.s[0]
+				s1 ^= s.s[1]
+				s2 ^= s.s[2]
+				s3 ^= s.s[3]
+			}
+			s.Uint64()
+		}
+	}
+	s.s = [4]uint64{s0, s1, s2, s3}
+}
+
+// Jump advances the stream by 2^128 draws: the subsequence starting at
+// the jumped state is disjoint from the next 2^128 draws of the
+// un-jumped source. Used to derive non-overlapping substreams from one
+// seed.
+func (s *Source) Jump() { s.applyJump(jumpPoly) }
+
+// LongJump advances the stream by 2^192 draws, partitioning the period
+// into 2^64 starting points each 2^192 apart — one per sampling lane.
+// Lane i of a lane-split run uses the seed's base state advanced by i
+// LongJumps (see SplitLanes).
+func (s *Source) LongJump() { s.applyJump(longJumpPoly) }

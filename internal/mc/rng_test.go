@@ -88,3 +88,72 @@ func TestNewRandUsableByRand(t *testing.T) {
 		}
 	}
 }
+
+func TestJumpDeterministicAndDisjoint(t *testing.T) {
+	// Jump is a deterministic function of the state.
+	a, b := NewSource(11), NewSource(11)
+	a.Jump()
+	b.Jump()
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("same-state jumps diverge at draw %d: %d vs %d", i, av, bv)
+		}
+	}
+	// A jumped stream does not collide with the base stream's prefix.
+	base, jumped := NewSource(11), NewSource(11)
+	jumped.Jump()
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[base.Uint64()] = true
+	}
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if seen[jumped.Uint64()] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("jumped stream shares %d/1000 values with the base prefix", same)
+	}
+}
+
+func TestLongJumpDiffersFromJump(t *testing.T) {
+	j, lj := NewSource(5), NewSource(5)
+	j.Jump()
+	lj.LongJump()
+	diff := false
+	for i := 0; i < 16; i++ {
+		if j.Uint64() != lj.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("Jump and LongJump landed on the same stream")
+	}
+	// LongJump preserves determinism too.
+	a, b := NewSource(5), NewSource(5)
+	a.LongJump()
+	b.LongJump()
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("same-state long jumps diverge")
+	}
+}
+
+func TestSplitLanesDeterministic(t *testing.T) {
+	la, lb := SplitLanes(99, DefaultLanes), SplitLanes(99, DefaultLanes)
+	for i := range la {
+		if la[i].Src.State() != lb[i].Src.State() {
+			t.Fatalf("lane %d state differs between identical splits", i)
+		}
+	}
+	// Distinct lanes are distinct streams.
+	states := map[RNGState]bool{}
+	for _, ln := range la {
+		st := ln.Src.State()
+		if states[st] {
+			t.Fatal("two lanes share an RNG state")
+		}
+		states[st] = true
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"time"
 
 	"qrel/internal/core"
 	"qrel/internal/faultinject"
@@ -76,7 +77,11 @@ func (s *Server) runTask(t *task) {
 	if err := faultinject.Hit(faultinject.SiteServerHandle); err != nil {
 		t.err = err
 	} else {
+		started := time.Now()
 		t.res, t.err = core.ReliabilityWith(t.ctx, t.engine, t.db, t.q, t.opts)
+		if t.err == nil {
+			s.stats.recordEngine(t.res.Engine, t.res.Samples, time.Since(started))
+		}
 	}
 	switch {
 	case t.err == nil:

@@ -320,6 +320,16 @@ func (s *Server) buildTask(req *Request) (*task, int, string, error) {
 	if req.Eps < 0 || req.Eps >= 1 || req.Delta < 0 || req.Delta >= 1 {
 		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("eps and delta must lie in [0,1)")
 	}
+	if req.Workers < 0 {
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("workers must be >= 0")
+	}
+	// One job's sampling lanes must not oversubscribe the server's own
+	// worker pool; the clamp cannot change the estimate (only scheduling
+	// depends on the worker count).
+	workers := req.Workers
+	if workers > s.cfg.Workers {
+		workers = s.cfg.Workers
+	}
 	engine := core.Engine(req.Engine)
 	if !core.KnownEngine(engine) {
 		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("unknown engine %q", req.Engine)
@@ -336,6 +346,7 @@ func (s *Server) buildTask(req *Request) (*task, int, string, error) {
 		Eps:          req.Eps,
 		Delta:        req.Delta,
 		Seed:         req.Seed,
+		Workers:      workers,
 		MaxEnumAtoms: s.cfg.MaxEnumAtoms,
 		Breaker:      s.breakers,
 		Budget: core.Budget{

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +34,56 @@ type stats struct {
 	jobsFailed    atomic.Int64
 	jobsSuspended atomic.Int64
 	jobsRecovered atomic.Int64
+
+	// engMu guards engines: per-engine run/sample/busy-time counters fed
+	// by the pool workers, from which /statz derives samples/sec.
+	engMu   sync.Mutex
+	engines map[string]*engineCounters
+}
+
+// engineCounters aggregates the throughput of one engine.
+type engineCounters struct {
+	runs    int64
+	samples int64
+	busy    time.Duration
+}
+
+// recordEngine accounts one finished computation to its engine.
+func (st *stats) recordEngine(engine string, samples int, busy time.Duration) {
+	if engine == "" {
+		return
+	}
+	st.engMu.Lock()
+	defer st.engMu.Unlock()
+	if st.engines == nil {
+		st.engines = map[string]*engineCounters{}
+	}
+	c := st.engines[engine]
+	if c == nil {
+		c = &engineCounters{}
+		st.engines[engine] = c
+	}
+	c.runs++
+	c.samples += int64(samples)
+	c.busy += busy
+}
+
+// engineSnapshot renders the per-engine counters for /statz.
+func (st *stats) engineSnapshot() map[string]EngineStatz {
+	st.engMu.Lock()
+	defer st.engMu.Unlock()
+	if len(st.engines) == 0 {
+		return nil
+	}
+	out := make(map[string]EngineStatz, len(st.engines))
+	for name, c := range st.engines {
+		e := EngineStatz{Runs: c.runs, Samples: c.samples, BusyMS: c.busy.Milliseconds()}
+		if c.busy > 0 {
+			e.SamplesPerSec = float64(c.samples) / c.busy.Seconds()
+		}
+		out[name] = e
+	}
+	return out
 }
 
 // Statz is the JSON body of GET /statz: a point-in-time snapshot of the
@@ -62,10 +114,49 @@ type Statz struct {
 	Checkpoints *checkpoint.Snapshot `json:"checkpoints,omitempty"`
 	// Breakers maps engine names to their circuit-breaker state.
 	Breakers map[string]BreakerStatz `json:"breakers"`
+	// Engines maps engine names to their cumulative throughput counters
+	// (runs, samples drawn, busy time, derived samples/sec). Present once
+	// at least one computation finished.
+	Engines map[string]EngineStatz `json:"engines,omitempty"`
+	// Runtime is a point-in-time snapshot of the Go runtime: heap, GC,
+	// and goroutine gauges for capacity monitoring.
+	Runtime RuntimeStatz `json:"runtime"`
 	// Databases lists the registered database names.
 	Databases []string `json:"databases"`
 	// UptimeMS is milliseconds since the server was created.
 	UptimeMS int64 `json:"uptime_ms"`
+}
+
+// EngineStatz is one engine's cumulative throughput in Statz.
+type EngineStatz struct {
+	Runs          int64   `json:"runs"`
+	Samples       int64   `json:"samples"`
+	BusyMS        int64   `json:"busy_ms"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+// RuntimeStatz is the Go-runtime section of Statz.
+type RuntimeStatz struct {
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+	GCPauseTotalMS int64  `json:"gc_pause_total_ms"`
+	Goroutines     int    `json:"goroutines"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+}
+
+// runtimeStatz reads the Go runtime gauges.
+func runtimeStatz() RuntimeStatz {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return RuntimeStatz{
+		HeapAllocBytes: m.HeapAlloc,
+		HeapSysBytes:   m.HeapSys,
+		NumGC:          m.NumGC,
+		GCPauseTotalMS: int64(m.PauseTotalNs / 1e6),
+		Goroutines:     runtime.NumGoroutine(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+	}
 }
 
 // JobStatz is the durable-job section of Statz.
@@ -108,6 +199,8 @@ func (s *Server) Statz() Statz {
 		Canceled:      s.stats.canceled.Load(),
 		Draining:      s.draining.Load(),
 		Breakers:      s.breakers.Snapshot(),
+		Engines:       s.stats.engineSnapshot(),
+		Runtime:       runtimeStatz(),
 		Databases:     s.DatabaseNames(),
 		UptimeMS:      time.Since(s.start).Milliseconds(),
 	}

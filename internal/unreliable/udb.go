@@ -320,6 +320,69 @@ func (d *DB) SampleWorld(rng *rand.Rand) *rel.Structure {
 	return b
 }
 
+// WorldBuf is a reusable scratch world for allocation-free sampling:
+// one structure is cloned when the buffer is created and every
+// subsequent draw only undoes the previous draw's flips and applies the
+// new ones. A buffer belongs to one sampling goroutine (a "lane") and
+// is invalidated by any mutation of the database it was created from.
+type WorldBuf struct {
+	d     *DB
+	b     *rel.Structure
+	flips []int // indices into d.uncertain currently toggled in b
+}
+
+// NewWorldBuf clones the observed structure once (with the mu = 1
+// flips applied) and returns a buffer that SampleWorldInto can reuse
+// for every draw of a sampling loop.
+func (d *DB) NewWorldBuf() *WorldBuf {
+	d.refresh()
+	b := d.A.Clone()
+	for _, e := range d.sure {
+		b.Rel(e.atom.Rel).Toggle(e.atom.Args)
+	}
+	return &WorldBuf{d: d, b: b, flips: make([]int, 0, len(d.uncertain))}
+}
+
+// Reset undoes the previous draw's flips, restoring the buffer to the
+// observed database with the deterministic mu = 1 flips applied.
+func (w *WorldBuf) Reset() {
+	for _, i := range w.flips {
+		e := &w.d.uncertain[i]
+		w.b.Rel(e.atom.Rel).Toggle(e.atom.Args)
+	}
+	w.flips = w.flips[:0]
+}
+
+// ToggleUncertain flips uncertain atom i (canonical order) in the
+// buffer and records it for the next Reset.
+func (w *WorldBuf) ToggleUncertain(i int) {
+	e := &w.d.uncertain[i]
+	w.b.Rel(e.atom.Rel).Toggle(e.atom.Args)
+	w.flips = append(w.flips, i)
+}
+
+// World returns the buffered structure. It is valid until the next
+// Reset/SampleWorldInto on the buffer and must not be retained or
+// mutated by the caller.
+func (w *WorldBuf) World() *rel.Structure { return w.b }
+
+// SampleWorldInto is SampleWorld without the per-draw clone: it draws a
+// random world from Omega(D) into buf and returns the buffered
+// structure. The RNG consumption is identical to SampleWorld (one
+// Float64 per uncertain atom, in canonical order), so the two samplers
+// produce the same worlds from the same stream. The returned structure
+// is only valid until the next draw into buf.
+func (d *DB) SampleWorldInto(rng *rand.Rand, buf *WorldBuf) *rel.Structure {
+	d.refresh()
+	buf.Reset()
+	for i := range d.uncertain {
+		if rng.Float64() < d.uncertain[i].muF {
+			buf.ToggleUncertain(i)
+		}
+	}
+	return buf.b
+}
+
 // G returns the least-denominator normalizer used by the FP^#P
 // algorithm of Theorem 4.2: an integer g such that nu(B)·g ∈ ℕ for
 // every world B. Since nu(B) is a product of per-atom factors with

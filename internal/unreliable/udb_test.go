@@ -334,3 +334,39 @@ func TestFromProbabilitiesMarginals(t *testing.T) {
 		t.Error("out-of-range nu accepted")
 	}
 }
+
+// TestSampleWorldIntoMatchesSampleWorld pins the zero-allocation
+// sampler to the allocating one: identical RNG consumption, identical
+// worlds, draw after draw.
+func TestSampleWorldIntoMatchesSampleWorld(t *testing.T) {
+	d := testDB(rand.New(rand.NewSource(31)), 6, 10)
+	ra := rand.New(rand.NewSource(77))
+	rb := rand.New(rand.NewSource(77))
+	buf := d.NewWorldBuf()
+	for i := 0; i < 200; i++ {
+		want := d.SampleWorld(ra)
+		got := d.SampleWorldInto(rb, buf)
+		if !want.Equal(got) {
+			t.Fatalf("draw %d: buffered world differs from cloned world", i)
+		}
+	}
+	// The streams stayed in lockstep.
+	if ra.Uint64() != rb.Uint64() {
+		t.Fatal("samplers consumed different amounts of randomness")
+	}
+}
+
+// TestSampleWorldIntoAllocFree requires the steady-state draw to be
+// allocation-free — the whole point of the buffer.
+func TestSampleWorldIntoAllocFree(t *testing.T) {
+	d := testDB(rand.New(rand.NewSource(32)), 6, 10)
+	rng := rand.New(rand.NewSource(78))
+	buf := d.NewWorldBuf()
+	d.SampleWorldInto(rng, buf) // warm up lazy state
+	allocs := testing.AllocsPerRun(100, func() {
+		d.SampleWorldInto(rng, buf)
+	})
+	if allocs > 0 {
+		t.Errorf("SampleWorldInto allocates %v objects per draw, want 0", allocs)
+	}
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: run every benchmark family (E1–E12 in the root
+# package plus the BDD micro-benchmarks) with -benchmem and write a
+# machine-readable BENCH_4.json recording ns/op, allocs/op, B/op, and —
+# where a family reports it — samples/sec.
+#
+# Usage:
+#   ./scripts/bench_snapshot.sh [output.json]
+#   BENCHTIME=2s ./scripts/bench_snapshot.sh    # longer, steadier runs
+#
+# The default -benchtime=1x keeps the full grid to a couple of minutes;
+# raise BENCHTIME for publication-grade numbers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_4.json}"
+benchtime="${BENCHTIME:-1x}"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench . -benchtime "$benchtime" -benchmem . ./internal/bdd | tee "$tmp"
+
+awk -v goversion="$(go version | awk '{print $3}')" \
+    -v ncpu="$(nproc)" \
+    -v benchtime="$benchtime" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  ns = ""; bytes = ""; allocs = ""; sps = ""
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op")       ns = $(i-1)
+    else if ($i == "B/op")        bytes = $(i-1)
+    else if ($i == "allocs/op")   allocs = $(i-1)
+    else if ($i == "samples/sec") sps = $(i-1)
+  }
+  if (ns == "") next
+  row = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+  if (allocs != "") row = row sprintf(", \"allocs_per_op\": %s", allocs)
+  if (bytes != "")  row = row sprintf(", \"bytes_per_op\": %s", bytes)
+  if (sps != "")    row = row sprintf(", \"samples_per_sec\": %s", sps)
+  row = row "}"
+  rows[nrows++] = row
+}
+END {
+  printf "{\n"
+  printf "  \"schema\": \"qrel-bench-snapshot/1\",\n"
+  printf "  \"generated\": \"%s\",\n", date
+  printf "  \"go\": \"%s\",\n", goversion
+  printf "  \"cpus\": %s,\n", ncpu
+  printf "  \"benchtime\": \"%s\",\n", benchtime
+  printf "  \"seed_baseline\": {\n"
+  printf "    \"note\": \"pre-parallel sampling runtime, measured at commit 58006d1 on the same host; the Par families below replace these sequential loops\",\n"
+  printf "    \"benchmarks\": [\n"
+  printf "      {\"name\": \"BenchmarkE4KarpLuby/eps=0.2\", \"ns_per_op\": 8720347, \"allocs_per_op\": 50297, \"bytes_per_op\": 814169},\n"
+  printf "      {\"name\": \"BenchmarkE4KarpLuby/eps=0.1\", \"ns_per_op\": 30915428, \"allocs_per_op\": 199697, \"bytes_per_op\": 3204576},\n"
+  printf "      {\"name\": \"BenchmarkE4KarpLuby/eps=0.05\", \"ns_per_op\": 113019252, \"allocs_per_op\": 797297, \"bytes_per_op\": 12766176},\n"
+  printf "      {\"name\": \"BenchmarkE8MonteCarlo/eps=0.2\", \"ns_per_op\": 9370544, \"allocs_per_op\": 86843, \"bytes_per_op\": 4036064},\n"
+  printf "      {\"name\": \"BenchmarkE8MonteCarlo/eps=0.1\", \"ns_per_op\": 43427388, \"allocs_per_op\": 347700, \"bytes_per_op\": 16171745}\n"
+  printf "    ]\n"
+  printf "  },\n"
+  printf "  \"benchmarks\": [\n"
+  for (i = 0; i < nrows; i++)
+    printf "%s%s\n", rows[i], (i < nrows - 1 ? "," : "")
+  printf "  ]\n"
+  printf "}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmark rows)"
