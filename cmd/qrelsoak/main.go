@@ -1,0 +1,144 @@
+// Command qrelsoak runs a deterministic chaos-soak campaign against
+// the reliability stack: a seeded fault schedule over every registered
+// faultinject site, a mixed generated workload through the engine
+// ladder and a live in-process qreld, and a differential oracle
+// holding every result to the exact reference (see internal/chaos).
+//
+// The verdict is a JSON report; the exit status is 0 only when every
+// invariant held. Same seed, same schedule hash, same per-invariant
+// verdicts — a failing seed is a reproducer, not an anecdote.
+//
+// Usage:
+//
+//	qrelsoak -seed 1                        # short default campaign
+//	qrelsoak -seed 7 -steps 20              # longer soak
+//	qrelsoak -duration 30s                  # stop starting steps after 30s
+//	qrelsoak -sites engine/qfree,ckpt/crash-window
+//	qrelsoak -report soak.json              # write the report to a file
+//	qrelsoak -list-sites                    # print the site registry
+//	qrelsoak -eps-skew 0.01                 # arm a wrong oracle (must fail)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qrel/internal/chaos"
+	"qrel/internal/faultinject"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "campaign seed; fully determines the fault schedule")
+		steps     = flag.Int("steps", chaos.DefaultSteps, "number of campaign steps")
+		duration  = flag.Duration("duration", 0, "stop starting new steps after this long (0 = run all steps)")
+		sites     = flag.String("sites", "", "comma-separated site filter (default: every registered site)")
+		report    = flag.String("report", "", "write the JSON report to this file ('-' or empty = stdout)")
+		dir       = flag.String("dir", "", "scratch directory (default: a fresh temp dir, removed on success)")
+		epsSkew   = flag.Float64("eps-skew", 0, "multiply the allowed eps by this factor — a deliberately wrong oracle for harness self-tests (0 = honest)")
+		listSites = flag.Bool("list-sites", false, "print the fault-site registry and exit")
+		quiet     = flag.Bool("quiet", false, "suppress per-step progress lines")
+	)
+	flag.Parse()
+
+	if *listSites {
+		for _, s := range faultinject.Sites() {
+			fmt.Println(s)
+		}
+		return
+	}
+
+	cfg := chaos.Config{
+		Seed:     *seed,
+		Steps:    *steps,
+		Duration: *duration,
+		EpsSkew:  *epsSkew,
+	}
+	if *sites != "" {
+		for _, s := range strings.Split(*sites, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				cfg.Sites = append(cfg.Sites, s)
+			}
+		}
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	scratch := *dir
+	madeScratch := false
+	if scratch == "" {
+		var err error
+		scratch, err = os.MkdirTemp("", "qrelsoak-")
+		if err != nil {
+			fatalf("creating scratch dir: %v", err)
+		}
+		madeScratch = true
+	}
+	cfg.Dir = scratch
+
+	start := time.Now()
+	rep, err := chaos.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshaling report: %v", err)
+	}
+	out = append(out, '\n')
+	if *report == "" || *report == "-" {
+		os.Stdout.Write(out)
+	} else if err := os.WriteFile(*report, out, 0o666); err != nil {
+		fatalf("writing report: %v", err)
+	}
+
+	if !rep.Passed {
+		failed := 0
+		for name, stat := range rep.Invariants {
+			if stat.Failures == 0 {
+				continue
+			}
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL %s: %d/%d checks failed\n", name, stat.Failures, stat.Checks)
+			for _, e := range stat.Examples {
+				fmt.Fprintf(os.Stderr, "  %s\n", e)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "soak FAILED: %d invariant(s) violated (seed %d, schedule %s, %v)\n",
+			failed, rep.Seed, rep.ScheduleHash[:12], time.Since(start).Round(time.Millisecond))
+		// Keep the scratch dir: it holds the stores and journals the
+		// failure happened in.
+		if madeScratch {
+			fmt.Fprintf(os.Stderr, "scratch kept at %s\n", scratch)
+		}
+		os.Exit(1)
+	}
+	if madeScratch {
+		os.RemoveAll(scratch)
+	}
+	fmt.Fprintf(os.Stderr, "soak PASSED: %d/%d steps, %d sites fired, seed %d, schedule %s, %v\n",
+		rep.StepsRun, rep.Steps, firedSites(rep), rep.Seed, rep.ScheduleHash[:12], time.Since(start).Round(time.Millisecond))
+}
+
+func firedSites(rep *chaos.Report) int {
+	n := 0
+	for _, c := range rep.Sites {
+		if c.Fires > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qrelsoak: "+format+"\n", args...)
+	os.Exit(1)
+}

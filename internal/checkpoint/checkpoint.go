@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -178,6 +179,13 @@ func (s *Store) sequences() ([]uint64, error) {
 	}
 	var seqs []uint64
 	for _, e := range entries {
+		// Sscanf matches a prefix, so an orphaned "ckpt-N.qckpt.tmp" left
+		// by a crashed commit would otherwise parse as committed snapshot
+		// N — and a later load would try to open a file that was never
+		// renamed into place.
+		if !strings.HasSuffix(e.Name(), snapExt) {
+			continue
+		}
 		var seq uint64
 		if n, err := fmt.Sscanf(e.Name(), "ckpt-%016d"+snapExt, &seq); n == 1 && err == nil {
 			seqs = append(seqs, seq)

@@ -299,6 +299,45 @@ func TestInjectedCrashWindowLeavesTmpAndRecovers(t *testing.T) {
 	}
 }
 
+// TestReopenIgnoresOrphanTmp: a crash during the very first Save
+// leaves an orphaned temp file and no committed snapshot. The
+// reopened store must not parse the orphan's "ckpt-N" prefix as a
+// committed sequence number — LoadLatest reports ErrNoCheckpoint,
+// and the next successful Save reclaims the sequence slot and
+// garbage-collects the orphan.
+func TestReopenIgnoresOrphanTmp(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(faultinject.SiteCkptCrash, faultinject.Fault{Err: errors.New("SIGKILL"), Times: 1})
+	if err := s.Save([]byte("never-committed")); err == nil {
+		t.Fatal("Save in the crash window returned nil")
+	}
+	faultinject.Reset()
+	if n := countFiles(t, dir, tmpExt); n != 1 {
+		t.Fatalf("crash window left %d temp files, want 1", n)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.LoadLatest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("LoadLatest with only an orphan tmp = %v, want ErrNoCheckpoint", err)
+	}
+	if err := s2.Save([]byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.LoadLatest(); err != nil || string(got) != "committed" {
+		t.Fatalf("LoadLatest = %q, %v, want committed", got, err)
+	}
+	if n := countFiles(t, dir, tmpExt); n != 0 {
+		t.Fatalf("%d orphaned temp files survived a successful save", n)
+	}
+}
+
 func TestMetricsCounters(t *testing.T) {
 	metrics := &Metrics{}
 	s, err := Open(t.TempDir(), Options{Metrics: metrics})

@@ -1,0 +1,46 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the frame decoder. The
+// contract: decode either returns the framed payload or an error
+// wrapping ErrCorruptCheckpoint — it never panics, and it never
+// trusts the frame's self-declared length enough to allocate beyond
+// the bytes actually present (the seeds include headers claiming
+// huge payloads over a short body).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("QCKPT"))
+	f.Add(encode(nil))
+	f.Add(encode([]byte("payload")))
+	// A valid frame truncated mid-payload — the torn-write shape.
+	full := encode([]byte("torn-write-torn-write"))
+	f.Add(full[:len(full)/2])
+	// A valid header whose length field claims far more than the body.
+	huge := encode([]byte("x"))
+	copy(huge[len(magic)+4:], []byte{0x7f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(huge)
+	// A single flipped payload bit — must fail the CRC, not decode.
+	flipped := encode([]byte("bit-flip"))
+	flipped[len(flipped)-1] ^= 0x01
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("decode error does not wrap ErrCorruptCheckpoint: %v", err)
+			}
+			return
+		}
+		// Round-trip: anything decode accepts must re-encode to the
+		// same frame, so accepted frames are canonical.
+		if !bytes.Equal(encode(payload), data) {
+			t.Fatalf("accepted frame is not canonical: payload %q re-encodes differently", payload)
+		}
+	})
+}

@@ -27,6 +27,9 @@ import (
 func WorldEnumParallel(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Options, workers int) (Result, error) {
 	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
+	if err := faultinject.Hit(faultinject.SiteWorldEnum); err != nil {
+		return Result{}, err
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -1,11 +1,14 @@
 // Package faultinject provides a process-wide fault injection registry
 // for the reliability engines. Production code calls Hit at well-known
 // sites (engine entry points and the shared query-evaluation path);
-// with no faults armed, Hit is a single atomic load and returns nil.
-// Tests arm faults — evaluation failures, delays, and forced panics —
-// to prove that every rung of the dispatcher's degradation ladder
-// actually fires and that the engine boundary converts panics into the
-// typed error taxonomy.
+// with no faults armed and counting off, Hit is two atomic loads and
+// returns nil. Tests arm faults — evaluation failures, delays, forced
+// panics, and seeded probabilistic variants of each — to prove that
+// every rung of the dispatcher's degradation ladder actually fires and
+// that the engine boundary converts panics into the typed error
+// taxonomy. The chaos campaign (internal/chaos) additionally turns on
+// per-site hit/fire counting so it can fail a run on sites its
+// workload never reached.
 //
 // The registry is safe for concurrent use (the parallel world-enum
 // engine hits it from many goroutines under -race).
@@ -13,6 +16,7 @@ package faultinject
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +68,51 @@ const (
 	SiteCkptCrash      = "ckpt/crash-window"
 )
 
+// allSites is the canonical registry behind Sites. Every Site* constant
+// above MUST appear here; TestSitesCoversEveryConstant parses this file
+// and fails on any omission, so a new site cannot be added without
+// becoming schedulable by the chaos campaign.
+var allSites = []string{
+	SiteQFree,
+	SiteWorldEnum,
+	SiteSafePlan,
+	SiteLineageBDD,
+	SiteLineageKL,
+	SiteMonteCarlo,
+	SiteMCDirect,
+	SiteMCRare,
+	SiteAnswerSet,
+	SiteWorldWorker,
+	SiteLaneWorker,
+	SiteServerAdmit,
+	SiteServerHandle,
+	SiteCkptShortWrite,
+	SiteCkptBitFlip,
+	SiteCkptRename,
+	SiteCkptCrash,
+}
+
+// Sites returns every registered injection site, sorted. The chaos
+// campaign plans its fault schedule over this list; a site missing from
+// it can never be scheduled, which is why the registry is test-enforced
+// against the Site* constants.
+func Sites() []string {
+	out := make([]string, len(allSites))
+	copy(out, allSites)
+	sort.Strings(out)
+	return out
+}
+
+// KnownSite reports whether site names a registered injection site.
+func KnownSite(site string) bool {
+	for _, s := range allSites {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
 // Fault describes one armed fault. The zero value is a no-op; set at
 // least one of Err, Delay, or Panic.
 type Fault struct {
@@ -75,18 +124,52 @@ type Fault struct {
 	// Panic, when non-empty, makes Hit panic with this message after the
 	// delay — exercising the engine-boundary recovery.
 	Panic string
-	// Times bounds how often the fault fires; 0 means every Hit until
-	// Disable/Reset. A fault with Times = 1 fires exactly once.
+	// Times bounds how often the fault fires; 0 means every firing Hit
+	// until Disable/Reset. A fault with Times = 1 fires exactly once.
+	// With Prob set, only Hits whose probability draw succeeds count.
 	Times int
+	// Prob, when in (0, 1), makes the fault fire probabilistically: each
+	// Hit draws from the fault's private deterministic RNG (seeded by
+	// Seed) and fires only when the draw lands below Prob. Zero (and
+	// anything >= 1) fires on every Hit, as before.
+	Prob float64
+	// Seed seeds the fault's private RNG for Prob draws. Two faults
+	// armed with the same (Prob, Seed) fire on the identical subsequence
+	// of Hits — the property the chaos campaign's reproducibility
+	// contract rests on.
+	Seed int64
+}
+
+// armedFault is the registry's record of one Enable call: the fault
+// plus its private splitmix64 state for Prob draws.
+type armedFault struct {
+	Fault
+	rng uint64
 }
 
 var (
 	mu     sync.Mutex
-	faults = map[string]*Fault{}
-	// armed counts registered faults so the disarmed fast path costs one
-	// atomic load and no lock.
+	faults = map[string]*armedFault{}
+	// armed counts registered faults so the disarmed fast path costs two
+	// atomic loads and no lock.
 	armed atomic.Int64
+	// counting gates the per-site hit/fire counters; off (the default)
+	// keeps the disarmed fast path lock-free.
+	counting atomic.Bool
+	hits     = map[string]int64{}
+	fires    = map[string]int64{}
 )
+
+// splitmix64 advances *x and returns the next output — the same
+// generator the sampling RNG seeds itself with, small enough to inline
+// here (this package must stay import-free below mc).
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
 
 // Enable arms a fault at a site, replacing any previous fault there.
 func Enable(site string, f Fault) {
@@ -95,8 +178,8 @@ func Enable(site string, f Fault) {
 	if _, ok := faults[site]; !ok {
 		armed.Add(1)
 	}
-	cp := f
-	faults[site] = &cp
+	af := &armedFault{Fault: f, rng: uint64(f.Seed)}
+	faults[site] = af
 }
 
 // Disable removes the fault at a site, if any.
@@ -109,39 +192,103 @@ func Disable(site string) {
 	}
 }
 
-// Reset removes every armed fault. Tests should defer this.
+// Reset removes every armed fault. Tests should defer this. Counters
+// and the counting switch are left alone — a chaos campaign resets
+// faults between steps while accumulating coverage across them.
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
-	faults = map[string]*Fault{}
+	faults = map[string]*armedFault{}
 	armed.Store(0)
+}
+
+// SetCounting turns per-site hit/fire counting on or off. While on,
+// every Hit records its site (armed or not) and every firing fault
+// records a fire — the coverage signal the chaos campaign fails on
+// when its workload never reaches a scheduled site.
+func SetCounting(on bool) {
+	counting.Store(on)
+}
+
+// ResetCounters zeroes the per-site hit/fire counters.
+func ResetCounters() {
+	mu.Lock()
+	defer mu.Unlock()
+	hits = map[string]int64{}
+	fires = map[string]int64{}
+}
+
+// SiteCount is one site's counter snapshot.
+type SiteCount struct {
+	// Hits counts Hit calls at the site while counting was on, armed or
+	// not — "did the workload reach this code path at all".
+	Hits int64 `json:"hits"`
+	// Fires counts faults actually applied (error returned, panic
+	// raised, or delay slept) at the site while counting was on.
+	Fires int64 `json:"fires"`
+}
+
+// Counters snapshots the per-site hit/fire counters accumulated since
+// the last ResetCounters. Sites never hit are absent.
+func Counters() map[string]SiteCount {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]SiteCount, len(hits))
+	for s, h := range hits {
+		out[s] = SiteCount{Hits: h, Fires: fires[s]}
+	}
+	for s, f := range fires {
+		if _, ok := out[s]; !ok {
+			out[s] = SiteCount{Fires: f}
+		}
+	}
+	return out
 }
 
 // Hit is called by production code at an injection site. With no fault
 // armed at the site it returns nil; otherwise it applies the fault's
-// delay, panics if requested, and returns the injected error.
+// delay, panics if requested, and returns the injected error. Armed
+// faults with Prob set fire only when their deterministic draw
+// succeeds.
 func Hit(site string) error {
-	if armed.Load() == 0 {
+	if armed.Load() == 0 && !counting.Load() {
 		return nil
 	}
 	mu.Lock()
+	if counting.Load() {
+		hits[site]++
+	}
 	f, ok := faults[site]
-	if ok && f.Times > 0 {
-		f.Times--
-		if f.Times == 0 {
-			delete(faults, site)
-			armed.Add(-1)
+	var fire Fault
+	if ok {
+		fire = f.Fault
+		if f.Prob > 0 && f.Prob < 1 {
+			if u := float64(splitmix64(&f.rng)>>11) / (1 << 53); u >= f.Prob {
+				ok = false
+			}
+		}
+	}
+	if ok {
+		if f.Times > 0 {
+			f.Times--
+			if f.Times == 0 {
+				delete(faults, site)
+				armed.Add(-1)
+			}
+		}
+		if counting.Load() {
+			fires[site]++
 		}
 	}
 	mu.Unlock()
 	if !ok {
 		return nil
 	}
-	if f.Delay > 0 {
-		time.Sleep(f.Delay)
+	if fire.Delay > 0 {
+		time.Sleep(fire.Delay)
 	}
-	if f.Panic != "" {
-		panic(fmt.Sprintf("faultinject: %s: %s", site, f.Panic))
+	if fire.Panic != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", site, fire.Panic))
 	}
-	return f.Err
+	return fire.Err
 }

@@ -10,7 +10,6 @@ import (
 	"qrel/internal/prop"
 )
 
-
 // sameCount compares CountResults by value (Estimate is a *big.Rat).
 func sameCount(a, b CountResult) bool {
 	return a.Samples == b.Samples && a.Hits == b.Hits && a.Estimate.Cmp(b.Estimate) == 0

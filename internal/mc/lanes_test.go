@@ -10,6 +10,7 @@ import (
 
 	"qrel/internal/faultinject"
 	"qrel/internal/rel"
+	"qrel/internal/testutil"
 	"qrel/internal/unreliable"
 )
 
@@ -51,6 +52,7 @@ func predAnyS(b *rel.Structure) (bool, error) {
 // worker count W >= 1 produces the byte-identical Estimate, because W
 // only schedules the fixed lanes.
 func TestLaneDeterminismAcrossWorkers(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	d := manyAtomDB()
 	const seed = 42
 
@@ -100,6 +102,7 @@ func TestLaneDeterminismAcrossWorkers(t *testing.T) {
 // total across all lanes and widen eps from that total — not from any
 // single lane's count.
 func TestLaneCancelWidensEps(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	d := manyAtomDB()
 	ctx, cancel := context.WithCancel(bg)
 	var calls atomic.Int64
@@ -130,6 +133,7 @@ func TestLaneCancelWidensEps(t *testing.T) {
 // resumes from the snapshot, and requires the final estimate to be
 // bit-identical to an uninterrupted run of the same seed.
 func TestLaneKillResume(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	d := manyAtomDB()
 	const seed, eps, delta = 9, 0.02, 0.1
 
@@ -200,6 +204,7 @@ func TestRestoreLanesRejectsMismatch(t *testing.T) {
 // and requires the estimator to surface it (not a context error) while
 // sibling lanes are canceled rather than left running.
 func TestLaneWorkerFaultInjection(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	defer faultinject.Reset()
 	d := manyAtomDB()
 	boom := errors.New("injected lane failure")
@@ -216,6 +221,7 @@ func TestLaneWorkerFaultInjection(t *testing.T) {
 // TestRunLanesPrefersRealError makes RunLanes report the causal failure
 // when sibling lanes die of the cancellation it triggered.
 func TestRunLanesPrefersRealError(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	lanes := SplitLanes(5, 4)
 	boom := errors.New("lane 2 failed")
 	err := RunLanes(bg, lanes, 4, func(ctx context.Context, ln *Lane) error {

@@ -216,10 +216,23 @@ func (c *Client) GetJob(ctx context.Context, id string) (*server.JobStatus, erro
 	return c.doJob(httpReq)
 }
 
-// WaitJob polls a job until it leaves the running state (or ctx ends).
+// WaitJob polls a job until it leaves the running state (or ctx
+// ends). The poll interval starts at interval and doubles up to the
+// client's MaxBackoff, so waiting on a long job converges to a gentle
+// cadence instead of hammering the server at the startup rate.
+// Cancellation between polls returns promptly with the last observed
+// status alongside ctx's error.
 func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*server.JobStatus, error) {
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
+	}
+	maxDelay := c.MaxBackoff
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	delay := interval
+	if delay > maxDelay {
+		delay = maxDelay
 	}
 	for {
 		st, err := c.GetJob(ctx, id)
@@ -229,10 +242,15 @@ func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration)
 		if st.State != server.JobRunning {
 			return st, nil
 		}
+		timer := time.NewTimer(delay)
 		select {
-		case <-time.After(interval):
+		case <-timer.C:
 		case <-ctx.Done():
+			timer.Stop()
 			return st, ctx.Err()
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
 		}
 	}
 }

@@ -118,3 +118,50 @@ func TestClientContextCancelStopsRetries(t *testing.T) {
 		t.Errorf("canceled retry loop ran %v", elapsed)
 	}
 }
+
+// runningForever fakes a job endpoint whose job never leaves the
+// running state, counting the polls.
+func runningForever() (*httptest.Server, *atomic.Int64) {
+	var polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		polls.Add(1)
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.JobRunning})
+	}))
+	return ts, &polls
+}
+
+func TestWaitJobCancelReturnsPromptly(t *testing.T) {
+	ts, _ := runningForever()
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	st, err := c.WaitJob(ctx, "j1", time.Hour) // one poll, then a wait the cancel must cut short
+	if err == nil {
+		t.Fatal("expected a context error from a canceled wait")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("canceled WaitJob returned after %v, want promptly", elapsed)
+	}
+	if st == nil || st.State != server.JobRunning {
+		t.Errorf("canceled WaitJob status = %+v, want the last observed running status", st)
+	}
+}
+
+func TestWaitJobBackoffCapped(t *testing.T) {
+	ts, polls := runningForever()
+	defer ts.Close()
+	c := New(ts.URL)
+	c.MaxBackoff = 8 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if _, err := c.WaitJob(ctx, "j1", time.Millisecond); err == nil {
+		t.Fatal("expected a context error")
+	}
+	// Delays 1,2,4 then 8ms capped: ~20 polls fit in 150ms. An uncapped
+	// doubling (1,2,4,...,128ms) would manage at most 8.
+	if n := polls.Load(); n < 10 {
+		t.Errorf("only %d polls in 150ms; the backoff cap is not holding the cadence", n)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"qrel/internal/faultinject"
 	"qrel/internal/rel"
+	"qrel/internal/testutil"
 	"qrel/internal/unreliable"
 )
 
@@ -44,6 +45,9 @@ func testDB(t *testing.T, n, uncertain int) *unreliable.DB {
 // "g" database.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	// Registered before the shutdown cleanup below so the leak check runs
+	// after the server (and any others the test built) has closed.
+	testutil.CheckGoroutineLeaks(t)
 	s := New(cfg)
 	s.Register("g", testDB(t, 4, 3))
 	ts := httptest.NewServer(s.Handler())

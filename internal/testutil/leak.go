@@ -1,0 +1,147 @@
+// Package testutil holds shared test infrastructure for the robustness
+// line. Its centerpiece is a goroutine-leak checker: a snapshot-diff
+// over normalized goroutine stacks with grace retries, usable both from
+// tests (CheckGoroutineLeaks) and from the chaos campaign's end-of-run
+// invariant (Snapshot / LeakedSince), which must not depend on the
+// testing package.
+package testutil
+
+import (
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the slice of testing.TB the leak checker needs; declaring it
+// here keeps the package importable from non-test code (the chaos
+// campaign) without linking the testing machinery into binaries.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// uninteresting marks goroutines that belong to the runtime or the
+// test harness itself — never leaks, always present or transient.
+var uninteresting = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"testing.runFuzzing(",
+	"testing.runFuzzTests(",
+	"runtime.goexit",
+	"created by runtime.gc",
+	"created by runtime/trace.Start",
+	"runtime.MHeap_Scavenger",
+	"signal.signal_recv",
+	"sigterm.handler",
+	"runtime_mcache",
+	"(*loggingT).flushDaemon",
+	"goroutine in C code",
+	"runtime.CPUProfile",
+	"testutil.Goroutines", // the snapshotting goroutine itself
+}
+
+// addrRe strips hex addresses and +0x offsets so that two stacks of the
+// same code path normalize identically across snapshots.
+var addrRe = regexp.MustCompile(`0x[0-9a-f]+`)
+
+// Goroutines returns the normalized stacks of every interesting live
+// goroutine. Each entry is one goroutine's stack with the header line
+// (goroutine ID and scheduling state — both change run to run) dropped
+// and addresses blanked, so identical code paths compare equal.
+func Goroutines() []string {
+	buf := make([]byte, 2<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" || !interesting(g) {
+			continue
+		}
+		out = append(out, normalize(g))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// interesting reports whether a raw stack belongs to code under test.
+func interesting(stack string) bool {
+	for _, marker := range uninteresting {
+		if strings.Contains(stack, marker) {
+			return false
+		}
+	}
+	return true
+}
+
+// normalize drops the "goroutine N [state]:" header and blanks
+// addresses.
+func normalize(stack string) string {
+	lines := strings.Split(stack, "\n")
+	if len(lines) > 0 && strings.HasPrefix(lines[0], "goroutine ") {
+		lines = lines[1:]
+	}
+	return addrRe.ReplaceAllString(strings.Join(lines, "\n"), "0x?")
+}
+
+// Snapshot captures the current interesting goroutines as a multiset of
+// normalized stacks — the baseline of a snapshot-diff leak check.
+func Snapshot() map[string]int {
+	snap := map[string]int{}
+	for _, g := range Goroutines() {
+		snap[g]++
+	}
+	return snap
+}
+
+// LeakedSince polls for up to grace, returning the normalized stacks of
+// goroutines present now but absent from (or more numerous than in) the
+// baseline. The retries absorb goroutines that are legitimately still
+// unwinding — worker pools draining after Close, timers firing — so
+// only goroutines that persist for the whole grace period count as
+// leaks. An empty return means no leak.
+func LeakedSince(baseline map[string]int, grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		leaked := diff(baseline)
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(grace / 20)
+	}
+}
+
+// diff returns stacks exceeding their baseline count.
+func diff(baseline map[string]int) []string {
+	seen := map[string]int{}
+	var leaked []string
+	for _, g := range Goroutines() {
+		seen[g]++
+		if seen[g] > baseline[g] {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}
+
+// CheckGoroutineLeaks snapshots the interesting goroutines now and, at
+// test cleanup, fails the test if goroutines beyond the baseline are
+// still alive after the grace retries. Call it first in a test:
+//
+//	func TestServer(t *testing.T) {
+//		testutil.CheckGoroutineLeaks(t)
+//		...
+//	}
+func CheckGoroutineLeaks(t TB) {
+	t.Helper()
+	baseline := Snapshot()
+	t.Cleanup(func() {
+		if leaked := LeakedSince(baseline, 2*time.Second); len(leaked) > 0 {
+			t.Errorf("goroutine leak: %d goroutine(s) outlived the test:\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+	})
+}

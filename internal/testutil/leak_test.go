@@ -1,0 +1,68 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSnapshotDiffDetectsLeak: a goroutine parked past the grace window
+// shows up in the diff; after it exits, the diff clears.
+func TestSnapshotDiffDetectsLeak(t *testing.T) {
+	baseline := Snapshot()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+	leaked := LeakedSince(baseline, 100*time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("parked goroutine was not reported as leaked")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "TestSnapshotDiffDetectsLeak") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leak report does not name the leaking function:\n%s", strings.Join(leaked, "\n\n"))
+	}
+	close(release)
+	<-done
+	if leaked := LeakedSince(baseline, 2*time.Second); len(leaked) != 0 {
+		t.Errorf("diff still reports leaks after the goroutine exited:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+// TestGraceRetriesAbsorbSlowExit: a goroutine that exits within the
+// grace window is not a leak.
+func TestGraceRetriesAbsorbSlowExit(t *testing.T) {
+	baseline := Snapshot()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+	}()
+	if leaked := LeakedSince(baseline, 2*time.Second); len(leaked) != 0 {
+		t.Errorf("slowly exiting goroutine reported as leak:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+// TestCheckGoroutineLeaksPasses: the test-facing wrapper is quiet on a
+// clean test.
+func TestCheckGoroutineLeaksPasses(t *testing.T) {
+	CheckGoroutineLeaks(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// TestNormalizeStripsVolatileParts: two stacks of the same code path
+// with different goroutine IDs and addresses normalize identically.
+func TestNormalizeStripsVolatileParts(t *testing.T) {
+	a := "goroutine 7 [chan receive]:\nmain.worker(0xc000012345)\n\t/x/main.go:10 +0x45"
+	b := "goroutine 99 [select]:\nmain.worker(0xc0000abcde)\n\t/x/main.go:10 +0x99"
+	if normalize(a) != normalize(b) {
+		t.Errorf("normalize(a) = %q\nnormalize(b) = %q; want equal", normalize(a), normalize(b))
+	}
+}
