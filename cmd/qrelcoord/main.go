@@ -1,0 +1,130 @@
+// Command qrelcoord fronts a set of qreld replicas with the same
+// POST /v1/reliability API, so clients are oblivious to the cluster.
+// Requests that are not explicitly parallel monte-carlo-direct runs are
+// proxied whole to a consistent-hash replica with failover; parallel
+// estimations fan out as disjoint lane ranges across the live replicas
+// and the per-lane aggregates are merged in fixed lane order — the
+// merged answer is bit-identical to a single-node Workers=N run, for
+// any replica count, and stays so when a replica dies mid-run and its
+// range is reassigned to a survivor.
+//
+// Usage:
+//
+//	qreld -addr :8081 & qreld -addr :8082 & qreld -addr :8083 &
+//	qrelcoord -addr :8080 -replica http://127.0.0.1:8081 \
+//	    -replica http://127.0.0.1:8082 -replica http://127.0.0.1:8083
+//	curl -s localhost:8080/v1/reliability \
+//	    -d '{"db":"g","query":"E(x,y)","engine":"monte-carlo-direct","workers":4,"seed":7}'
+//
+// Endpoints: POST /v1/reliability, GET /healthz, /readyz (ready iff at
+// least one replica is up), /statz.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"qrel/internal/cliutil"
+	"qrel/internal/cluster"
+	"qrel/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		probeEvery   = flag.Duration("probe-interval", 2*time.Second, "replica /readyz probe cadence")
+		probeTimeout = flag.Duration("probe-timeout", time.Second, "per-probe deadline")
+		probeFails   = flag.Int("probe-fail-threshold", 2, "consecutive probe failures that mark a replica down")
+		maxAttempts  = flag.Int("max-attempts", 6, "tries per lane range or proxied request, the first included")
+		baseBackoff  = flag.Duration("base-backoff", 25*time.Millisecond, "first retry delay (jittered exponential)")
+		maxBackoff   = flag.Duration("max-backoff", time.Second, "retry delay cap")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "duplicate an unanswered sub-request to the next live replica after this long (0 = off)")
+		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "per-sub-request deadline")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive transport failures that trip a replica's circuit breaker")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open time before a tripped breaker half-open probes")
+		useJobs      = flag.Bool("use-jobs", false, "route sub-requests through the replicas' durable-jobs API (requires -checkpoint-dir on the replicas; fan-out requests must carry an idempotency key)")
+		jobPoll      = flag.Duration("job-poll", 50*time.Millisecond, "initial sub-job poll interval in jobs mode")
+		seed         = flag.Int64("seed", 0, "retry-jitter RNG seed (0 = wall clock)")
+		replicas     []string
+	)
+	flag.Func("replica", "qreld base URL (repeatable)", func(v string) error {
+		replicas = append(replicas, v)
+		return nil
+	})
+	flag.Func("replicas", "comma-separated qreld base URLs", func(v string) error {
+		for _, u := range strings.Split(v, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicas = append(replicas, u)
+			}
+		}
+		return nil
+	})
+	flag.Parse()
+
+	cfg := cluster.Config{
+		Replicas:           replicas,
+		ProbeInterval:      *probeEvery,
+		ProbeTimeout:       *probeTimeout,
+		ProbeFailThreshold: *probeFails,
+		MaxAttempts:        *maxAttempts,
+		BaseBackoff:        *baseBackoff,
+		MaxBackoff:         *maxBackoff,
+		HedgeAfter:         *hedgeAfter,
+		RequestTimeout:     *reqTimeout,
+		Breaker:            server.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		UseJobs:            *useJobs,
+		JobPoll:            *jobPoll,
+		Seed:               *seed,
+	}
+	if err := serve(*addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "qrelcoord:", err)
+		os.Exit(cliutil.ExitCode(err))
+	}
+}
+
+// serve runs the coordinator until SIGTERM/SIGINT, then shuts the
+// listener down gracefully (in-flight requests finish) and exits 0.
+func serve(addr string, cfg cluster.Config) error {
+	if len(cfg.Replicas) == 0 {
+		return cliutil.UsageErrorf("no replicas configured: pass -replica URL (repeatable) or -replicas url1,url2,...")
+	}
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: coord.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("qrelcoord listening on %s fronting %d replica(s)", addr, len(cfg.Replicas))
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		log.Printf("%v: shutting down", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("qrelcoord exiting")
+	return nil
+}

@@ -1,8 +1,12 @@
 // Command qrelsoak runs a deterministic chaos-soak campaign against
 // the reliability stack: a seeded fault schedule over every registered
 // faultinject site, a mixed generated workload through the engine
-// ladder and a live in-process qreld, and a differential oracle
-// holding every result to the exact reference (see internal/chaos).
+// ladder, a live in-process qreld, and a multi-node qrelcoord cluster
+// (replica kills, partitions, slow replicas, coordinator restarts —
+// merged answers must stay bit-identical to a single node), with a
+// differential oracle holding every result to the exact reference (see
+// internal/chaos). The cluster scenarios are scheduled via the
+// cluster/* fault sites; -list-sites shows the full registry.
 //
 // The verdict is a JSON report; the exit status is 0 only when every
 // invariant held. Same seed, same schedule hash, same per-invariant

@@ -195,7 +195,7 @@ func firstOf(stacks []string) string {
 func scheduledSites(steps []Step) []string {
 	seen := map[string]bool{}
 	for i := range steps {
-		for _, fs := range [][]PlannedFault{steps[i].EngineFaults, steps[i].CkptFaults, steps[i].ServerFaults} {
+		for _, fs := range [][]PlannedFault{steps[i].EngineFaults, steps[i].CkptFaults, steps[i].ServerFaults, steps[i].ClusterFaults} {
 			for _, f := range fs {
 				seen[f.Site] = true
 			}
@@ -333,6 +333,10 @@ func (c *campaign) runStep(st *Step) {
 	if st.Service {
 		c.servicePhase(ctx, st, db, ref)
 		lap("service")
+	}
+	if st.Cluster {
+		c.clusterPhase(ctx, st, db)
+		lap("cluster")
 	}
 	faultinject.Reset()
 }

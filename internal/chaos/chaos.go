@@ -96,6 +96,13 @@ const (
 	InvGoroutines = "goroutine-leaks"
 	// InvTmpFiles: no checkpoint temp file survives the campaign.
 	InvTmpFiles = "ckpt-tmp-files"
+	// InvCluster: a coordinator-merged estimate is bit-identical to the
+	// single-node lane-split run — across replica counts, after mid-run
+	// replica kills and reassignment, across coordinator restarts, and
+	// with sub-jobs conserved (one durable job per lane range, reruns
+	// re-attach). Lane-quota conservation rides along: the merge rejects
+	// any aggregate set whose quotas disagree with the seeded plan.
+	InvCluster = "cluster-bit-identity"
 	// InvCoverage: every scheduled site actually fired at least once.
 	InvCoverage = "site-coverage"
 )
@@ -105,7 +112,7 @@ const (
 func InvariantNames() []string {
 	return []string{
 		InvExactAgree, InvEpsBound, InvTypedErrors, InvResume,
-		InvJobs, InvBreaker, InvGoroutines, InvTmpFiles, InvCoverage,
+		InvJobs, InvBreaker, InvCluster, InvGoroutines, InvTmpFiles, InvCoverage,
 	}
 }
 

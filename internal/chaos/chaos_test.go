@@ -108,7 +108,7 @@ func TestCampaignAllSitesPasses(t *testing.T) {
 		}
 	}
 	// The core oracles must actually have been exercised.
-	for _, inv := range []string{InvExactAgree, InvEpsBound, InvTypedErrors, InvResume, InvBreaker, InvCoverage} {
+	for _, inv := range []string{InvExactAgree, InvEpsBound, InvTypedErrors, InvResume, InvBreaker, InvCluster, InvCoverage} {
 		if rep.Invariants[inv].Checks == 0 {
 			t.Errorf("invariant %s was never checked", inv)
 		}

@@ -1,0 +1,354 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"qrel/internal/cluster"
+	"qrel/internal/core"
+	"qrel/internal/faultinject"
+	"qrel/internal/server"
+	"qrel/internal/server/client"
+	"qrel/internal/unreliable"
+)
+
+// clusterEstimate is the estimate-defining subset of a Response: the
+// fields the multi-node invariant holds bit-identical between a
+// coordinator-merged answer and the single-node reference. Trails and
+// timings are deliberately excluded.
+type clusterEstimate struct {
+	R, H       float64
+	Eps, Delta float64
+	Samples    int
+	Engine     string
+	Guarantee  string
+	Class      string
+	Seed       int64
+	Degraded   bool
+}
+
+func clusterEstOf(res *server.Response) clusterEstimate {
+	return clusterEstimate{R: res.R, H: res.H, Eps: res.Eps, Delta: res.Delta, Samples: res.Samples,
+		Engine: res.Engine, Guarantee: res.Guarantee, Class: res.Class, Seed: res.Seed, Degraded: res.Degraded}
+}
+
+// chaosFleet is a set of in-process qreld replicas the cluster phase
+// drives a coordinator against, all serving the step's database.
+type chaosFleet struct {
+	servers []*server.Server
+	fronts  []*httptest.Server
+	urls    []string
+}
+
+func startChaosFleet(db *unreliable.DB, n int, cfg func(i int) server.Config) *chaosFleet {
+	f := &chaosFleet{}
+	for i := 0; i < n; i++ {
+		c := server.Config{Workers: 2, DefaultTimeout: 60 * time.Second, MaxTimeout: 120 * time.Second}
+		if cfg != nil {
+			c = cfg(i)
+		}
+		if c.ReplicaID == "" {
+			c.ReplicaID = fmt.Sprintf("chaos-replica-%d", i)
+		}
+		s := server.New(c)
+		s.Register("g", db)
+		ts := httptest.NewServer(s.Handler())
+		f.servers = append(f.servers, s)
+		f.fronts = append(f.fronts, ts)
+		f.urls = append(f.urls, ts.URL)
+	}
+	return f
+}
+
+// close is idempotent with kill: both layers tolerate double closes.
+func (f *chaosFleet) close() {
+	for i := range f.fronts {
+		f.fronts[i].Close()
+		f.servers[i].Close()
+	}
+}
+
+// kill shuts replica i down hard, severing in-flight connections.
+func (f *chaosFleet) kill(i int) {
+	f.fronts[i].CloseClientConnections()
+	f.fronts[i].Close()
+	f.servers[i].Close()
+}
+
+// clusterCoord builds a campaign-speed coordinator over urls.
+func (c *campaign) clusterCoord(urls []string, mutate func(*cluster.Config)) (*cluster.Coordinator, error) {
+	cfg := cluster.Config{
+		Replicas:           urls,
+		ProbeInterval:      5 * time.Millisecond,
+		ProbeTimeout:       250 * time.Millisecond,
+		ProbeFailThreshold: 2,
+		BaseBackoff:        time.Millisecond,
+		MaxBackoff:         10 * time.Millisecond,
+		JobPoll:            2 * time.Millisecond,
+		Seed:               c.cfg.Seed + 9,
+		Breaker:            server.BreakerConfig{Threshold: 3, Cooldown: 10 * time.Millisecond},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cluster.New(cfg)
+}
+
+// waitLive polls the coordinator until its live-replica count matches.
+func waitLive(coord *cluster.Coordinator, want int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if coord.Statz().LiveReplicas == want {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// clusterPhase is the multi-node arm of the campaign: a coordinator
+// over in-process replica fleets must answer the step's parallel
+// monte-carlo request bit-identically to a single node across replica
+// counts, coordinator restarts, and the step's scheduled fault
+// scenarios (probe-visible partition, lost send / slow replica with
+// hedging, mid-run replica kill with reassignment), and durable
+// sub-jobs must be conserved across repeated fan-outs.
+func (c *campaign) clusterPhase(ctx context.Context, st *Step, db *unreliable.DB) {
+	faultinject.Reset()
+	req := server.Request{
+		DB: "g", Query: st.Query, Engine: string(core.EngineMCDirect),
+		Eps: 0.05, Delta: 0.05, Seed: st.Seed + 3, Workers: 2,
+	}
+
+	// Single-node Workers=2 reference on a dedicated replica.
+	ref := startChaosFleet(db, 1, nil)
+	refRes, err := client.New(ref.urls[0]).Reliability(ctx, req)
+	ref.close()
+	if err != nil {
+		c.check(InvCluster, false, "step %d: single-node reference run failed: %v", st.Index, err)
+		return
+	}
+	want := clusterEstOf(refRes)
+
+	c.clusterTopologyMatrix(ctx, st, db, req, want)
+	c.clusterRestart(ctx, st, db, req, want)
+	c.clusterJobsConservation(ctx, st, db, req, want)
+	for _, pf := range st.ClusterFaults {
+		switch pf.Site {
+		case faultinject.SiteClusterProbe:
+			c.clusterPartitionScenario(ctx, st, db, req, want, pf)
+		case faultinject.SiteClusterSend:
+			c.clusterSendScenario(ctx, st, db, req, want, pf)
+		case faultinject.SiteClusterReassign:
+			c.clusterKillScenario(ctx, st, db, req, want, pf)
+		}
+	}
+	faultinject.Reset()
+}
+
+// clusterTopologyMatrix checks bit-identity for 1 (pure proxy), 2, and
+// 3 replica fan-outs of the same seeded request.
+func (c *campaign) clusterTopologyMatrix(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate) {
+	for _, n := range []int{1, 2, 3} {
+		f := startChaosFleet(db, n, nil)
+		coord, err := c.clusterCoord(f.urls, nil)
+		if err != nil {
+			c.check(InvCluster, false, "step %d: building %d-replica coordinator: %v", st.Index, n, err)
+			f.close()
+			continue
+		}
+		res, err := coord.Do(ctx, req)
+		ok := err == nil && clusterEstOf(res) == want
+		c.check(InvCluster, ok,
+			"step %d: %d-replica merged estimate diverged from single-node (err=%v, got=%+v, want=%+v)",
+			st.Index, n, err, estOrNil(res), want)
+		coord.Close()
+		f.close()
+	}
+}
+
+// clusterRestart rebuilds a coordinator from the same config mid-life:
+// the successor must answer identically — the coordinator holds no
+// state the estimate depends on.
+func (c *campaign) clusterRestart(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate) {
+	f := startChaosFleet(db, 2, nil)
+	defer f.close()
+	for run := 0; run < 2; run++ {
+		coord, err := c.clusterCoord(f.urls, nil)
+		if err != nil {
+			c.check(InvCluster, false, "step %d: coordinator restart %d: %v", st.Index, run, err)
+			return
+		}
+		res, err := coord.Do(ctx, req)
+		ok := err == nil && clusterEstOf(res) == want
+		c.check(InvCluster, ok,
+			"step %d: coordinator incarnation %d diverged from single-node (err=%v, got=%+v, want=%+v)",
+			st.Index, run, err, estOrNil(res), want)
+		coord.Close()
+	}
+}
+
+// clusterJobsConservation fans the same keyed request out twice through
+// the durable-jobs API: both answers must match the reference and the
+// replicas must have journaled exactly one sub-job per lane range — the
+// second fan-out re-attaches, nothing is lost or duplicated.
+func (c *campaign) clusterJobsConservation(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate) {
+	dir := filepath.Join(c.cfg.Dir, fmt.Sprintf("step-%03d", st.Index), "cluster-jobs")
+	f := startChaosFleet(db, 2, func(i int) server.Config {
+		return server.Config{
+			Workers: 2, QueueDepth: 16,
+			DefaultTimeout: 60 * time.Second, MaxTimeout: 120 * time.Second,
+			CheckpointDir: filepath.Join(dir, strconv.Itoa(i)), CheckpointEvery: 2000,
+		}
+	})
+	defer f.close()
+	coord, err := c.clusterCoord(f.urls, func(cfg *cluster.Config) { cfg.UseJobs = true })
+	if err != nil {
+		c.check(InvCluster, false, "step %d: building jobs-mode coordinator: %v", st.Index, err)
+		return
+	}
+	defer coord.Close()
+	jreq := req
+	jreq.IdempotencyKey = fmt.Sprintf("chaos-cluster-%d-%d", c.cfg.Seed, st.Index)
+	first, err1 := coord.Do(ctx, jreq)
+	second, err2 := coord.Do(ctx, jreq)
+	ok := err1 == nil && err2 == nil && clusterEstOf(first) == want && clusterEstOf(second) == want
+	c.check(InvCluster, ok,
+		"step %d: jobs-mode fan-outs diverged (err1=%v, err2=%v, first=%+v, second=%+v, want=%+v)",
+		st.Index, err1, err2, estOrNil(first), estOrNil(second), want)
+	var submitted int64
+	for _, s := range f.servers {
+		if js := s.Statz().Jobs; js != nil {
+			submitted += js.Submitted
+		}
+	}
+	c.check(InvCluster, submitted == 2,
+		"step %d: two identical fan-outs journaled %d sub-jobs, want exactly 2 (one per range, re-attached on rerun)",
+		st.Index, submitted)
+}
+
+// clusterPartitionScenario arms the planned probe fault (unbounded, so
+// every probe fails) until the whole replica set reads down, requires
+// the typed no-replicas error, then heals and requires a bit-identical
+// answer.
+func (c *campaign) clusterPartitionScenario(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate, pf PlannedFault) {
+	f := startChaosFleet(db, 2, nil)
+	defer f.close()
+	coord, err := c.clusterCoord(f.urls, func(cfg *cluster.Config) { cfg.MaxAttempts = 2 })
+	if err != nil {
+		c.check(InvCluster, false, "step %d: building partition coordinator: %v", st.Index, err)
+		return
+	}
+	defer coord.Close()
+
+	faultinject.Reset()
+	c.armFaults([]PlannedFault{pf})
+	if !waitLive(coord, 0, 5*time.Second) {
+		c.check(InvCluster, false, "step %d: replicas never read down under a fully failing probe", st.Index)
+		faultinject.Reset()
+		return
+	}
+	_, err = coord.Do(ctx, req)
+	c.check(InvCluster, errors.Is(err, cluster.ErrNoReplicas),
+		"step %d: partitioned Do error = %v, want ErrNoReplicas", st.Index, err)
+
+	faultinject.Reset()
+	if !waitLive(coord, 2, 5*time.Second) {
+		c.check(InvCluster, false, "step %d: replicas never healed after the probe fault cleared", st.Index)
+		return
+	}
+	res, err := coord.Do(ctx, req)
+	ok := err == nil && clusterEstOf(res) == want
+	c.check(InvCluster, ok,
+		"step %d: post-heal estimate diverged from single-node (err=%v, got=%+v, want=%+v)",
+		st.Index, err, estOrNil(res), want)
+}
+
+// clusterSendScenario arms the planned send fault on a two-replica
+// fan-out. A one-shot error must be absorbed by retry/reassignment; a
+// one-shot delay must trip the hedge (the scenario turns hedging on and
+// the fast duplicate must win). Either way the answer is bit-identical.
+func (c *campaign) clusterSendScenario(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate, pf PlannedFault) {
+	f := startChaosFleet(db, 2, nil)
+	defer f.close()
+	coord, err := c.clusterCoord(f.urls, func(cfg *cluster.Config) {
+		if pf.Kind == KindDelay {
+			cfg.HedgeAfter = 10 * time.Millisecond
+		}
+	})
+	if err != nil {
+		c.check(InvCluster, false, "step %d: building send-fault coordinator: %v", st.Index, err)
+		return
+	}
+	defer coord.Close()
+	faultinject.Reset()
+	c.armFaults([]PlannedFault{pf})
+	res, err := coord.Do(ctx, req)
+	faultinject.Reset()
+	ok := err == nil && clusterEstOf(res) == want
+	c.check(InvCluster, ok,
+		"step %d: estimate under a %s send fault diverged (err=%v, got=%+v, want=%+v)",
+		st.Index, pf.Kind, err, estOrNil(res), want)
+	stz := coord.Statz()
+	if pf.Kind == KindDelay {
+		c.check(InvCluster, stz.Hedges >= 1,
+			"step %d: a %dms send delay with hedging on produced no hedge", st.Index, pf.DelayMS)
+	} else {
+		c.check(InvCluster, stz.Retries >= 1,
+			"step %d: an injected send error produced no retry", st.Index)
+	}
+}
+
+// clusterKillScenario is the replica-loss drill: every send is held
+// open briefly, one replica is hard-killed inside that window, and the
+// planned reassignment fault makes the first reassignment itself fail —
+// the retry budget must still land the orphaned range on a survivor
+// with the merged answer unchanged. The armed fault firing is what
+// proves (via the campaign coverage invariant) that the kill path ran.
+func (c *campaign) clusterKillScenario(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate, pf PlannedFault) {
+	f := startChaosFleet(db, 3, nil)
+	defer f.close()
+	coord, err := c.clusterCoord(f.urls, func(cfg *cluster.Config) { cfg.MaxAttempts = 8 })
+	if err != nil {
+		c.check(InvCluster, false, "step %d: building kill-scenario coordinator: %v", st.Index, err)
+		return
+	}
+	defer coord.Close()
+
+	faultinject.Reset()
+	c.armFaults([]PlannedFault{pf})
+	faultinject.Enable(faultinject.SiteClusterSend, faultinject.Fault{Delay: 40 * time.Millisecond})
+	type out struct {
+		res *server.Response
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, doErr := coord.Do(ctx, req)
+		done <- out{res, doErr}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	f.kill(0)
+	o := <-done
+	faultinject.Reset()
+
+	ok := o.err == nil && clusterEstOf(o.res) == want
+	c.check(InvCluster, ok,
+		"step %d: post-kill merged estimate diverged from single-node (err=%v, got=%+v, want=%+v)",
+		st.Index, o.err, estOrNil(o.res), want)
+	c.check(InvCluster, coord.Statz().Reassigns >= 1,
+		"step %d: killing a replica mid-fan-out forced no reassignment", st.Index)
+}
+
+// estOrNil formats a response's estimate subset for failure messages.
+func estOrNil(res *server.Response) any {
+	if res == nil {
+		return "<nil>"
+	}
+	return clusterEstOf(res)
+}

@@ -61,16 +61,21 @@ type Step struct {
 	Seed int64 `json:"seed"`
 	// EngineFaults are armed during the fault phase (engine, eval and
 	// lane sites); CkptFaults during the resume phase (disk sites);
-	// ServerFaults during the service fault sub-phase.
-	EngineFaults []PlannedFault `json:"engine_faults,omitempty"`
-	CkptFaults   []PlannedFault `json:"ckpt_faults,omitempty"`
-	ServerFaults []PlannedFault `json:"server_faults,omitempty"`
+	// ServerFaults during the service fault sub-phase; ClusterFaults
+	// select the multi-node phase's fault scenarios (partition, lost
+	// send / slow replica, reassignment failure).
+	EngineFaults  []PlannedFault `json:"engine_faults,omitempty"`
+	CkptFaults    []PlannedFault `json:"ckpt_faults,omitempty"`
+	ServerFaults  []PlannedFault `json:"server_faults,omitempty"`
+	ClusterFaults []PlannedFault `json:"cluster_faults,omitempty"`
 	// Resume runs the interrupt/resume bit-identity phase; Service the
 	// in-process qreld phase; Kill picks the crash-window journal
-	// rewind variant over the graceful mid-flight drain.
+	// rewind variant over the graceful mid-flight drain; Cluster runs
+	// the multi-node coordinator phase.
 	Resume  bool `json:"resume,omitempty"`
 	Service bool `json:"service,omitempty"`
 	Kill    bool `json:"kill,omitempty"`
+	Cluster bool `json:"cluster,omitempty"`
 }
 
 // Plan is a fully materialized campaign schedule — a pure function of
@@ -115,6 +120,8 @@ func siteClass(site string) string {
 		return "server"
 	case strings.HasPrefix(site, "ckpt/"):
 		return "ckpt"
+	case strings.HasPrefix(site, "cluster/"):
+		return "cluster"
 	}
 	return ""
 }
@@ -217,6 +224,22 @@ func PlanCampaign(cfg Config) (*Plan, error) {
 				pf = PlannedFault{Site: site, Kind: KindDelay, Times: 2, DelayMS: 2}
 			}
 			st.ServerFaults = append(st.ServerFaults, pf)
+		case "cluster":
+			st.Cluster = true
+			pf := PlannedFault{Site: site, Kind: KindErr, Times: 1}
+			switch site {
+			case faultinject.SiteClusterProbe:
+				// The partition scenario needs the probe to keep failing
+				// until the phase heals it, so no Times bound.
+				pf = PlannedFault{Site: site, Kind: KindErr}
+			case faultinject.SiteClusterSend:
+				if rng.Intn(2) == 0 {
+					// A slow replica instead of a lost send: the phase
+					// turns hedging on and the delay must trip it.
+					pf = PlannedFault{Site: site, Kind: KindDelay, Times: 1, DelayMS: 40}
+				}
+			}
+			st.ClusterFaults = append(st.ClusterFaults, pf)
 		case "ckpt":
 			target := st
 			if abortingCkptSite(site) {

@@ -1,0 +1,808 @@
+// Package cluster is the sharded-qreld coordinator: it registers a
+// static set of qreld replicas, health-probes them, and serves the same
+// POST /v1/reliability API by either proxying a request whole to one
+// replica (consistent hashing) or — for explicitly parallel
+// monte-carlo-direct requests — fanning the estimation out as disjoint
+// lane ranges of the DefaultLanes-lane split, one range per live
+// replica, and merging the raw per-lane aggregates in fixed lane order.
+//
+// Because lanes (not workers, not replicas) determine the estimate, the
+// merged answer is bit-identical to running the same request with
+// Workers=N on one machine, for any replica count and any assignment of
+// ranges to replicas — including assignments that change mid-run when a
+// replica dies and its range is reassigned to a survivor. That identity
+// is the package's central invariant; the chaos campaign
+// (internal/chaos) checks it under replica kills, partitions, slow
+// replicas, and coordinator restarts.
+//
+// Robustness machinery per sub-request: a per-replica circuit breaker
+// (the same state machine that guards engine rungs in internal/server),
+// bounded retries with jittered exponential backoff, optional hedging
+// (duplicate the sub-request to the next live replica after HedgeAfter;
+// first success wins — safe precisely because the lane range is
+// deterministic and, in jobs mode, idempotency-keyed), and reassignment
+// to the next live replica in ring order when a target fails. Every
+// assign / retry / hedge / reassign / breaker-skip is recorded in the
+// response's ClusterTrail.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qrel/internal/core"
+	"qrel/internal/faultinject"
+	"qrel/internal/mc"
+	"qrel/internal/server"
+	"qrel/internal/server/client"
+)
+
+// Config tunes a Coordinator. The zero value of every field has a
+// usable default except Replicas, which must name at least one qreld
+// base URL.
+type Config struct {
+	// Replicas are the qreld base URLs (e.g. "http://127.0.0.1:8081").
+	// They are sorted, so the hash ring and the range assignment are
+	// independent of declaration order.
+	Replicas []string
+	// ProbeInterval is the /readyz health-probe cadence (default 2s);
+	// ProbeTimeout bounds one probe (default 1s). ProbeFailThreshold
+	// consecutive probe failures mark a replica down (default 2); one
+	// success marks it up again.
+	ProbeInterval      time.Duration
+	ProbeTimeout       time.Duration
+	ProbeFailThreshold int
+	// MaxAttempts bounds tries per lane range (and per proxied request),
+	// the first included (default 6 — it must absorb a dead replica plus
+	// an injected reassignment fault and still land on a survivor).
+	MaxAttempts int
+	// BaseBackoff/MaxBackoff shape the jittered exponential delay
+	// between attempts (defaults 25ms / 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// HedgeAfter, when positive, duplicates a still-unanswered
+	// sub-request to the next live replica after this long; the first
+	// success wins. Zero disables hedging.
+	HedgeAfter time.Duration
+	// RequestTimeout bounds one sub-request end to end (default 60s).
+	RequestTimeout time.Duration
+	// Breaker tunes the per-replica circuit breakers.
+	Breaker server.BreakerConfig
+	// MaxFanout caps how many replicas one estimation is split across
+	// (default mc.DefaultLanes — more ranges than lanes cannot exist).
+	MaxFanout int
+	// UseJobs routes sub-requests through POST /v1/jobs with an
+	// idempotency key derived from the parent request's key and the lane
+	// range, so a retried or reassigned sub-request re-attaches to the
+	// replica's journaled job instead of starting a duplicate. Requires
+	// the parent request to carry an IdempotencyKey and the replicas to
+	// have jobs enabled. JobPoll is the initial poll interval while
+	// waiting on a sub-job (default 50ms).
+	UseJobs bool
+	JobPoll time.Duration
+	// Seed seeds the coordinator's private backoff-jitter RNG, making
+	// retry timing reproducible in tests. Zero uses the wall clock.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ProbeFailThreshold <= 0 {
+		c.ProbeFailThreshold = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 6
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 25 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxFanout <= 0 || c.MaxFanout > mc.DefaultLanes {
+		c.MaxFanout = mc.DefaultLanes
+	}
+	if c.JobPoll <= 0 {
+		c.JobPoll = 50 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	return c
+}
+
+// ErrNoReplicas is returned (wrapped) when every replica is down or
+// breaker-vetoed for the whole retry budget — the coordinator's view of
+// a full partition. The HTTP handler maps it to 503 so clients retry.
+var ErrNoReplicas = errors.New("cluster: no live replicas")
+
+// replica is the coordinator's record of one qreld instance.
+type replica struct {
+	url    string
+	client *client.Client
+	// up is the probe verdict; requests are only routed to up replicas.
+	// Replicas start up so the coordinator is usable before the first
+	// probe round completes.
+	up    atomic.Bool
+	fails atomic.Int64 // consecutive probe failures
+}
+
+// Coordinator fans reliability requests out over a replica set. Build
+// with New; Close stops the probers.
+type Coordinator struct {
+	cfg      Config
+	replicas []*replica // sorted by URL: the hash ring
+	breakers *server.Breakers
+	probeCli *http.Client
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	nFanouts   atomic.Int64
+	nProxied   atomic.Int64
+	nRetries   atomic.Int64
+	nHedges    atomic.Int64
+	nReassigns atomic.Int64
+
+	start time.Time
+}
+
+// New builds a coordinator over the configured replica set and starts
+// its health probers.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("cluster: no replicas configured")
+	}
+	urls := append([]string(nil), cfg.Replicas...)
+	sort.Strings(urls)
+	c := &Coordinator{
+		cfg:      cfg,
+		breakers: server.NewBreakers(cfg.Breaker),
+		probeCli: &http.Client{},
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		stop:     make(chan struct{}),
+		start:    time.Now(),
+	}
+	for _, u := range urls {
+		cl := client.New(u)
+		// The coordinator owns the retry policy (it must see every
+		// failure to reassign and record the trail), so replica clients
+		// make exactly one attempt per call.
+		cl.MaxAttempts = 1
+		cl.MaxBackoff = cfg.MaxBackoff
+		r := &replica{url: u, client: cl}
+		r.up.Store(true)
+		c.replicas = append(c.replicas, r)
+	}
+	for _, r := range c.replicas {
+		c.wg.Add(1)
+		go c.probeLoop(r)
+	}
+	return c, nil
+}
+
+// Close stops the health probers and drops their idle connections.
+// In-flight Do calls are unaffected.
+func (c *Coordinator) Close() {
+	close(c.stop)
+	c.wg.Wait()
+	c.probeCli.CloseIdleConnections()
+}
+
+// probeLoop probes one replica immediately and then every
+// ProbeInterval until Close.
+func (c *Coordinator) probeLoop(r *replica) {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		c.probeOnce(r)
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probeOnce runs one /readyz probe and updates the replica's verdict.
+// An armed SiteClusterProbe fault reads as a failed probe — how the
+// chaos campaign simulates a probe-visible partition without touching
+// the network stack.
+func (c *Coordinator) probeOnce(r *replica) {
+	err := faultinject.Hit(faultinject.SiteClusterProbe)
+	if err == nil {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+		err = c.ready(ctx, r)
+		cancel()
+	}
+	if err != nil {
+		if r.fails.Add(1) >= int64(c.cfg.ProbeFailThreshold) {
+			r.up.Store(false)
+		}
+		return
+	}
+	r.fails.Store(0)
+	r.up.Store(true)
+}
+
+// ready performs one GET /readyz.
+func (c *Coordinator) ready(ctx context.Context, r *replica) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.probeCli.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s/readyz: %s", r.url, resp.Status)
+	}
+	return nil
+}
+
+// Do serves one reliability request against the cluster. Explicitly
+// parallel monte-carlo-direct requests fan out as lane ranges across
+// the live replicas; everything else (other engines, auto dispatch,
+// sequential runs, and lane-range sub-requests arriving from an outer
+// coordinator) proxies whole to the hash-ring replica, with failover.
+//
+// A sequential run (Workers == 0) is deliberately ineligible for
+// fan-out: its single-stream estimate differs from the lane-split one,
+// and the coordinator must answer exactly what the replica the client
+// hashed to would have answered.
+func (c *Coordinator) Do(ctx context.Context, req server.Request) (*server.Response, error) {
+	if req.Engine == string(core.EngineMCDirect) && req.Workers > 0 && req.Lanes == nil {
+		if live := c.liveIndexes(); len(live) >= 2 {
+			return c.fanOut(ctx, req, live)
+		}
+	}
+	return c.proxy(ctx, req)
+}
+
+// liveIndexes returns the ring indexes of the replicas currently up.
+func (c *Coordinator) liveIndexes() []int {
+	var out []int
+	for i, r := range c.replicas {
+		if r.up.Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// fanOut splits the DefaultLanes-lane estimation into one contiguous
+// lane range per live replica (capped at MaxFanout), runs the ranges
+// concurrently with per-range retry/reassignment, and merges the raw
+// lane aggregates in lane-index order into the single-node answer.
+func (c *Coordinator) fanOut(ctx context.Context, req server.Request, live []int) (*server.Response, error) {
+	began := time.Now()
+	parts := len(live)
+	if parts > c.cfg.MaxFanout {
+		parts = c.cfg.MaxFanout
+	}
+	ranges := mc.SplitRanges(mc.DefaultLanes, parts)
+	c.nFanouts.Add(1)
+
+	type outcome struct {
+		res   *server.Response
+		trail []server.ClusterStep
+		err   error
+	}
+	results := make([]outcome, len(ranges))
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(i int, rg mc.Range) {
+			defer wg.Done()
+			res, trail, err := c.runRange(fctx, req, rg, live[i%len(live)])
+			results[i] = outcome{res, trail, err}
+			if err != nil {
+				cancel() // a lost range dooms the merge; stop the siblings
+			}
+		}(i, rg)
+	}
+	wg.Wait()
+
+	var trail []server.ClusterStep
+	subs := make([]*server.Response, 0, len(results))
+	for i, o := range results {
+		if o.err != nil {
+			// Prefer the originating failure over the ctx errors the
+			// sibling cancellation induced.
+			for _, p := range results {
+				if p.err != nil && !errors.Is(p.err, context.Canceled) {
+					return nil, p.err
+				}
+			}
+			return nil, results[i].err
+		}
+		trail = append(trail, o.trail...)
+		subs = append(subs, o.res)
+	}
+	return c.merge(req, ranges, subs, trail, began)
+}
+
+// merge folds the per-range lane aggregates into the whole-run
+// estimate, reproducing the single-node monte-carlo-direct response
+// expression for expression (bit-identity is test-enforced).
+func (c *Coordinator) merge(req server.Request, ranges []mc.Range, subs []*server.Response, trail []server.ClusterStep, began time.Time) (*server.Response, error) {
+	total := mc.DefaultLanes
+	// The replicas ran under core's defaulted accuracy; MergeMean must
+	// recompute the identical sample plan (core.Options.withDefaults).
+	effEps, effDelta := req.Eps, req.Delta
+	if effEps == 0 {
+		effEps = 0.05
+	}
+	if effDelta == 0 {
+		effDelta = 0.05
+	}
+	var aggs []mc.LaneAgg
+	requested, normF := -1, 0.0
+	resumed := false
+	for i, sub := range subs {
+		lr := sub.LaneRange
+		if lr == nil {
+			return nil, fmt.Errorf("cluster: range %s replica answered without lane aggregates", ranges[i])
+		}
+		if lr.Lo != ranges[i].Lo || lr.Hi != ranges[i].Hi || lr.Total != total {
+			return nil, fmt.Errorf("cluster: range %s replica answered for %d-%d/%d", ranges[i], lr.Lo, lr.Hi, lr.Total)
+		}
+		if requested == -1 {
+			requested, normF = lr.Requested, lr.NormF
+		} else if lr.Requested != requested || lr.NormF != normF {
+			return nil, fmt.Errorf("cluster: range %s disagrees on the sample plan (requested %d vs %d, norm %v vs %v)",
+				ranges[i], lr.Requested, requested, lr.NormF, normF)
+		}
+		aggs = append(aggs, lr.Lanes...)
+		resumed = resumed || sub.Resumed
+	}
+	est, err := mc.MergeMean(aggs, total, effEps, effDelta, req.MaxSamples)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: merging lane aggregates: %w", err)
+	}
+	if est.Requested != requested {
+		return nil, fmt.Errorf("cluster: merge recomputed %d requested samples, replicas planned %d", est.Requested, requested)
+	}
+	return &server.Response{
+		R:            1 - est.Value,
+		H:            est.Value * normF,
+		Engine:       subs[0].Engine,
+		Guarantee:    subs[0].Guarantee,
+		Eps:          est.Eps,
+		Delta:        effDelta,
+		Samples:      est.Samples,
+		Class:        subs[0].Class,
+		Degraded:     est.Partial,
+		Seed:         req.Seed,
+		Resumed:      resumed,
+		ClusterTrail: trail,
+		ElapsedMS:    time.Since(began).Milliseconds(),
+	}, nil
+}
+
+// runRange drives one lane range to completion: pick a live replica
+// (ring order from startIdx), send, and on transient failure back off
+// and reassign to the next live replica — recording every event.
+func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Range, startIdx int) (*server.Response, []server.ClusterStep, error) {
+	sub := req
+	sub.Engine = string(core.EngineMCDirect)
+	sub.Lanes = &server.LaneRange{Lo: rg.Lo, Hi: rg.Hi, Total: rg.Total}
+	if c.cfg.UseJobs && req.IdempotencyKey != "" {
+		sub.IdempotencyKey = subKey(req.IdempotencyKey, rg)
+	} else {
+		sub.IdempotencyKey = ""
+	}
+	var trail []server.ClusterStep
+	var lastErr error
+	idx, prev := startIdx, -1
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.nRetries.Add(1)
+			if err := c.sleep(ctx, attempt-1); err != nil {
+				return nil, trail, err
+			}
+		}
+		target, tIdx, skips := c.pickTarget(idx, rg)
+		trail = append(trail, skips...)
+		if target == nil {
+			lastErr = ErrNoReplicas
+			continue // a probe may mark someone up before the next attempt
+		}
+		event := "retry"
+		switch {
+		case attempt == 0:
+			event = "assign"
+		case tIdx != prev:
+			event = "reassign"
+		}
+		prev, idx = tIdx, tIdx+1
+		if event == "reassign" {
+			c.nReassigns.Add(1)
+			if err := faultinject.Hit(faultinject.SiteClusterReassign); err != nil {
+				trail = append(trail, server.ClusterStep{Replica: target.url, Lo: rg.Lo, Hi: rg.Hi, Event: event, Err: err.Error()})
+				lastErr = err
+				continue
+			}
+		}
+		res, winner, hedged, err := c.raceSend(ctx, target, c.hedgeTarget(tIdx), sub)
+		step := server.ClusterStep{Replica: target.url, Lo: rg.Lo, Hi: rg.Hi, Event: event}
+		if err != nil {
+			step.Err = err.Error()
+		}
+		trail = append(trail, step)
+		if hedged {
+			trail = append(trail, server.ClusterStep{Replica: c.hedgeTarget(tIdx).url, Lo: rg.Lo, Hi: rg.Hi, Event: "hedge"})
+		}
+		if err == nil {
+			trail = append(trail, server.ClusterStep{Replica: winner.url, Lo: rg.Lo, Hi: rg.Hi, Event: "done"})
+			return res, trail, nil
+		}
+		lastErr = err
+		if !transient(err) {
+			return nil, trail, err
+		}
+	}
+	return nil, trail, fmt.Errorf("cluster: range %s: giving up after %d attempts: %w", rg, c.cfg.MaxAttempts, lastErr)
+}
+
+// pickTarget scans the ring from `from` for an up replica whose breaker
+// admits a request, recording breaker-vetoed live replicas as
+// breaker-skip trail steps.
+func (c *Coordinator) pickTarget(from int, rg mc.Range) (*replica, int, []server.ClusterStep) {
+	n := len(c.replicas)
+	var skips []server.ClusterStep
+	for i := 0; i < n; i++ {
+		j := ((from+i)%n + n) % n
+		r := c.replicas[j]
+		if !r.up.Load() {
+			continue
+		}
+		if !c.breakers.Allow(core.Engine(r.url)) {
+			skips = append(skips, server.ClusterStep{Replica: r.url, Lo: rg.Lo, Hi: rg.Hi, Event: "breaker-skip"})
+			continue
+		}
+		return r, j, skips
+	}
+	return nil, -1, skips
+}
+
+// hedgeTarget returns the next up replica after ring index i, or nil
+// when no distinct one exists (a cluster of one cannot hedge).
+func (c *Coordinator) hedgeTarget(i int) *replica {
+	n := len(c.replicas)
+	for k := 1; k < n; k++ {
+		r := c.replicas[(i+k)%n]
+		if r.up.Load() {
+			return r
+		}
+	}
+	return nil
+}
+
+// sendOutcome is one raceSend arm's result.
+type sendOutcome struct {
+	res  *server.Response
+	from *replica
+	err  error
+}
+
+// raceSend sends the sub-request to primary and, when hedging is on
+// and a distinct backup exists, duplicates it to backup after
+// HedgeAfter. The first success wins and cancels the loser; both
+// failing returns the primary's (first) error. Duplicating is safe:
+// the lane range is a pure function of (seed, range), and in jobs mode
+// both arms share the sub-job idempotency key.
+func (c *Coordinator) raceSend(ctx context.Context, primary, backup *replica, sub server.Request) (*server.Response, *replica, bool, error) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make(chan sendOutcome, 2)
+	send := func(r *replica) {
+		res, err := c.sendSub(rctx, r, sub)
+		c.breakers.Report(core.Engine(r.url), breakerErr(err))
+		out <- sendOutcome{res, r, err}
+	}
+	go send(primary)
+	inFlight := 1
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 && backup != nil && backup != primary {
+		t := time.NewTimer(c.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	hedged := false
+	var firstErr error
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			hedged = true
+			c.nHedges.Add(1)
+			inFlight++
+			go send(backup)
+		case o := <-out:
+			inFlight--
+			if o.err == nil {
+				return o.res, o.from, hedged, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if inFlight == 0 {
+				return nil, nil, hedged, firstErr
+			}
+		}
+	}
+}
+
+// sendSub performs one sub-request against one replica — sync by
+// default, via the durable-jobs API when the coordinator runs in jobs
+// mode and the sub-request carries a derived key. An armed
+// SiteClusterSend fault reads as a transport failure (Err) or a slow
+// replica (Delay).
+func (c *Coordinator) sendSub(ctx context.Context, r *replica, sub server.Request) (*server.Response, error) {
+	if err := faultinject.Hit(faultinject.SiteClusterSend); err != nil {
+		return nil, fmt.Errorf("cluster: send to %s: %w", r.url, err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	if c.cfg.UseJobs && sub.IdempotencyKey != "" {
+		st, err := r.client.SubmitJob(ctx, sub)
+		if err != nil {
+			return nil, err
+		}
+		if st.State == server.JobRunning {
+			if st, err = r.client.WaitJob(ctx, st.ID, c.cfg.JobPoll); err != nil {
+				return nil, err
+			}
+		}
+		if st.State == server.JobDone {
+			return st.Result, nil
+		}
+		apiErr := &client.APIError{Status: http.StatusInternalServerError, Kind: server.KindEngineFailed,
+			Message: fmt.Sprintf("sub-job %s failed", st.ID)}
+		if st.Error != nil {
+			apiErr.Kind, apiErr.Message = st.Error.Kind, st.Error.Error
+		}
+		return nil, apiErr
+	}
+	return r.client.Reliability(ctx, sub)
+}
+
+// subKey derives a lane range's sub-job idempotency key from the
+// parent's, so re-submissions of the same range re-attach wherever
+// they land while distinct ranges never collide.
+func subKey(parent string, rg mc.Range) string {
+	return fmt.Sprintf("%s/lanes-%d-%d-%d", parent, rg.Lo, rg.Hi, rg.Total)
+}
+
+// transient classifies an error as retryable-elsewhere: transport
+// failures and 503 sheds are; any other server answer (the request is
+// bad, the computation infeasible, ...) would fail identically on every
+// replica, and context ends belong to the caller.
+func transient(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusServiceUnavailable
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// breakerErr maps a send outcome to the breaker's vocabulary: only
+// transient failures (crashes, resets, sheds) count against a replica;
+// a served error response is proof of health, and the caller's own
+// context ending says nothing about the replica.
+func breakerErr(err error) error {
+	if err == nil || !transient(err) {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", core.ErrEngineFailed, err)
+}
+
+// sleep blocks for the jittered exponential delay of retry `attempt`
+// (0-based), or until ctx ends.
+func (c *Coordinator) sleep(ctx context.Context, attempt int) error {
+	d := c.cfg.BaseBackoff << uint(attempt)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	c.jmu.Lock()
+	d = time.Duration(c.rng.Int63n(int64(d))) + 1
+	c.jmu.Unlock()
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// proxy routes a request whole to its hash-ring replica, failing over
+// to the next live replica on transient errors.
+func (c *Coordinator) proxy(ctx context.Context, req server.Request) (*server.Response, error) {
+	began := time.Now()
+	c.nProxied.Add(1)
+	var trail []server.ClusterStep
+	var lastErr error
+	idx := c.hashIndex(req)
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.nRetries.Add(1)
+			if err := c.sleep(ctx, attempt-1); err != nil {
+				return nil, err
+			}
+		}
+		target, tIdx, skips := c.pickTarget(idx, mc.Range{})
+		trail = append(trail, skips...)
+		if target == nil {
+			lastErr = ErrNoReplicas
+			continue
+		}
+		idx = tIdx + 1
+		res, err := c.sendSub(ctx, target, req)
+		c.breakers.Report(core.Engine(target.url), breakerErr(err))
+		if err == nil {
+			res.ClusterTrail = append(trail, server.ClusterStep{Replica: target.url, Event: "proxy"})
+			res.ElapsedMS = time.Since(began).Milliseconds()
+			return res, nil
+		}
+		trail = append(trail, server.ClusterStep{Replica: target.url, Event: "proxy", Err: err.Error()})
+		lastErr = err
+		if !transient(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("cluster: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// hashIndex picks the home replica of a request: a stable hash of the
+// fields that identify the computation, so the same request (and in
+// jobs mode the same idempotency key) keeps landing on the same
+// replica while it is live.
+func (c *Coordinator) hashIndex(req server.Request) int {
+	h := fnv.New32a()
+	if req.IdempotencyKey != "" {
+		h.Write([]byte(req.IdempotencyKey))
+	} else {
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d", req.DB, req.DBText, req.Query, req.Seed)
+	}
+	return int(h.Sum32() % uint32(len(c.replicas)))
+}
+
+// ReplicaStatz is one replica's row in the coordinator's /statz.
+type ReplicaStatz struct {
+	URL string `json:"url"`
+	Up  bool   `json:"up"`
+	// ProbeFailures is the current consecutive-failure streak.
+	ProbeFailures int64 `json:"probe_failures"`
+}
+
+// Statz is the JSON body of the coordinator's GET /statz.
+type Statz struct {
+	Replicas     []ReplicaStatz                 `json:"replicas"`
+	LiveReplicas int                            `json:"live_replicas"`
+	Breakers     map[string]server.BreakerStatz `json:"breakers"`
+	Fanouts      int64                          `json:"fanouts"`
+	Proxied      int64                          `json:"proxied"`
+	Retries      int64                          `json:"retries"`
+	Hedges       int64                          `json:"hedges"`
+	Reassigns    int64                          `json:"reassigns"`
+	UptimeMS     int64                          `json:"uptime_ms"`
+}
+
+// Statz snapshots the coordinator state.
+func (c *Coordinator) Statz() Statz {
+	st := Statz{
+		Breakers:  c.breakers.Snapshot(),
+		Fanouts:   c.nFanouts.Load(),
+		Proxied:   c.nProxied.Load(),
+		Retries:   c.nRetries.Load(),
+		Hedges:    c.nHedges.Load(),
+		Reassigns: c.nReassigns.Load(),
+		UptimeMS:  time.Since(c.start).Milliseconds(),
+	}
+	for _, r := range c.replicas {
+		up := r.up.Load()
+		if up {
+			st.LiveReplicas++
+		}
+		st.Replicas = append(st.Replicas, ReplicaStatz{URL: r.url, Up: up, ProbeFailures: r.fails.Load()})
+	}
+	return st
+}
+
+// Handler returns the coordinator's HTTP surface: the same
+// POST /v1/reliability as a single qreld (so clients are oblivious to
+// the cluster), plus /healthz, /readyz (ready iff at least one replica
+// is up), and /statz.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/reliability", c.handleReliability)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if len(c.liveIndexes()) == 0 {
+			http.Error(w, "no live replicas", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Statz())
+	})
+	return mux
+}
+
+func (c *Coordinator) handleReliability(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, server.ErrorResponse{Error: "use POST", Kind: server.KindBadRequest})
+		return
+	}
+	var req server.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error(), Kind: server.KindBadRequest})
+		return
+	}
+	res, err := c.Do(r.Context(), req)
+	if err != nil {
+		status, kind := http.StatusBadGateway, server.KindEngineFailed
+		var apiErr *client.APIError
+		switch {
+		case errors.As(err, &apiErr):
+			status, kind = apiErr.Status, apiErr.Kind
+		case errors.Is(err, ErrNoReplicas):
+			status, kind = http.StatusServiceUnavailable, server.KindShedding
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			status, kind = http.StatusRequestTimeout, server.KindCanceled
+		}
+		writeJSON(w, status, server.ErrorResponse{Error: err.Error(), Kind: kind})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf.Bytes())
+}

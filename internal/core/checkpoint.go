@@ -138,12 +138,26 @@ func (r *ckptRun) every() int {
 
 // laneCountFor returns the RNG lane count of an engine run under opts:
 // 0 for the sequential single-stream path, mc.DefaultLanes for the
-// lane-split parallel runtime.
+// lane-split parallel runtime, and the split's total for a lane-range
+// run (the mc-level method string additionally pins the subrange).
 func laneCountFor(opts Options) int {
+	if opts.LaneRange != nil {
+		return opts.LaneRange.Total
+	}
 	if opts.Workers > 0 {
 		return mc.DefaultLanes
 	}
 	return 0
+}
+
+// rangeWorkers is the worker count of a lane-range run: at least one
+// goroutine even when the caller left Workers at the sequential
+// default, since a range run is always lane-split.
+func rangeWorkers(opts Options) int {
+	if opts.Workers > 0 {
+		return opts.Workers
+	}
+	return 1
 }
 
 // parFor returns the lane-split configuration of a parallel run.

@@ -1,0 +1,47 @@
+package core
+
+import "qrel/internal/mc"
+
+// Cluster-facing result plumbing. A coordinator (internal/cluster)
+// splits a monte-carlo-direct estimation into disjoint lane ranges, runs
+// each on a replica via Options.LaneRange, and merges the raw per-lane
+// aggregates back into the single-node estimate. These types carry the
+// two halves of that story through Result: the aggregates themselves
+// (LaneRangeResult, produced by the engine) and the operational trail of
+// where every range ran (ClusterStep, produced by the coordinator).
+
+// LaneRangeResult is the payload of a lane-range run: the raw per-lane
+// aggregates of the lanes [Range.Lo, Range.Hi), plus everything the
+// merge needs to cross-check consistency across replicas.
+type LaneRangeResult struct {
+	// Range is the lane subrange this run executed.
+	Range mc.Range
+	// Method names the base estimator ("hoeffding").
+	Method string
+	// Requested is the full-run sample size implied by (Eps, Delta) —
+	// identical on every replica of the same request.
+	Requested int
+	// NormF is the n^k normalizer of the query on this database; the
+	// merged mean times NormF is HFloat. Identical on every replica.
+	NormF float64
+	// Lanes holds the raw per-lane aggregates in lane-index order.
+	Lanes []mc.LaneAgg
+}
+
+// ClusterStep is one event in a coordinator's fan-out: a lane range
+// dispatched, retried, hedged, or reassigned on a replica. The ordered
+// trail is the cross-replica analogue of FallbackTrail — it tells the
+// operator how the cluster degraded and recovered without changing what
+// it computed.
+type ClusterStep struct {
+	// Replica is the replica the event concerns (its base URL or ID).
+	Replica string
+	// Lo, Hi delimit the lane range involved; [0,0) for whole-job events
+	// such as proxying.
+	Lo, Hi int
+	// Event classifies the step: "assign", "proxy", "retry", "hedge",
+	// "reassign", "breaker-skip", "done".
+	Event string
+	// Err carries the failure that triggered a retry or reassignment.
+	Err string `json:",omitempty"`
+}

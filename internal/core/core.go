@@ -32,6 +32,7 @@ import (
 	"math/big"
 
 	"qrel/internal/logic"
+	"qrel/internal/mc"
 	"qrel/internal/rel"
 	"qrel/internal/unreliable"
 )
@@ -103,6 +104,16 @@ type Result struct {
 	// abandoned (budget exhaustion, crashes) before the engine named in
 	// Engine produced this result. Empty when the first choice worked.
 	FallbackTrail []FallbackStep
+	// LaneRange, for a run restricted to a lane subrange (see
+	// Options.LaneRange), carries the raw per-lane aggregates a cluster
+	// coordinator merges; HFloat/RFloat are then partial-range values and
+	// not meaningful on their own. Nil for whole-run results.
+	LaneRange *LaneRangeResult
+	// ClusterTrail records, for results assembled by a cluster
+	// coordinator, where each lane range ran and every retry, hedge, and
+	// reassignment along the way — the cross-replica analogue of
+	// FallbackTrail. Empty for single-node results.
+	ClusterTrail []ClusterStep
 	// Budget echoes the resource budget the computation ran under.
 	Budget Budget
 }
@@ -168,6 +179,14 @@ type Options struct {
 	// newest good snapshot. A resumed run is bit-identical to an
 	// uninterrupted run with the same Seed. Exact engines ignore it.
 	Checkpoint *CheckpointConfig
+	// LaneRange, when non-nil, restricts the run to the lane subrange
+	// [Lo,Hi) of a Total-lane split — the unit of work a cluster
+	// coordinator assigns to one replica. Quotas and RNG streams are
+	// derived over all Total lanes exactly as a single-node Workers>0 run
+	// would, so the per-lane aggregates (Result.LaneRange) merge to the
+	// bit-identical whole. Only the monte-carlo-direct engine, selected
+	// explicitly, supports it.
+	LaneRange *mc.Range
 }
 
 func (o Options) withDefaults() Options {

@@ -74,6 +74,11 @@ func ReliabilityWith(ctx context.Context, engine Engine, db *unreliable.DB, f lo
 		ctx = context.Background()
 	}
 	opts = opts.withDefaults()
+	if opts.LaneRange != nil && engine != EngineMCDirect {
+		// A lane range is a distribution unit of the lane-split mean
+		// estimator; no other engine (and no dispatch ladder) can honor it.
+		return Result{}, fmt.Errorf("core: lane-range runs require explicit engine %q, got %q", EngineMCDirect, engine)
+	}
 	ctx, cancel := withBudgetContext(ctx, opts.Budget)
 	defer cancel()
 	if opts.Breaker != nil && engine != EngineAuto && engine != Engine("") && !opts.Breaker.Allow(engine) {

@@ -264,6 +264,34 @@ func MonteCarloDirect(ctx context.Context, db *unreliable.DB, f logic.Formula, o
 		}
 		return float64(symmetricDiffSize(observed, actual)) / normF, nil
 	}
+	if opts.LaneRange != nil {
+		// Lane-range mode: execute only the assigned subrange of the
+		// Total-lane split and return the raw per-lane aggregates for the
+		// coordinator to merge. HFloat/RFloat are partial-range values.
+		rr, err := mc.EstimateMeanRange(ctx, db, stat, opts.Eps, opts.Delta, opts.Budget.MaxSamples,
+			opts.Seed, *opts.LaneRange, rangeWorkers(opts), run.loopCkpt(resumeSt))
+		if err != nil {
+			return Result{}, err
+		}
+		drawn, sum := rr.Drawn(), 0.0
+		for _, a := range rr.Lanes {
+			sum += a.Sum
+		}
+		return Result{
+			HFloat:    sum * normF / float64(drawn),
+			RFloat:    1 - sum/float64(drawn),
+			Arity:     k,
+			Engine:    "monte-carlo-direct",
+			Guarantee: AbsoluteError,
+			Eps:       opts.Eps,
+			Delta:     opts.Delta,
+			Samples:   drawn,
+			Class:     logic.Classify(f),
+			Seed:      opts.Seed,
+			Resumed:   run.wasResumed(),
+			LaneRange: &LaneRangeResult{Range: rr.Range, Method: rr.Method, Requested: rr.Requested, NormF: normF, Lanes: rr.Lanes},
+		}, nil
+	}
 	var est mc.Estimate
 	if opts.Workers > 0 {
 		est, err = mc.EstimateMeanPar(ctx, db, stat, opts.Eps, opts.Delta, opts.Budget.MaxSamples,

@@ -66,6 +66,17 @@ const (
 	SiteCkptBitFlip    = "ckpt/bit-flip"
 	SiteCkptRename     = "ckpt/rename"
 	SiteCkptCrash      = "ckpt/crash-window"
+	// Cluster-coordinator sites (internal/cluster). SiteClusterProbe
+	// fires inside every replica health probe (an armed error reads as a
+	// failed probe — the partition simulation); SiteClusterSend fires
+	// before every sub-request a coordinator sends to a replica (an armed
+	// error reads as a transport failure, a delay as a slow replica that
+	// trips hedging); SiteClusterReassign fires when a lane range is
+	// reassigned from a failed replica to a survivor — the kill path's
+	// coverage proof.
+	SiteClusterProbe    = "cluster/probe"
+	SiteClusterSend     = "cluster/send"
+	SiteClusterReassign = "cluster/reassign"
 )
 
 // allSites is the canonical registry behind Sites. Every Site* constant
@@ -90,6 +101,9 @@ var allSites = []string{
 	SiteCkptBitFlip,
 	SiteCkptRename,
 	SiteCkptCrash,
+	SiteClusterProbe,
+	SiteClusterSend,
+	SiteClusterReassign,
 }
 
 // Sites returns every registered injection site, sorted. The chaos

@@ -193,6 +193,10 @@ type LaneCkpt struct {
 	ck     *Ckpt
 	method string
 	inert  bool
+	// base is the global index of the first lane: a lane-range run (see
+	// Range) publishes lanes whose Idx starts at Range.Lo, stored here
+	// positionally.
+	base int
 
 	mu         sync.Mutex
 	lanes      []LaneState
@@ -214,6 +218,7 @@ func NewLaneCkpt(method string, lanes []*Lane, ck *Ckpt) *LaneCkpt {
 			return lc
 		}
 	}
+	lc.base = lanes[0].Idx
 	lc.lanes = make([]LaneState, len(lanes))
 	for i, ln := range lanes {
 		lc.lanes[i] = LaneState{Drawn: ln.Drawn, Hits: ln.Hits, Sum: ln.Sum, RNG: ln.Src.State()}
@@ -244,7 +249,7 @@ func (lc *LaneCkpt) Publish(ln *Lane, save bool) error {
 	}
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
-	lc.lanes[ln.Idx] = LaneState{Drawn: ln.Drawn, Hits: ln.Hits, Sum: ln.Sum, RNG: ln.Src.State()}
+	lc.lanes[ln.Idx-lc.base] = LaneState{Drawn: ln.Drawn, Hits: ln.Hits, Sum: ln.Sum, RNG: ln.Src.State()}
 	if !save {
 		return nil
 	}
@@ -341,6 +346,15 @@ func RestoreLanes(method string, lanes []*Lane, ck *Ckpt) error {
 func sampleLanes(ctx context.Context, method string, lanes []*Lane, workers, total int, ck *Ckpt,
 	setup func(ln *Lane) func() error) error {
 	AssignQuotas(lanes, total)
+	return sampleAssignedLanes(ctx, method, lanes, workers, ck, setup)
+}
+
+// sampleAssignedLanes is sampleLanes with the quota assignment lifted
+// out: lane-range runs (see EstimateMeanRange) assign quotas over the
+// *full* lane split and then drive only their subrange through this
+// skeleton, so a lane's quota never depends on which node runs it.
+func sampleAssignedLanes(ctx context.Context, method string, lanes []*Lane, workers int, ck *Ckpt,
+	setup func(ln *Lane) func() error) error {
 	if err := RestoreLanes(method, lanes, ck); err != nil {
 		return err
 	}

@@ -161,21 +161,7 @@ func estimateMeanLanes(ctx context.Context, db *unreliable.DB, f func(*rel.Struc
 		requested = maxSamples + 1 // any realized count reads as partial
 	}
 	t, _ := clampSamples(requested, maxSamples)
-	err = sampleLanes(ctx, "hoeffding", lanes, workers, t, ck, func(ln *Lane) func() error {
-		buf := db.NewWorldBuf()
-		return func() error {
-			b := db.SampleWorldInto(ln.Rng, buf)
-			v, err := f(b)
-			if err != nil {
-				return fmt.Errorf("mc: evaluating sample %d: %w", ln.Drawn, err)
-			}
-			if v < 0 || v > 1 {
-				return fmt.Errorf("mc: sample value %v outside [0,1]", v)
-			}
-			ln.Sum += v
-			return nil
-		}
-	})
+	err = sampleLanes(ctx, "hoeffding", lanes, workers, t, ck, meanStep(db, f))
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -191,6 +177,28 @@ func estimateMeanLanes(ctx context.Context, db *unreliable.DB, f func(*rel.Struc
 		est.Eps = WidenedHoeffdingEps(delta, drawn)
 	}
 	return est, nil
+}
+
+// meanStep builds the per-lane draw step of the Hoeffding mean
+// estimator. It is shared by estimateMeanLanes and EstimateMeanRange so
+// a lane draws the bit-identical sample sequence no matter which node
+// (or which run shape) executes it.
+func meanStep(db *unreliable.DB, f func(*rel.Structure) (float64, error)) func(ln *Lane) func() error {
+	return func(ln *Lane) func() error {
+		buf := db.NewWorldBuf()
+		return func() error {
+			b := db.SampleWorldInto(ln.Rng, buf)
+			v, err := f(b)
+			if err != nil {
+				return fmt.Errorf("mc: evaluating sample %d: %w", ln.Drawn, err)
+			}
+			if v < 0 || v > 1 {
+				return fmt.Errorf("mc: sample value %v outside [0,1]", v)
+			}
+			ln.Sum += v
+			return nil
+		}
+	}
 }
 
 // EstimateNu estimates nu(psi) = Pr[B ⊨ psi] by plain Monte Carlo with

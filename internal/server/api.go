@@ -6,6 +6,7 @@ import (
 
 	"qrel/internal/checkpoint"
 	"qrel/internal/core"
+	"qrel/internal/mc"
 )
 
 // Request is the JSON body of POST /v1/reliability. Exactly one of DB
@@ -48,6 +49,20 @@ type Request struct {
 	// existing job — running, done, or failed — instead of starting a
 	// duplicate computation.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Lanes restricts the run to the lane subrange [lo,hi) of a
+	// total-lane split — a cluster coordinator's sub-request. Requires
+	// engine "monte-carlo-direct". The response carries the raw per-lane
+	// aggregates (Response.LaneRange) instead of a meaningful whole-run
+	// estimate.
+	Lanes *LaneRange `json:"lanes,omitempty"`
+}
+
+// LaneRange is the wire form of mc.Range: the lane subrange [Lo,Hi) of
+// a Total-lane split.
+type LaneRange struct {
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+	Total int `json:"total"`
 }
 
 // TrailStep mirrors core.FallbackStep on the wire.
@@ -91,9 +106,37 @@ type Response struct {
 	// Resumed reports that the computation restored a checkpoint and
 	// continued from it rather than starting fresh.
 	Resumed bool `json:"resumed,omitempty"`
+	// LaneRange carries the raw per-lane aggregates of a lane-range
+	// sub-request (Request.Lanes); R and H are then partial-range values
+	// and only the coordinator's merge is meaningful.
+	LaneRange *LaneRangeReport `json:"lane_range,omitempty"`
+	// ClusterTrail, on responses assembled by a cluster coordinator,
+	// records where each lane range ran and every retry, hedge, and
+	// reassignment — the cross-replica analogue of FallbackTrail.
+	ClusterTrail []ClusterStep `json:"cluster_trail,omitempty"`
 	// ElapsedMS is the server-side wall-clock time in milliseconds,
 	// including queueing.
 	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// LaneRangeReport mirrors core.LaneRangeResult on the wire.
+type LaneRangeReport struct {
+	Lo        int          `json:"lo"`
+	Hi        int          `json:"hi"`
+	Total     int          `json:"total"`
+	Method    string       `json:"method"`
+	Requested int          `json:"requested"`
+	NormF     float64      `json:"norm_f"`
+	Lanes     []mc.LaneAgg `json:"lanes"`
+}
+
+// ClusterStep mirrors core.ClusterStep on the wire.
+type ClusterStep struct {
+	Replica string `json:"replica"`
+	Lo      int    `json:"lo,omitempty"`
+	Hi      int    `json:"hi,omitempty"`
+	Event   string `json:"event"`
+	Err     string `json:"err,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.
@@ -168,6 +211,16 @@ func toResponse(res core.Result, elapsedMS int64) *Response {
 	}
 	for _, s := range res.FallbackTrail {
 		out.FallbackTrail = append(out.FallbackTrail, TrailStep{Engine: s.Engine, Err: s.Err})
+	}
+	if lr := res.LaneRange; lr != nil {
+		out.LaneRange = &LaneRangeReport{
+			Lo: lr.Range.Lo, Hi: lr.Range.Hi, Total: lr.Range.Total,
+			Method: lr.Method, Requested: lr.Requested, NormF: lr.NormF,
+			Lanes: lr.Lanes,
+		}
+	}
+	for _, s := range res.ClusterTrail {
+		out.ClusterTrail = append(out.ClusterTrail, ClusterStep{Replica: s.Replica, Lo: s.Lo, Hi: s.Hi, Event: s.Event, Err: s.Err})
 	}
 	return out
 }

@@ -181,39 +181,92 @@ func (c *Client) post(ctx context.Context, body io.Reader) (*server.Response, er
 	return nil, apiErr
 }
 
-// parseRetryAfter reads a delay-seconds Retry-After header.
+// parseRetryAfter reads the Retry-After header, accepting both RFC
+// 9110 forms: delay-seconds and HTTP-date.
 func parseRetryAfter(resp *http.Response) time.Duration {
-	if v := resp.Header.Get("Retry-After"); v != "" {
-		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
+	return retryAfterDuration(resp.Header.Get("Retry-After"), time.Now())
+}
+
+// retryAfterDuration parses one Retry-After value against now.
+// Malformed values, negative delays, and past dates all read as "no
+// hint" (0) — a bad hint must never stall the retry loop.
+func retryAfterDuration(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		if d := when.Sub(now); d > 0 {
+			return d
 		}
 	}
 	return 0
 }
 
-// SubmitJob posts a durable job (POST /v1/jobs). The request must
-// carry an idempotency key; re-submitting the same key re-attaches to
-// the existing job, so SubmitJob is safe to retry blindly.
+// SubmitJob posts a durable job (POST /v1/jobs), retrying transport
+// errors (connection refused/reset) and 503s per the client's policy.
+// The request must carry an idempotency key; re-submitting the same key
+// re-attaches to the existing job, which is exactly what makes the
+// blind retry safe — a submission whose response was lost in flight is
+// answered by the journaled job, never run twice.
 func (c *Client) SubmitJob(ctx context.Context, req server.Request) (*server.JobStatus, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	return c.doJob(httpReq)
+	return c.jobWithRetry(ctx, func() (*http.Request, error) {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		return httpReq, nil
+	})
 }
 
-// GetJob polls a durable job (GET /v1/jobs/{id}).
+// GetJob polls a durable job (GET /v1/jobs/{id}), with the same retry
+// policy as SubmitJob (a GET is trivially idempotent).
 func (c *Client) GetJob(ctx context.Context, id string) (*server.JobStatus, error) {
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return nil, err
+	return c.jobWithRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id, nil)
+	})
+}
+
+// jobWithRetry runs one job-API call under the retry policy: transport
+// failures and 503s back off and retry, any other server answer returns
+// immediately. build is called per attempt so the body reader is fresh.
+func (c *Client) jobWithRetry(ctx context.Context, build func() (*http.Request, error)) (*server.JobStatus, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.backoff(attempt-1, retryAfterOf(lastErr))):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		httpReq, err := build()
+		if err != nil {
+			return nil, err
+		}
+		st, err := c.doJob(httpReq)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		if apiErr, ok := err.(*APIError); ok && apiErr.Status != http.StatusServiceUnavailable {
+			return nil, err // the server answered; retrying cannot help
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 	}
-	return c.doJob(httpReq)
+	return nil, fmt.Errorf("client: giving up after %d attempts: %w", c.MaxAttempts, lastErr)
 }
 
 // WaitJob polls a job until it leaves the running state (or ctx

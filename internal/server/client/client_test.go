@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -146,6 +147,147 @@ func TestWaitJobCancelReturnsPromptly(t *testing.T) {
 	}
 	if st == nil || st.State != server.JobRunning {
 		t.Errorf("canceled WaitJob status = %+v, want the last observed running status", st)
+	}
+}
+
+func TestRetryAfterDuration(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"empty", "", 0},
+		{"delay-seconds", "5", 5 * time.Second},
+		{"zero-seconds", "0", 0},
+		{"negative-seconds", "-3", 0},
+		{"http-date-future", now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second},
+		{"http-date-past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"rfc850-future", now.Add(90 * time.Second).Format(time.RFC850), 90 * time.Second},
+		{"asctime-future", now.Add(time.Minute).Format(time.ANSIC), time.Minute},
+		{"garbage", "soon", 0},
+		{"float-seconds", "1.5", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryAfterDuration(tc.v, now); got != tc.want {
+				t.Errorf("retryAfterDuration(%q) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+// flakyListener kills the first `failures` accepted connections before
+// any bytes flow — the client sees a connection reset / EOF, the
+// transport error shape a dying replica produces.
+type flakyListener struct {
+	net.Listener
+	failures atomic.Int64
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.failures.Add(-1) >= 0 {
+			c.Close()
+			continue
+		}
+		return c, nil
+	}
+}
+
+// flakyJobServer serves the job API behind a listener that resets the
+// first `failures` connections, counting requests that actually arrive.
+func flakyJobServer(t *testing.T, failures int64) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var served atomic.Int64
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.JobRunning})
+	}))
+	fl := &flakyListener{Listener: ts.Listener}
+	fl.failures.Store(failures)
+	ts.Listener = fl
+	// Fresh transport: a shared DefaultClient could hand the doomed
+	// listener a pooled connection from another test.
+	ts.Start()
+	return ts, &served
+}
+
+func TestSubmitJobRetriesTransportErrors(t *testing.T) {
+	ts, served := flakyJobServer(t, 2)
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.HTTPClient = ts.Client()
+	st, err := c.SubmitJob(context.Background(), server.Request{DB: "g", Query: "S(x)", IdempotencyKey: "k1"})
+	if err != nil {
+		t.Fatalf("SubmitJob through a flaky listener: %v", err)
+	}
+	if st.ID != "j1" {
+		t.Errorf("job ID = %q, want j1", st.ID)
+	}
+	if got := served.Load(); got != 1 {
+		t.Errorf("server handled %d submissions, want exactly 1 (resets retried, no duplicates served)", got)
+	}
+}
+
+func TestGetJobRetriesTransportErrors(t *testing.T) {
+	ts, _ := flakyJobServer(t, 1)
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.HTTPClient = ts.Client()
+	st, err := c.GetJob(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("GetJob through a flaky listener: %v", err)
+	}
+	if st.State != server.JobRunning {
+		t.Errorf("state = %q, want running", st.State)
+	}
+}
+
+func TestSubmitJobRetriesShedding(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "full", Kind: server.KindShedding})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.JobRunning})
+	}))
+	defer ts.Close()
+	st, err := fastClient(ts.URL).SubmitJob(context.Background(), server.Request{DB: "g", Query: "S(x)", IdempotencyKey: "k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j1" {
+		t.Errorf("job ID = %q, want j1", st.ID)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("%d attempts, want 3 (2 shed + 1 accepted)", got)
+	}
+}
+
+func TestSubmitJobDoesNotRetryCallerErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "missing key", Kind: server.KindBadRequest})
+	}))
+	defer ts.Close()
+	_, err := fastClient(ts.URL).SubmitJob(context.Background(), server.Request{DB: "g", Query: "S(x)"})
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("error %v, want a 400 APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d attempts on a 400, want 1 (no retry)", got)
 	}
 }
 

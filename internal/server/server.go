@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"qrel/internal/core"
 	"qrel/internal/faultinject"
 	"qrel/internal/logic"
+	"qrel/internal/mc"
 	"qrel/internal/unreliable"
 )
 
@@ -64,6 +66,10 @@ type Config struct {
 	// CheckpointEvery is the number of samples between job snapshots
 	// (zero uses core.DefaultCheckpointEvery).
 	CheckpointEvery int
+	// ReplicaID identifies this server instance in /statz so cluster
+	// coordinators and operators can tell replicas apart. Default
+	// "<hostname>-<pid>".
+	ReplicaID string
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +90,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20
+	}
+	if c.ReplicaID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "qreld"
+		}
+		c.ReplicaID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	return c
 }
@@ -334,6 +347,24 @@ func (s *Server) buildTask(req *Request) (*task, int, string, error) {
 	if !core.KnownEngine(engine) {
 		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("unknown engine %q", req.Engine)
 	}
+	var laneRange *mc.Range
+	if req.Lanes != nil {
+		if engine != core.EngineMCDirect {
+			return nil, http.StatusBadRequest, KindBadRequest,
+				fmt.Errorf("\"lanes\" requires engine %q, got %q", core.EngineMCDirect, req.Engine)
+		}
+		rng := mc.Range{Lo: req.Lanes.Lo, Hi: req.Lanes.Hi, Total: req.Lanes.Total}
+		if err := rng.Validate(); err != nil {
+			return nil, http.StatusBadRequest, KindBadRequest, err
+		}
+		laneRange = &rng
+		// A lane-range run is always lane-split; give it at least one
+		// worker even when the caller left workers at the sequential
+		// default.
+		if workers < 1 {
+			workers = 1
+		}
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -349,6 +380,7 @@ func (s *Server) buildTask(req *Request) (*task, int, string, error) {
 		Workers:      workers,
 		MaxEnumAtoms: s.cfg.MaxEnumAtoms,
 		Breaker:      s.breakers,
+		LaneRange:    laneRange,
 		Budget: core.Budget{
 			Timeout:     timeout,
 			MaxSamples:  req.MaxSamples,

@@ -236,6 +236,15 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 		if len(res.FallbackTrail) == 0 || !strings.Contains(res.FallbackTrail[0].Err, "panicked") {
 			t.Fatalf("run %d: trail %v, want a qfree panic step", i, res.FallbackTrail)
 		}
+		if i == 0 {
+			// One crash in: /statz shows the streak building while the
+			// breaker is still closed.
+			var mid Statz
+			getJSON(t, ts.URL+"/statz", &mid)
+			if b := mid.Breakers["qfree"]; b.State != breakerClosed || b.ConsecutiveFailures != 1 {
+				t.Fatalf("after 1 crash, breaker %+v, want closed with 1 consecutive failure", b)
+			}
+		}
 	}
 	// Third run: the breaker is open, so the rung is skipped — the trail
 	// records the skip and the armed panic site is never reached.
@@ -248,8 +257,11 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 	}
 	var statz Statz
 	getJSON(t, ts.URL+"/statz", &statz)
-	if b := statz.Breakers["qfree"]; b.State != breakerOpen || b.Trips != 1 {
-		t.Fatalf("breaker %+v, want open with 1 trip", b)
+	if b := statz.Breakers["qfree"]; b.State != breakerOpen || b.Trips != 1 || b.ConsecutiveFailures != 2 {
+		t.Fatalf("breaker %+v, want open with 1 trip and the streak frozen at 2", b)
+	}
+	if statz.ReplicaID == "" {
+		t.Error("statz replica_id empty, want the hostname-pid default")
 	}
 
 	// Heal the engine and wait out the cooldown: the next request is the
@@ -264,8 +276,8 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 		t.Fatalf("post-recovery engine %q trail %v, want qfree with empty trail", res.Engine, res.FallbackTrail)
 	}
 	getJSON(t, ts.URL+"/statz", &statz)
-	if b := statz.Breakers["qfree"]; b.State != breakerClosed {
-		t.Fatalf("breaker %+v, want closed after successful probe", b)
+	if b := statz.Breakers["qfree"]; b.State != breakerClosed || b.ConsecutiveFailures != 0 {
+		t.Fatalf("breaker %+v, want closed with the streak reset after the probe", b)
 	}
 }
 

@@ -89,6 +89,9 @@ func (st *stats) engineSnapshot() map[string]EngineStatz {
 // Statz is the JSON body of GET /statz: a point-in-time snapshot of the
 // server's self-protection state.
 type Statz struct {
+	// ReplicaID identifies this server instance (Config.ReplicaID);
+	// cluster coordinators use it to tell replicas apart.
+	ReplicaID string `json:"replica_id,omitempty"`
 	// QueueDepth is the number of admitted requests waiting for a
 	// worker; QueueCapacity and Workers echo the configuration.
 	QueueDepth    int `json:"queue_depth"`
@@ -185,6 +188,7 @@ func (s *Server) Statz() Statz {
 		ckpts = &snap
 	}
 	return Statz{
+		ReplicaID:     s.cfg.ReplicaID,
 		Jobs:          jobs,
 		Checkpoints:   ckpts,
 		QueueDepth:    len(s.tasks),

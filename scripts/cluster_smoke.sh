@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Cluster smoke test: three qreld replicas behind a qrelcoord
+# coordinator. A seeded parallel monte-carlo estimation is fanned out as
+# lane ranges; the merged answer must match a single-node Workers=4 run
+# on the estimate fields exactly — before a replica is killed, while one
+# is killed mid-run (the coordinator reassigns its lane range to a
+# survivor), and afterwards with only two replicas left.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/qreld" ./cmd/qreld
+go build -o "$workdir/qrelcoord" ./cmd/qrelcoord
+go build -o "$workdir/mkdb" ./cmd/mkdb
+
+"$workdir/mkdb" -kind graph -n 24 -uncertain 14 -seed 7 > "$workdir/g.udb"
+
+# Tight enough eps (~300k samples) that each replica's lane range runs
+# for seconds — a wide window for the mid-run kill — while the
+# single-node reference stays far from its 120s budget on a loaded CI
+# runner (degrading would change the estimate and fail the diff).
+req='{"db":"g","query":"exists y . (E(x,y) & S(y))","engine":"monte-carlo-direct","eps":0.0025,"delta":0.05,"seed":42,"workers":4,"timeout_ms":120000}'
+
+wait_ready() {
+  for _ in $(seq 1 400); do
+    curl -fsS "$1/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.05
+  done
+  echo "FAIL: $1 never became ready" >&2
+  return 1
+}
+
+# Project a response down to its estimate-defining fields (jq-free: the
+# trail and timing fields legitimately differ between runs).
+estimate_of() {
+  grep -o '"[rh]":[^,}]*\|"eps":[^,}]*\|"delta":[^,}]*\|"samples":[^,}]*\|"seed":[^,}]*\|"engine":"[^"]*"\|"degraded":[^,}]*' \
+    <<<"$1" | sort
+}
+
+# Single-node Workers=4 reference.
+"$workdir/qreld" -addr 127.0.0.1:18079 -workers 4 -max-timeout 120s \
+    -preload "g=$workdir/g.udb" >"$workdir/ref.log" 2>&1 &
+pids+=($!)
+wait_ready http://127.0.0.1:18079
+ref=$(curl -fsS http://127.0.0.1:18079/v1/reliability -d "$req")
+estimate_of "$ref" > "$workdir/ref.est"
+
+# Three replicas behind a coordinator.
+declare -a rpids
+for i in 1 2 3; do
+  "$workdir/qreld" -addr "127.0.0.1:1808$i" -workers 4 -max-timeout 120s \
+      -preload "g=$workdir/g.udb" >"$workdir/replica$i.log" 2>&1 &
+  rpids[$i]=$!
+  pids+=($!)
+done
+for i in 1 2 3; do wait_ready "http://127.0.0.1:1808$i"; done
+"$workdir/qrelcoord" -addr 127.0.0.1:18080 \
+    -replicas http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083 \
+    -probe-interval 100ms -request-timeout 120s >"$workdir/coord.log" 2>&1 &
+pids+=($!)
+wait_ready http://127.0.0.1:18080
+
+check() { # name, response
+  estimate_of "$2" > "$workdir/$1.est"
+  if ! diff -u "$workdir/ref.est" "$workdir/$1.est"; then
+    echo "FAIL: $1 estimate differs from the single-node reference" >&2
+    exit 1
+  fi
+}
+
+# Healthy 3-way fan-out.
+check healthy "$(curl -fsS http://127.0.0.1:18080/v1/reliability -d "$req")"
+
+# Kill one replica mid-estimation: the coordinator must reassign its
+# lane range to a survivor and still answer identically.
+curl -fsS http://127.0.0.1:18080/v1/reliability -d "$req" > "$workdir/killed.json" &
+curl_pid=$!
+sleep 0.3
+kill -9 "${rpids[3]}" 2>/dev/null || true
+wait "$curl_pid"
+check killed "$(cat "$workdir/killed.json")"
+
+# And again from a cold start with only two replicas left.
+check survivors "$(curl -fsS http://127.0.0.1:18080/v1/reliability -d "$req")"
+
+reassigns=$(grep -o '"reassigns":[0-9]*' <<<"$(curl -fsS http://127.0.0.1:18080/statz)" | grep -o '[0-9]*')
+echo "cluster smoke: OK (reassigns=$reassigns, $(grep -o '"samples":[0-9]*' "$workdir/ref.est"))"
