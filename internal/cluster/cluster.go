@@ -355,13 +355,14 @@ func (c *Coordinator) fanOut(ctx context.Context, req server.Request, live []int
 func (c *Coordinator) merge(req server.Request, ranges []mc.Range, subs []*server.Response, trail []server.ClusterStep, began time.Time) (*server.Response, error) {
 	total := mc.DefaultLanes
 	// The replicas ran under core's defaulted accuracy; MergeMean must
-	// recompute the identical sample plan (core.Options.withDefaults).
+	// recompute the identical sample plan, so default exactly as
+	// core.Options does.
 	effEps, effDelta := req.Eps, req.Delta
 	if effEps == 0 {
-		effEps = 0.05
+		effEps = core.DefaultEps
 	}
 	if effDelta == 0 {
-		effDelta = 0.05
+		effDelta = core.DefaultDelta
 	}
 	var aggs []mc.LaneAgg
 	requested, normF := -1, 0.0
@@ -451,21 +452,25 @@ func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Ra
 				continue
 			}
 		}
-		res, winner, hedged, err := c.raceSend(ctx, target, c.hedgeTarget(tIdx), sub)
+		// Capture the backup once: probes may flip replicas down while
+		// the race runs, so a second hedgeTarget call could return nil
+		// (or a different replica than the one actually hedged to).
+		backup := c.hedgeTarget(tIdx)
+		res, winner, hedged, err := c.raceSend(ctx, target, backup, sub)
 		step := server.ClusterStep{Replica: target.url, Lo: rg.Lo, Hi: rg.Hi, Event: event}
 		if err != nil {
 			step.Err = err.Error()
 		}
 		trail = append(trail, step)
 		if hedged {
-			trail = append(trail, server.ClusterStep{Replica: c.hedgeTarget(tIdx).url, Lo: rg.Lo, Hi: rg.Hi, Event: "hedge"})
+			trail = append(trail, server.ClusterStep{Replica: backup.url, Lo: rg.Lo, Hi: rg.Hi, Event: "hedge"})
 		}
 		if err == nil {
 			trail = append(trail, server.ClusterStep{Replica: winner.url, Lo: rg.Lo, Hi: rg.Hi, Event: "done"})
 			return res, trail, nil
 		}
 		lastErr = err
-		if !transient(err) {
+		if !transient(ctx, err) {
 			return nil, trail, err
 		}
 	}
@@ -525,7 +530,7 @@ func (c *Coordinator) raceSend(ctx context.Context, primary, backup *replica, su
 	out := make(chan sendOutcome, 2)
 	send := func(r *replica) {
 		res, err := c.sendSub(rctx, r, sub)
-		c.breakers.Report(core.Engine(r.url), breakerErr(err))
+		c.report(r, err)
 		out <- sendOutcome{res, r, err}
 	}
 	go send(primary)
@@ -605,24 +610,45 @@ func subKey(parent string, rg mc.Range) string {
 // transient classifies an error as retryable-elsewhere: transport
 // failures and 503 sheds are; any other server answer (the request is
 // bad, the computation infeasible, ...) would fail identically on every
-// replica, and context ends belong to the caller.
-func transient(err error) bool {
+// replica. Context errors are ambiguous — sendSub wraps every
+// sub-request in the coordinator's own RequestTimeout, so a hung (not
+// crashed) replica surfaces as DeadlineExceeded — and are classified by
+// the caller's context: still live means the per-sub-request deadline
+// (or a hedge-race cancel) fired and the work can move to another
+// replica; ended means the caller is gone and retrying is pointless.
+func transient(ctx context.Context, err error) bool {
 	var apiErr *client.APIError
 	if errors.As(err, &apiErr) {
 		return apiErr.Status == http.StatusServiceUnavailable
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return false
+		return ctx.Err() == nil
 	}
 	return true
 }
 
+// report feeds one send outcome to the target replica's breaker.
+// Context errors are skipped entirely: a cancelled hedge-race loser or
+// an expired per-sub-request deadline is evidence of neither health nor
+// failure, and recording a success there could close a half-open
+// breaker a replica has not earned.
+func (c *Coordinator) report(r *replica, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	c.breakers.Report(core.Engine(r.url), breakerErr(err))
+}
+
 // breakerErr maps a send outcome to the breaker's vocabulary: only
-// transient failures (crashes, resets, sheds) count against a replica;
-// a served error response is proof of health, and the caller's own
-// context ending says nothing about the replica.
+// transport failures and sheds count against a replica; any other
+// served error response is proof of health. Context errors never reach
+// here (report drops them).
 func breakerErr(err error) error {
-	if err == nil || !transient(err) {
+	if err == nil {
+		return nil
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.Status != http.StatusServiceUnavailable {
 		return nil
 	}
 	return fmt.Errorf("%w: %v", core.ErrEngineFailed, err)
@@ -669,7 +695,7 @@ func (c *Coordinator) proxy(ctx context.Context, req server.Request) (*server.Re
 		}
 		idx = tIdx + 1
 		res, err := c.sendSub(ctx, target, req)
-		c.breakers.Report(core.Engine(target.url), breakerErr(err))
+		c.report(target, err)
 		if err == nil {
 			res.ClusterTrail = append(trail, server.ClusterStep{Replica: target.url, Event: "proxy"})
 			res.ElapsedMS = time.Since(began).Milliseconds()
@@ -677,7 +703,7 @@ func (c *Coordinator) proxy(ctx context.Context, req server.Request) (*server.Re
 		}
 		trail = append(trail, server.ClusterStep{Replica: target.url, Event: "proxy", Err: err.Error()})
 		lastErr = err
-		if !transient(err) {
+		if !transient(ctx, err) {
 			return nil, err
 		}
 	}

@@ -284,6 +284,104 @@ func TestClusterHedgesSlowReplica(t *testing.T) {
 	}
 }
 
+// TestClusterReassignsHungReplica covers the hung-not-crashed failure
+// mode: a replica that answers /readyz but never answers the
+// sub-request. The coordinator's own RequestTimeout surfaces that as
+// context.DeadlineExceeded while the caller's context is still live, so
+// the coordinator must treat it as transient, reassign the lane range
+// to the survivor, and still produce the bit-identical merged answer —
+// not abort the whole fan-out.
+func TestClusterReassignsHungReplica(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	req := mcReq()
+	want := singleNodeRef(t, req)
+	f := startFleet(t, 1, nil)
+	hungMux := http.NewServeMux()
+	hungMux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	// The handler hangs until the test ends (released by stop — with the
+	// request body unread the server never notices the coordinator
+	// abandoning the connection, so waiting on r.Context() would deadlock
+	// hung.Close).
+	stop := make(chan struct{})
+	hungMux.HandleFunc("/v1/reliability", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	})
+	hung := httptest.NewServer(hungMux)
+	defer hung.Close()
+	defer close(stop)
+
+	c := fastCoord(t, append([]string{hung.URL}, f.urls...), func(cfg *Config) {
+		cfg.RequestTimeout = 75 * time.Millisecond
+	})
+	res, err := c.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := estOf(res); got != want {
+		t.Errorf("post-hang estimate %+v,\nwant single-node %+v", got, want)
+	}
+	if c.Statz().Reassigns == 0 {
+		t.Error("reassigns = 0, want at least one (the hung replica's range must move)")
+	}
+	var sawReassign bool
+	for _, s := range res.ClusterTrail {
+		sawReassign = sawReassign || s.Event == "reassign"
+	}
+	if !sawReassign {
+		t.Errorf("trail %+v records no reassign", res.ClusterTrail)
+	}
+}
+
+// TestClusterHedgeSurvivesBackupMarkedDown reproduces the
+// hedge-then-replicas-die window: one primary send is slowed long
+// enough for injected probe failures to mark every replica down while
+// the hedge race is still in flight. The hedge must go to (and be
+// logged against) the backup captured at assign time — re-resolving the
+// hedge target after the race would find no live replica and panic.
+func TestClusterHedgeSurvivesBackupMarkedDown(t *testing.T) {
+	defer faultinject.Reset()
+	testutil.CheckGoroutineLeaks(t)
+	req := mcReq()
+	want := singleNodeRef(t, req)
+	f := startFleet(t, 2, nil)
+	c := fastCoord(t, f.urls, func(cfg *Config) { cfg.HedgeAfter = 40 * time.Millisecond })
+
+	faultinject.Enable(faultinject.SiteClusterSend, faultinject.Fault{Delay: 300 * time.Millisecond, Times: 1})
+	type out struct {
+		res *server.Response
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := c.Do(context.Background(), req)
+		done <- out{res, err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	faultinject.Enable(faultinject.SiteClusterProbe, faultinject.Fault{Err: errors.New("injected partition")})
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Statz().LiveReplicas != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("replicas never read down under a fully failing probe")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	o := <-done
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if got := estOf(o.res); got != want {
+		t.Errorf("hedged estimate %+v,\nwant %+v", got, want)
+	}
+	if c.Statz().Hedges == 0 {
+		t.Error("hedges = 0, want at least one (the slow primary must be hedged)")
+	}
+}
+
 // TestClusterPartitionAndHeal drives every probe into failure until the
 // whole replica set reads down, checks requests fail with the typed
 // no-replicas error, then heals the partition and checks the cluster

@@ -140,10 +140,20 @@ func normalizer(n, k int) *big.Rat {
 	return new(big.Rat).SetInt(v)
 }
 
+// DefaultEps and DefaultDelta are the randomized-guarantee parameters
+// a zero Options resolves to. They are exported so that layers which
+// re-derive the sample plan outside an engine run — the cluster
+// coordinator merging per-replica lane aggregates — default exactly as
+// the replicas did.
+const (
+	DefaultEps   = 0.05
+	DefaultDelta = 0.05
+)
+
 // Options configures the engines; the zero value uses the defaults.
 type Options struct {
 	// Eps, Delta are the randomized-guarantee parameters
-	// (default 0.05 each).
+	// (default DefaultEps/DefaultDelta).
 	Eps, Delta float64
 	// Xi is the Theorem 5.12 padding parameter (default mc.DefaultXi).
 	Xi float64
@@ -191,10 +201,10 @@ type Options struct {
 
 func (o Options) withDefaults() Options {
 	if o.Eps == 0 {
-		o.Eps = 0.05
+		o.Eps = DefaultEps
 	}
 	if o.Delta == 0 {
-		o.Delta = 0.05
+		o.Delta = DefaultDelta
 	}
 	if o.MaxEnumAtoms == 0 {
 		o.MaxEnumAtoms = 16
