@@ -53,6 +53,8 @@ func main() {
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open time before a tripped breaker half-open probes")
 		useJobs      = flag.Bool("use-jobs", false, "route sub-requests through the replicas' durable-jobs API (requires -checkpoint-dir on the replicas; fan-out requests must carry an idempotency key)")
 		jobPoll      = flag.Duration("job-poll", 50*time.Millisecond, "initial sub-job poll interval in jobs mode")
+		ckptPoll     = flag.Duration("checkpoint-poll", 100*time.Millisecond, "shipped-checkpoint poll cadence while waiting on a sub-job")
+		journalDir   = flag.String("journal-dir", "", "fan-out journal directory; enables coordinator crash recovery of keyed fan-outs")
 		seed         = flag.Int64("seed", 0, "retry-jitter RNG seed (0 = wall clock)")
 		replicas     []string
 	)
@@ -83,6 +85,8 @@ func main() {
 		Breaker:            server.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
 		UseJobs:            *useJobs,
 		JobPoll:            *jobPoll,
+		CheckpointPoll:     *ckptPoll,
+		JournalDir:         *journalDir,
 		Seed:               *seed,
 	}
 	if err := serve(*addr, cfg); err != nil {
@@ -102,6 +106,21 @@ func serve(addr string, cfg cluster.Config) error {
 		return err
 	}
 	defer coord.Close()
+
+	if cfg.JournalDir != "" {
+		// Drive journaled fan-outs a previous process left running to
+		// completion in the background; the listener serves (and de-dupes
+		// against the same journal) meanwhile.
+		go func() {
+			n, err := coord.Recover(context.Background())
+			if err != nil {
+				log.Printf("journal recovery: %v", err)
+			}
+			if n > 0 {
+				log.Printf("journal recovery: completed %d fan-out(s)", n)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: coord.Handler()}
 	errCh := make(chan error, 1)

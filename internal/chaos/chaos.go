@@ -103,6 +103,21 @@ const (
 	// re-attach). Lane-quota conservation rides along: the merge rejects
 	// any aggregate set whose quotas disagree with the seeded plan.
 	InvCluster = "cluster-bit-identity"
+	// InvClusterResume: a fan-out that resumes a lane range from a
+	// shipped checkpoint — after a mid-run replica kill, a corrupted
+	// shipped frame, a torn journal write, or a coordinator crash and
+	// journal recovery — still answers byte-for-byte what an unkilled
+	// single-node run answers. A rejected frame degrades to a clean
+	// restart (resume-rejected in the trail), never an error or a wrong
+	// estimate.
+	InvClusterResume = "cluster-resume-bit-identity"
+	// InvClusterWork: recovery is work-conserving. After a replica kill
+	// the survivor resumes from a shipped sequence number S > 0 that is
+	// a true prefix of the dead replica's on-disk progress P, with the
+	// waste P - S bounded by a few shipping intervals; after a
+	// coordinator crash, recovery re-attaches to the journaled sub-jobs
+	// instead of submitting duplicates.
+	InvClusterWork = "cluster-work-conservation"
 	// InvCoverage: every scheduled site actually fired at least once.
 	InvCoverage = "site-coverage"
 )
@@ -112,7 +127,8 @@ const (
 func InvariantNames() []string {
 	return []string{
 		InvExactAgree, InvEpsBound, InvTypedErrors, InvResume,
-		InvJobs, InvBreaker, InvCluster, InvGoroutines, InvTmpFiles, InvCoverage,
+		InvJobs, InvBreaker, InvCluster, InvClusterResume, InvClusterWork,
+		InvGoroutines, InvTmpFiles, InvCoverage,
 	}
 }
 

@@ -2,13 +2,16 @@ package chaos
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strconv"
 	"time"
 
+	"qrel/internal/checkpoint"
 	"qrel/internal/cluster"
 	"qrel/internal/core"
 	"qrel/internal/faultinject"
@@ -138,6 +141,31 @@ func (c *campaign) clusterPhase(ctx context.Context, st *Step, db *unreliable.DB
 	c.clusterTopologyMatrix(ctx, st, db, req, want)
 	c.clusterRestart(ctx, st, db, req, want)
 	c.clusterJobsConservation(ctx, st, db, req, want)
+
+	// The work-conservation scenarios need a run long enough to kill a
+	// replica (or the coordinator) in the middle of: a tighter eps and a
+	// dense checkpoint cadence. Its single-node reference is computed
+	// once and shared.
+	slowReq := server.Request{
+		DB: "g", Query: st.Query, Engine: string(core.EngineMCDirect),
+		Eps: 0.004, Delta: 0.05, Seed: st.Seed + 5, Workers: 2,
+	}
+	var slowWant clusterEstimate
+	slowRef := false
+	for _, pf := range st.ClusterFaults {
+		if pf.Site == faultinject.SiteClusterCkptShip || pf.Site == faultinject.SiteClusterJournalCrash {
+			ref := startChaosFleet(db, 1, nil)
+			refRes, err := client.New(ref.urls[0]).Reliability(ctx, slowReq)
+			ref.close()
+			if err != nil {
+				c.check(InvClusterResume, false, "step %d: slow single-node reference run failed: %v", st.Index, err)
+				return
+			}
+			slowWant, slowRef = clusterEstOf(refRes), true
+			break
+		}
+	}
+
 	for _, pf := range st.ClusterFaults {
 		switch pf.Site {
 		case faultinject.SiteClusterProbe:
@@ -146,6 +174,15 @@ func (c *campaign) clusterPhase(ctx context.Context, st *Step, db *unreliable.DB
 			c.clusterSendScenario(ctx, st, db, req, want, pf)
 		case faultinject.SiteClusterReassign:
 			c.clusterKillScenario(ctx, st, db, req, want, pf)
+		case faultinject.SiteClusterCkptShip:
+			if slowRef {
+				c.clusterShipScenario(ctx, st, db, slowReq, slowWant, pf)
+			}
+		case faultinject.SiteClusterJournalCrash:
+			if slowRef {
+				c.clusterJournalScenario(ctx, st, db, req, want, pf)
+				c.clusterCrashRecoveryScenario(ctx, st, db, slowReq, slowWant)
+			}
 		}
 	}
 	faultinject.Reset()
@@ -343,6 +380,291 @@ func (c *campaign) clusterKillScenario(ctx context.Context, st *Step, db *unreli
 		st.Index, o.err, estOrNil(o.res), want)
 	c.check(InvCluster, coord.Statz().Reassigns >= 1,
 		"step %d: killing a replica mid-fan-out forced no reassignment", st.Index)
+}
+
+// shipFleet starts a jobs-enabled two-replica fleet with a dense
+// checkpoint cadence under dir, and a work-conserving coordinator over
+// it (jobs mode, fast checkpoint polling, mutate applied last).
+func (c *campaign) shipFleet(db *unreliable.DB, dir string, mutate func(*cluster.Config)) (*chaosFleet, *cluster.Coordinator, error) {
+	f := startChaosFleet(db, 2, func(i int) server.Config {
+		return server.Config{
+			Workers: 2, QueueDepth: 16,
+			DefaultTimeout: 60 * time.Second, MaxTimeout: 120 * time.Second,
+			CheckpointDir: filepath.Join(dir, strconv.Itoa(i)), CheckpointEvery: 1000,
+		}
+	})
+	coord, err := c.clusterCoord(f.urls, func(cfg *cluster.Config) {
+		cfg.UseJobs = true
+		cfg.MaxAttempts = 8
+		cfg.JobPoll = time.Millisecond
+		cfg.CheckpointPoll = time.Millisecond
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+	if err != nil {
+		f.close()
+		return nil, nil, err
+	}
+	return f, coord, nil
+}
+
+// maxJobSamples reads a replica's on-disk job snapshot stores and
+// returns the largest checkpointed sample count — the replica's true
+// durable progress, readable even after the replica is dead.
+func maxJobSamples(ckptDir string) int {
+	ents, err := os.ReadDir(ckptDir)
+	if err != nil {
+		return 0
+	}
+	best := 0
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		store, err := checkpoint.Open(filepath.Join(ckptDir, e.Name(), "ckpt"), checkpoint.Options{})
+		if err != nil {
+			continue
+		}
+		payload, err := store.LoadLatest()
+		if err != nil {
+			continue
+		}
+		var st struct {
+			Samples int `json:"samples"`
+		}
+		if json.Unmarshal(payload, &st) == nil && st.Samples > best {
+			best = st.Samples
+		}
+	}
+	return best
+}
+
+// waitShipped polls the coordinator until at least n checkpoint frames
+// have been accepted (both ranges checkpoint on the same cadence, so a
+// small n implies every range has shipped).
+func waitShipped(coord *cluster.Coordinator, n int64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if coord.Statz().CheckpointsShipped >= n {
+			return true
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	return false
+}
+
+// clusterShipScenario is the work-conservation drill. Part A (no fault
+// armed): kill a replica once its range has shipped a checkpoint; the
+// survivor must resume from the shipped state, the merged answer must
+// stay bit-identical, and the waste — the dead replica's durable
+// progress beyond the resumed sequence — must stay within a few
+// shipping intervals. Part B (the planned fault armed, which tampers
+// every accepted frame's fingerprint): the same kill must degrade to a
+// replica-rejected resume (resume-rejected in the trail) and a clean
+// restart with the identical answer — corruption costs work, never
+// correctness.
+func (c *campaign) clusterShipScenario(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate, pf PlannedFault) {
+	type out struct {
+		res *server.Response
+		err error
+	}
+	run := func(part string, key string, arm bool) (*server.Response, *cluster.Coordinator, int, bool) {
+		dir := filepath.Join(c.cfg.Dir, fmt.Sprintf("step-%03d", st.Index), "cluster-ship-"+part)
+		f, coord, err := c.shipFleet(db, dir, nil)
+		if err != nil {
+			c.check(InvClusterResume, false, "step %d: building ship-scenario fleet: %v", st.Index, err)
+			return nil, nil, 0, false
+		}
+		defer f.close()
+		faultinject.Reset()
+		if arm {
+			c.armFaults([]PlannedFault{pf})
+		}
+		kreq := req
+		kreq.IdempotencyKey = key
+		done := make(chan out, 1)
+		go func() {
+			res, doErr := coord.Do(ctx, kreq)
+			done <- out{res, doErr}
+		}()
+		if !waitShipped(coord, 3, 10*time.Second) {
+			c.check(InvClusterResume, false, "step %d: %s: no checkpoint shipped before the run finished", st.Index, part)
+			coord.Close()
+			return nil, nil, 0, false
+		}
+		time.Sleep(3 * time.Millisecond) // let the slower range's frame land too
+		f.kill(0)
+		o := <-done
+		faultinject.Reset()
+		ok := o.err == nil && clusterEstOf(o.res) == want
+		c.check(InvClusterResume, ok,
+			"step %d: %s: post-kill estimate diverged from single-node (err=%v, got=%+v, want=%+v)",
+			st.Index, part, o.err, estOrNil(o.res), want)
+		return o.res, coord, maxJobSamples(filepath.Join(dir, "0")), ok
+	}
+
+	// Part A: honest shipping — the survivor resumes the killed range.
+	res, coord, progress, ok := run("resume", fmt.Sprintf("chaos-ship-%d-%d", c.cfg.Seed, st.Index), false)
+	if coord != nil {
+		stz := coord.Statz()
+		coord.Close()
+		if ok {
+			c.check(InvClusterWork, stz.CheckpointsShipped >= 1 && stz.Resumes >= 1,
+				"step %d: kill with shipping on produced no resume (shipped=%d resumes=%d)",
+				st.Index, stz.CheckpointsShipped, stz.Resumes)
+			maxSeq := 0
+			for _, s := range res.ClusterTrail {
+				if s.Event == "resume" && s.Seq > maxSeq {
+					maxSeq = s.Seq
+				}
+			}
+			c.check(InvClusterWork, res.Resumed && maxSeq > 0,
+				"step %d: resumed response carries no positive resume sequence (resumed=%v seq=%d)",
+				st.Index, res.Resumed, maxSeq)
+			c.check(InvClusterWork, maxSeq <= progress,
+				"step %d: resume sequence %d exceeds the killed replica's durable progress %d",
+				st.Index, maxSeq, progress)
+			c.check(InvClusterWork, progress-maxSeq <= 8*1000,
+				"step %d: kill wasted %d samples (progress %d, resumed at %d), more than 8 shipping intervals",
+				st.Index, progress-maxSeq, progress, maxSeq)
+		}
+	}
+
+	// Part B: every shipped frame is tampered in flight — the planted
+	// resume must be rejected by the survivor and the range restarted
+	// clean, with the answer unchanged.
+	res, coord, _, ok = run("reject", fmt.Sprintf("chaos-ship-reject-%d-%d", c.cfg.Seed, st.Index), true)
+	if coord != nil {
+		stz := coord.Statz()
+		coord.Close()
+		if ok {
+			rejected := false
+			for _, s := range res.ClusterTrail {
+				if s.Event == "resume-rejected" {
+					rejected = true
+				}
+			}
+			c.check(InvClusterResume, rejected && stz.ResumesRejected >= 1,
+				"step %d: tampered shipped checkpoint was not replica-rejected (trail=%v statz=%d)",
+				st.Index, rejected, stz.ResumesRejected)
+		}
+	}
+}
+
+// clusterJournalScenario arms the planned journal-crash fault (one torn
+// journal write) on a journaled jobs-mode fan-out: the answer must be
+// unaffected — the journal is a recovery accelerator, never in the
+// correctness path — the failure must be counted, and a later Recover
+// must tolerate both the repaired record and a deliberately torn one.
+func (c *campaign) clusterJournalScenario(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate, pf PlannedFault) {
+	base := filepath.Join(c.cfg.Dir, fmt.Sprintf("step-%03d", st.Index))
+	jdir := filepath.Join(base, "cluster-journal")
+	f, coord, err := c.shipFleet(db, filepath.Join(base, "cluster-journal-ckpt"), func(cfg *cluster.Config) {
+		cfg.JournalDir = jdir
+	})
+	if err != nil {
+		c.check(InvClusterResume, false, "step %d: building journal-scenario fleet: %v", st.Index, err)
+		return
+	}
+	defer f.close()
+	defer coord.Close()
+
+	faultinject.Reset()
+	c.armFaults([]PlannedFault{pf})
+	jreq := req
+	jreq.IdempotencyKey = fmt.Sprintf("chaos-journal-%d-%d", c.cfg.Seed, st.Index)
+	res, err := coord.Do(ctx, jreq)
+	faultinject.Reset()
+	ok := err == nil && clusterEstOf(res) == want
+	c.check(InvClusterResume, ok,
+		"step %d: estimate under a torn journal write diverged (err=%v, got=%+v, want=%+v)",
+		st.Index, err, estOrNil(res), want)
+	c.check(InvClusterResume, coord.Statz().JournalErrors >= 1,
+		"step %d: the armed journal-crash fault tore no write", st.Index)
+
+	// A deliberately torn record (a crash mid-write the fault did not
+	// repair) must read as absent: Recover skips it without error.
+	if err := os.WriteFile(filepath.Join(jdir, "fanout-deadbeefdeadbeef.json"), []byte(`{"key":"torn`), 0o644); err == nil {
+		n, rerr := coord.Recover(ctx)
+		c.check(InvClusterResume, rerr == nil && n == 0,
+			"step %d: Recover over a completed journal with a torn record = (%d, %v), want (0, nil)",
+			st.Index, n, rerr)
+	}
+}
+
+// clusterCrashRecoveryScenario is the coordinator-loss drill: a keyed
+// journaled fan-out is abandoned mid-run (the coordinator "crashes" —
+// its context is canceled and it is closed), a successor coordinator on
+// the same journal dir Recovers the run to completion, and a client
+// re-POST of the same key is served the bit-identical journaled result.
+// Work conservation: recovery re-attaches to the replicas' durable
+// sub-jobs by their journaled keys — exactly one sub-job per lane range
+// is ever submitted.
+func (c *campaign) clusterCrashRecoveryScenario(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate) {
+	base := filepath.Join(c.cfg.Dir, fmt.Sprintf("step-%03d", st.Index))
+	jdir := filepath.Join(base, "cluster-crash-journal")
+	mutate := func(cfg *cluster.Config) { cfg.JournalDir = jdir }
+	f, coordA, err := c.shipFleet(db, filepath.Join(base, "cluster-crash-ckpt"), mutate)
+	if err != nil {
+		c.check(InvClusterResume, false, "step %d: building crash-scenario fleet: %v", st.Index, err)
+		return
+	}
+	defer f.close()
+
+	faultinject.Reset()
+	kreq := req
+	kreq.IdempotencyKey = fmt.Sprintf("chaos-crash-%d-%d", c.cfg.Seed, st.Index)
+	dctx, cancel := context.WithCancel(ctx)
+	type out struct {
+		res *server.Response
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, doErr := coordA.Do(dctx, kreq)
+		done <- out{res, doErr}
+	}()
+	if !waitShipped(coordA, 2, 10*time.Second) {
+		cancel()
+		<-done
+		coordA.Close()
+		c.check(InvClusterResume, false, "step %d: crash drill: nothing shipped before the run finished", st.Index)
+		return
+	}
+	cancel() // the crash: the merge never completes, the journal record stays running
+	<-done
+	coordA.Close()
+
+	coord, err := c.clusterCoord(f.urls, func(cfg *cluster.Config) {
+		cfg.UseJobs = true
+		cfg.MaxAttempts = 8
+		cfg.JobPoll = time.Millisecond
+		cfg.CheckpointPoll = time.Millisecond
+		mutate(cfg)
+	})
+	if err != nil {
+		c.check(InvClusterResume, false, "step %d: building successor coordinator: %v", st.Index, err)
+		return
+	}
+	defer coord.Close()
+	n, err := coord.Recover(ctx)
+	c.check(InvClusterResume, err == nil && n == 1,
+		"step %d: successor Recover = (%d, %v), want (1, nil)", st.Index, n, err)
+	res, err := coord.Do(ctx, kreq)
+	ok := err == nil && clusterEstOf(res) == want
+	c.check(InvClusterResume, ok,
+		"step %d: recovered estimate diverged from single-node (err=%v, got=%+v, want=%+v)",
+		st.Index, err, estOrNil(res), want)
+	var submitted int64
+	for _, s := range f.servers {
+		if js := s.Statz().Jobs; js != nil {
+			submitted += js.Submitted
+		}
+	}
+	c.check(InvClusterWork, submitted == 2,
+		"step %d: crash recovery submitted %d sub-jobs across the fleet, want exactly 2 (one per range, recovery re-attaches)",
+		st.Index, submitted)
 }
 
 // estOrNil formats a response's estimate subset for failure messages.

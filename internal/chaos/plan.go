@@ -238,6 +238,12 @@ func PlanCampaign(cfg Config) (*Plan, error) {
 					// turns hedging on and the delay must trip it.
 					pf = PlannedFault{Site: site, Kind: KindDelay, Times: 1, DelayMS: 40}
 				}
+			case faultinject.SiteClusterCkptShip:
+				// The ship scenario tampers every frame accepted while the
+				// fault is armed, so the one that ends up planted on a
+				// survivor is guaranteed to be replica-rejected; no Times
+				// bound.
+				pf = PlannedFault{Site: site, Kind: KindErr}
 			}
 			st.ClusterFaults = append(st.ClusterFaults, pf)
 		case "ckpt":

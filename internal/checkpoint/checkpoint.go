@@ -238,6 +238,19 @@ func decode(data []byte) ([]byte, error) {
 	return payload, nil
 }
 
+// EncodeFrame frames a payload with the snapshot wire format — the
+// same magic/version/length/CRC-32C header the on-disk store writes.
+// It is the codec used for shipping checkpoints between processes
+// (coordinator ↔ replica): a frame produced here round-trips through
+// DecodeFrame, and a frame read from a store file decodes identically.
+func EncodeFrame(payload []byte) []byte { return encode(payload) }
+
+// DecodeFrame verifies a shipped frame and returns its payload. Every
+// failure mode — truncation, bad magic, version or length mismatch,
+// checksum failure — wraps ErrCorruptCheckpoint; it never panics on
+// arbitrary input.
+func DecodeFrame(data []byte) ([]byte, error) { return decode(data) }
+
 // Save commits one snapshot: write-temp, fsync, rename, fsync-dir,
 // then prune beyond the retention depth. On error nothing newer than
 // the previous snapshot is visible.

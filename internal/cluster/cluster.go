@@ -24,6 +24,18 @@
 // to the next live replica in ring order when a target fails. Every
 // assign / retry / hedge / reassign / breaker-skip is recorded in the
 // response's ClusterTrail.
+//
+// On top of that sits work conservation (ship.go, journal.go):
+// replicas ship CRC-framed mid-run checkpoints of their lane ranges,
+// the coordinator validates and keeps the freshest frame per range,
+// and a reassigned range resumes from the shipped state instead of
+// restarting — so losing a replica costs at most one shipping interval
+// of samples while the answer stays bit-identical. With a JournalDir
+// configured, keyed fan-outs are additionally journaled durably, and a
+// coordinator restarted after a crash recovers them (Recover) and
+// completes the merge. Resume provenance ("resume" /
+// "resume-rejected" events naming the shipping replica and sequence
+// number) joins the ClusterTrail vocabulary.
 package cluster
 
 import (
@@ -90,6 +102,17 @@ type Config struct {
 	// waiting on a sub-job (default 50ms).
 	UseJobs bool
 	JobPoll time.Duration
+	// CheckpointPoll is how often, while waiting on a sub-job, the
+	// coordinator polls the replica's GET /v1/jobs/{id}/checkpoint for
+	// the freshest shipped frame (default 100ms). When the replica dies
+	// mid-job, the range is re-planted on a survivor from that frame, so
+	// at most one polling interval of work is lost.
+	CheckpointPoll time.Duration
+	// JournalDir, when non-empty, enables the fan-out journal: every
+	// keyed fan-out durably records its split, per-range assignments,
+	// and latest shipped checkpoints, so a coordinator restarted after a
+	// crash can Recover the run and complete the merge (see journal.go).
+	JournalDir string
 	// Seed seeds the coordinator's private backoff-jitter RNG, making
 	// retry timing reproducible in tests. Zero uses the wall clock.
 	Seed int64
@@ -122,6 +145,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobPoll <= 0 {
 		c.JobPoll = 50 * time.Millisecond
+	}
+	if c.CheckpointPoll <= 0 {
+		c.CheckpointPoll = 100 * time.Millisecond
 	}
 	if c.Seed == 0 {
 		c.Seed = time.Now().UnixNano()
@@ -156,14 +182,26 @@ type Coordinator struct {
 	jmu sync.Mutex
 	rng *rand.Rand
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 
 	nFanouts   atomic.Int64
 	nProxied   atomic.Int64
 	nRetries   atomic.Int64
 	nHedges    atomic.Int64
 	nReassigns atomic.Int64
+	// Checkpoint-shipping and journal counters (see ship.go,
+	// journal.go): frames accepted/rejected, resumes planted on
+	// replicas and rejected by them, journal write outcomes, and
+	// fan-outs completed by Recover.
+	nCkptShipped     atomic.Int64
+	nCkptRejected    atomic.Int64
+	nResumes         atomic.Int64
+	nResumesRejected atomic.Int64
+	nJournalWrites   atomic.Int64
+	nJournalErrors   atomic.Int64
+	nRecovered       atomic.Int64
 
 	start time.Time
 }
@@ -204,9 +242,10 @@ func New(cfg Config) (*Coordinator, error) {
 }
 
 // Close stops the health probers and drops their idle connections.
-// In-flight Do calls are unaffected.
+// In-flight Do calls are unaffected. Idempotent: a handover path that
+// closes a coordinator it built may race a deferred Close.
 func (c *Coordinator) Close() {
-	close(c.stop)
+	c.stopOnce.Do(func() { close(c.stop) })
 	c.wg.Wait()
 	c.probeCli.CloseIdleConnections()
 }
@@ -277,6 +316,13 @@ func (c *Coordinator) ready(ctx context.Context, r *replica) error {
 // hashed to would have answered.
 func (c *Coordinator) Do(ctx context.Context, req server.Request) (*server.Response, error) {
 	if req.Engine == string(core.EngineMCDirect) && req.Workers > 0 && req.Lanes == nil {
+		// A keyed fan-out the journal already saw to completion (e.g. by
+		// a pre-crash process or by Recover) is served from the record —
+		// the coordinator-level idempotency that makes "crash, restart,
+		// re-POST" indistinguishable from one uninterrupted call.
+		if res := c.journaledResult(req); res != nil {
+			return res, nil
+		}
 		if live := c.liveIndexes(); len(live) >= 2 {
 			return c.fanOut(ctx, req, live)
 		}
@@ -300,14 +346,25 @@ func (c *Coordinator) liveIndexes() []int {
 // concurrently with per-range retry/reassignment, and merges the raw
 // lane aggregates in lane-index order into the single-node answer.
 func (c *Coordinator) fanOut(ctx context.Context, req server.Request, live []int) (*server.Response, error) {
-	began := time.Now()
 	parts := len(live)
 	if parts > c.cfg.MaxFanout {
 		parts = c.cfg.MaxFanout
 	}
 	ranges := mc.SplitRanges(mc.DefaultLanes, parts)
+	starts := make([]int, len(ranges))
+	for i := range ranges {
+		starts[i] = live[i%len(live)]
+	}
 	c.nFanouts.Add(1)
+	return c.runRanges(ctx, req, ranges, starts, time.Now())
+}
 
+// runRanges drives a fixed set of lane ranges to completion and merges
+// them — the shared engine behind fanOut and Recover. When journaling
+// is on for the request, the fan-out is recorded durably and each
+// range's tracker is pre-seeded with its journaled shipped checkpoint.
+func (c *Coordinator) runRanges(ctx context.Context, req server.Request, ranges []mc.Range, starts []int, began time.Time) (*server.Response, error) {
+	j := c.openJournal(req, ranges)
 	type outcome struct {
 		res   *server.Response
 		trail []server.ClusterStep
@@ -318,15 +375,21 @@ func (c *Coordinator) fanOut(ctx context.Context, req server.Request, live []int
 	defer cancel()
 	var wg sync.WaitGroup
 	for i, rg := range ranges {
+		ship := &shipTracker{c: c, seed: req.Seed, rg: rg, j: j, idx: i}
+		if frame, from := j.checkpointOf(i); frame != nil {
+			ship.preload(frame, from)
+		}
 		wg.Add(1)
-		go func(i int, rg mc.Range) {
+		go func(i int, rg mc.Range, ship *shipTracker) {
 			defer wg.Done()
-			res, trail, err := c.runRange(fctx, req, rg, live[i%len(live)])
+			res, trail, err := c.runRange(fctx, req, rg, starts[i], ship)
 			results[i] = outcome{res, trail, err}
 			if err != nil {
 				cancel() // a lost range dooms the merge; stop the siblings
+			} else {
+				j.setDone(i)
 			}
-		}(i, rg)
+		}(i, rg, ship)
 	}
 	wg.Wait()
 
@@ -346,7 +409,12 @@ func (c *Coordinator) fanOut(ctx context.Context, req server.Request, live []int
 		trail = append(trail, o.trail...)
 		subs = append(subs, o.res)
 	}
-	return c.merge(req, ranges, subs, trail, began)
+	res, err := c.merge(req, ranges, subs, trail, began)
+	if err != nil {
+		return nil, err
+	}
+	j.finish(res)
+	return res, nil
 }
 
 // merge folds the per-range lane aggregates into the whole-run
@@ -410,8 +478,13 @@ func (c *Coordinator) merge(req server.Request, ranges []mc.Range, subs []*serve
 
 // runRange drives one lane range to completion: pick a live replica
 // (ring order from startIdx), send, and on transient failure back off
-// and reassign to the next live replica — recording every event.
-func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Range, startIdx int) (*server.Response, []server.ClusterStep, error) {
+// and reassign to the next live replica — recording every event. Every
+// attempt plants the freshest shipped checkpoint (when the tracker
+// holds one) so the target resumes the range instead of redoing the
+// dead replica's work; a target that rejects the planted snapshot
+// (fingerprint mismatch or corrupt frame, HTTP 409 kind "checkpoint")
+// costs the frame, never the range — the next attempt restarts clean.
+func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Range, startIdx int, ship *shipTracker) (*server.Response, []server.ClusterStep, error) {
 	sub := req
 	sub.Engine = string(core.EngineMCDirect)
 	sub.Lanes = &server.LaneRange{Lo: rg.Lo, Hi: rg.Hi, Total: rg.Total}
@@ -422,6 +495,8 @@ func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Ra
 	}
 	var trail []server.ClusterStep
 	var lastErr error
+	var degraded *server.Response // freshest partial answer, returned if attempts run out
+	var degradedFrom string
 	idx, prev := startIdx, -1
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -452,11 +527,24 @@ func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Ra
 				continue
 			}
 		}
+		if ship != nil {
+			ship.j.setAssigned(ship.idx, target.url)
+		}
+		// Plant the freshest shipped checkpoint, recording its
+		// provenance (shipping replica + sequence number) in the trail.
+		sub.Resume = nil
+		resumeSeq, resumeFrom := 0, ""
+		if frame, seq, from := ship.latest(); frame != nil {
+			sub.Resume = frame
+			resumeSeq, resumeFrom = seq, from
+			c.nResumes.Add(1)
+			trail = append(trail, server.ClusterStep{Replica: target.url, Lo: rg.Lo, Hi: rg.Hi, Event: "resume", Source: from, Seq: seq})
+		}
 		// Capture the backup once: probes may flip replicas down while
 		// the race runs, so a second hedgeTarget call could return nil
 		// (or a different replica than the one actually hedged to).
 		backup := c.hedgeTarget(tIdx)
-		res, winner, hedged, err := c.raceSend(ctx, target, backup, sub)
+		res, winner, hedged, err := c.raceSend(ctx, target, backup, sub, ship)
 		step := server.ClusterStep{Replica: target.url, Lo: rg.Lo, Hi: rg.Hi, Event: event}
 		if err != nil {
 			step.Err = err.Error()
@@ -466,13 +554,45 @@ func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Ra
 			trail = append(trail, server.ClusterStep{Replica: backup.url, Lo: rg.Lo, Hi: rg.Hi, Event: "hedge"})
 		}
 		if err == nil {
+			if len(res.Checkpoint) > 0 {
+				ship.accept(res.Checkpoint, winner.url)
+			}
+			// A degraded answer (the replica stopped early) whose final
+			// checkpoint is fresher than what this attempt resumed from
+			// is progress: retry-resume to finish the range instead of
+			// settling for widened error bars. No progress (e.g. the
+			// sample cap itself stopped the run) ends the loop.
+			if res.Degraded && attempt+1 < c.cfg.MaxAttempts {
+				if _, seq, _ := ship.latest(); seq > resumeSeq {
+					degraded, degradedFrom = res, winner.url
+					lastErr = nil
+					idx = tIdx // the replica is healthy; retry-resume there
+					continue
+				}
+			}
 			trail = append(trail, server.ClusterStep{Replica: winner.url, Lo: rg.Lo, Hi: rg.Hi, Event: "done"})
 			return res, trail, nil
 		}
 		lastErr = err
+		// A replica that rejects the planted snapshot answers 409 kind
+		// "checkpoint" — not retryable as-is (every replica would refuse
+		// the same frame), but perfectly retryable clean. Drop the frame
+		// and go around before the transient gate can abort the range;
+		// the fallback costs the conserved work, never the answer.
+		var apiErr *client.APIError
+		if len(sub.Resume) > 0 && errors.As(err, &apiErr) && apiErr.Kind == server.KindCheckpoint {
+			c.nResumesRejected.Add(1)
+			ship.drop()
+			trail = append(trail, server.ClusterStep{Replica: target.url, Lo: rg.Lo, Hi: rg.Hi, Event: "resume-rejected", Source: resumeFrom, Seq: resumeSeq, Err: err.Error()})
+			continue
+		}
 		if !transient(ctx, err) {
 			return nil, trail, err
 		}
+	}
+	if degraded != nil {
+		trail = append(trail, server.ClusterStep{Replica: degradedFrom, Lo: rg.Lo, Hi: rg.Hi, Event: "done"})
+		return degraded, trail, nil
 	}
 	return nil, trail, fmt.Errorf("cluster: range %s: giving up after %d attempts: %w", rg, c.cfg.MaxAttempts, lastErr)
 }
@@ -524,12 +644,12 @@ type sendOutcome struct {
 // failing returns the primary's (first) error. Duplicating is safe:
 // the lane range is a pure function of (seed, range), and in jobs mode
 // both arms share the sub-job idempotency key.
-func (c *Coordinator) raceSend(ctx context.Context, primary, backup *replica, sub server.Request) (*server.Response, *replica, bool, error) {
+func (c *Coordinator) raceSend(ctx context.Context, primary, backup *replica, sub server.Request, ship *shipTracker) (*server.Response, *replica, bool, error) {
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	out := make(chan sendOutcome, 2)
 	send := func(r *replica) {
-		res, err := c.sendSub(rctx, r, sub)
+		res, err := c.sendSub(rctx, r, sub, ship)
 		c.report(r, err)
 		out <- sendOutcome{res, r, err}
 	}
@@ -571,7 +691,7 @@ func (c *Coordinator) raceSend(ctx context.Context, primary, backup *replica, su
 // mode and the sub-request carries a derived key. An armed
 // SiteClusterSend fault reads as a transport failure (Err) or a slow
 // replica (Delay).
-func (c *Coordinator) sendSub(ctx context.Context, r *replica, sub server.Request) (*server.Response, error) {
+func (c *Coordinator) sendSub(ctx context.Context, r *replica, sub server.Request, ship *shipTracker) (*server.Response, error) {
 	if err := faultinject.Hit(faultinject.SiteClusterSend); err != nil {
 		return nil, fmt.Errorf("cluster: send to %s: %w", r.url, err)
 	}
@@ -582,12 +702,13 @@ func (c *Coordinator) sendSub(ctx context.Context, r *replica, sub server.Reques
 		if err != nil {
 			return nil, err
 		}
-		if st.State == server.JobRunning {
-			if st, err = r.client.WaitJob(ctx, st.ID, c.cfg.JobPoll); err != nil {
-				return nil, err
-			}
+		if st, err = c.waitSub(ctx, r, st, ship); err != nil {
+			return nil, err
 		}
 		if st.State == server.JobDone {
+			if st.Result != nil && len(st.Result.Checkpoint) > 0 {
+				ship.accept(st.Result.Checkpoint, r.url)
+			}
 			return st.Result, nil
 		}
 		apiErr := &client.APIError{Status: http.StatusInternalServerError, Kind: server.KindEngineFailed,
@@ -598,6 +719,38 @@ func (c *Coordinator) sendSub(ctx context.Context, r *replica, sub server.Reques
 		return nil, apiErr
 	}
 	return r.client.Reliability(ctx, sub)
+}
+
+// waitSub polls one sub-job to a terminal state, interleaving
+// checkpoint polls at the CheckpointPoll cadence — the coordinator
+// always holds a recent shipped frame for the range, so a replica that
+// dies mid-job loses at most one polling interval of work. Checkpoint
+// poll failures are ignored: the frame is an accelerator, the job
+// status is the answer.
+func (c *Coordinator) waitSub(ctx context.Context, r *replica, st *server.JobStatus, ship *shipTracker) (*server.JobStatus, error) {
+	poll := c.cfg.JobPoll
+	var lastCkpt time.Time
+	for st.State == server.JobRunning {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+		if ship != nil && time.Since(lastCkpt) >= c.cfg.CheckpointPoll {
+			lastCkpt = time.Now()
+			if ck, err := r.client.JobCheckpoint(ctx, st.ID); err == nil && ck != nil {
+				ship.accept(ck.Frame, r.url)
+			}
+		}
+		var err error
+		if st, err = r.client.GetJob(ctx, st.ID); err != nil {
+			return nil, err
+		}
+		if poll *= 2; poll > c.cfg.CheckpointPoll {
+			poll = c.cfg.CheckpointPoll
+		}
+	}
+	return st, nil
 }
 
 // subKey derives a lane range's sub-job idempotency key from the
@@ -616,6 +769,14 @@ func subKey(parent string, rg mc.Range) string {
 // the caller's context: still live means the per-sub-request deadline
 // (or a hedge-race cancel) fired and the work can move to another
 // replica; ended means the caller is gone and retrying is pointless.
+//
+// A reply that dies mid-body — the replica was killed while writing
+// the response, so the client sees io.ErrUnexpectedEOF or a truncated
+// JSON document — is NOT an *client.APIError (the client only builds
+// those from complete, decodable error responses); it falls through to
+// the default below and is correctly retried elsewhere, exactly like
+// the connection reset it almost is. TestTransientTruncatedBody pins
+// that classification.
 func transient(ctx context.Context, err error) bool {
 	var apiErr *client.APIError
 	if errors.As(err, &apiErr) {
@@ -694,7 +855,7 @@ func (c *Coordinator) proxy(ctx context.Context, req server.Request) (*server.Re
 			continue
 		}
 		idx = tIdx + 1
-		res, err := c.sendSub(ctx, target, req)
+		res, err := c.sendSub(ctx, target, req, nil)
 		c.report(target, err)
 		if err == nil {
 			res.ClusterTrail = append(trail, server.ClusterStep{Replica: target.url, Event: "proxy"})
@@ -742,19 +903,38 @@ type Statz struct {
 	Retries      int64                          `json:"retries"`
 	Hedges       int64                          `json:"hedges"`
 	Reassigns    int64                          `json:"reassigns"`
-	UptimeMS     int64                          `json:"uptime_ms"`
+	// Checkpoint-shipping counters: frames accepted from replicas,
+	// frames rejected by coordinator-side validation, resumes planted on
+	// replicas, and resumes a replica refused (fingerprint mismatch).
+	CheckpointsShipped  int64 `json:"checkpoints_shipped"`
+	CheckpointsRejected int64 `json:"checkpoints_rejected"`
+	Resumes             int64 `json:"resumes"`
+	ResumesRejected     int64 `json:"resumes_rejected"`
+	// Fan-out journal counters: successful writes, failed writes, and
+	// fan-outs completed by Recover.
+	JournalWrites    int64 `json:"journal_writes"`
+	JournalErrors    int64 `json:"journal_errors"`
+	RecoveredFanouts int64 `json:"recovered_fanouts"`
+	UptimeMS         int64 `json:"uptime_ms"`
 }
 
 // Statz snapshots the coordinator state.
 func (c *Coordinator) Statz() Statz {
 	st := Statz{
-		Breakers:  c.breakers.Snapshot(),
-		Fanouts:   c.nFanouts.Load(),
-		Proxied:   c.nProxied.Load(),
-		Retries:   c.nRetries.Load(),
-		Hedges:    c.nHedges.Load(),
-		Reassigns: c.nReassigns.Load(),
-		UptimeMS:  time.Since(c.start).Milliseconds(),
+		Breakers:            c.breakers.Snapshot(),
+		Fanouts:             c.nFanouts.Load(),
+		Proxied:             c.nProxied.Load(),
+		Retries:             c.nRetries.Load(),
+		Hedges:              c.nHedges.Load(),
+		Reassigns:           c.nReassigns.Load(),
+		CheckpointsShipped:  c.nCkptShipped.Load(),
+		CheckpointsRejected: c.nCkptRejected.Load(),
+		Resumes:             c.nResumes.Load(),
+		ResumesRejected:     c.nResumesRejected.Load(),
+		JournalWrites:       c.nJournalWrites.Load(),
+		JournalErrors:       c.nJournalErrors.Load(),
+		RecoveredFanouts:    c.nRecovered.Load(),
+		UptimeMS:            time.Since(c.start).Milliseconds(),
 	}
 	for _, r := range c.replicas {
 		up := r.up.Load()

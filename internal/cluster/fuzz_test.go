@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"testing"
+
+	"qrel/internal/checkpoint"
+	"qrel/internal/mc"
+)
+
+// FuzzCheckShipped hammers the coordinator-side frame decoder with
+// arbitrary bytes: a shipped checkpoint crosses a process boundary, so
+// every malformed shape — truncated frames, bad CRCs, undecodable
+// payloads, lane-count lies — must come back as an error, never a
+// panic, and an accepted frame must report a non-negative sequence.
+func FuzzCheckShipped(f *testing.F) {
+	rg := mc.Range{Lo: 4, Hi: 8, Total: 8}
+	valid := validFrame(42, rg, 1000)
+	f.Add([]byte(nil), int64(42), 4, 8, 8)
+	f.Add(valid, int64(42), 4, 8, 8)
+	f.Add(valid, int64(43), 4, 8, 8)                // wrong seed
+	f.Add(valid, int64(42), 0, 4, 8)                // wrong range
+	f.Add(valid[:len(valid)/2], int64(42), 4, 8, 8) // truncated
+	f.Add(checkpoint.EncodeFrame([]byte("notjson")), int64(42), 4, 8, 8)
+	f.Add(checkpoint.EncodeFrame([]byte(`{"engine":"monte-carlo-direct","seed":42,"lanes":8,"samples":9,"loop":{"method":"hoeffding@4-8/8","drawn":9,"lane_count":17}}`)), int64(42), 4, 8, 8)
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)/2] ^= 0xff
+	f.Add(badCRC, int64(42), 4, 8, 8)
+
+	f.Fuzz(func(t *testing.T, frame []byte, seed int64, lo, hi, total int) {
+		seq, err := checkShipped(frame, seed, mc.Range{Lo: lo, Hi: hi, Total: total})
+		if err == nil && seq < 0 {
+			t.Fatalf("checkShipped accepted a frame with negative sequence %d", seq)
+		}
+	})
+}

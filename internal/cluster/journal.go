@@ -1,0 +1,311 @@
+package cluster
+
+// The fan-out journal makes the coordinator itself crash-recoverable.
+// With Config.JournalDir set, every keyed fan-out writes a durable
+// record — the request, the lane-range split, per-range assignments,
+// and the freshest shipped checkpoint per range — through the same
+// atomic write-temp + fsync + rename protocol the replicas' snapshot
+// stores use. A coordinator restarted after a crash scans the journal
+// (Recover), re-runs each fan-out left running, and completes the
+// merge: live sub-jobs re-attach by idempotency key, dead ranges
+// resume from their journaled shipped state, and the final estimate is
+// bit-identical to the run the crash interrupted.
+//
+// Journal writes are deliberately non-fatal: the journal is a recovery
+// accelerator, and losing a write can cost redone work after a crash,
+// never correctness. Torn files (a crash mid-write, simulated by the
+// SiteClusterJournalCrash fault) read as absent.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"qrel/internal/checkpoint"
+	"qrel/internal/faultinject"
+	"qrel/internal/mc"
+	"qrel/internal/server"
+)
+
+// Fan-out journal record states.
+const (
+	fanoutRunning = "running"
+	fanoutDone    = "done"
+)
+
+// RangeRecord is one lane range's row in a FanoutRecord.
+type RangeRecord struct {
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+	Total int `json:"total"`
+	// SubKey is the range's derived sub-job idempotency key (jobs mode
+	// only) — the handle recovery re-attaches with.
+	SubKey string `json:"sub_key,omitempty"`
+	// Replica is the last replica the range was assigned to.
+	Replica string `json:"replica,omitempty"`
+	// Checkpoint is the freshest accepted shipped frame for the range;
+	// CheckpointSeq its sample count, CheckpointFrom the replica that
+	// shipped it. Recovery resumes the range from here when the owning
+	// replica is gone.
+	Checkpoint     []byte `json:"checkpoint,omitempty"`
+	CheckpointSeq  int    `json:"checkpoint_seq,omitempty"`
+	CheckpointFrom string `json:"checkpoint_from,omitempty"`
+	// Done marks the range's sub-response as received (observability;
+	// recovery re-attaches regardless, which is cheap and idempotent).
+	Done bool `json:"done,omitempty"`
+}
+
+// FanoutRecord is the journal's durable record of one keyed fan-out.
+type FanoutRecord struct {
+	// Key is the parent request's idempotency key (the journal file is
+	// named by its hash).
+	Key     string         `json:"key"`
+	Request server.Request `json:"request"`
+	// State is "running" until the merge completes, then "done".
+	State  string        `json:"state"`
+	Ranges []RangeRecord `json:"ranges"`
+	// Result is the merged response, set once State is "done"; a re-POST
+	// of the same key is served from it without touching the replicas.
+	Result    *server.Response `json:"result,omitempty"`
+	UpdatedMS int64            `json:"updated_ms"`
+}
+
+// journalPath names a key's journal file. The key is content-addressed
+// by hash so arbitrary key bytes cannot escape the directory.
+func (c *Coordinator) journalPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.cfg.JournalDir, "fanout-"+hex.EncodeToString(sum[:8])+".json")
+}
+
+// loadRecord reads and decodes one journal file. A missing or torn
+// (crash-truncated) file reads as absent.
+func loadRecord(path string) *FanoutRecord {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var rec FanoutRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil
+	}
+	return &rec
+}
+
+// writeJournalFile persists one journal file atomically. The
+// SiteClusterJournalCrash fault simulates a crash mid-write: half the
+// bytes reach the final path non-atomically and the write reports
+// failure — later loads must tolerate the torn file.
+func (c *Coordinator) writeJournalFile(path string, data []byte) error {
+	if err := faultinject.Hit(faultinject.SiteClusterJournalCrash); err != nil {
+		os.WriteFile(path, data[:len(data)/2], 0o644)
+		return fmt.Errorf("cluster: journal write %s: %w", path, err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return checkpoint.WriteFileAtomic(path, data)
+}
+
+// fanoutJournal is the live handle on one fan-out's journal record.
+// A nil *fanoutJournal (journaling off) is valid and inert.
+type fanoutJournal struct {
+	c    *Coordinator
+	path string
+
+	mu  sync.Mutex
+	rec FanoutRecord
+}
+
+// openJournal starts (or resumes) the journal record of one fan-out,
+// returning nil when journaling is off or the request carries no
+// idempotency key. An existing running record for the same key and
+// split seeds the per-range checkpoints, so a coordinator restarted
+// mid-fan-out resumes from the last shipped state instead of redoing
+// the work.
+func (c *Coordinator) openJournal(req server.Request, ranges []mc.Range) *fanoutJournal {
+	if c.cfg.JournalDir == "" || req.IdempotencyKey == "" {
+		return nil
+	}
+	j := &fanoutJournal{c: c, path: c.journalPath(req.IdempotencyKey)}
+	j.rec = FanoutRecord{Key: req.IdempotencyKey, Request: req, State: fanoutRunning}
+	for _, rg := range ranges {
+		rr := RangeRecord{Lo: rg.Lo, Hi: rg.Hi, Total: rg.Total}
+		if c.cfg.UseJobs {
+			rr.SubKey = subKey(req.IdempotencyKey, rg)
+		}
+		j.rec.Ranges = append(j.rec.Ranges, rr)
+	}
+	if prev := loadRecord(j.path); prev != nil && prev.Key == req.IdempotencyKey && sameRanges(prev.Ranges, ranges) {
+		for i := range j.rec.Ranges {
+			j.rec.Ranges[i].Checkpoint = prev.Ranges[i].Checkpoint
+			j.rec.Ranges[i].CheckpointSeq = prev.Ranges[i].CheckpointSeq
+			j.rec.Ranges[i].CheckpointFrom = prev.Ranges[i].CheckpointFrom
+		}
+	}
+	j.update(func(*FanoutRecord) {})
+	return j
+}
+
+// sameRanges reports whether a journaled split matches a freshly
+// computed one (same ranges in the same order).
+func sameRanges(rrs []RangeRecord, ranges []mc.Range) bool {
+	if len(rrs) != len(ranges) {
+		return false
+	}
+	for i, rg := range ranges {
+		if rrs[i].Lo != rg.Lo || rrs[i].Hi != rg.Hi || rrs[i].Total != rg.Total {
+			return false
+		}
+	}
+	return true
+}
+
+// update applies f to the record under the journal lock and persists
+// it. Failures are counted, never fatal.
+func (j *fanoutJournal) update(f func(*FanoutRecord)) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f(&j.rec)
+	j.rec.UpdatedMS = time.Now().UnixMilli()
+	data, err := json.Marshal(&j.rec)
+	if err == nil {
+		err = j.c.writeJournalFile(j.path, data)
+	}
+	if err != nil {
+		j.c.nJournalErrors.Add(1)
+		return
+	}
+	j.c.nJournalWrites.Add(1)
+}
+
+// setAssigned records which replica a range was (re)assigned to.
+func (j *fanoutJournal) setAssigned(idx int, replica string) {
+	j.update(func(r *FanoutRecord) { r.Ranges[idx].Replica = replica })
+}
+
+// setCheckpoint mirrors an accepted shipped frame into the record,
+// keeping the freshest per range.
+func (j *fanoutJournal) setCheckpoint(idx int, frame []byte, seq int, from string) {
+	j.update(func(r *FanoutRecord) {
+		rr := &r.Ranges[idx]
+		if rr.Checkpoint == nil || seq > rr.CheckpointSeq {
+			rr.Checkpoint, rr.CheckpointSeq, rr.CheckpointFrom = frame, seq, from
+		}
+	})
+}
+
+// setDone marks one range's sub-response as received.
+func (j *fanoutJournal) setDone(idx int) {
+	j.update(func(r *FanoutRecord) { r.Ranges[idx].Done = true })
+}
+
+// checkpointOf returns range idx's journaled checkpoint, if any.
+func (j *fanoutJournal) checkpointOf(idx int) (frame []byte, from string) {
+	if j == nil {
+		return nil, ""
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.Ranges[idx].Checkpoint, j.rec.Ranges[idx].CheckpointFrom
+}
+
+// finish marks the fan-out done and journals the merged result.
+func (j *fanoutJournal) finish(res *server.Response) {
+	j.update(func(r *FanoutRecord) {
+		r.State = fanoutDone
+		r.Result = res
+	})
+}
+
+// journaledResult returns the journaled merged response when the
+// journal already holds a completed fan-out for this request's key —
+// the idempotent fast path after a coordinator restart. A key whose
+// journaled request differs in the fields that determine the estimate
+// is ignored (key reuse): recomputing beats serving a wrong cached
+// answer.
+func (c *Coordinator) journaledResult(req server.Request) *server.Response {
+	if c.cfg.JournalDir == "" || req.IdempotencyKey == "" {
+		return nil
+	}
+	rec := loadRecord(c.journalPath(req.IdempotencyKey))
+	if rec == nil || rec.Key != req.IdempotencyKey || rec.State != fanoutDone || rec.Result == nil {
+		return nil
+	}
+	jr := rec.Request
+	if jr.Seed != req.Seed || jr.Query != req.Query || jr.DB != req.DB || jr.DBText != req.DBText ||
+		jr.Eps != req.Eps || jr.Delta != req.Delta || jr.MaxSamples != req.MaxSamples {
+		return nil
+	}
+	return rec.Result
+}
+
+// Recover scans the journal for fan-outs a previous coordinator
+// process left running and drives each to completion: journaled ranges
+// are reused verbatim (never re-split — the record's split is the
+// truth), live sub-jobs re-attach by their journaled idempotency keys,
+// and dead ranges resume from their journaled shipped checkpoints. It
+// returns how many fan-outs were completed; records that fail to
+// recover are left running for a later attempt and surface as the
+// first error. Safe to run concurrently with clients re-POSTing the
+// same keys — both paths converge on the replicas' job journals.
+func (c *Coordinator) Recover(ctx context.Context) (int, error) {
+	if c.cfg.JournalDir == "" {
+		return 0, nil
+	}
+	ents, err := os.ReadDir(c.cfg.JournalDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	recovered := 0
+	var firstErr error
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "fanout-") || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		rec := loadRecord(filepath.Join(c.cfg.JournalDir, e.Name()))
+		if rec == nil || rec.State != fanoutRunning {
+			continue // done, or torn by a crash mid-write
+		}
+		if _, err := c.recoverOne(ctx, rec); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: recovering fan-out %q: %w", rec.Key, err)
+			}
+			continue
+		}
+		recovered++
+		c.nRecovered.Add(1)
+	}
+	return recovered, firstErr
+}
+
+// recoverOne re-runs one journaled fan-out through the shared
+// runRanges path (openJournal re-seeds the shipped checkpoints from
+// the record).
+func (c *Coordinator) recoverOne(ctx context.Context, rec *FanoutRecord) (*server.Response, error) {
+	ranges := make([]mc.Range, len(rec.Ranges))
+	for i, rr := range rec.Ranges {
+		ranges[i] = mc.Range{Lo: rr.Lo, Hi: rr.Hi, Total: rr.Total}
+	}
+	live := c.liveIndexes()
+	starts := make([]int, len(ranges))
+	for i := range starts {
+		if len(live) > 0 {
+			starts[i] = live[i%len(live)]
+		}
+	}
+	c.nFanouts.Add(1)
+	return c.runRanges(ctx, rec.Request, ranges, starts, time.Now())
+}

@@ -35,7 +35,8 @@ var ErrCheckpointMismatch = errors.New("core: checkpoint does not match this com
 // and resuming a store written by a different computation fails with
 // ErrCheckpointMismatch.
 type CheckpointConfig struct {
-	// Store is the snapshot store (required).
+	// Store is the snapshot store (optional when Publish or ResumeFrame
+	// provide the wire-level plumbing instead).
 	Store *checkpoint.Store
 	// Every is the number of samples between periodic snapshots
 	// (default DefaultCheckpointEvery). Engines additionally snapshot
@@ -45,6 +46,22 @@ type CheckpointConfig struct {
 	// Resume makes the engine load the newest good snapshot and continue
 	// from it; with no snapshot present the run starts fresh.
 	Resume bool
+	// Publish, when non-nil, receives every snapshot as a CRC-framed
+	// payload (checkpoint.EncodeFrame) alongside (or instead of) the
+	// store write. seq is the run's total sample count at the boundary —
+	// monotonically increasing, so a receiver keeps the largest. This is
+	// the shipping hook: a serving layer exposes the latest frame to the
+	// cluster coordinator, which re-plants it on a survivor via
+	// ResumeFrame when the publishing replica dies.
+	Publish func(seq int, frame []byte)
+	// ResumeFrame, when non-empty, is a shipped CRC-framed snapshot to
+	// resume from. It passes the same fingerprint validation as a
+	// store-loaded snapshot (ErrCheckpointMismatch on a different
+	// computation, ErrCorruptCheckpoint on a bad frame). When both a
+	// store snapshot and a ResumeFrame validate, the one with more
+	// samples wins — both are valid boundary states of the same
+	// deterministic run, and the fresher one conserves more work.
+	ResumeFrame []byte
 }
 
 // engineState is the JSON payload of one snapshot: the fingerprint of
@@ -89,7 +106,7 @@ type ckptRun struct {
 // and, when cfg.Resume is set, loads and validates the newest good
 // snapshot. Returns (nil, nil, nil) when checkpointing is off.
 func newCkptRun(cfg *CheckpointConfig, engine string, f logic.Formula, opts Options) (*ckptRun, *engineState, error) {
-	if cfg == nil || cfg.Store == nil {
+	if cfg == nil || (cfg.Store == nil && cfg.Publish == nil && len(cfg.ResumeFrame) == 0) {
 		return nil, nil, nil
 	}
 	run := &ckptRun{cfg: cfg, head: engineState{
@@ -100,32 +117,89 @@ func newCkptRun(cfg *CheckpointConfig, engine string, f logic.Formula, opts Opti
 		Query:  fmt.Sprint(f),
 		Lanes:  laneCountFor(opts),
 	}}
-	if !cfg.Resume {
-		return run, nil, nil
+	var best *engineState
+	if cfg.Resume && cfg.Store != nil {
+		payload, err := cfg.Store.LoadLatest()
+		switch {
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// nothing saved yet: a fresh start is the resume
+		case err != nil:
+			return nil, nil, err
+		default:
+			st, err := run.validateSnapshot(payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			best = st
+		}
 	}
-	payload, err := cfg.Store.LoadLatest()
-	if errors.Is(err, checkpoint.ErrNoCheckpoint) {
-		return run, nil, nil // nothing saved yet: a fresh start is the resume
+	if len(cfg.ResumeFrame) > 0 {
+		payload, err := checkpoint.DecodeFrame(cfg.ResumeFrame)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := run.validateSnapshot(payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Freshness precedence: both states are sample boundaries of the
+		// same deterministic run, so the one further along conserves more
+		// work without changing the final answer.
+		if best == nil || st.Samples > best.Samples {
+			best = st
+		}
 	}
+	run.resumed = best != nil
+	return run, best, nil
+}
+
+// ValidateResumeFrame synchronously holds a shipped resume frame to
+// the fingerprint of the computation (engine, options, query) it is
+// about to resume, without running anything. It fails exactly as the
+// engine itself would at startup — ErrCorruptCheckpoint on a bad
+// frame, ErrCheckpointMismatch on a different computation — so the
+// serving layer can reject a doomed resume at admission, before a
+// durable job is registered under the request's idempotency key. A
+// rejection at admission leaves the key unconsumed: the caller's clean
+// retry starts a fresh job instead of re-attaching to a failed one.
+func ValidateResumeFrame(frame []byte, engine Engine, f logic.Formula, opts Options) error {
+	// The engine fingerprints the normalized options (zero eps/delta
+	// replaced by the defaults), so the admission check must too.
+	opts = opts.withDefaults()
+	run := &ckptRun{head: engineState{
+		Engine: string(engine),
+		Seed:   opts.Seed,
+		Eps:    opts.Eps,
+		Delta:  opts.Delta,
+		Query:  fmt.Sprint(f),
+		Lanes:  laneCountFor(opts),
+	}}
+	payload, err := checkpoint.DecodeFrame(frame)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
+	_, err = run.validateSnapshot(payload)
+	return err
+}
+
+// validateSnapshot decodes one snapshot payload and holds it to the
+// run's fingerprint.
+func (r *ckptRun) validateSnapshot(payload []byte) (*engineState, error) {
 	var st engineState
 	if err := json.Unmarshal(payload, &st); err != nil {
-		return nil, nil, fmt.Errorf("%w: undecodable snapshot payload: %v", checkpoint.ErrCorruptCheckpoint, err)
+		return nil, fmt.Errorf("%w: undecodable snapshot payload: %v", checkpoint.ErrCorruptCheckpoint, err)
 	}
-	if st.Engine != run.head.Engine || st.Seed != run.head.Seed ||
-		st.Eps != run.head.Eps || st.Delta != run.head.Delta || st.Query != run.head.Query {
-		return nil, nil, fmt.Errorf("%w: snapshot is for engine=%s seed=%d eps=%v delta=%v query=%q; this run is engine=%s seed=%d eps=%v delta=%v query=%q",
+	if st.Engine != r.head.Engine || st.Seed != r.head.Seed ||
+		st.Eps != r.head.Eps || st.Delta != r.head.Delta || st.Query != r.head.Query {
+		return nil, fmt.Errorf("%w: snapshot is for engine=%s seed=%d eps=%v delta=%v query=%q; this run is engine=%s seed=%d eps=%v delta=%v query=%q",
 			ErrCheckpointMismatch, st.Engine, st.Seed, st.Eps, st.Delta, st.Query,
-			run.head.Engine, run.head.Seed, run.head.Eps, run.head.Delta, run.head.Query)
+			r.head.Engine, r.head.Seed, r.head.Eps, r.head.Delta, r.head.Query)
 	}
-	if st.Lanes != run.head.Lanes {
-		return nil, nil, fmt.Errorf("%w: snapshot was taken with %d RNG lanes, this run uses %d (the estimate depends on the lane count; rerun with the original Workers setting or start fresh)",
-			ErrCheckpointMismatch, st.Lanes, run.head.Lanes)
+	if st.Lanes != r.head.Lanes {
+		return nil, fmt.Errorf("%w: snapshot was taken with %d RNG lanes, this run uses %d (the estimate depends on the lane count; rerun with the original Workers setting or start fresh)",
+			ErrCheckpointMismatch, st.Lanes, r.head.Lanes)
 	}
-	run.resumed = true
-	return run, &st, nil
+	return &st, nil
 }
 
 // every returns the periodic snapshot interval.
@@ -165,13 +239,20 @@ func parFor(opts Options) mc.Par {
 	return mc.Par{Lanes: mc.DefaultLanes, Workers: opts.Workers}
 }
 
-// save persists one snapshot, stamping the fingerprint.
+// save persists one snapshot, stamping the fingerprint, and publishes
+// its framed form to the shipping hook when one is set.
 func (r *ckptRun) save(st engineState) error {
 	st.Engine, st.Seed, st.Eps, st.Delta, st.Query, st.Lanes =
 		r.head.Engine, r.head.Seed, r.head.Eps, r.head.Delta, r.head.Query, r.head.Lanes
 	payload, err := json.Marshal(st)
 	if err != nil {
 		return fmt.Errorf("core: marshaling snapshot: %w", err)
+	}
+	if r.cfg.Publish != nil {
+		r.cfg.Publish(st.Samples, checkpoint.EncodeFrame(payload))
+	}
+	if r.cfg.Store == nil {
+		return nil
 	}
 	return r.cfg.Store.Save(payload)
 }

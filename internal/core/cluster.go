@@ -40,8 +40,15 @@ type ClusterStep struct {
 	// such as proxying.
 	Lo, Hi int
 	// Event classifies the step: "assign", "proxy", "retry", "hedge",
-	// "reassign", "breaker-skip", "done".
+	// "reassign", "breaker-skip", "done", "resume" (the range was
+	// re-planted from a shipped checkpoint), "resume-rejected" (a shipped
+	// checkpoint failed validation and the range restarted clean).
 	Event string
 	// Err carries the failure that triggered a retry or reassignment.
 	Err string `json:",omitempty"`
+	// Source and Seq are set on "resume"/"resume-rejected" events: the
+	// replica whose shipped checkpoint was involved and the total sample
+	// count it captured.
+	Source string `json:",omitempty"`
+	Seq    int    `json:",omitempty"`
 }

@@ -77,6 +77,14 @@ const (
 	SiteClusterProbe    = "cluster/probe"
 	SiteClusterSend     = "cluster/send"
 	SiteClusterReassign = "cluster/reassign"
+	// SiteClusterCkptShip fires when a coordinator accepts a shipped
+	// checkpoint frame (an armed fault corrupts the frame in flight, so
+	// validation must reject it and the range must restart clean);
+	// SiteClusterJournalCrash fires inside every fan-out journal write
+	// (an armed fault simulates a crash mid-write: a torn file reaches
+	// the journal path and the write reports failure).
+	SiteClusterCkptShip     = "cluster/ckpt-ship"
+	SiteClusterJournalCrash = "cluster/journal-crash"
 )
 
 // allSites is the canonical registry behind Sites. Every Site* constant
@@ -104,6 +112,8 @@ var allSites = []string{
 	SiteClusterProbe,
 	SiteClusterSend,
 	SiteClusterReassign,
+	SiteClusterCkptShip,
+	SiteClusterJournalCrash,
 }
 
 // Sites returns every registered injection site, sorted. The chaos

@@ -287,49 +287,58 @@ func (lc *LaneCkpt) saveLocked() error {
 	return lc.ck.Save(st)
 }
 
+// ErrResumeMismatch reports a snapshot that cannot resume the run at
+// hand: wrong estimator method (including a different lane range), a
+// lane-count mismatch, an implausible state, or an undecodable RNG
+// state. It separates "this snapshot belongs to a different
+// computation" from disk corruption — a caller holding a shipped
+// snapshot falls back to a clean restart on it rather than failing.
+var ErrResumeMismatch = errors.New("mc: snapshot does not match this run")
+
 // RestoreLanes applies ck.Resume (if any) to the lanes: a multi-lane
 // (v2) snapshot restores per-lane counters and RNG states; a legacy
 // single-lane snapshot restores only into a single-lane run. Lane
 // count mismatches are rejected — the estimate is a function of the
 // lane count, so resuming across counts would silently change it.
+// Every rejection wraps ErrResumeMismatch.
 func RestoreLanes(method string, lanes []*Lane, ck *Ckpt) error {
 	if ck == nil || ck.Resume == nil {
 		return nil
 	}
 	st := ck.Resume
 	if st.Method != method {
-		return fmt.Errorf("mc: snapshot was taken by estimator %q, cannot resume %q", st.Method, method)
+		return fmt.Errorf("%w: snapshot was taken by estimator %q, cannot resume %q", ErrResumeMismatch, st.Method, method)
 	}
 	for _, ln := range lanes {
 		if ln.Src == nil {
-			return fmt.Errorf("mc: resuming requires a serializable Source")
+			return fmt.Errorf("%w: resuming requires a serializable Source", ErrResumeMismatch)
 		}
 	}
 	if st.LaneCount == 0 {
 		if len(lanes) != 1 {
-			return fmt.Errorf("mc: single-lane snapshot cannot resume a %d-lane run", len(lanes))
+			return fmt.Errorf("%w: single-lane snapshot cannot resume a %d-lane run", ErrResumeMismatch, len(lanes))
 		}
 		if st.Drawn < 0 || st.Hits < 0 || st.Hits > st.Drawn {
-			return fmt.Errorf("mc: implausible snapshot state drawn=%d hits=%d", st.Drawn, st.Hits)
+			return fmt.Errorf("%w: implausible snapshot state drawn=%d hits=%d", ErrResumeMismatch, st.Drawn, st.Hits)
 		}
 		ln := lanes[0]
 		if err := ln.Src.SetState(st.RNG); err != nil {
-			return err
+			return fmt.Errorf("%w: %v", ErrResumeMismatch, err)
 		}
 		ln.Drawn, ln.Hits, ln.Sum = st.Drawn, st.Hits, st.Sum
 		return nil
 	}
 	if st.LaneCount != len(lanes) || len(st.Lanes) != st.LaneCount {
-		return fmt.Errorf("mc: snapshot has %d lanes (%d lane states), cannot resume a %d-lane run",
-			st.LaneCount, len(st.Lanes), len(lanes))
+		return fmt.Errorf("%w: snapshot has %d lanes (%d lane states), cannot resume a %d-lane run",
+			ErrResumeMismatch, st.LaneCount, len(st.Lanes), len(lanes))
 	}
 	for i, ln := range lanes {
 		ls := st.Lanes[i]
 		if ls.Drawn < 0 || ls.Hits < 0 || ls.Hits > ls.Drawn {
-			return fmt.Errorf("mc: implausible snapshot state for lane %d: drawn=%d hits=%d", i, ls.Drawn, ls.Hits)
+			return fmt.Errorf("%w: implausible snapshot state for lane %d: drawn=%d hits=%d", ErrResumeMismatch, i, ls.Drawn, ls.Hits)
 		}
 		if err := ln.Src.SetState(ls.RNG); err != nil {
-			return fmt.Errorf("mc: lane %d: %w", i, err)
+			return fmt.Errorf("%w: lane %d: %v", ErrResumeMismatch, i, err)
 		}
 		ln.Drawn, ln.Hits, ln.Sum = ls.Drawn, ls.Hits, ls.Sum
 	}

@@ -56,6 +56,11 @@ func rangeMethod(base string, r Range) string {
 	return fmt.Sprintf("%s@%s", base, r)
 }
 
+// RangeMethod is the exported form of the range-scoped method string —
+// the coordinator uses it to validate that a shipped snapshot belongs
+// to the lane range it is about to resume.
+func RangeMethod(base string, r Range) string { return rangeMethod(base, r) }
+
 // SplitRanges partitions a total-lane split into parts contiguous
 // near-equal ranges, in order: range i gets ⌊total/parts⌋ lanes plus
 // one of the total%parts remainder lanes. parts is clamped to total.

@@ -221,6 +221,131 @@ func TestRangeCheckpointScoping(t *testing.T) {
 	}
 }
 
+// TestSplitRangesProperty is the seeded property test over arbitrary
+// (total, parts): the partition must tile [0, total) exactly — every
+// lane in exactly one range, ranges contiguous and ordered — and must
+// conserve the sample quota: the ranges' quotas sum to the full run's
+// Hoeffding sample size, so no partition can silently add or drop
+// samples.
+func TestSplitRangesProperty(t *testing.T) {
+	rng := NewRand(1234)
+	for i := 0; i < 500; i++ {
+		total := 1 + rng.Intn(64)
+		parts := 1 + rng.Intn(80) // deliberately often > total
+		ranges := SplitRanges(total, parts)
+
+		wantParts := parts
+		if wantParts > total {
+			wantParts = total
+		}
+		if len(ranges) != wantParts {
+			t.Fatalf("SplitRanges(%d,%d): %d ranges, want %d", total, parts, len(ranges), wantParts)
+		}
+		covered := make([]int, total)
+		next := 0
+		maxLen, minLen := 0, total+1
+		for j, r := range ranges {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("SplitRanges(%d,%d)[%d] = %v: %v", total, parts, j, r, err)
+			}
+			if r.Total != total || r.Lo != next {
+				t.Fatalf("SplitRanges(%d,%d)[%d] = %v, want contiguous from %d over %d", total, parts, j, r, next, total)
+			}
+			for lane := r.Lo; lane < r.Hi; lane++ {
+				covered[lane]++
+			}
+			if n := r.Len(); n > maxLen {
+				maxLen = n
+			}
+			if n := r.Len(); n < minLen {
+				minLen = n
+			}
+			next = r.Hi
+		}
+		if next != total {
+			t.Fatalf("SplitRanges(%d,%d) covers [0,%d), want [0,%d)", total, parts, next, total)
+		}
+		for lane, n := range covered {
+			if n != 1 {
+				t.Fatalf("SplitRanges(%d,%d): lane %d covered %d times", total, parts, lane, n)
+			}
+		}
+		if maxLen-minLen > 1 {
+			t.Fatalf("SplitRanges(%d,%d): range lengths span [%d,%d], want near-equal", total, parts, minLen, maxLen)
+		}
+
+		// Quota conservation: the per-range quotas of a Hoeffding run sum
+		// to exactly the single-node sample size.
+		eps := 0.02 + 0.08*rng.Float64()
+		full, err := HoeffdingSampleSize(eps, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, r := range ranges {
+			sum += quotaOf(t, r, eps, 0.1)
+		}
+		if sum != full {
+			t.Fatalf("SplitRanges(%d,%d) quotas sum to %d, want %d (eps=%v)", total, parts, sum, full, eps)
+		}
+	}
+}
+
+// TestRangeResumeWorkerMatrix pins the recovery contract the cluster
+// coordinator leans on: a range killed mid-run and resumed from its
+// shipped snapshot merges to the bit-identical full estimate no matter
+// how many workers drive the resumed run — the worker count schedules
+// lanes, it never touches the sample streams.
+func TestRangeResumeWorkerMatrix(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	d := manyAtomDB()
+	const seed, eps, delta = 13, 0.02, 0.1
+	left := Range{Lo: 0, Hi: 4, Total: DefaultLanes}
+	right := Range{Lo: 4, Hi: 8, Total: DefaultLanes}
+
+	base, err := EstimateMeanPar(bg, d, statS, eps, delta, 0, seed, Par{Workers: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rightRun, err := EstimateMeanRange(bg, d, statS, eps, delta, 0, seed, right, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One mid-run snapshot of the left range, taken by a 2-worker run.
+	var snap *LoopState
+	save := func(st LoopState) error { snap = &st; return nil }
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	var calls atomic.Int64
+	killer := func(b *rel.Structure) (float64, error) {
+		if calls.Add(1) == 1500 {
+			cancel()
+		}
+		return statS(b)
+	}
+	if _, err := EstimateMeanRange(ctx, d, killer, eps, delta, 0, seed, left, 2, &Ckpt{Every: 128, Save: save}); err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no checkpoint was saved")
+	}
+
+	for _, w := range []int{1, 2, 4, 7} {
+		resumed, err := EstimateMeanRange(bg, d, statS, eps, delta, 0, seed, left, w, &Ckpt{Resume: snap})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		merged, err := MergeMean(append(append([]LaneAgg(nil), resumed.Lanes...), rightRun.Lanes...), DefaultLanes, eps, delta, 0)
+		if err != nil {
+			t.Fatalf("workers=%d: merge: %v", w, err)
+		}
+		if merged != base {
+			t.Errorf("workers=%d: resume-then-merge %+v != uninterrupted %+v", w, merged, base)
+		}
+	}
+}
+
 // quotaOf computes the sample quota a range owns for the accuracy
 // parameters.
 func quotaOf(t *testing.T, r Range, eps, delta float64) int {

@@ -55,6 +55,15 @@ type Request struct {
 	// aggregates (Response.LaneRange) instead of a meaningful whole-run
 	// estimate.
 	Lanes *LaneRange `json:"lanes,omitempty"`
+	// Resume is a shipped checkpoint frame (checkpoint.EncodeFrame over
+	// the engine snapshot payload; base64 on the wire) to continue from
+	// instead of starting at sample zero — how a coordinator re-plants a
+	// dead replica's progress on a survivor. It is fingerprint-checked
+	// against this request; a frame from a different computation fails
+	// with 409 kind "checkpoint", a corrupt frame likewise. Requires
+	// Lanes. On POST /v1/jobs the field is ignored when the idempotency
+	// key names an existing job (the job's own store is fresher).
+	Resume []byte `json:"resume,omitempty"`
 }
 
 // LaneRange is the wire form of mc.Range: the lane subrange [Lo,Hi) of
@@ -114,6 +123,14 @@ type Response struct {
 	// records where each lane range ran and every retry, hedge, and
 	// reassignment — the cross-replica analogue of FallbackTrail.
 	ClusterTrail []ClusterStep `json:"cluster_trail,omitempty"`
+	// Checkpoint is the latest checkpoint frame the run published
+	// (base64 on the wire), present on lane-range responses when the
+	// server ships checkpoints. On a degraded response it is the sample
+	// boundary the run stopped at, so the caller can resume the
+	// remainder elsewhere instead of re-drawing. CheckpointSeq is the
+	// total sample count the frame captures.
+	Checkpoint    []byte `json:"checkpoint,omitempty"`
+	CheckpointSeq int    `json:"checkpoint_seq,omitempty"`
 	// ElapsedMS is the server-side wall-clock time in milliseconds,
 	// including queueing.
 	ElapsedMS int64 `json:"elapsed_ms"`
@@ -137,6 +154,11 @@ type ClusterStep struct {
 	Hi      int    `json:"hi,omitempty"`
 	Event   string `json:"event"`
 	Err     string `json:"err,omitempty"`
+	// Source and Seq carry the provenance of "resume" and
+	// "resume-rejected" events: the replica whose shipped checkpoint was
+	// re-planted (or rejected) and its sample-count sequence.
+	Source string `json:"source,omitempty"`
+	Seq    int    `json:"seq,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.
@@ -172,7 +194,8 @@ const (
 // input-validation failure and maps to 400.
 func statusFor(err error) (int, string) {
 	switch {
-	case errors.Is(err, core.ErrCheckpointMismatch), errors.Is(err, checkpoint.ErrCorruptCheckpoint):
+	case errors.Is(err, core.ErrCheckpointMismatch), errors.Is(err, checkpoint.ErrCorruptCheckpoint),
+		errors.Is(err, mc.ErrResumeMismatch):
 		return http.StatusConflict, KindCheckpoint
 	case errors.Is(err, core.ErrCanceled):
 		return http.StatusRequestTimeout, KindCanceled
@@ -220,7 +243,7 @@ func toResponse(res core.Result, elapsedMS int64) *Response {
 		}
 	}
 	for _, s := range res.ClusterTrail {
-		out.ClusterTrail = append(out.ClusterTrail, ClusterStep{Replica: s.Replica, Lo: s.Lo, Hi: s.Hi, Event: s.Event, Err: s.Err})
+		out.ClusterTrail = append(out.ClusterTrail, ClusterStep{Replica: s.Replica, Lo: s.Lo, Hi: s.Hi, Event: s.Event, Err: s.Err, Source: s.Source, Seq: s.Seq})
 	}
 	return out
 }

@@ -337,6 +337,42 @@ func (c *Client) doJob(httpReq *http.Request) (*server.JobStatus, error) {
 	return nil, apiErr
 }
 
+// JobCheckpoint fetches a job's freshest shipped checkpoint frame
+// (GET /v1/jobs/{id}/checkpoint). One attempt, no retry — callers poll
+// it on a cadence anyway. A job with no snapshot yet answers 404,
+// surfaced as a *APIError.
+func (c *Client) JobCheckpoint(ctx context.Context, id string) (*server.JobCheckpoint, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/checkpoint", nil)
+	if err != nil {
+		return nil, err
+	}
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	resp, err := httpClient.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: resp.StatusCode, retryAfter: parseRetryAfter(resp)}
+		var ec server.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ec); err == nil {
+			apiErr.Kind = ec.Kind
+			apiErr.Message = ec.Error
+		} else {
+			apiErr.Message = resp.Status
+		}
+		return nil, apiErr
+	}
+	var out server.JobCheckpoint
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding job checkpoint: %w", err)
+	}
+	return &out, nil
+}
+
 // Statz fetches the server's /statz snapshot.
 func (c *Client) Statz(ctx context.Context) (*server.Statz, error) {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/statz", nil)

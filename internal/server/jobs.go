@@ -65,6 +65,11 @@ func jobID(key string) string {
 	return hex.EncodeToString(sum[:])[:16]
 }
 
+// JobID is the exported form of the key→ID derivation, for callers
+// (coordinators, tests) that need to locate a job's on-disk state from
+// the idempotency key they submitted.
+func JobID(key string) string { return jobID(key) }
+
 // jobsEnabled reports whether durable jobs are configured.
 func (s *Server) jobsEnabled() bool { return s.cfg.CheckpointDir != "" }
 
@@ -117,10 +122,19 @@ func (s *Server) jobTask(st *JobStatus) (*task, int, string, error) {
 	if err != nil {
 		return nil, http.StatusInternalServerError, KindEngineFailed, fmt.Errorf("opening checkpoint store: %w", err)
 	}
-	t.opts.Checkpoint = &core.CheckpointConfig{
-		Store:  store,
-		Every:  s.cfg.CheckpointEvery,
-		Resume: true, // a fresh store just starts fresh
+	// Merge rather than overwrite: a lane-range job's buildTask config
+	// already carries the shipping hook and any wire resume frame; the
+	// store and the wire frame both feed newCkptRun, where the fresher
+	// snapshot wins.
+	cfg := t.opts.Checkpoint
+	if cfg == nil {
+		cfg = &core.CheckpointConfig{Every: s.cfg.CheckpointEvery}
+		t.opts.Checkpoint = cfg
+	}
+	cfg.Store = store
+	cfg.Resume = true // a fresh store just starts fresh
+	if t.ship != nil {
+		s.ships[st.ID] = t.ship
 	}
 	t.ctx = s.baseCtx
 	t.onDone = func(t *task) { s.finishJob(st, t) }
@@ -152,6 +166,13 @@ func (s *Server) finishJob(st *JobStatus, t *task) {
 	default:
 		st.State = JobDone
 		st.Result = toResponse(t.res, time.Now().UnixMilli()-st.CreatedMS)
+		if t.ship != nil {
+			// Carry the final frame on the result for parity with the
+			// synchronous path — a degraded job's remainder stays portable.
+			if frame, seq := t.ship.latest(); frame != nil {
+				st.Result.Checkpoint, st.Result.CheckpointSeq = frame, seq
+			}
+		}
 		s.stats.jobsDone.Add(1)
 	}
 	if err := s.journalJob(st); err != nil {

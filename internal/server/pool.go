@@ -31,6 +31,10 @@ type task struct {
 	// outcome (or, when the drain canceled them, to stay journaled as
 	// running so a restart resumes them).
 	onDone func(*task)
+	// ship, set on lane-range tasks, receives the run's published
+	// checkpoint frames; the freshest is attached to the response and
+	// served by GET /v1/jobs/{id}/checkpoint.
+	ship *shipState
 }
 
 // startWorkers launches the bounded worker pool. Workers run until
@@ -91,6 +95,7 @@ func (s *Server) runTask(t *task) {
 	default:
 		s.stats.failed.Add(1)
 	}
+	s.recordResumeOutcome(t)
 	if t.onDone != nil {
 		t.onDone(t)
 	}

@@ -128,10 +128,13 @@ type Server struct {
 	dbs  map[string]*unreliable.DB
 
 	// Durable-job state (nil maps/zero values when CheckpointDir is
-	// unset). jobMu guards jobs; ckptMetrics aggregates snapshot-store
-	// counters across every job for /statz.
+	// unset). jobMu guards jobs and ships; ckptMetrics aggregates
+	// snapshot-store counters across every job for /statz. ships holds
+	// the live shipped-checkpoint state of lane-range jobs, keyed by job
+	// ID (see ship.go).
 	jobMu       sync.Mutex
 	jobs        map[string]*JobStatus
+	ships       map[string]*shipState
 	ckptMetrics checkpoint.Metrics
 }
 
@@ -146,6 +149,7 @@ func New(cfg Config) *Server {
 		stopWorkers: make(chan struct{}),
 		dbs:         map[string]*unreliable.DB{},
 		jobs:        map[string]*JobStatus{},
+		ships:       map[string]*shipState{},
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.startWorkers()
@@ -188,6 +192,7 @@ func (s *Server) lookup(name string) (*unreliable.DB, bool) {
 //	POST /v1/reliability — run a reliability computation
 //	POST /v1/jobs        — submit (or re-attach to) a durable job
 //	GET  /v1/jobs/{id}   — poll a durable job
+//	GET  /v1/jobs/{id}/checkpoint — fetch a job's freshest shipped checkpoint
 //	GET  /healthz        — liveness (200 while the process runs)
 //	GET  /readyz         — readiness (503 once draining)
 //	GET  /statz          — JSON snapshot of queue/breaker/shed state
@@ -196,6 +201,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/reliability", s.handleReliability)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleJobCheckpoint)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statz", s.handleStatz)
@@ -365,6 +371,9 @@ func (s *Server) buildTask(req *Request) (*task, int, string, error) {
 			workers = 1
 		}
 	}
+	if len(req.Resume) > 0 && laneRange == nil {
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("\"resume\" requires \"lanes\"")
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -388,7 +397,35 @@ func (s *Server) buildTask(req *Request) (*task, int, string, error) {
 			MaxWorlds:   req.MaxWorlds,
 		},
 	}
-	return &task{db: db, q: q, opts: opts, done: make(chan struct{}), engine: engine}, 0, "", nil
+	if len(req.Resume) > 0 {
+		// Reject a doomed resume frame at admission, before a durable job
+		// is registered under the request's idempotency key — the engine
+		// would fail identically at startup, but by then the failed job
+		// would be what every idempotent retry of the key re-attaches to.
+		if err := core.ValidateResumeFrame(req.Resume, engine, q, opts); err != nil {
+			status, kind := statusFor(err)
+			return nil, status, kind, err
+		}
+	}
+	t := &task{db: db, q: q, opts: opts, done: make(chan struct{}), engine: engine}
+	if laneRange != nil {
+		// Lane-range sub-runs ship their checkpoints and accept shipped
+		// resume frames — the wire half of work-conserving reassignment.
+		t.ship = &shipState{}
+		ship := t.ship
+		t.opts.Checkpoint = &core.CheckpointConfig{
+			Every:       s.cfg.CheckpointEvery,
+			ResumeFrame: req.Resume,
+			Publish: func(seq int, frame []byte) {
+				s.stats.ckptShipped.Add(1)
+				ship.publish(seq, frame)
+			},
+		}
+		if len(req.Resume) > 0 {
+			s.stats.resumesReceived.Add(1)
+		}
+	}
+	return t, 0, "", nil
 }
 
 // handleReliability is the admission path: parse, admit (or shed), then
@@ -443,5 +480,14 @@ func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, kind, t.err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, toResponse(t.res, time.Since(start).Milliseconds()))
+	resp := toResponse(t.res, time.Since(start).Milliseconds())
+	if t.ship != nil {
+		// Ship the freshest checkpoint frame back: on a degraded response
+		// it is the boundary the run stopped at, and the caller can resume
+		// the remainder elsewhere instead of re-drawing it.
+		if frame, seq := t.ship.latest(); frame != nil {
+			resp.Checkpoint, resp.CheckpointSeq = frame, seq
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

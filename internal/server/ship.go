@@ -1,0 +1,140 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"qrel/internal/checkpoint"
+)
+
+// Checkpoint shipping: lane-range sub-runs publish every snapshot they
+// take as a CRC-framed payload, and the server keeps the freshest frame
+// per run. A cluster coordinator picks frames up from the synchronous
+// response (Response.Checkpoint) or, in jobs mode, by polling
+// GET /v1/jobs/{id}/checkpoint — and re-plants them on a survivor via
+// Request.Resume when the publishing replica dies, so the reassigned
+// range continues from the last shipped sample boundary instead of
+// sample zero.
+
+// shipState holds the latest published checkpoint frame of one run.
+// publish races with the estimator lanes; the largest sequence (total
+// sample count) wins.
+type shipState struct {
+	mu    sync.Mutex
+	frame []byte
+	seq   int
+}
+
+func (sh *shipState) publish(seq int, frame []byte) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.frame == nil || seq > sh.seq {
+		sh.frame, sh.seq = frame, seq
+	}
+}
+
+// latest returns the freshest published frame (nil if none yet).
+func (sh *shipState) latest() ([]byte, int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.frame, sh.seq
+}
+
+// JobCheckpoint is the JSON body of GET /v1/jobs/{id}/checkpoint: the
+// freshest shipped checkpoint frame of a durable job.
+type JobCheckpoint struct {
+	ID string `json:"id"`
+	// Seq is the total sample count the frame captures.
+	Seq int `json:"seq"`
+	// Frame is the CRC-framed snapshot (base64 on the wire), directly
+	// usable as Request.Resume.
+	Frame []byte `json:"frame"`
+}
+
+// handleJobCheckpoint is GET /v1/jobs/{id}/checkpoint: expose a durable
+// job's freshest checkpoint frame. Falls back to the newest on-disk
+// snapshot when the run has not published in this process (e.g. right
+// after a restart), and 404s when the job has no snapshot at all yet.
+func (s *Server) handleJobCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled() {
+		writeError(w, http.StatusNotImplemented, KindJobsDisabled, "durable jobs are disabled (no checkpoint dir configured)")
+		return
+	}
+	id := r.PathValue("id")
+	s.jobMu.Lock()
+	_, known := s.loadJob(id)
+	sh := s.ships[id]
+	s.jobMu.Unlock()
+	if !known {
+		writeError(w, http.StatusNotFound, KindNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	var frame []byte
+	var seq int
+	if sh != nil {
+		frame, seq = sh.latest()
+	}
+	if frame == nil {
+		frame, seq = s.diskCheckpoint(id)
+	}
+	if frame == nil {
+		writeError(w, http.StatusNotFound, KindNotFound, fmt.Sprintf("no checkpoint yet for job %q", id))
+		return
+	}
+	s.stats.ckptServed.Add(1)
+	writeJSON(w, http.StatusOK, &JobCheckpoint{ID: id, Seq: seq, Frame: frame})
+}
+
+// diskCheckpoint reads a job's newest on-disk snapshot and re-frames it
+// for the wire. Returns (nil, 0) when there is none. The store is
+// opened without metrics — serving a frame is not a resume.
+func (s *Server) diskCheckpoint(id string) ([]byte, int) {
+	store, err := checkpoint.Open(filepath.Join(s.jobDir(id), "ckpt"), checkpoint.Options{})
+	if err != nil {
+		return nil, 0
+	}
+	payload, err := store.LoadLatest()
+	if err != nil {
+		return nil, 0
+	}
+	var st struct {
+		Samples int `json:"samples"`
+	}
+	_ = json.Unmarshal(payload, &st)
+	return checkpoint.EncodeFrame(payload), st.Samples
+}
+
+// recordResumeOutcome tallies the fate of a request that carried a
+// shipped resume frame: accepted (the run restored it) or rejected
+// (fingerprint mismatch or corrupt frame).
+func (s *Server) recordResumeOutcome(t *task) {
+	cfg := t.opts.Checkpoint
+	if cfg == nil || len(cfg.ResumeFrame) == 0 {
+		return
+	}
+	switch {
+	case t.err == nil && t.res.Resumed:
+		s.stats.resumesAccepted.Add(1)
+	case t.err != nil:
+		if _, kind := statusFor(t.err); kind == KindCheckpoint {
+			s.stats.resumesRejected.Add(1)
+		}
+	}
+}
+
+// ShippingStatz is the checkpoint-shipping section of Statz.
+type ShippingStatz struct {
+	// Shipped counts checkpoint frames published by lane-range runs;
+	// Served counts GET /v1/jobs/{id}/checkpoint responses.
+	Shipped int64 `json:"shipped"`
+	Served  int64 `json:"served"`
+	// ResumesReceived counts requests that carried a shipped resume
+	// frame; Accepted/Rejected partition their fates (a run that failed
+	// for unrelated reasons counts in neither).
+	ResumesReceived int64 `json:"resumes_received"`
+	ResumesAccepted int64 `json:"resumes_accepted"`
+	ResumesRejected int64 `json:"resumes_rejected"`
+}

@@ -34,6 +34,14 @@ type stats struct {
 	jobsFailed    atomic.Int64
 	jobsSuspended atomic.Int64
 	jobsRecovered atomic.Int64
+	// Checkpoint-shipping counters (see ship.go): frames published by
+	// lane-range runs, frames served over the jobs API, and the fates of
+	// shipped resume frames arriving in requests.
+	ckptShipped     atomic.Int64
+	ckptServed      atomic.Int64
+	resumesReceived atomic.Int64
+	resumesAccepted atomic.Int64
+	resumesRejected atomic.Int64
 
 	// engMu guards engines: per-engine run/sample/busy-time counters fed
 	// by the pool workers, from which /statz derives samples/sec.
@@ -115,6 +123,9 @@ type Statz struct {
 	// configured.
 	Jobs        *JobStatz            `json:"jobs,omitempty"`
 	Checkpoints *checkpoint.Snapshot `json:"checkpoints,omitempty"`
+	// Shipping counts checkpoint frames published/served and the fates
+	// of shipped resume frames (see ship.go).
+	Shipping ShippingStatz `json:"shipping"`
 	// Breakers maps engine names to their circuit-breaker state.
 	Breakers map[string]BreakerStatz `json:"breakers"`
 	// Engines maps engine names to their cumulative throughput counters
@@ -188,9 +199,16 @@ func (s *Server) Statz() Statz {
 		ckpts = &snap
 	}
 	return Statz{
-		ReplicaID:     s.cfg.ReplicaID,
-		Jobs:          jobs,
-		Checkpoints:   ckpts,
+		ReplicaID:   s.cfg.ReplicaID,
+		Jobs:        jobs,
+		Checkpoints: ckpts,
+		Shipping: ShippingStatz{
+			Shipped:         s.stats.ckptShipped.Load(),
+			Served:          s.stats.ckptServed.Load(),
+			ResumesReceived: s.stats.resumesReceived.Load(),
+			ResumesAccepted: s.stats.resumesAccepted.Load(),
+			ResumesRejected: s.stats.resumesRejected.Load(),
+		},
 		QueueDepth:    len(s.tasks),
 		QueueCapacity: cap(s.tasks),
 		Workers:       s.cfg.Workers,

@@ -4,7 +4,11 @@
 # lane ranges; the merged answer must match a single-node Workers=4 run
 # on the estimate fields exactly — before a replica is killed, while one
 # is killed mid-run (the coordinator reassigns its lane range to a
-# survivor), and afterwards with only two replicas left.
+# survivor), and afterwards with only two replicas left. A second
+# section SIGKILLs the coordinator itself mid-fan-out and restarts it on
+# the same -journal-dir: journal recovery must complete the run and a
+# re-POST of the same idempotency key must byte-match the single-node
+# reference.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -93,3 +97,56 @@ check survivors "$(curl -fsS http://127.0.0.1:18080/v1/reliability -d "$req")"
 
 reassigns=$(grep -o '"reassigns":[0-9]*' <<<"$(curl -fsS http://127.0.0.1:18080/statz)" | grep -o '[0-9]*')
 echo "cluster smoke: OK (reassigns=$reassigns, $(grep -o '"samples":[0-9]*' "$workdir/ref.est"))"
+
+# ---- Coordinator crash recovery ----------------------------------------
+# Fresh jobs-enabled replicas, a journaled jobs-mode coordinator, and a
+# keyed fan-out. The coordinator is SIGKILLed mid-run; a successor on
+# the same -journal-dir recovers the journaled fan-out (re-attaching to
+# the replicas' durable sub-jobs) and a re-POST of the same key must
+# answer byte-identically to the single-node reference.
+keyreq='{"db":"g","query":"exists y . (E(x,y) & S(y))","engine":"monte-carlo-direct","eps":0.0025,"delta":0.05,"seed":42,"workers":4,"timeout_ms":120000,"idempotency_key":"smoke-crash-1"}'
+journal="$workdir/journal"
+declare -a jpids
+for i in 4 5; do
+  "$workdir/qreld" -addr "127.0.0.1:1808$i" -workers 4 -max-timeout 120s \
+      -checkpoint-dir "$workdir/ckpt$i" -checkpoint-every 2000 \
+      -preload "g=$workdir/g.udb" >"$workdir/replica$i.log" 2>&1 &
+  jpids[$i]=$!
+  pids+=($!)
+done
+for i in 4 5; do wait_ready "http://127.0.0.1:1808$i"; done
+
+start_coord() {
+  "$workdir/qrelcoord" -addr 127.0.0.1:18090 \
+      -replicas http://127.0.0.1:18084,http://127.0.0.1:18085 \
+      -use-jobs -journal-dir "$journal" \
+      -probe-interval 100ms -job-poll 10ms -checkpoint-poll 20ms \
+      -request-timeout 120s >>"$workdir/coord2.log" 2>&1 &
+  coord_pid=$!
+  pids+=("$coord_pid")
+  wait_ready http://127.0.0.1:18090
+}
+start_coord
+
+# Launch the keyed fan-out, give the sub-jobs time to start and ship
+# checkpoints, then SIGKILL the coordinator mid-merge.
+curl -s http://127.0.0.1:18090/v1/reliability -d "$keyreq" > "$workdir/orphaned.json" &
+curl_pid=$!
+sleep 1
+kill -9 "$coord_pid" 2>/dev/null || true
+wait "$curl_pid" 2>/dev/null || true
+
+if [ ! -d "$journal" ] || ! ls "$journal"/fanout-*.json >/dev/null 2>&1; then
+  echo "FAIL: coordinator left no fan-out journal in $journal" >&2
+  exit 1
+fi
+
+# Restart on the same journal; recovery runs in the background while the
+# listener serves. The re-POST of the same key either re-attaches to the
+# journaled run or is served its journaled result — both must byte-match
+# the reference.
+start_coord
+check recovered "$(curl -fsS http://127.0.0.1:18090/v1/reliability -d "$keyreq")"
+
+recovery_stats=$(curl -fsS http://127.0.0.1:18090/statz | grep -o '"recovered_fanouts":[0-9]*\|"resumes":[0-9]*\|"checkpoints_shipped":[0-9]*' | tr '\n' ' ')
+echo "cluster smoke: coordinator crash recovery OK ($recovery_stats)"
