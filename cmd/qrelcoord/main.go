@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,6 +56,9 @@ func main() {
 		jobPoll      = flag.Duration("job-poll", 50*time.Millisecond, "initial sub-job poll interval in jobs mode")
 		ckptPoll     = flag.Duration("checkpoint-poll", 100*time.Millisecond, "shipped-checkpoint poll cadence while waiting on a sub-job")
 		journalDir   = flag.String("journal-dir", "", "fan-out journal directory; enables coordinator crash recovery of keyed fan-outs")
+		auditFrac    = flag.Float64("audit-frac", 0, "fraction of completed lane ranges re-executed on a second replica and byte-compared before serving (0 = audits off; attestation always on)")
+		probAudits   = flag.Int("probation-audits", 3, "consecutive clean audits a probation replica needs to be readmitted")
+		quarCooldown = flag.Duration("quarantine-cooldown", 30*time.Second, "how long a quarantined replica stays fully drained before probation")
 		seed         = flag.Int64("seed", 0, "retry-jitter RNG seed (0 = wall clock)")
 		replicas     []string
 	)
@@ -87,6 +91,9 @@ func main() {
 		JobPoll:            *jobPoll,
 		CheckpointPoll:     *ckptPoll,
 		JournalDir:         *journalDir,
+		AuditFrac:          *auditFrac,
+		ProbationAudits:    *probAudits,
+		QuarantineCooldown: *quarCooldown,
 		Seed:               *seed,
 	}
 	if err := serve(*addr, cfg); err != nil {
@@ -122,11 +129,18 @@ func serve(addr string, cfg cluster.Config) error {
 		}()
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: coord.Handler()}
+	// Listen explicitly so the resolved address (the kernel-picked port
+	// when addr is ":0") is logged before serving starts; the cluster
+	// smoke script parses this line.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("qrelcoord listening on %s fronting %d replica(s)", addr, len(cfg.Replicas))
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("qrelcoord listening on %s fronting %d replica(s)", ln.Addr(), len(cfg.Replicas))
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()

@@ -57,6 +57,7 @@ func main() {
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open time before a tripped breaker half-open probes")
 		ckptDir      = flag.String("checkpoint-dir", "", "enable durable jobs (POST /v1/jobs): per-job crash-safe checkpoints live here, and jobs interrupted by a crash or drain are resumed on startup")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "snapshot a job's estimator state every n samples (0 = engine default)")
+		corrupt      = flag.Bool("chaos-compute-corrupt", false, "CHAOS ONLY: silently perturb one lane aggregate of every lane-range result, making this a Byzantine replica a coordinator audit must catch")
 		selftest     = flag.Bool("selftest", false, "start an in-process server, exercise shed/breaker/drain/job-resume through the retrying client, and exit")
 		preloads     []string
 	)
@@ -75,6 +76,10 @@ func main() {
 		Breaker:         server.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		ComputeCorrupt:  *corrupt,
+	}
+	if *corrupt {
+		log.Printf("qreld: -chaos-compute-corrupt is armed; this replica LIES about lane aggregates")
 	}
 	if *selftest {
 		if err := runSelftest(cfg); err != nil {
@@ -118,11 +123,19 @@ func serve(addr, debugAddr string, cfg server.Config, preloads []string, drainTi
 		}
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	// Listen explicitly (rather than ListenAndServe) so the resolved
+	// address — in particular the port the kernel picked for ":0" — is
+	// logged before serving starts; scripts launch qreld on ephemeral
+	// ports and parse this line to learn where it landed.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("qreld listening on %s (%d workers, queue %d)", addr, cfg.Workers, cfg.QueueDepth)
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("qreld listening on %s (%d workers, queue %d)", ln.Addr(), cfg.Workers, cfg.QueueDepth)
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()

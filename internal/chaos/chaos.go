@@ -118,6 +118,22 @@ const (
 	// coordinator crash, recovery re-attaches to the journaled sub-jobs
 	// instead of submitting duplicates.
 	InvClusterWork = "cluster-work-conservation"
+	// InvClusterAudit: a sampled cross-replica audit catches a corrupted
+	// lane-range result — the perturbed aggregates never reach a served
+	// estimate. Either the range is repaired from a majority and the
+	// merged answer stays bit-identical to the single-node reference, or
+	// the fan-out is refused with an audit error; a silently wrong
+	// estimate is the one forbidden outcome. Audits surviving an armed
+	// cluster/audit fault (falling to another candidate or skipping
+	// without a false quarantine) ride along.
+	InvClusterAudit = "cluster-audit-detects"
+	// InvClusterQuarantine: a persistently lying replica converges to
+	// quarantined — drained from fan-outs and proxying — while the
+	// coordinator keeps serving estimates bit-identical to the
+	// single-node reference from the honest survivors, with the audit
+	// evidence recorded in both the cluster trail and the fan-out
+	// journal.
+	InvClusterQuarantine = "cluster-quarantine-converges"
 	// InvCoverage: every scheduled site actually fired at least once.
 	InvCoverage = "site-coverage"
 )
@@ -128,6 +144,7 @@ func InvariantNames() []string {
 	return []string{
 		InvExactAgree, InvEpsBound, InvTypedErrors, InvResume,
 		InvJobs, InvBreaker, InvCluster, InvClusterResume, InvClusterWork,
+		InvClusterAudit, InvClusterQuarantine,
 		InvGoroutines, InvTmpFiles, InvCoverage,
 	}
 }

@@ -183,6 +183,10 @@ func (c *campaign) clusterPhase(ctx context.Context, st *Step, db *unreliable.DB
 				c.clusterJournalScenario(ctx, st, db, req, want, pf)
 				c.clusterCrashRecoveryScenario(ctx, st, db, slowReq, slowWant)
 			}
+		case faultinject.SiteClusterComputeCorrupt:
+			c.clusterCorruptScenario(ctx, st, db, req, want, pf)
+		case faultinject.SiteClusterAudit:
+			c.clusterAuditFaultScenario(ctx, st, db, req, want, pf)
 		}
 	}
 	faultinject.Reset()
@@ -665,6 +669,151 @@ func (c *campaign) clusterCrashRecoveryScenario(ctx context.Context, st *Step, d
 	c.check(InvClusterWork, submitted == 2,
 		"step %d: crash recovery submitted %d sub-jobs across the fleet, want exactly 2 (one per range, recovery re-attaches)",
 		st.Index, submitted)
+}
+
+// hasTrailEvent reports whether the response's cluster trail carries
+// at least one step with the named event.
+func hasTrailEvent(res *server.Response, event string) bool {
+	if res == nil {
+		return false
+	}
+	for _, s := range res.ClusterTrail {
+		if s.Event == event {
+			return true
+		}
+	}
+	return false
+}
+
+// clusterCorruptScenario is the trust-but-verify drill, in two parts.
+// Part A arms the planned compute-corrupt fault — one lane aggregate
+// somewhere in the fleet is silently perturbed after the computation,
+// so the attestation digest still matches and only a cross-replica
+// audit can notice — under a full audit (AuditFrac 1): the mismatch
+// must be caught, tie-broken on the third replica, and the liar's
+// ranges repaired, with the served estimate bit-identical to the
+// single-node reference. Part B rebuilds the fleet with replica 0
+// configured as a persistent liar (Config.ComputeCorrupt): the
+// coordinator must quarantine it, keep serving the bit-identical
+// estimate from the honest survivors, and record the audit evidence in
+// both the cluster trail and the fan-out journal.
+func (c *campaign) clusterCorruptScenario(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate, pf PlannedFault) {
+	// Part A: a one-shot injected corruption.
+	f := startChaosFleet(db, 3, nil)
+	coord, err := c.clusterCoord(f.urls, func(cfg *cluster.Config) { cfg.AuditFrac = 1 })
+	if err != nil {
+		c.check(InvClusterAudit, false, "step %d: building audit coordinator: %v", st.Index, err)
+		f.close()
+		return
+	}
+	faultinject.Reset()
+	c.armFaults([]PlannedFault{pf})
+	res, err := coord.Do(ctx, req)
+	faultinject.Reset()
+	var corrupted int64
+	for _, s := range f.servers {
+		corrupted += s.Statz().ComputeCorrupted
+	}
+	stz := coord.Statz()
+	coord.Close()
+	f.close()
+	c.check(InvClusterAudit, corrupted >= 1,
+		"step %d: the armed compute-corrupt fault perturbed no lane-range result", st.Index)
+	ok := err == nil && clusterEstOf(res) == want
+	c.check(InvClusterAudit, ok,
+		"step %d: estimate with a corrupted range under full audit diverged (err=%v, got=%+v, want=%+v)",
+		st.Index, err, estOrNil(res), want)
+	if ok && corrupted >= 1 {
+		c.check(InvClusterAudit, stz.AuditMismatches >= 1 && hasTrailEvent(res, "audit-liar"),
+			"step %d: a corrupted range survived a full audit undetected (mismatches=%d)",
+			st.Index, stz.AuditMismatches)
+	}
+
+	// Part B: replica 0 lies on every lane range it computes.
+	jdir := filepath.Join(c.cfg.Dir, fmt.Sprintf("step-%03d", st.Index), "cluster-audit-journal")
+	f = startChaosFleet(db, 3, func(i int) server.Config {
+		return server.Config{
+			Workers: 2, DefaultTimeout: 60 * time.Second, MaxTimeout: 120 * time.Second,
+			ComputeCorrupt: i == 0,
+		}
+	})
+	defer f.close()
+	coord, err = c.clusterCoord(f.urls, func(cfg *cluster.Config) {
+		cfg.AuditFrac = 1
+		cfg.JournalDir = jdir
+		// No readmission inside the drill: the liar must still read
+		// quarantined when the assertions run.
+		cfg.QuarantineCooldown = time.Hour
+	})
+	if err != nil {
+		c.check(InvClusterQuarantine, false, "step %d: building quarantine coordinator: %v", st.Index, err)
+		return
+	}
+	defer coord.Close()
+	kreq := req
+	kreq.IdempotencyKey = fmt.Sprintf("chaos-audit-%d-%d", c.cfg.Seed, st.Index)
+	res, err = coord.Do(ctx, kreq)
+	ok = err == nil && clusterEstOf(res) == want
+	c.check(InvClusterQuarantine, ok,
+		"step %d: estimate with a persistently lying replica diverged (err=%v, got=%+v, want=%+v)",
+		st.Index, err, estOrNil(res), want)
+	if !ok {
+		return
+	}
+	stz = coord.Statz()
+	var liarHealth cluster.HealthState
+	for _, r := range stz.Replicas {
+		if r.URL == f.urls[0] {
+			liarHealth = r.Health
+		}
+	}
+	c.check(InvClusterQuarantine, liarHealth == cluster.HealthQuarantined && stz.Quarantines >= 1,
+		"step %d: lying replica health = %q (quarantines=%d), want quarantined",
+		st.Index, liarHealth, stz.Quarantines)
+	c.check(InvClusterQuarantine, hasTrailEvent(res, "audit-liar") && hasTrailEvent(res, "quarantine"),
+		"step %d: cluster trail carries no audit-liar/quarantine evidence", st.Index)
+	rec := cluster.LoadFanout(jdir, kreq.IdempotencyKey)
+	liarAudits := 0
+	if rec != nil {
+		for _, a := range rec.Audits {
+			if a.Verdict == cluster.AuditLiar && a.Liar == f.urls[0] {
+				liarAudits++
+			}
+		}
+	}
+	c.check(InvClusterQuarantine, liarAudits >= 1,
+		"step %d: fan-out journal carries no liar verdict against the corrupt replica (journaled=%v)",
+		st.Index, rec != nil)
+}
+
+// clusterAuditFaultScenario arms the planned audit fault on a fully
+// audited honest fleet: the audit machinery itself failing must cost at
+// most coverage — the affected audit falls to the next candidate or is
+// skipped outright, the estimate is untouched, and nobody is
+// quarantined over an infrastructure failure.
+func (c *campaign) clusterAuditFaultScenario(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate, pf PlannedFault) {
+	f := startChaosFleet(db, 3, nil)
+	defer f.close()
+	coord, err := c.clusterCoord(f.urls, func(cfg *cluster.Config) { cfg.AuditFrac = 1 })
+	if err != nil {
+		c.check(InvClusterAudit, false, "step %d: building audit-fault coordinator: %v", st.Index, err)
+		return
+	}
+	defer coord.Close()
+	faultinject.Reset()
+	c.armFaults([]PlannedFault{pf})
+	res, err := coord.Do(ctx, req)
+	faultinject.Reset()
+	stz := coord.Statz()
+	ok := err == nil && clusterEstOf(res) == want
+	c.check(InvClusterAudit, ok,
+		"step %d: estimate under an audit fault diverged (err=%v, got=%+v, want=%+v)",
+		st.Index, err, estOrNil(res), want)
+	c.check(InvClusterAudit, hasTrailEvent(res, "audit-skipped"),
+		"step %d: the armed audit fault skipped no audit candidate", st.Index)
+	c.check(InvClusterAudit, stz.AuditMismatches == 0 && stz.Quarantines == 0,
+		"step %d: an honest fleet under an audit fault read mismatches=%d quarantines=%d, want none",
+		st.Index, stz.AuditMismatches, stz.Quarantines)
 }
 
 // estOrNil formats a response's estimate subset for failure messages.

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"testing"
+	"time"
+
+	"qrel/internal/faultinject"
+	"qrel/internal/server"
+	"qrel/internal/testutil"
+)
+
+// healthOf finds one replica's integrity state in a Statz snapshot.
+func healthOf(stz Statz, url string) HealthState {
+	for _, r := range stz.Replicas {
+		if r.URL == url {
+			return r.Health
+		}
+	}
+	return ""
+}
+
+// trailHas reports whether the response trail carries the event.
+func trailHas(res *server.Response, event string) bool {
+	if res == nil {
+		return false
+	}
+	for _, s := range res.ClusterTrail {
+		if s.Event == event {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAuditCatchesPersistentLiar is the headline trust-but-verify test:
+// replica 0 silently perturbs every lane aggregate it computes
+// (attestation still passes — the digest is computed over the corrupted
+// aggregates), and a full audit (AuditFrac 1) must catch it via
+// cross-replica re-execution, tie-break it as the liar, quarantine it,
+// repair its ranges, and still serve the estimate bit-identical to the
+// single-node reference — with the evidence in both the trail and the
+// fan-out journal.
+func TestAuditCatchesPersistentLiar(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	req := mcReq()
+	want := singleNodeRef(t, req)
+
+	f := startFleet(t, 3, func(i int) server.Config {
+		return server.Config{ComputeCorrupt: i == 0}
+	})
+	jdir := t.TempDir()
+	c := fastCoord(t, f.urls, func(cfg *Config) {
+		cfg.AuditFrac = 1
+		cfg.JournalDir = jdir
+		cfg.QuarantineCooldown = time.Hour // no readmission inside the test
+	})
+	kreq := req
+	kreq.IdempotencyKey = "audit-persistent-liar"
+	res, err := c.Do(context.Background(), kreq)
+	if err != nil {
+		t.Fatalf("Do with a lying replica under full audit: %v", err)
+	}
+	if got := estOf(res); got != want {
+		t.Fatalf("estimate diverged from single-node reference:\n got %+v\nwant %+v", got, want)
+	}
+	if !trailHas(res, "audit-liar") || !trailHas(res, "quarantine") {
+		t.Fatalf("trail carries no audit-liar/quarantine evidence: %+v", res.ClusterTrail)
+	}
+	stz := c.Statz()
+	if stz.AuditMismatches < 1 || stz.Quarantines < 1 {
+		t.Fatalf("statz = mismatches %d, quarantines %d; want >= 1 each", stz.AuditMismatches, stz.Quarantines)
+	}
+	if h := healthOf(stz, f.urls[0]); h != HealthQuarantined {
+		t.Fatalf("lying replica health = %q, want %q", h, HealthQuarantined)
+	}
+
+	rec := LoadFanout(jdir, kreq.IdempotencyKey)
+	if rec == nil {
+		t.Fatal("fan-out journal record missing")
+	}
+	liars := 0
+	for _, a := range rec.Audits {
+		if a.Verdict == AuditLiar && a.Liar == f.urls[0] {
+			liars++
+		}
+	}
+	if liars < 1 {
+		t.Fatalf("journal carries no liar verdict against %s: %+v", f.urls[0], rec.Audits)
+	}
+	for i, rr := range rec.Ranges {
+		if !rr.Done || rr.Digest == "" {
+			t.Fatalf("journaled range %d not done with a digest: %+v", i, rr)
+		}
+	}
+}
+
+// TestAuditFracZeroAttestationOnly pins the -audit-frac 0 contract: no
+// audit re-executions at all, but every fanned-out range still arrives
+// attested and verified.
+func TestAuditFracZeroAttestationOnly(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	req := mcReq()
+	want := singleNodeRef(t, req)
+
+	f := startFleet(t, 2, nil)
+	c := fastCoord(t, f.urls, nil) // AuditFrac zero value
+	res, err := c.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := estOf(res); got != want {
+		t.Fatalf("estimate diverged: got %+v want %+v", got, want)
+	}
+	if !trailHas(res, "attest") {
+		t.Fatalf("no attest events in trail: %+v", res.ClusterTrail)
+	}
+	stz := c.Statz()
+	if stz.Audits != 0 || stz.AuditMismatches != 0 || stz.AttestFailures != 0 {
+		t.Fatalf("audits-off statz = %+v, want zero audit activity", stz)
+	}
+}
+
+// tamperFront fronts a replica with a reverse proxy that corrupts the
+// lane-digest attestation in every lane-range response body — the
+// wire-level lie the attestation check exists to catch (the aggregates
+// no longer match the digest the replica signed them with).
+func tamperFront(t *testing.T, backend string) string {
+	t.Helper()
+	u, err := url.Parse(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(u)
+	rp.ModifyResponse = func(resp *http.Response) error {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		b = bytes.Replace(b, []byte(`"lane_digest":"`), []byte(`"lane_digest":"bad`), 1)
+		resp.Body = io.NopCloser(bytes.NewReader(b))
+		resp.ContentLength = int64(len(b))
+		resp.Header.Set("Content-Length", strconv.Itoa(len(b)))
+		return nil
+	}
+	ts := httptest.NewServer(rp)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestAttestationFailureRejected: a replica whose responses fail
+// attestation never contributes to an estimate — the coordinator
+// records the failure, counts strikes against the replica, and (with no
+// honest replica to fail over to, both fronts tampered) refuses the
+// fan-out rather than merging unattested aggregates.
+func TestAttestationFailureRejected(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	f := startFleet(t, 2, nil)
+	tampered := []string{tamperFront(t, f.urls[0]), tamperFront(t, f.urls[1])}
+	c := fastCoord(t, tampered, func(cfg *Config) { cfg.MaxAttempts = 3 })
+
+	_, err := c.Do(context.Background(), mcReq())
+	if err == nil {
+		t.Fatal("Do succeeded through a tampered attestation")
+	}
+	stz := c.Statz()
+	if stz.AttestFailures < 1 {
+		t.Fatalf("attestation failures = %d, want >= 1", stz.AttestFailures)
+	}
+	unhealthy := 0
+	for _, u := range tampered {
+		if healthOf(stz, u) != HealthHealthy {
+			unhealthy++
+		}
+	}
+	if unhealthy == 0 {
+		t.Fatalf("both tampered replicas still read healthy after attestation failures: %+v", stz.Replicas)
+	}
+}
+
+// TestAuditUnresolvedRefused: two replicas disagree on a deterministic
+// range and no third exists to break the tie — serving would mean
+// guessing which one lies, so the fan-out must be refused with the
+// typed error and both parties marked suspect.
+func TestAuditUnresolvedRefused(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	f := startFleet(t, 2, func(i int) server.Config {
+		return server.Config{ComputeCorrupt: i == 0}
+	})
+	c := fastCoord(t, f.urls, func(cfg *Config) { cfg.AuditFrac = 1 })
+
+	_, err := c.Do(context.Background(), mcReq())
+	if !errors.Is(err, ErrAuditUnresolved) {
+		t.Fatalf("Do error = %v, want ErrAuditUnresolved", err)
+	}
+	stz := c.Statz()
+	for _, u := range f.urls {
+		if h := healthOf(stz, u); h != HealthSuspect {
+			t.Errorf("replica %s health = %q, want %q (unresolved mismatch suspects both)", u, h, HealthSuspect)
+		}
+	}
+}
+
+// TestQuarantineReadmission drives the full lifecycle: a one-shot
+// injected corruption gets one replica quarantined (the estimate stays
+// correct via repair), the cooldown promotes it to probation, probation
+// audits are clean — the replica computes honestly now — and after
+// ProbationAudits of them it is readmitted to full health.
+func TestQuarantineReadmission(t *testing.T) {
+	defer faultinject.Reset()
+	testutil.CheckGoroutineLeaks(t)
+	req := mcReq()
+	want := singleNodeRef(t, req)
+
+	f := startFleet(t, 3, nil)
+	c := fastCoord(t, f.urls, func(cfg *Config) {
+		cfg.AuditFrac = 1
+		cfg.ProbationAudits = 2
+		cfg.QuarantineCooldown = 50 * time.Millisecond
+	})
+
+	faultinject.Enable(faultinject.SiteClusterComputeCorrupt, faultinject.Fault{Err: errors.New("injected"), Times: 1})
+	res, err := c.Do(context.Background(), req)
+	faultinject.Reset()
+	if err != nil {
+		t.Fatalf("Do with a one-shot corruption: %v", err)
+	}
+	if got := estOf(res); got != want {
+		t.Fatalf("repaired estimate diverged: got %+v want %+v", got, want)
+	}
+	stz := c.Statz()
+	if stz.Quarantines < 1 {
+		t.Fatalf("one-shot lie produced no quarantine (statz %+v)", stz)
+	}
+	var liar string
+	for _, r := range stz.Replicas {
+		if r.Health == HealthQuarantined {
+			liar = r.URL
+		}
+	}
+	if liar == "" {
+		t.Fatalf("no replica reads quarantined: %+v", stz.Replicas)
+	}
+
+	time.Sleep(80 * time.Millisecond) // past the cooldown: next touch promotes to probation
+	res, err = c.Do(context.Background(), req)
+	if err != nil {
+		t.Fatalf("post-cooldown Do: %v", err)
+	}
+	if got := estOf(res); got != want {
+		t.Fatalf("post-cooldown estimate diverged: got %+v want %+v", got, want)
+	}
+	if !trailHas(res, "readmit") {
+		t.Fatalf("probation audits produced no readmit event: %+v", res.ClusterTrail)
+	}
+	stz = c.Statz()
+	if h := healthOf(stz, liar); h != HealthHealthy {
+		t.Fatalf("readmitted replica health = %q, want %q", h, HealthHealthy)
+	}
+}

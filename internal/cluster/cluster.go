@@ -36,6 +36,18 @@
 // completes the merge. Resume provenance ("resume" /
 // "resume-rejected" events naming the shipping replica and sequence
 // number) joins the ClusterTrail vocabulary.
+//
+// Finally, the trust-but-verify layer (audit.go, health.go) assumes
+// replicas can lie, not just die: every sub-response carries an
+// attestation digest over its raw lane aggregates (verified before
+// acceptance), a configurable fraction of completed ranges is
+// re-executed on a different replica and byte-compared (exact, because
+// the range is deterministic), a tie-break on a third replica
+// identifies the liar on mismatch, and a per-replica quarantine state
+// machine drains untrusted replicas from the pool and readmits them
+// only after consecutive clean probation audits. A corrupted aggregate
+// is either repaired before the merge or fails the fan-out — never
+// served unflagged.
 package cluster
 
 import (
@@ -113,6 +125,20 @@ type Config struct {
 	// and latest shipped checkpoints, so a coordinator restarted after a
 	// crash can Recover the run and complete the merge (see journal.go).
 	JournalDir string
+	// AuditFrac is the fraction of completed lane ranges the coordinator
+	// re-executes on a different replica and byte-compares before
+	// serving a fan-out (see audit.go). Selection is deterministic per
+	// request. Zero (the default) disables audits entirely — the
+	// attestation check still runs, and costs one digest per
+	// sub-response.
+	AuditFrac float64
+	// ProbationAudits is how many consecutive clean audits a probation
+	// replica needs to be readmitted to the work pool (default 3).
+	ProbationAudits int
+	// QuarantineCooldown is how long a quarantined replica stays fully
+	// drained before it may re-enter as a probation auditor (default
+	// 30s).
+	QuarantineCooldown time.Duration
 	// Seed seeds the coordinator's private backoff-jitter RNG, making
 	// retry timing reproducible in tests. Zero uses the wall clock.
 	Seed int64
@@ -149,6 +175,12 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointPoll <= 0 {
 		c.CheckpointPoll = 100 * time.Millisecond
 	}
+	if c.ProbationAudits <= 0 {
+		c.ProbationAudits = 3
+	}
+	if c.QuarantineCooldown <= 0 {
+		c.QuarantineCooldown = 30 * time.Second
+	}
 	if c.Seed == 0 {
 		c.Seed = time.Now().UnixNano()
 	}
@@ -176,6 +208,9 @@ type replica struct {
 type Coordinator struct {
 	cfg      Config
 	replicas []*replica // sorted by URL: the hash ring
+	// health holds the per-replica integrity state machines, parallel to
+	// replicas (see health.go).
+	health   []*replicaHealth
 	breakers *server.Breakers
 	probeCli *http.Client
 
@@ -202,6 +237,17 @@ type Coordinator struct {
 	nJournalWrites   atomic.Int64
 	nJournalErrors   atomic.Int64
 	nRecovered       atomic.Int64
+	// Integrity counters (see audit.go, health.go): audits executed /
+	// skipped, digest mismatches between replicas, ranges re-executed
+	// away from a liar, attestation failures, quarantine transitions,
+	// and replicas passed over in target selection for health reasons.
+	nAudits          atomic.Int64
+	nAuditsSkipped   atomic.Int64
+	nAuditMismatches atomic.Int64
+	nAuditReplants   atomic.Int64
+	nAttestFails     atomic.Int64
+	nQuarantines     atomic.Int64
+	nQuarantineSkips atomic.Int64
 
 	start time.Time
 }
@@ -233,6 +279,7 @@ func New(cfg Config) (*Coordinator, error) {
 		r := &replica{url: u, client: cl}
 		r.up.Store(true)
 		c.replicas = append(c.replicas, r)
+		c.health = append(c.health, &replicaHealth{})
 	}
 	for _, r := range c.replicas {
 		c.wg.Add(1)
@@ -330,11 +377,14 @@ func (c *Coordinator) Do(ctx context.Context, req server.Request) (*server.Respo
 	return c.proxy(ctx, req)
 }
 
-// liveIndexes returns the ring indexes of the replicas currently up.
+// liveIndexes returns the ring indexes of the replicas currently
+// eligible for work: up by probe verdict AND workable by integrity
+// health (quarantined and probation replicas are drained; see
+// health.go).
 func (c *Coordinator) liveIndexes() []int {
 	var out []int
 	for i, r := range c.replicas {
-		if r.up.Load() {
+		if r.up.Load() && c.workable(i) {
 			out = append(out, i)
 		}
 	}
@@ -367,6 +417,7 @@ func (c *Coordinator) runRanges(ctx context.Context, req server.Request, ranges 
 	j := c.openJournal(req, ranges)
 	type outcome struct {
 		res   *server.Response
+		from  string
 		trail []server.ClusterStep
 		err   error
 	}
@@ -382,12 +433,12 @@ func (c *Coordinator) runRanges(ctx context.Context, req server.Request, ranges 
 		wg.Add(1)
 		go func(i int, rg mc.Range, ship *shipTracker) {
 			defer wg.Done()
-			res, trail, err := c.runRange(fctx, req, rg, starts[i], ship)
-			results[i] = outcome{res, trail, err}
+			res, from, trail, err := c.runRange(fctx, req, rg, starts[i], ship)
+			results[i] = outcome{res, from, trail, err}
 			if err != nil {
 				cancel() // a lost range dooms the merge; stop the siblings
 			} else {
-				j.setDone(i)
+				j.setDone(i, res.LaneDigest)
 			}
 		}(i, rg, ship)
 	}
@@ -395,6 +446,7 @@ func (c *Coordinator) runRanges(ctx context.Context, req server.Request, ranges 
 
 	var trail []server.ClusterStep
 	subs := make([]*server.Response, 0, len(results))
+	froms := make([]string, 0, len(results))
 	for i, o := range results {
 		if o.err != nil {
 			// Prefer the originating failure over the ctx errors the
@@ -408,6 +460,15 @@ func (c *Coordinator) runRanges(ctx context.Context, req server.Request, ranges 
 		}
 		trail = append(trail, o.trail...)
 		subs = append(subs, o.res)
+		froms = append(froms, o.from)
+	}
+	// Sampled audits run after every range succeeded and before the
+	// merge: a corrupted aggregate either gets repaired here or fails
+	// the fan-out — it is never served unflagged.
+	atrail, err := c.auditFanout(ctx, req, ranges, subs, froms, j)
+	trail = append(trail, atrail...)
+	if err != nil {
+		return nil, err
 	}
 	res, err := c.merge(req, ranges, subs, trail, began)
 	if err != nil {
@@ -484,7 +545,16 @@ func (c *Coordinator) merge(req server.Request, ranges []mc.Range, subs []*serve
 // dead replica's work; a target that rejects the planted snapshot
 // (fingerprint mismatch or corrupt frame, HTTP 409 kind "checkpoint")
 // costs the frame, never the range — the next attempt restarts clean.
-func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Range, startIdx int, ship *shipTracker) (*server.Response, []server.ClusterStep, error) {
+//
+// Every successful sub-response is attestation-checked before it is
+// accepted: the coordinator recomputes mc.RangeDigest over the lane
+// aggregates it received and compares it to the replica's LaneDigest. A
+// mismatch means the aggregates were perturbed between the replica's
+// sampling loop and this process (wire or memory corruption) — the
+// attempt is discarded, the replica takes a health strike, and the
+// range retries elsewhere. The second return value names the replica
+// whose aggregates were accepted (the audit layer's hook).
+func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Range, startIdx int, ship *shipTracker) (*server.Response, string, []server.ClusterStep, error) {
 	sub := req
 	sub.Engine = string(core.EngineMCDirect)
 	sub.Lanes = &server.LaneRange{Lo: rg.Lo, Hi: rg.Hi, Total: rg.Total}
@@ -502,7 +572,7 @@ func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Ra
 		if attempt > 0 {
 			c.nRetries.Add(1)
 			if err := c.sleep(ctx, attempt-1); err != nil {
-				return nil, trail, err
+				return nil, "", trail, err
 			}
 		}
 		target, tIdx, skips := c.pickTarget(idx, rg)
@@ -554,6 +624,18 @@ func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Ra
 			trail = append(trail, server.ClusterStep{Replica: backup.url, Lo: rg.Lo, Hi: rg.Hi, Event: "hedge"})
 		}
 		if err == nil {
+			// Verify the winner's attestation before accepting anything
+			// from the response — including its shipped checkpoint.
+			if d, ok := verifyAttestation(res); !ok {
+				c.nAttestFails.Add(1)
+				trail = append(trail, server.ClusterStep{Replica: winner.url, Lo: rg.Lo, Hi: rg.Hi, Event: "attest-fail", Digest: d,
+					Err: "lane digest disagrees with aggregates"})
+				trail = c.appendHealth(trail, winner.url, func(f *healthFSM) string { return f.RecordBad(time.Now()) })
+				lastErr = fmt.Errorf("cluster: range %s: %s attestation failed", rg, winner.url)
+				continue
+			} else if res.LaneRange != nil {
+				trail = append(trail, server.ClusterStep{Replica: winner.url, Lo: rg.Lo, Hi: rg.Hi, Event: "attest", Digest: res.LaneDigest})
+			}
 			if len(res.Checkpoint) > 0 {
 				ship.accept(res.Checkpoint, winner.url)
 			}
@@ -571,7 +653,7 @@ func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Ra
 				}
 			}
 			trail = append(trail, server.ClusterStep{Replica: winner.url, Lo: rg.Lo, Hi: rg.Hi, Event: "done"})
-			return res, trail, nil
+			return res, winner.url, trail, nil
 		}
 		lastErr = err
 		// A replica that rejects the planted snapshot answers 409 kind
@@ -587,19 +669,20 @@ func (c *Coordinator) runRange(ctx context.Context, req server.Request, rg mc.Ra
 			continue
 		}
 		if !transient(ctx, err) {
-			return nil, trail, err
+			return nil, "", trail, err
 		}
 	}
 	if degraded != nil {
 		trail = append(trail, server.ClusterStep{Replica: degradedFrom, Lo: rg.Lo, Hi: rg.Hi, Event: "done"})
-		return degraded, trail, nil
+		return degraded, degradedFrom, trail, nil
 	}
-	return nil, trail, fmt.Errorf("cluster: range %s: giving up after %d attempts: %w", rg, c.cfg.MaxAttempts, lastErr)
+	return nil, "", trail, fmt.Errorf("cluster: range %s: giving up after %d attempts: %w", rg, c.cfg.MaxAttempts, lastErr)
 }
 
-// pickTarget scans the ring from `from` for an up replica whose breaker
-// admits a request, recording breaker-vetoed live replicas as
-// breaker-skip trail steps.
+// pickTarget scans the ring from `from` for an up, workable replica
+// whose breaker admits a request, recording breaker-vetoed live
+// replicas as breaker-skip and health-drained ones as quarantine-skip
+// trail steps.
 func (c *Coordinator) pickTarget(from int, rg mc.Range) (*replica, int, []server.ClusterStep) {
 	n := len(c.replicas)
 	var skips []server.ClusterStep
@@ -607,6 +690,11 @@ func (c *Coordinator) pickTarget(from int, rg mc.Range) (*replica, int, []server
 		j := ((from+i)%n + n) % n
 		r := c.replicas[j]
 		if !r.up.Load() {
+			continue
+		}
+		if !c.workable(j) {
+			c.nQuarantineSkips.Add(1)
+			skips = append(skips, server.ClusterStep{Replica: r.url, Lo: rg.Lo, Hi: rg.Hi, Event: "quarantine-skip"})
 			continue
 		}
 		if !c.breakers.Allow(core.Engine(r.url)) {
@@ -618,13 +706,14 @@ func (c *Coordinator) pickTarget(from int, rg mc.Range) (*replica, int, []server
 	return nil, -1, skips
 }
 
-// hedgeTarget returns the next up replica after ring index i, or nil
-// when no distinct one exists (a cluster of one cannot hedge).
+// hedgeTarget returns the next up, workable replica after ring index i,
+// or nil when no distinct one exists (a cluster of one cannot hedge).
 func (c *Coordinator) hedgeTarget(i int) *replica {
 	n := len(c.replicas)
 	for k := 1; k < n; k++ {
-		r := c.replicas[(i+k)%n]
-		if r.up.Load() {
+		j := (i + k) % n
+		r := c.replicas[j]
+		if r.up.Load() && c.workable(j) {
 			return r
 		}
 	}
@@ -891,6 +980,11 @@ type ReplicaStatz struct {
 	Up  bool   `json:"up"`
 	// ProbeFailures is the current consecutive-failure streak.
 	ProbeFailures int64 `json:"probe_failures"`
+	// Health is the replica's integrity state: "healthy", "suspect",
+	// "quarantined", or "probation" (see health.go). CleanAudits is its
+	// consecutive clean-audit streak while on probation.
+	Health      HealthState `json:"health"`
+	CleanAudits int         `json:"clean_audits,omitempty"`
 }
 
 // Statz is the JSON body of the coordinator's GET /statz.
@@ -915,7 +1009,18 @@ type Statz struct {
 	JournalWrites    int64 `json:"journal_writes"`
 	JournalErrors    int64 `json:"journal_errors"`
 	RecoveredFanouts int64 `json:"recovered_fanouts"`
-	UptimeMS         int64 `json:"uptime_ms"`
+	// Integrity counters: audit re-executions run / skipped, digest
+	// mismatches caught, ranges re-executed away from a liar,
+	// attestation failures, quarantine transitions, and replicas passed
+	// over in target selection for health reasons.
+	Audits          int64 `json:"audits"`
+	AuditsSkipped   int64 `json:"audits_skipped"`
+	AuditMismatches int64 `json:"audit_mismatches"`
+	AuditReplants   int64 `json:"audit_replants"`
+	AttestFailures  int64 `json:"attest_failures"`
+	Quarantines     int64 `json:"quarantines"`
+	QuarantineSkips int64 `json:"quarantine_skips"`
+	UptimeMS        int64 `json:"uptime_ms"`
 }
 
 // Statz snapshots the coordinator state.
@@ -934,14 +1039,23 @@ func (c *Coordinator) Statz() Statz {
 		JournalWrites:       c.nJournalWrites.Load(),
 		JournalErrors:       c.nJournalErrors.Load(),
 		RecoveredFanouts:    c.nRecovered.Load(),
+		Audits:              c.nAudits.Load(),
+		AuditsSkipped:       c.nAuditsSkipped.Load(),
+		AuditMismatches:     c.nAuditMismatches.Load(),
+		AuditReplants:       c.nAuditReplants.Load(),
+		AttestFailures:      c.nAttestFails.Load(),
+		Quarantines:         c.nQuarantines.Load(),
+		QuarantineSkips:     c.nQuarantineSkips.Load(),
 		UptimeMS:            time.Since(c.start).Milliseconds(),
 	}
-	for _, r := range c.replicas {
+	for i, r := range c.replicas {
 		up := r.up.Load()
 		if up {
 			st.LiveReplicas++
 		}
-		st.Replicas = append(st.Replicas, ReplicaStatz{URL: r.url, Up: up, ProbeFailures: r.fails.Load()})
+		health, streak, _ := c.healthSnapshot(i)
+		st.Replicas = append(st.Replicas, ReplicaStatz{URL: r.url, Up: up, ProbeFailures: r.fails.Load(),
+			Health: health, CleanAudits: streak})
 	}
 	return st
 }

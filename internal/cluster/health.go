@@ -1,0 +1,194 @@
+package cluster
+
+// Replica integrity health: the quarantine state machine behind
+// trust-but-verify. Liveness (replica.up, fed by /readyz probes) answers
+// "is it responding"; health answers "can its answers be trusted" —
+// fed by attestation failures and audit verdicts instead of probes.
+//
+//	healthy ──bad──▶ suspect ──bad──▶ quarantined
+//	suspect ──clean──▶ healthy
+//	quarantined ──cooldown──▶ probation
+//	probation ──N clean──▶ healthy ("readmit")
+//	probation ──bad──▶ quarantined
+//	any ──liar──▶ quarantined
+//
+// Quarantined and probation replicas are drained from the fan-out pool
+// and the proxy ring (pickTarget records "quarantine-skip"); probation
+// replicas earn their way back by serving as preferred audit executors,
+// where every answer is checked against a trusted one. Only
+// Config.ProbationAudits consecutive clean audits readmit a replica —
+// a single clean answer after a confirmed lie is not trust.
+
+import (
+	"sync"
+	"time"
+)
+
+// HealthState is a replica's integrity state.
+type HealthState string
+
+// The four integrity states. The zero value ("") reads as healthy.
+const (
+	HealthHealthy     HealthState = "healthy"
+	HealthSuspect     HealthState = "suspect"
+	HealthQuarantined HealthState = "quarantined"
+	HealthProbation   HealthState = "probation"
+)
+
+// healthFSM is the pure per-replica state machine. It is deliberately
+// free of clocks and locks — every transition takes the current time as
+// an argument — so the transition table is directly testable. The zero
+// value is a healthy replica.
+type healthFSM struct {
+	// State is the current integrity state ("" = healthy).
+	State HealthState
+	// CleanStreak counts consecutive clean audits while on probation.
+	CleanStreak int
+	// Since is when State was entered (zero for the initial state).
+	Since time.Time
+}
+
+func (f *healthFSM) state() HealthState {
+	if f.State == "" {
+		return HealthHealthy
+	}
+	return f.State
+}
+
+func (f *healthFSM) to(s HealthState, now time.Time) {
+	f.State, f.Since, f.CleanStreak = s, now, 0
+}
+
+// Promote applies the one time-driven transition: a replica quarantined
+// at least cooldown ago enters probation. Called lazily before every
+// read, so no background timer is needed. Returns the emitted trail
+// event ("probation") or "".
+func (f *healthFSM) Promote(now time.Time, cooldown time.Duration) string {
+	if f.state() == HealthQuarantined && now.Sub(f.Since) >= cooldown {
+		f.to(HealthProbation, now)
+		return "probation"
+	}
+	return ""
+}
+
+// RecordClean applies a clean audit verdict. A suspect replica is
+// cleared immediately (suspicion was circumstantial); a probation
+// replica needs `need` consecutive clean audits to be readmitted.
+// Returns "readmit" when the replica regains full trust, else "".
+func (f *healthFSM) RecordClean(now time.Time, need int) string {
+	switch f.state() {
+	case HealthSuspect:
+		f.to(HealthHealthy, now)
+		return "readmit"
+	case HealthProbation:
+		f.CleanStreak++
+		if f.CleanStreak >= need {
+			f.to(HealthHealthy, now)
+			return "readmit"
+		}
+	}
+	return ""
+}
+
+// RecordBad applies circumstantial evidence against a replica — an
+// attestation failure or an unresolved audit mismatch, where the fault
+// could not be pinned on one party. One strike makes a healthy replica
+// suspect; a second (or any strike on probation) quarantines it.
+// Returns the emitted trail event ("suspect", "quarantine") or "".
+func (f *healthFSM) RecordBad(now time.Time) string {
+	switch f.state() {
+	case HealthHealthy:
+		f.to(HealthSuspect, now)
+		return "suspect"
+	case HealthSuspect, HealthProbation:
+		f.to(HealthQuarantined, now)
+		return "quarantine"
+	}
+	return "" // already quarantined
+}
+
+// RecordLiar applies a confirmed lie — a tie-break identified this
+// replica's aggregates as the divergent ones. Quarantine is immediate
+// from any state, and an already-quarantined liar has its cooldown
+// restarted. Returns "quarantine" on transition, else "".
+func (f *healthFSM) RecordLiar(now time.Time) string {
+	if f.state() == HealthQuarantined {
+		f.Since = now
+		return ""
+	}
+	f.to(HealthQuarantined, now)
+	return "quarantine"
+}
+
+// Workable reports whether the replica may receive regular work. A
+// suspect replica still works (one strike is not proof); quarantined
+// and probation replicas are drained — probation earns trust through
+// audits only.
+func (f *healthFSM) Workable() bool {
+	s := f.state()
+	return s == HealthHealthy || s == HealthSuspect
+}
+
+// Auditable reports whether the replica may execute audit
+// re-executions. Everyone but the quarantined — probation replicas are
+// in fact the preferred auditors, since an audit is exactly the
+// supervised work that can readmit them.
+func (f *healthFSM) Auditable() bool {
+	return f.state() != HealthQuarantined
+}
+
+// replicaHealth is the coordinator's lock wrapper around one replica's
+// FSM.
+type replicaHealth struct {
+	mu  sync.Mutex
+	fsm healthFSM
+}
+
+// workable reports whether ring index i may receive regular work,
+// applying the lazy probation promotion first.
+func (c *Coordinator) workable(i int) bool {
+	h := c.health[i]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fsm.Promote(time.Now(), c.cfg.QuarantineCooldown)
+	return h.fsm.Workable()
+}
+
+// healthSnapshot returns ring index i's current state and probation
+// streak, applying the lazy promotion. The returned event is
+// "probation" when the snapshot itself performed the promotion.
+func (c *Coordinator) healthSnapshot(i int) (HealthState, int, string) {
+	h := c.health[i]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ev := h.fsm.Promote(time.Now(), c.cfg.QuarantineCooldown)
+	return h.fsm.state(), h.fsm.CleanStreak, ev
+}
+
+// healthEvent applies one FSM transition to ring index i under its
+// lock, maintains the quarantine counter, and returns the trail event
+// the transition emitted ("" for none). A negative index (an URL that
+// left the ring) is a no-op.
+func (c *Coordinator) healthEvent(i int, apply func(*healthFSM) string) string {
+	if i < 0 {
+		return ""
+	}
+	h := c.health[i]
+	h.mu.Lock()
+	ev := apply(&h.fsm)
+	h.mu.Unlock()
+	if ev == "quarantine" {
+		c.nQuarantines.Add(1)
+	}
+	return ev
+}
+
+// indexOf resolves a replica URL to its ring index, -1 if unknown.
+func (c *Coordinator) indexOf(url string) int {
+	for i, r := range c.replicas {
+		if r.url == url {
+			return i
+		}
+	}
+	return -1
+}

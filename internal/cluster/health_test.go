@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fsmStep is one operation applied to a healthFSM in a transition-table
+// test, with the event and state expected afterwards.
+type fsmStep struct {
+	op    string // "clean", "bad", "liar", "wait", "promote"
+	event string
+	state HealthState
+}
+
+// TestHealthFSMTransitions walks the documented transition table edge
+// by edge. The clock is explicit: "wait" advances it past the
+// quarantine cooldown, "promote" applies the lazy time-driven
+// transition without advancing it.
+func TestHealthFSMTransitions(t *testing.T) {
+	const need = 3
+	const cooldown = time.Minute
+	cases := []struct {
+		name  string
+		steps []fsmStep
+	}{
+		{"clean-on-healthy-noop", []fsmStep{
+			{"clean", "", HealthHealthy},
+		}},
+		{"one-strike-suspect-then-cleared", []fsmStep{
+			{"bad", "suspect", HealthSuspect},
+			{"clean", "readmit", HealthHealthy},
+		}},
+		{"two-strikes-quarantine", []fsmStep{
+			{"bad", "suspect", HealthSuspect},
+			{"bad", "quarantine", HealthQuarantined},
+		}},
+		{"liar-quarantined-from-healthy", []fsmStep{
+			{"liar", "quarantine", HealthQuarantined},
+		}},
+		{"liar-quarantined-from-suspect", []fsmStep{
+			{"bad", "suspect", HealthSuspect},
+			{"liar", "quarantine", HealthQuarantined},
+		}},
+		{"bad-on-quarantined-noop", []fsmStep{
+			{"liar", "quarantine", HealthQuarantined},
+			{"bad", "", HealthQuarantined},
+		}},
+		{"clean-on-quarantined-noop", []fsmStep{
+			{"liar", "quarantine", HealthQuarantined},
+			{"clean", "", HealthQuarantined},
+		}},
+		{"cooldown-probation-then-readmit", []fsmStep{
+			{"liar", "quarantine", HealthQuarantined},
+			{"promote", "", HealthQuarantined}, // too early
+			{"wait", "", HealthQuarantined},
+			{"promote", "probation", HealthProbation},
+			{"clean", "", HealthProbation},
+			{"clean", "", HealthProbation},
+			{"clean", "readmit", HealthHealthy},
+		}},
+		{"probation-bad-requarantines", []fsmStep{
+			{"liar", "quarantine", HealthQuarantined},
+			{"wait", "", HealthQuarantined},
+			{"promote", "probation", HealthProbation},
+			{"clean", "", HealthProbation},
+			{"bad", "quarantine", HealthQuarantined},
+		}},
+		{"probation-liar-requarantines-and-resets-streak", []fsmStep{
+			{"liar", "quarantine", HealthQuarantined},
+			{"wait", "", HealthQuarantined},
+			{"promote", "probation", HealthProbation},
+			{"clean", "", HealthProbation},
+			{"clean", "", HealthProbation},
+			{"liar", "quarantine", HealthQuarantined},
+			{"wait", "", HealthQuarantined},
+			{"promote", "probation", HealthProbation},
+			// The earlier streak of 2 must not carry over.
+			{"clean", "", HealthProbation},
+			{"clean", "", HealthProbation},
+			{"clean", "readmit", HealthHealthy},
+		}},
+		{"liar-while-quarantined-restarts-cooldown", []fsmStep{
+			{"liar", "quarantine", HealthQuarantined},
+			{"wait", "", HealthQuarantined},
+			{"liar", "", HealthQuarantined}, // Since restarted at the new now
+			{"promote", "", HealthQuarantined},
+			{"wait", "", HealthQuarantined},
+			{"promote", "probation", HealthProbation},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var f healthFSM
+			now := time.Unix(0, 0)
+			for i, s := range tc.steps {
+				var ev string
+				switch s.op {
+				case "clean":
+					ev = f.RecordClean(now, need)
+				case "bad":
+					ev = f.RecordBad(now)
+				case "liar":
+					ev = f.RecordLiar(now)
+				case "wait":
+					now = now.Add(cooldown)
+				case "promote":
+					ev = f.Promote(now, cooldown)
+				default:
+					t.Fatalf("unknown op %q", s.op)
+				}
+				if ev != s.event {
+					t.Fatalf("step %d (%s): event = %q, want %q", i, s.op, ev, s.event)
+				}
+				if got := f.state(); got != s.state {
+					t.Fatalf("step %d (%s): state = %q, want %q", i, s.op, got, s.state)
+				}
+			}
+		})
+	}
+}
+
+// TestHealthFSMWorkableAuditable pins the drain policy to the states:
+// only healthy and suspect replicas take regular work, only quarantined
+// replicas are barred from auditing.
+func TestHealthFSMWorkableAuditable(t *testing.T) {
+	now := time.Unix(0, 0)
+	mk := func(s HealthState) *healthFSM { return &healthFSM{State: s, Since: now} }
+	for _, tc := range []struct {
+		state               HealthState
+		workable, auditable bool
+	}{
+		{HealthHealthy, true, true},
+		{HealthSuspect, true, true},
+		{HealthQuarantined, false, false},
+		{HealthProbation, false, true},
+	} {
+		f := mk(tc.state)
+		if got := f.Workable(); got != tc.workable {
+			t.Errorf("%s: Workable = %v, want %v", tc.state, got, tc.workable)
+		}
+		if got := f.Auditable(); got != tc.auditable {
+			t.Errorf("%s: Auditable = %v, want %v", tc.state, got, tc.auditable)
+		}
+	}
+	var zero healthFSM
+	if !zero.Workable() || zero.state() != HealthHealthy {
+		t.Errorf("zero FSM = %q workable=%v, want healthy/workable", zero.state(), zero.Workable())
+	}
+}
+
+// TestHealthFSMNoEarlyReadmit is the seeded property test behind the
+// quarantine guarantee: across random interleavings of verdicts and
+// clock advances, a replica that was quarantined never reaches healthy
+// except through probation with ProbationAudits consecutive clean
+// audits — no sequence of events readmits it early, and it never jumps
+// from quarantined straight to healthy.
+func TestHealthFSMNoEarlyReadmit(t *testing.T) {
+	const need = 3
+	const cooldown = time.Minute
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var f healthFSM
+		now := time.Unix(0, 0)
+		streak := 0 // clean audits observed since (re-)entering probation
+		for i := 0; i < 400; i++ {
+			now = now.Add(time.Duration(rng.Intn(int(cooldown/time.Second*2))) * time.Second)
+			before := f.state()
+			var ev string
+			switch rng.Intn(4) {
+			case 0:
+				ev = f.RecordClean(now, need)
+				if before == HealthProbation {
+					streak++
+				}
+			case 1:
+				ev = f.RecordBad(now)
+				streak = 0
+			case 2:
+				ev = f.RecordLiar(now)
+				streak = 0
+			case 3:
+				ev = f.Promote(now, cooldown)
+				if ev == "probation" {
+					streak = 0
+				}
+			}
+			after := f.state()
+			switch after {
+			case HealthHealthy, HealthSuspect, HealthQuarantined, HealthProbation:
+			default:
+				t.Fatalf("seed %d step %d: impossible state %q", seed, i, after)
+			}
+			if before == HealthQuarantined && after == HealthHealthy {
+				t.Fatalf("seed %d step %d: quarantined jumped straight to healthy (event %q)", seed, i, ev)
+			}
+			if before == HealthProbation && after == HealthHealthy && streak < need {
+				t.Fatalf("seed %d step %d: readmitted after %d clean probation audits, want >= %d",
+					seed, i, streak, need)
+			}
+			if (f.state() == HealthHealthy || f.state() == HealthSuspect) != f.Workable() {
+				t.Fatalf("seed %d step %d: Workable disagrees with state %q", seed, i, f.state())
+			}
+		}
+	}
+}

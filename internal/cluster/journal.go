@@ -60,6 +60,11 @@ type RangeRecord struct {
 	// Done marks the range's sub-response as received (observability;
 	// recovery re-attaches regardless, which is cheap and idempotent).
 	Done bool `json:"done,omitempty"`
+	// Digest is the attestation digest (mc.RangeDigest) of the lane
+	// aggregates that entered — or will enter — the merge for this
+	// range, recorded when Done is set and updated if an audit replaces
+	// the aggregates.
+	Digest string `json:"digest,omitempty"`
 }
 
 // FanoutRecord is the journal's durable record of one keyed fan-out.
@@ -73,15 +78,34 @@ type FanoutRecord struct {
 	Ranges []RangeRecord `json:"ranges"`
 	// Result is the merged response, set once State is "done"; a re-POST
 	// of the same key is served from it without touching the replicas.
-	Result    *server.Response `json:"result,omitempty"`
-	UpdatedMS int64            `json:"updated_ms"`
+	Result *server.Response `json:"result,omitempty"`
+	// Audits accumulates every audit the coordinator ran on this
+	// fan-out — the durable twin of the ClusterTrail's audit events.
+	Audits    []AuditRecord `json:"audits,omitempty"`
+	UpdatedMS int64         `json:"updated_ms"`
 }
 
-// journalPath names a key's journal file. The key is content-addressed
-// by hash so arbitrary key bytes cannot escape the directory.
-func (c *Coordinator) journalPath(key string) string {
+// journalPath names a key's journal file under dir. The key is
+// content-addressed by hash so arbitrary key bytes cannot escape the
+// directory.
+func journalPath(dir, key string) string {
 	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(c.cfg.JournalDir, "fanout-"+hex.EncodeToString(sum[:8])+".json")
+	return filepath.Join(dir, "fanout-"+hex.EncodeToString(sum[:8])+".json")
+}
+
+func (c *Coordinator) journalPath(key string) string {
+	return journalPath(c.cfg.JournalDir, key)
+}
+
+// LoadFanout reads the journal record of one keyed fan-out, nil when
+// absent (or torn). Exported for tests, chaos invariants, and operator
+// tooling that inspect a coordinator's journal from outside the
+// process.
+func LoadFanout(dir, key string) *FanoutRecord {
+	if dir == "" || key == "" {
+		return nil
+	}
+	return loadRecord(journalPath(dir, key))
 }
 
 // loadRecord reads and decodes one journal file. A missing or torn
@@ -204,9 +228,20 @@ func (j *fanoutJournal) setCheckpoint(idx int, frame []byte, seq int, from strin
 	})
 }
 
-// setDone marks one range's sub-response as received.
-func (j *fanoutJournal) setDone(idx int) {
-	j.update(func(r *FanoutRecord) { r.Ranges[idx].Done = true })
+// setDone marks one range's sub-response as received and records the
+// attestation digest of the aggregates bound for the merge. Audits call
+// it again when they replace a liar's aggregates — the journal always
+// names the digest that was actually merged.
+func (j *fanoutJournal) setDone(idx int, digest string) {
+	j.update(func(r *FanoutRecord) {
+		r.Ranges[idx].Done = true
+		r.Ranges[idx].Digest = digest
+	})
+}
+
+// addAudit appends one audit's durable record.
+func (j *fanoutJournal) addAudit(rec AuditRecord) {
+	j.update(func(r *FanoutRecord) { r.Audits = append(r.Audits, rec) })
 }
 
 // checkpointOf returns range idx's journaled checkpoint, if any.

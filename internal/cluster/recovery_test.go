@@ -91,6 +91,7 @@ func validFrame(seed int64, rg mc.Range, samples int) []byte {
 // accepting case, and every malformed shape rejecting with an error
 // (never a panic).
 func TestCheckShipped(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	rg := mc.Range{Lo: 4, Hi: 8, Total: 8}
 	good := validFrame(42, rg, 1000)
 	if seq, err := checkShipped(good, 42, rg); err != nil || seq != 1000 {

@@ -43,12 +43,31 @@ type ClusterStep struct {
 	// "reassign", "breaker-skip", "done", "resume" (the range was
 	// re-planted from a shipped checkpoint), "resume-rejected" (a shipped
 	// checkpoint failed validation and the range restarted clean).
+	//
+	// The integrity layer adds: "attest" (a sub-response's lane-digest
+	// attestation verified, Digest carries it), "attest-fail" (the digest
+	// disagreed with the aggregates and the attempt was discarded),
+	// "quarantine-skip" (a quarantined or probation replica was passed
+	// over during target selection), "audit-ok" (an audit re-execution
+	// byte-matched the original), "audit-mismatch" (it did not; a
+	// tie-break follows), "audit-liar" (the tie-break identified the
+	// replica whose aggregates diverge from the majority), "audit-replant"
+	// (a range won by the liar was re-executed on an honest replica),
+	// "audit-unresolved" (no third replica could tie-break — the fan-out
+	// is refused rather than served unverified), "audit-skipped" (no
+	// eligible auditor, or the audit send itself failed), and the health
+	// transitions "suspect", "quarantine", "probation", "readmit".
 	Event string
 	// Err carries the failure that triggered a retry or reassignment.
 	Err string `json:",omitempty"`
 	// Source and Seq are set on "resume"/"resume-rejected" events: the
 	// replica whose shipped checkpoint was involved and the total sample
-	// count it captured.
+	// count it captured. Audit events reuse Source for the counterparty
+	// replica (the original executor on "audit-ok"/"audit-mismatch", the
+	// tie-breaker on "audit-liar").
 	Source string `json:",omitempty"`
 	Seq    int    `json:",omitempty"`
+	// Digest is the lane-aggregate attestation digest involved in
+	// "attest" and audit events (mc.RangeDigest of the verified frame).
+	Digest string `json:",omitempty"`
 }

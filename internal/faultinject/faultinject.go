@@ -85,6 +85,17 @@ const (
 	// the journal path and the write reports failure).
 	SiteClusterCkptShip     = "cluster/ckpt-ship"
 	SiteClusterJournalCrash = "cluster/journal-crash"
+	// SiteClusterComputeCorrupt fires on a replica's pool worker after a
+	// lane-range computation succeeds; an armed fault silently perturbs
+	// one lane's Sum aggregate before the result (and its attestation
+	// digest) is rendered — the one corruption class attestation cannot
+	// catch, detectable only by a coordinator audit re-executing the
+	// range on a different replica. SiteClusterAudit fires before each
+	// audit re-execution the coordinator dispatches; an armed error makes
+	// that audit fall to the next candidate replica (or be skipped),
+	// proving audit scheduling degrades without poisoning health state.
+	SiteClusterComputeCorrupt = "cluster/compute-corrupt"
+	SiteClusterAudit          = "cluster/audit"
 )
 
 // allSites is the canonical registry behind Sites. Every Site* constant
@@ -114,6 +125,8 @@ var allSites = []string{
 	SiteClusterReassign,
 	SiteClusterCkptShip,
 	SiteClusterJournalCrash,
+	SiteClusterComputeCorrupt,
+	SiteClusterAudit,
 }
 
 // Sites returns every registered injection site, sorted. The chaos

@@ -1,0 +1,50 @@
+package mc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// Result attestation. A lane-range run is a pure function of
+// (seed, range, accuracy), so its raw per-lane aggregates are the whole
+// truth of what a replica computed — and RangeDigest condenses them
+// into one comparable fingerprint. Replicas attach the digest to every
+// lane-range response (Response.LaneDigest); the coordinator recomputes
+// it over the aggregates it is about to merge and refuses any
+// sub-response whose digest disagrees (wire or memory corruption
+// between the sampling loop and the merge). Two replicas that executed
+// the same lane range MUST produce equal digests — the exact-equality
+// oracle the coordinator's sampled audits byte-compare.
+
+// RangeDigest fingerprints a set of raw per-lane aggregates. The
+// encoding is canonical: lanes are ordered by index and every field —
+// including the float Sum, via its IEEE-754 bit pattern — is serialized
+// little-endian into the SHA-256 input, so the digest is independent of
+// slice order but sensitive to every bit of every aggregate. An empty
+// or nil slice digests to a defined value (the hash of a zero lane
+// count), so the function is total.
+func RangeDigest(lanes []LaneAgg) string {
+	sorted := lanes
+	if !sort.SliceIsSorted(lanes, func(i, j int) bool { return lanes[i].Idx < lanes[j].Idx }) {
+		sorted = append([]LaneAgg(nil), lanes...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Idx < sorted[j].Idx })
+	}
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(len(sorted)))
+	for _, a := range sorted {
+		put(uint64(int64(a.Idx)))
+		put(uint64(int64(a.Quota)))
+		put(uint64(int64(a.Drawn)))
+		put(uint64(int64(a.Hits)))
+		put(math.Float64bits(a.Sum))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,65 @@
+package mc
+
+import (
+	"math"
+	"testing"
+)
+
+func digestLanes() []LaneAgg {
+	return []LaneAgg{
+		{Idx: 0, Quota: 100, Drawn: 100, Hits: 40, Sum: 40.25},
+		{Idx: 1, Quota: 100, Drawn: 99, Hits: 38, Sum: 38.5},
+		{Idx: 2, Quota: 99, Drawn: 99, Hits: 41, Sum: 41},
+	}
+}
+
+// TestRangeDigestDeterministic: equal aggregates digest equally, and
+// the digest is independent of slice order (the canonical encoding
+// sorts by lane index).
+func TestRangeDigestDeterministic(t *testing.T) {
+	a, b := digestLanes(), digestLanes()
+	if RangeDigest(a) != RangeDigest(b) {
+		t.Fatal("equal aggregates produced different digests")
+	}
+	shuffled := []LaneAgg{b[2], b[0], b[1]}
+	if RangeDigest(a) != RangeDigest(shuffled) {
+		t.Error("digest depends on slice order; it must be canonical")
+	}
+	if RangeDigest(nil) != RangeDigest([]LaneAgg{}) {
+		t.Error("nil and empty slices must digest equally")
+	}
+	if RangeDigest(nil) == RangeDigest(a) {
+		t.Error("empty digest collides with a non-empty one")
+	}
+}
+
+// TestRangeDigestSensitivity: perturbing any single field of any lane —
+// including the float Sum by one ULP — must change the digest. This is
+// the property the coordinator's audits rest on: a lying replica cannot
+// alter an aggregate without altering the fingerprint.
+func TestRangeDigestSensitivity(t *testing.T) {
+	base := RangeDigest(digestLanes())
+	mutations := []struct {
+		name string
+		mut  func([]LaneAgg)
+	}{
+		{"idx", func(l []LaneAgg) { l[1].Idx = 5 }},
+		{"quota", func(l []LaneAgg) { l[0].Quota++ }},
+		{"drawn", func(l []LaneAgg) { l[2].Drawn-- }},
+		{"hits", func(l []LaneAgg) { l[1].Hits++ }},
+		{"sum-ulp", func(l []LaneAgg) { l[0].Sum = math.Nextafter(l[0].Sum, math.Inf(1)) }},
+		{"sum-sign", func(l []LaneAgg) { l[2].Sum = -l[2].Sum }},
+		{"dropped-lane", func(l []LaneAgg) { l[2] = l[1] }},
+	}
+	for _, m := range mutations {
+		lanes := digestLanes()
+		m.mut(lanes)
+		if RangeDigest(lanes) == base {
+			t.Errorf("%s: mutated aggregates digest identically to the original", m.name)
+		}
+	}
+	// A dropped trailing lane changes the digest too (length is encoded).
+	if RangeDigest(digestLanes()[:2]) == base {
+		t.Error("truncated aggregate set digests identically to the original")
+	}
+}

@@ -119,6 +119,13 @@ type Response struct {
 	// sub-request (Request.Lanes); R and H are then partial-range values
 	// and only the coordinator's merge is meaningful.
 	LaneRange *LaneRangeReport `json:"lane_range,omitempty"`
+	// LaneDigest is the replica's attestation over LaneRange.Lanes
+	// (mc.RangeDigest): the coordinator recomputes the digest over the
+	// aggregates it received and refuses the sub-response on mismatch,
+	// so wire or memory corruption between the sampling loop and the
+	// merge can never reach a served estimate. Present exactly when
+	// LaneRange is.
+	LaneDigest string `json:"lane_digest,omitempty"`
 	// ClusterTrail, on responses assembled by a cluster coordinator,
 	// records where each lane range ran and every retry, hedge, and
 	// reassignment — the cross-replica analogue of FallbackTrail.
@@ -156,9 +163,13 @@ type ClusterStep struct {
 	Err     string `json:"err,omitempty"`
 	// Source and Seq carry the provenance of "resume" and
 	// "resume-rejected" events: the replica whose shipped checkpoint was
-	// re-planted (or rejected) and its sample-count sequence.
+	// re-planted (or rejected) and its sample-count sequence. Audit
+	// events reuse Source for the counterparty replica.
 	Source string `json:"source,omitempty"`
 	Seq    int    `json:"seq,omitempty"`
+	// Digest is the lane-aggregate attestation digest involved in
+	// "attest" and audit events.
+	Digest string `json:"digest,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.
@@ -241,9 +252,12 @@ func toResponse(res core.Result, elapsedMS int64) *Response {
 			Method: lr.Method, Requested: lr.Requested, NormF: lr.NormF,
 			Lanes: lr.Lanes,
 		}
+		// Attest the aggregates as rendered: anything that perturbs them
+		// between here and the coordinator's merge breaks the digest.
+		out.LaneDigest = mc.RangeDigest(lr.Lanes)
 	}
 	for _, s := range res.ClusterTrail {
-		out.ClusterTrail = append(out.ClusterTrail, ClusterStep{Replica: s.Replica, Lo: s.Lo, Hi: s.Hi, Event: s.Event, Err: s.Err, Source: s.Source, Seq: s.Seq})
+		out.ClusterTrail = append(out.ClusterTrail, ClusterStep{Replica: s.Replica, Lo: s.Lo, Hi: s.Hi, Event: s.Event, Err: s.Err, Source: s.Source, Seq: s.Seq, Digest: s.Digest})
 	}
 	return out
 }

@@ -86,6 +86,18 @@ func (s *Server) runTask(t *task) {
 		if t.err == nil {
 			s.stats.recordEngine(t.res.Engine, t.res.Samples, time.Since(started))
 		}
+		// Byzantine-replica window: perturb a raw lane aggregate after the
+		// computation but before toResponse renders it, so the attestation
+		// digest covers the corrupt value and only a cross-replica audit
+		// can notice. Sum is the one field the coordinator's merge does not
+		// plausibility-check. Covers both the sync and durable-job paths
+		// (both render t.res via toResponse).
+		if t.err == nil && t.res.LaneRange != nil && len(t.res.LaneRange.Lanes) > 0 {
+			if s.cfg.ComputeCorrupt || faultinject.Hit(faultinject.SiteClusterComputeCorrupt) != nil {
+				t.res.LaneRange.Lanes[0].Sum += 0.5
+				s.stats.computeCorrupted.Add(1)
+			}
+		}
 	}
 	switch {
 	case t.err == nil:

@@ -70,6 +70,14 @@ type Config struct {
 	// coordinators and operators can tell replicas apart. Default
 	// "<hostname>-<pid>".
 	ReplicaID string
+	// ComputeCorrupt, when set, silently perturbs one lane aggregate of
+	// every successful lane-range computation before the result (and its
+	// attestation digest) is rendered — a persistent Byzantine replica.
+	// Chaos/testing hook only: it exists so a cluster harness can run one
+	// lying replica in-process (the faultinject registry is process-wide
+	// and cannot scope a fault to a single replica) and prove the
+	// coordinator's audits catch and quarantine it.
+	ComputeCorrupt bool
 }
 
 func (c Config) withDefaults() Config {

@@ -42,6 +42,10 @@ type stats struct {
 	resumesReceived atomic.Int64
 	resumesAccepted atomic.Int64
 	resumesRejected atomic.Int64
+	// computeCorrupted counts lane-range results perturbed by the
+	// Byzantine-replica hook (Config.ComputeCorrupt or the
+	// cluster/compute-corrupt fault site) — nonzero only under chaos.
+	computeCorrupted atomic.Int64
 
 	// engMu guards engines: per-engine run/sample/busy-time counters fed
 	// by the pool workers, from which /statz derives samples/sec.
@@ -126,6 +130,9 @@ type Statz struct {
 	// Shipping counts checkpoint frames published/served and the fates
 	// of shipped resume frames (see ship.go).
 	Shipping ShippingStatz `json:"shipping"`
+	// ComputeCorrupted counts lane-range results silently perturbed by
+	// the Byzantine-replica chaos hook; always zero in production.
+	ComputeCorrupted int64 `json:"compute_corrupted,omitempty"`
 	// Breakers maps engine names to their circuit-breaker state.
 	Breakers map[string]BreakerStatz `json:"breakers"`
 	// Engines maps engine names to their cumulative throughput counters
@@ -209,21 +216,22 @@ func (s *Server) Statz() Statz {
 			ResumesAccepted: s.stats.resumesAccepted.Load(),
 			ResumesRejected: s.stats.resumesRejected.Load(),
 		},
-		QueueDepth:    len(s.tasks),
-		QueueCapacity: cap(s.tasks),
-		Workers:       s.cfg.Workers,
-		InFlight:      s.stats.inflight.Load(),
-		Accepted:      s.stats.accepted.Load(),
-		Shed:          s.stats.shed.Load(),
-		DrainRejected: s.stats.drained.Load(),
-		Completed:     s.stats.completed.Load(),
-		Failed:        s.stats.failed.Load(),
-		Canceled:      s.stats.canceled.Load(),
-		Draining:      s.draining.Load(),
-		Breakers:      s.breakers.Snapshot(),
-		Engines:       s.stats.engineSnapshot(),
-		Runtime:       runtimeStatz(),
-		Databases:     s.DatabaseNames(),
-		UptimeMS:      time.Since(s.start).Milliseconds(),
+		ComputeCorrupted: s.stats.computeCorrupted.Load(),
+		QueueDepth:       len(s.tasks),
+		QueueCapacity:    cap(s.tasks),
+		Workers:          s.cfg.Workers,
+		InFlight:         s.stats.inflight.Load(),
+		Accepted:         s.stats.accepted.Load(),
+		Shed:             s.stats.shed.Load(),
+		DrainRejected:    s.stats.drained.Load(),
+		Completed:        s.stats.completed.Load(),
+		Failed:           s.stats.failed.Load(),
+		Canceled:         s.stats.canceled.Load(),
+		Draining:         s.draining.Load(),
+		Breakers:         s.breakers.Snapshot(),
+		Engines:          s.stats.engineSnapshot(),
+		Runtime:          runtimeStatz(),
+		Databases:        s.DatabaseNames(),
+		UptimeMS:         time.Since(s.start).Milliseconds(),
 	}
 }

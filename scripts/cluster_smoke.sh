@@ -8,7 +8,14 @@
 # section SIGKILLs the coordinator itself mid-fan-out and restarts it on
 # the same -journal-dir: journal recovery must complete the run and a
 # re-POST of the same idempotency key must byte-match the single-node
-# reference.
+# reference. A third section plants a Byzantine replica
+# (-chaos-compute-corrupt) behind a fully auditing coordinator
+# (-audit-frac 1): the lie must be caught, the replica quarantined, and
+# the served estimate still byte-identical to the reference.
+#
+# Every process listens on an ephemeral port (-addr 127.0.0.1:0) and the
+# script parses the kernel-picked port from its "listening on" log line,
+# so concurrent CI runs never collide.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +40,19 @@ go build -o "$workdir/mkdb" ./cmd/mkdb
 # runner (degrading would change the estimate and fail the diff).
 req='{"db":"g","query":"exists y . (E(x,y) & S(y))","engine":"monte-carlo-direct","eps":0.0025,"delta":0.05,"seed":42,"workers":4,"timeout_ms":120000}'
 
+# Parse the kernel-picked ephemeral port from a daemon's "listening on"
+# log line (both qreld and qrelcoord print one before serving).
+port_of() { # logfile
+  local port
+  for _ in $(seq 1 400); do
+    port=$(sed -n 's/.*listening on [^ ]*:\([0-9][0-9]*\) .*/\1/p' "$1" | head -1)
+    if [ -n "$port" ]; then echo "$port"; return 0; fi
+    sleep 0.05
+  done
+  echo "FAIL: no listening line appeared in $1" >&2
+  return 1
+}
+
 wait_ready() {
   for _ in $(seq 1 400); do
     curl -fsS "$1/readyz" >/dev/null 2>&1 && return 0
@@ -40,6 +60,20 @@ wait_ready() {
   done
   echo "FAIL: $1 never became ready" >&2
   return 1
+}
+
+# start_replica varname logfile [extra flags...] — boots a qreld on an
+# ephemeral port and assigns its base URL to varname (no command
+# substitution: the pid bookkeeping must happen in this shell). The
+# started pid also lands in $last_pid.
+start_replica() {
+  local var=$1 log=$2
+  shift 2
+  "$workdir/qreld" -addr 127.0.0.1:0 -workers 4 -max-timeout 120s \
+      -preload "g=$workdir/g.udb" "$@" >"$log" 2>&1 &
+  last_pid=$!
+  pids+=("$last_pid")
+  printf -v "$var" 'http://127.0.0.1:%s' "$(port_of "$log")"
 }
 
 # Project a response down to its estimate-defining fields (jq-free: the
@@ -50,27 +84,24 @@ estimate_of() {
 }
 
 # Single-node Workers=4 reference.
-"$workdir/qreld" -addr 127.0.0.1:18079 -workers 4 -max-timeout 120s \
-    -preload "g=$workdir/g.udb" >"$workdir/ref.log" 2>&1 &
-pids+=($!)
-wait_ready http://127.0.0.1:18079
-ref=$(curl -fsS http://127.0.0.1:18079/v1/reliability -d "$req")
+start_replica ref_url "$workdir/ref.log"
+wait_ready "$ref_url"
+ref=$(curl -fsS "$ref_url/v1/reliability" -d "$req")
 estimate_of "$ref" > "$workdir/ref.est"
 
 # Three replicas behind a coordinator.
-declare -a rpids
+declare -a rpids rurls
 for i in 1 2 3; do
-  "$workdir/qreld" -addr "127.0.0.1:1808$i" -workers 4 -max-timeout 120s \
-      -preload "g=$workdir/g.udb" >"$workdir/replica$i.log" 2>&1 &
-  rpids[$i]=$!
-  pids+=($!)
+  start_replica "rurls[$i]" "$workdir/replica$i.log"
+  rpids[$i]=$last_pid
 done
-for i in 1 2 3; do wait_ready "http://127.0.0.1:1808$i"; done
-"$workdir/qrelcoord" -addr 127.0.0.1:18080 \
-    -replicas http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083 \
+for i in 1 2 3; do wait_ready "${rurls[$i]}"; done
+"$workdir/qrelcoord" -addr 127.0.0.1:0 \
+    -replicas "${rurls[1]},${rurls[2]},${rurls[3]}" \
     -probe-interval 100ms -request-timeout 120s >"$workdir/coord.log" 2>&1 &
 pids+=($!)
-wait_ready http://127.0.0.1:18080
+coord_url="http://127.0.0.1:$(port_of "$workdir/coord.log")"
+wait_ready "$coord_url"
 
 check() { # name, response
   estimate_of "$2" > "$workdir/$1.est"
@@ -81,11 +112,11 @@ check() { # name, response
 }
 
 # Healthy 3-way fan-out.
-check healthy "$(curl -fsS http://127.0.0.1:18080/v1/reliability -d "$req")"
+check healthy "$(curl -fsS "$coord_url/v1/reliability" -d "$req")"
 
 # Kill one replica mid-estimation: the coordinator must reassign its
 # lane range to a survivor and still answer identically.
-curl -fsS http://127.0.0.1:18080/v1/reliability -d "$req" > "$workdir/killed.json" &
+curl -fsS "$coord_url/v1/reliability" -d "$req" > "$workdir/killed.json" &
 curl_pid=$!
 sleep 0.3
 kill -9 "${rpids[3]}" 2>/dev/null || true
@@ -93,9 +124,9 @@ wait "$curl_pid"
 check killed "$(cat "$workdir/killed.json")"
 
 # And again from a cold start with only two replicas left.
-check survivors "$(curl -fsS http://127.0.0.1:18080/v1/reliability -d "$req")"
+check survivors "$(curl -fsS "$coord_url/v1/reliability" -d "$req")"
 
-reassigns=$(grep -o '"reassigns":[0-9]*' <<<"$(curl -fsS http://127.0.0.1:18080/statz)" | grep -o '[0-9]*')
+reassigns=$(grep -o '"reassigns":[0-9]*' <<<"$(curl -fsS "$coord_url/statz")" | grep -o '[0-9]*')
 echo "cluster smoke: OK (reassigns=$reassigns, $(grep -o '"samples":[0-9]*' "$workdir/ref.est"))"
 
 # ---- Coordinator crash recovery ----------------------------------------
@@ -106,31 +137,29 @@ echo "cluster smoke: OK (reassigns=$reassigns, $(grep -o '"samples":[0-9]*' "$wo
 # answer byte-identically to the single-node reference.
 keyreq='{"db":"g","query":"exists y . (E(x,y) & S(y))","engine":"monte-carlo-direct","eps":0.0025,"delta":0.05,"seed":42,"workers":4,"timeout_ms":120000,"idempotency_key":"smoke-crash-1"}'
 journal="$workdir/journal"
-declare -a jpids
+declare -a jurls
 for i in 4 5; do
-  "$workdir/qreld" -addr "127.0.0.1:1808$i" -workers 4 -max-timeout 120s \
-      -checkpoint-dir "$workdir/ckpt$i" -checkpoint-every 2000 \
-      -preload "g=$workdir/g.udb" >"$workdir/replica$i.log" 2>&1 &
-  jpids[$i]=$!
-  pids+=($!)
+  start_replica "jurls[$i]" "$workdir/replica$i.log" \
+      -checkpoint-dir "$workdir/ckpt$i" -checkpoint-every 2000
 done
-for i in 4 5; do wait_ready "http://127.0.0.1:1808$i"; done
+for i in 4 5; do wait_ready "${jurls[$i]}"; done
 
-start_coord() {
-  "$workdir/qrelcoord" -addr 127.0.0.1:18090 \
-      -replicas http://127.0.0.1:18084,http://127.0.0.1:18085 \
+start_coord() { # logfile — sets coord_pid and coord2_url
+  "$workdir/qrelcoord" -addr 127.0.0.1:0 \
+      -replicas "${jurls[4]},${jurls[5]}" \
       -use-jobs -journal-dir "$journal" \
       -probe-interval 100ms -job-poll 10ms -checkpoint-poll 20ms \
-      -request-timeout 120s >>"$workdir/coord2.log" 2>&1 &
+      -request-timeout 120s >"$1" 2>&1 &
   coord_pid=$!
   pids+=("$coord_pid")
-  wait_ready http://127.0.0.1:18090
+  coord2_url="http://127.0.0.1:$(port_of "$1")"
+  wait_ready "$coord2_url"
 }
-start_coord
+start_coord "$workdir/coord2a.log"
 
 # Launch the keyed fan-out, give the sub-jobs time to start and ship
 # checkpoints, then SIGKILL the coordinator mid-merge.
-curl -s http://127.0.0.1:18090/v1/reliability -d "$keyreq" > "$workdir/orphaned.json" &
+curl -s "$coord2_url/v1/reliability" -d "$keyreq" > "$workdir/orphaned.json" &
 curl_pid=$!
 sleep 1
 kill -9 "$coord_pid" 2>/dev/null || true
@@ -145,8 +174,42 @@ fi
 # listener serves. The re-POST of the same key either re-attaches to the
 # journaled run or is served its journaled result — both must byte-match
 # the reference.
-start_coord
-check recovered "$(curl -fsS http://127.0.0.1:18090/v1/reliability -d "$keyreq")"
+start_coord "$workdir/coord2b.log"
+check recovered "$(curl -fsS "$coord2_url/v1/reliability" -d "$keyreq")"
 
-recovery_stats=$(curl -fsS http://127.0.0.1:18090/statz | grep -o '"recovered_fanouts":[0-9]*\|"resumes":[0-9]*\|"checkpoints_shipped":[0-9]*' | tr '\n' ' ')
+recovery_stats=$(curl -fsS "$coord2_url/statz" | grep -o '"recovered_fanouts":[0-9]*\|"resumes":[0-9]*\|"checkpoints_shipped":[0-9]*' | tr '\n' ' ')
 echo "cluster smoke: coordinator crash recovery OK ($recovery_stats)"
+
+# ---- Trust-but-verify: Byzantine replica under full audit --------------
+# One replica of three is started with -chaos-compute-corrupt: every
+# lane aggregate it computes is silently perturbed after the digest-able
+# computation, so only a cross-replica audit can notice. The coordinator
+# audits every completed range (-audit-frac 1): it must catch the
+# mismatch, tie-break the liar on the third replica, quarantine it, and
+# still serve the estimate byte-identical to the single-node reference.
+declare -a aurls
+start_replica "aurls[1]" "$workdir/liar.log" -chaos-compute-corrupt
+start_replica "aurls[2]" "$workdir/honest2.log"
+start_replica "aurls[3]" "$workdir/honest3.log"
+for i in 1 2 3; do wait_ready "${aurls[$i]}"; done
+"$workdir/qrelcoord" -addr 127.0.0.1:0 \
+    -replicas "${aurls[1]},${aurls[2]},${aurls[3]}" \
+    -audit-frac 1 -quarantine-cooldown 1h \
+    -probe-interval 100ms -request-timeout 120s >"$workdir/coord3.log" 2>&1 &
+pids+=($!)
+audit_url="http://127.0.0.1:$(port_of "$workdir/coord3.log")"
+wait_ready "$audit_url"
+
+check audited "$(curl -fsS "$audit_url/v1/reliability" -d "$req")"
+
+audit_statz=$(curl -fsS "$audit_url/statz")
+if ! grep -q '"audit_mismatches":[1-9]' <<<"$audit_statz"; then
+  echo "FAIL: full audit over a corrupt replica recorded no mismatch" >&2
+  exit 1
+fi
+if ! grep -q '"health":"quarantined"' <<<"$audit_statz"; then
+  echo "FAIL: the lying replica was not quarantined" >&2
+  exit 1
+fi
+audit_stats=$(grep -o '"audits":[0-9]*\|"audit_mismatches":[0-9]*\|"audit_replants":[0-9]*\|"quarantines":[0-9]*' <<<"$audit_statz" | tr '\n' ' ')
+echo "cluster smoke: byzantine replica caught and quarantined OK ($audit_stats)"
