@@ -21,6 +21,7 @@ import (
 	"qrel/internal/rel"
 	"qrel/internal/sharpp"
 	"qrel/internal/unreliable"
+	"qrel/internal/vm"
 	"qrel/internal/workload"
 )
 
@@ -109,29 +110,38 @@ func BenchmarkE4KarpLuby(b *testing.B) {
 
 // BenchmarkE4KarpLubyPar measures the lane-split parallel #DNF FPTRAS:
 // the same fixed-lane computation scheduled on 1 versus 8 workers, with
-// the zero-allocation per-lane scratch. Any worker count produces the
-// identical estimate; on a multi-core host the 8-worker rows show the
-// wall-clock speedup, and on any host the allocs/op column shows the
-// scratch reuse. Samples/sec is reported as a custom metric.
+// the zero-allocation per-lane scratch, in both evaluation modes — the
+// interpreted per-sample term walk versus the compiled 64-way
+// bit-parallel evaluator (identical estimates by construction; the
+// samples/sec metric is the compiled path's speedup). Any worker count
+// produces the identical estimate; on a multi-core host the 8-worker
+// rows show the wall-clock speedup, and on any host the allocs/op
+// column shows the scratch reuse.
 func BenchmarkE4KarpLubyPar(b *testing.B) {
 	rng := rand.New(rand.NewSource(benchSeed))
 	d := workload.RandomKDNF(rng, 30, 40, 3)
 	for _, eps := range []float64{0.2, 0.1, 0.05} {
 		for _, workers := range []int{1, 8} {
-			b.Run(fmt.Sprintf("eps=%g/workers=%d", eps, workers), func(b *testing.B) {
-				b.ReportAllocs()
-				samples := 0
-				for i := 0; i < b.N; i++ {
-					res, err := karpluby.CountDNFPar(context.Background(), d, eps, 0.05, benchSeed, mc.Par{Workers: workers}, nil)
-					if err != nil {
-						b.Fatal(err)
+			for _, eval := range []string{"interpreted", "compiled"} {
+				count := karpluby.CountDNFPar
+				if eval == "compiled" {
+					count = karpluby.CountDNFParCompiled
+				}
+				b.Run(fmt.Sprintf("eps=%g/workers=%d/eval=%s", eps, workers, eval), func(b *testing.B) {
+					b.ReportAllocs()
+					samples := 0
+					for i := 0; i < b.N; i++ {
+						res, err := count(context.Background(), d, eps, 0.05, benchSeed, mc.Par{Workers: workers}, nil)
+						if err != nil {
+							b.Fatal(err)
+						}
+						samples += res.Samples
 					}
-					samples += res.Samples
-				}
-				if s := b.Elapsed().Seconds(); s > 0 {
-					b.ReportMetric(float64(samples)/s, "samples/sec")
-				}
-			})
+					if s := b.Elapsed().Seconds(); s > 0 {
+						b.ReportMetric(float64(samples)/s, "samples/sec")
+					}
+				})
+			}
 		}
 	}
 }
@@ -232,28 +242,42 @@ func BenchmarkE8MonteCarlo(b *testing.B) {
 
 // BenchmarkE8MonteCarloPar measures the lane-split parallel padded
 // estimator with the zero-allocation world buffer: 1 versus 8 workers
-// over the same fixed-lane sample stream (bit-identical estimates).
+// over the same fixed-lane sample stream (bit-identical estimates), in
+// both evaluation modes — the interpreted per-world formula walk
+// versus the compiled bytecode evaluated 64 worlds per machine word.
 func BenchmarkE8MonteCarloPar(b *testing.B) {
 	query := logic.MustParse("forall x . exists y . E(x,y)", nil)
 	pred := func(s *rel.Structure) (bool, error) { return logic.EvalSentence(s, query) }
 	rng := rand.New(rand.NewSource(benchSeed))
 	db := workload.RandomUDB(rng, 4, 8)
+	prog, err := vm.NewCompiler(db).Compile(query, logic.Env{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, eps := range []float64{0.2, 0.1} {
 		for _, workers := range []int{1, 8} {
-			b.Run(fmt.Sprintf("eps=%g/workers=%d", eps, workers), func(b *testing.B) {
-				b.ReportAllocs()
-				samples := 0
-				for i := 0; i < b.N; i++ {
-					est, err := mc.EstimateNuPaddedPar(context.Background(), db, pred, 0.25, eps, 0.1, 0, benchSeed, mc.Par{Workers: workers}, nil)
-					if err != nil {
-						b.Fatal(err)
+			for _, eval := range []string{"interpreted", "compiled"} {
+				b.Run(fmt.Sprintf("eps=%g/workers=%d/eval=%s", eps, workers, eval), func(b *testing.B) {
+					b.ReportAllocs()
+					samples := 0
+					for i := 0; i < b.N; i++ {
+						var est mc.Estimate
+						var err error
+						if eval == "compiled" {
+							est, err = mc.EstimateNuPaddedParCompiled(context.Background(), db, prog, 0.25, eps, 0.1, 0, benchSeed, mc.Par{Workers: workers}, nil)
+						} else {
+							est, err = mc.EstimateNuPaddedPar(context.Background(), db, pred, 0.25, eps, 0.1, 0, benchSeed, mc.Par{Workers: workers}, nil)
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+						samples += est.Samples
 					}
-					samples += est.Samples
-				}
-				if s := b.Elapsed().Seconds(); s > 0 {
-					b.ReportMetric(float64(samples)/s, "samples/sec")
-				}
-			})
+					if s := b.Elapsed().Seconds(); s > 0 {
+						b.ReportMetric(float64(samples)/s, "samples/sec")
+					}
+				})
+			}
 		}
 	}
 }

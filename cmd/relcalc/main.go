@@ -39,6 +39,7 @@ func main() {
 		delta     = flag.Float64("delta", 0.05, "confidence parameter of randomized engines")
 		seed      = flag.Int64("seed", 1, "random seed for randomized engines")
 		workers   = flag.Int("workers", 0, "goroutines for lane-split parallel sampling (0 = sequential legacy stream; any value >= 1 yields the same bit-reproducible estimate)")
+		eval      = flag.String("eval", "auto", "sampling evaluator: auto|compiled|interpreted (bit-identical; compiled is faster)")
 		maxEnum   = flag.Int("max-enum", 16, "uncertain-atom budget for exact world enumeration")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the computation (0 = none)")
 		maxSamp   = flag.Int("budget-samples", 0, "Monte Carlo sample budget (0 = none); partial runs return a degraded result")
@@ -54,7 +55,7 @@ func main() {
 	flag.Parse()
 	budget := qrel.Budget{Timeout: *timeout, MaxSamples: *maxSamp, MaxBDDNodes: *maxBDD, MaxWorlds: *maxWorlds}
 	ckpt := ckptFlags{dir: *ckptDir, every: *ckptEvery, resume: *resume}
-	if err := run(*dbPath, *query, *engine, *eps, *delta, *seed, *workers, *maxEnum, budget, ckpt, *perTuple, *absolute, *sens); err != nil {
+	if err := run(*dbPath, *query, *engine, *eval, *eps, *delta, *seed, *workers, *maxEnum, budget, ckpt, *perTuple, *absolute, *sens); err != nil {
 		fmt.Fprintln(os.Stderr, "relcalc:", err)
 		// The typed runtime taxonomy maps onto distinct exit codes
 		// (usage 2, canceled 3, budget 4, infeasible 5, engine 6) so
@@ -70,7 +71,7 @@ type ckptFlags struct {
 	resume bool
 }
 
-func run(dbPath, query, engine string, eps, delta float64, seed int64, workers, maxEnum int, budget qrel.Budget, ckpt ckptFlags, perTuple, absolute, sensitivity bool) (err error) {
+func run(dbPath, query, engine, eval string, eps, delta float64, seed int64, workers, maxEnum int, budget qrel.Budget, ckpt ckptFlags, perTuple, absolute, sensitivity bool) (err error) {
 	defer cliutil.Recover(&err)
 	if dbPath == "" || query == "" {
 		return cliutil.UsageErrorf("both -db and -query are required")
@@ -80,6 +81,9 @@ func run(dbPath, query, engine string, eps, delta float64, seed int64, workers, 
 	}
 	if !qrel.KnownEngine(qrel.Engine(engine)) {
 		return cliutil.UsageErrorf("unknown engine %q", engine)
+	}
+	if !qrel.KnownEvalMode(eval) {
+		return cliutil.UsageErrorf("unknown eval mode %q", eval)
 	}
 	if ckpt.resume && ckpt.dir == "" {
 		return cliutil.UsageErrorf("-resume requires -checkpoint")
@@ -101,7 +105,7 @@ func run(dbPath, query, engine string, eps, delta float64, seed int64, workers, 
 	if err != nil {
 		return err
 	}
-	opts := qrel.Options{Eps: eps, Delta: delta, Seed: seed, Workers: workers, MaxEnumAtoms: maxEnum, Budget: budget}
+	opts := qrel.Options{Eps: eps, Delta: delta, Seed: seed, Eval: eval, Workers: workers, MaxEnumAtoms: maxEnum, Budget: budget}
 	if ckpt.dir != "" {
 		store, err := qrel.OpenCheckpointStore(ckpt.dir, qrel.CheckpointOptions{})
 		if err != nil {
@@ -130,6 +134,9 @@ func run(dbPath, query, engine string, eps, delta float64, seed int64, workers, 
 		return err
 	}
 	fmt.Printf("engine:   %s  (%v)\n", res.Engine, res.Guarantee)
+	if res.EvalMode != "" {
+		fmt.Printf("eval:     %s\n", res.EvalMode)
+	}
 	for _, step := range res.FallbackTrail {
 		fmt.Printf("fallback: %s\n", step)
 	}

@@ -57,7 +57,7 @@ func TestRunExactEngines(t *testing.T) {
 			query = "exists x . S(x)"
 		}
 		out, err := captureStdout(t, func() error {
-			return run(db, query, engine, 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, query, engine, "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		})
 		if err != nil {
 			t.Fatalf("engine %s: %v", engine, err)
@@ -71,7 +71,7 @@ func TestRunExactEngines(t *testing.T) {
 func TestRunRandomizedEngine(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "forall x . exists y . E(x,y)", "monte-carlo-direct", 0.2, 0.2, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+		return run(db, "forall x . exists y . E(x,y)", "monte-carlo-direct", "auto", 0.2, 0.2, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestRunRandomizedEngine(t *testing.T) {
 func TestRunPerTupleAndAbsolute(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "exists y . E(x,y)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, true, false, false)
+		return run(db, "exists y . E(x,y)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, true, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +93,7 @@ func TestRunPerTupleAndAbsolute(t *testing.T) {
 		t.Errorf("per-tuple report missing:\n%s", out)
 	}
 	out, err = captureStdout(t, func() error {
-		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, true, false)
+		return run(db, "exists x . S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, true, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -110,16 +110,16 @@ func TestRunErrors(t *testing.T) {
 		fn   func() error
 	}{
 		{"missing args", func() error {
-			return run("", "", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("", "", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"missing file", func() error {
-			return run("/nonexistent", "S(x)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("/nonexistent", "S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"bad query", func() error {
-			return run(db, "S(", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "S(", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"bad engine", func() error {
-			return run(db, "S(x)", "bogus", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "S(x)", "bogus", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 	}
 	for _, c := range cases {
@@ -143,30 +143,30 @@ func TestExitCodes(t *testing.T) {
 		fn   func() error
 	}{
 		{"missing args", cliutil.ExitUsage, nil, func() error {
-			return run("", "", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("", "", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"unknown engine", cliutil.ExitUsage, nil, func() error {
-			return run(db, "S(x)", "warp-drive", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "S(x)", "warp-drive", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"missing file", cliutil.ExitFailure, nil, func() error {
-			return run("/nonexistent", "S(x)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("/nonexistent", "S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"timeout", cliutil.ExitCanceled, nil, func() error {
-			return run(db, "exists x . S(x)", "world-enum", 0.05, 0.05, 1, 0, 16,
+			return run(db, "exists x . S(x)", "world-enum", "auto", 0.05, 0.05, 1, 0, 16,
 				qrel.Budget{Timeout: time.Nanosecond}, ckptFlags{}, false, false, false)
 		}},
 		{"world budget", cliutil.ExitBudget, nil, func() error {
-			return run(db, "exists x y . E(x,y)", "world-enum", 0.05, 0.05, 1, 0, 16,
+			return run(db, "exists x y . E(x,y)", "world-enum", "auto", 0.05, 0.05, 1, 0, 16,
 				qrel.Budget{MaxWorlds: 2}, ckptFlags{}, false, false, false)
 		}},
 		{"infeasible", cliutil.ExitInfeasible, nil, func() error {
-			return run(db, secondOrder, "auto", 0.05, 0.05, 1, 0, 16,
+			return run(db, secondOrder, "auto", "auto", 0.05, 0.05, 1, 0, 16,
 				qrel.Budget{MaxWorlds: 2}, ckptFlags{}, false, false, false)
 		}},
 		{"engine panic", cliutil.ExitEngine, func() {
 			faultinject.Enable(faultinject.SiteQFree, faultinject.Fault{Panic: "injected crash"})
 		}, func() error {
-			return run(db, "S(x)", "qfree", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "S(x)", "qfree", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 	}
 	for _, c := range cases {
@@ -210,7 +210,7 @@ func TestCorruptInputs(t *testing.T) {
 				t.Fatal(err)
 			}
 			_, err := captureStdout(t, func() error {
-				return run(path, "exists x . S(x)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+				return run(path, "exists x . S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 			})
 			if err == nil {
 				t.Fatal("corrupt database accepted")
@@ -240,7 +240,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 
 	ref, err := captureStdout(t, func() error {
-		return run(db, q, "monte-carlo-direct", 0.05, 0.1, 3, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+		return run(db, q, "monte-carlo-direct", "auto", 0.05, 0.1, 3, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -248,7 +248,7 @@ func TestRunCheckpointResume(t *testing.T) {
 
 	dir := t.TempDir()
 	interrupted, err := captureStdout(t, func() error {
-		return run(db, q, "monte-carlo-direct", 0.05, 0.1, 3, 0, 16,
+		return run(db, q, "monte-carlo-direct", "auto", 0.05, 0.1, 3, 0, 16,
 			qrel.Budget{MaxSamples: 500}, ckptFlags{dir: dir, every: 100}, false, false, false)
 	})
 	if err != nil {
@@ -259,7 +259,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 
 	resumed, err := captureStdout(t, func() error {
-		return run(db, q, "monte-carlo-direct", 0.05, 0.1, 3, 0, 16,
+		return run(db, q, "monte-carlo-direct", "auto", 0.05, 0.1, 3, 0, 16,
 			qrel.Budget{}, ckptFlags{dir: dir, resume: true}, false, false, false)
 	})
 	if err != nil {
@@ -276,11 +276,50 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 }
 
+// TestRunEvalModes pins the -eval flag: compiled and interpreted print
+// the same estimate line for a fixed seed, each run echoes its mode,
+// and a bogus mode is a usage error.
+func TestRunEvalModes(t *testing.T) {
+	db := writeDB(t)
+	q := "forall x . exists y . E(x,y)"
+	outputs := map[string]string{}
+	for _, mode := range []string{"compiled", "interpreted"} {
+		out, err := captureStdout(t, func() error {
+			return run(db, q, "monte-carlo-direct", mode, 0.1, 0.1, 3, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+		})
+		if err != nil {
+			t.Fatalf("-eval %s: %v", mode, err)
+		}
+		if !strings.Contains(out, "eval:     "+mode) {
+			t.Errorf("-eval %s output does not echo the mode:\n%s", mode, out)
+		}
+		outputs[mode] = out
+	}
+	line := func(out string) string {
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "H ") {
+				return l
+			}
+		}
+		t.Fatalf("no estimate line in output:\n%s", out)
+		return ""
+	}
+	if c, i := line(outputs["compiled"]), line(outputs["interpreted"]); c != i {
+		t.Errorf("compiled estimate %q != interpreted %q", c, i)
+	}
+	_, err := captureStdout(t, func() error {
+		return run(db, q, "monte-carlo-direct", "bogus", 0.1, 0.1, 3, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+	})
+	if cliutil.ExitCode(err) != cliutil.ExitUsage {
+		t.Fatalf("-eval bogus: got %v, want usage error", err)
+	}
+}
+
 // TestRunResumeRequiresCheckpoint pins the flag contract.
 func TestRunResumeRequiresCheckpoint(t *testing.T) {
 	db := writeDB(t)
 	_, err := captureStdout(t, func() error {
-		return run(db, "S(x)", "auto", 0.05, 0.05, 1, 0, 16,
+		return run(db, "S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16,
 			qrel.Budget{}, ckptFlags{resume: true}, false, false, false)
 	})
 	if cliutil.ExitCode(err) != cliutil.ExitUsage {
@@ -291,7 +330,7 @@ func TestRunResumeRequiresCheckpoint(t *testing.T) {
 func TestRunSensitivity(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "exists x . S(x)", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, true)
+		return run(db, "exists x . S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, true)
 	})
 	if err != nil {
 		t.Fatal(err)

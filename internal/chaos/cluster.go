@@ -139,6 +139,7 @@ func (c *campaign) clusterPhase(ctx context.Context, st *Step, db *unreliable.DB
 	want := clusterEstOf(refRes)
 
 	c.clusterTopologyMatrix(ctx, st, db, req, want)
+	c.clusterEvalMixScenario(ctx, st, db, req, want)
 	c.clusterRestart(ctx, st, db, req, want)
 	c.clusterJobsConservation(ctx, st, db, req, want)
 
@@ -210,6 +211,44 @@ func (c *campaign) clusterTopologyMatrix(ctx context.Context, st *Step, db *unre
 			st.Index, n, err, estOrNil(res), want)
 		coord.Close()
 		f.close()
+	}
+}
+
+// clusterEvalMixScenario fans the request out over replicas that
+// disagree on evaluation mode — one forces the interpreter, one the
+// compiled bytecode path — and holds the merged estimate to the
+// single-node reference. The modes are bit-identical per lane, so a
+// mixed-version fleet must merge (and pass attestation) exactly like a
+// homogeneous one; the run is repeated with a vm/compile fault armed,
+// which demotes the compiled replica to the interpreter mid-campaign
+// without changing a single bit of the answer.
+func (c *campaign) clusterEvalMixScenario(ctx context.Context, st *Step, db *unreliable.DB, req server.Request, want clusterEstimate) {
+	modes := []string{string(core.EvalInterpreted), string(core.EvalCompiled)}
+	f := startChaosFleet(db, 2, func(i int) server.Config {
+		return server.Config{Workers: 2, DefaultTimeout: 60 * time.Second, MaxTimeout: 120 * time.Second,
+			DefaultEval: modes[i]}
+	})
+	defer f.close()
+	coord, err := c.clusterCoord(f.urls, nil)
+	if err != nil {
+		c.check(InvCluster, false, "step %d: building eval-mix coordinator: %v", st.Index, err)
+		return
+	}
+	defer coord.Close()
+	for _, armed := range []bool{false, true} {
+		label := "mixed eval modes"
+		if armed {
+			label = "mixed eval modes + vm/compile fault"
+			faultinject.Enable(faultinject.SiteVMCompile, faultinject.Fault{Err: fmt.Errorf("%w at %s", errInjected, faultinject.SiteVMCompile)})
+		}
+		res, err := coord.Do(ctx, req)
+		if armed {
+			faultinject.Reset()
+		}
+		ok := err == nil && clusterEstOf(res) == want
+		c.check(InvCluster, ok,
+			"step %d: %s: merged estimate diverged from single-node (err=%v, got=%+v, want=%+v)",
+			st.Index, label, err, estOrNil(res), want)
 	}
 }
 

@@ -116,6 +116,8 @@ func siteClass(site string) string {
 		return "engine"
 	case strings.HasPrefix(site, "eval/"):
 		return "eval"
+	case strings.HasPrefix(site, "vm/"):
+		return "vm"
 	case strings.HasPrefix(site, "server/"):
 		return "server"
 	case strings.HasPrefix(site, "ckpt/"):
@@ -214,6 +216,11 @@ func PlanCampaign(cfg Config) (*Plan, error) {
 			if site == faultinject.SiteWorldWorker {
 				st.Workers = 2
 			}
+		case "vm":
+			// A compile fault is absorbed, not surfaced: every sampling
+			// engine falls back to the interpreter mid-campaign and its
+			// estimate must still satisfy the eps-bound oracle.
+			st.EngineFaults = append(st.EngineFaults, PlannedFault{Site: site, Kind: KindErr})
 		case "lane":
 			st.EngineFaults = append(st.EngineFaults, PlannedFault{Site: site, Kind: KindErr})
 			st.Workers = 2

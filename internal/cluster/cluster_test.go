@@ -226,6 +226,38 @@ func TestClusterDeterminismMatrix(t *testing.T) {
 	})
 }
 
+// TestClusterMixedEvalModes is the mixed-version-fleet check: replicas
+// that disagree on evaluation mode (one forced to the interpreter, one
+// to the compiled bytecode path, one on the default) must produce the
+// same per-lane aggregates — the merged estimate, and every lane
+// digest the coordinator attests, are bit-identical to a single node
+// running pure interpreted.
+func TestClusterMixedEvalModes(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	req := mcReq()
+	interp := req
+	interp.Eval = "interpreted"
+	want := singleNodeRef(t, interp)
+
+	modes := []string{"interpreted", "compiled", ""}
+	f := startFleet(t, 3, func(i int) server.Config {
+		return server.Config{DefaultEval: modes[i]}
+	})
+	c := fastCoord(t, f.urls, nil)
+	res, err := c.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := estOf(res); got != want {
+		t.Errorf("mixed-eval cluster estimate %+v,\nwant interpreted single-node %+v", got, want)
+	}
+	for _, s := range res.ClusterTrail {
+		if s.Event == "attest-fail" {
+			t.Errorf("attestation failed across eval modes: %+v", s)
+		}
+	}
+}
+
 // TestClusterProxiesNonParallel checks that anything not eligible for
 // lane fan-out — here an auto-dispatched exact query — proxies whole to
 // one replica, answer unchanged.

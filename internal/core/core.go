@@ -100,9 +100,17 @@ type Result struct {
 	// continued from it rather than starting fresh (see
 	// Options.Checkpoint).
 	Resumed bool
+	// EvalMode reports how the sampling engines evaluated the query per
+	// world: EvalCompiled (internal/vm bytecode, 64 worlds per pass) or
+	// EvalInterpreted (the logic.Eval tree walk). The two are
+	// bit-identical for a fixed seed; the mode only affects throughput.
+	// Empty for exact engines, which never sample worlds.
+	EvalMode string
 	// FallbackTrail records the engines the dispatcher tried and
 	// abandoned (budget exhaustion, crashes) before the engine named in
-	// Engine produced this result. Empty when the first choice worked.
+	// Engine produced this result, and any compiled-evaluation fallback
+	// (Engine "vm") the winning engine took. Empty when the first choice
+	// worked in the requested mode.
 	FallbackTrail []FallbackStep
 	// LaneRange, for a run restricted to a lane subrange (see
 	// Options.LaneRange), carries the raw per-lane aggregates a cluster
@@ -169,6 +177,16 @@ type Options struct {
 	// never silently resumes across the two modes. Workers == 0
 	// (default) keeps the legacy sequential single-stream path.
 	Workers int
+	// Eval selects how the sampling engines evaluate the query per
+	// sampled world: EvalAuto (default; compile to internal/vm bytecode
+	// and evaluate 64 worlds bit-parallel, falling back to the
+	// interpreter for shapes that don't compile), EvalCompiled (same
+	// resolution, stated explicitly), or EvalInterpreted (force the
+	// logic.Eval tree walk). The modes are bit-identical for a fixed
+	// seed — estimates, checkpoints, and lane digests all match — so the
+	// mode is not part of the checkpoint fingerprint and snapshots
+	// interchange freely across it.
+	Eval string
 	// MaxEnumAtoms caps exact world enumeration (default 16).
 	MaxEnumAtoms int
 	// MaxLineageTerms caps the lineage DNF size (default 1<<16).
@@ -202,6 +220,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Eps == 0 {
 		o.Eps = DefaultEps
+	}
+	if o.Eval == "" {
+		o.Eval = EvalAuto
 	}
 	if o.Delta == 0 {
 		o.Delta = DefaultDelta

@@ -74,6 +74,10 @@ func ReliabilityWith(ctx context.Context, engine Engine, db *unreliable.DB, f lo
 		ctx = context.Background()
 	}
 	opts = opts.withDefaults()
+	if !KnownEvalMode(opts.Eval) {
+		return Result{}, fmt.Errorf("core: unknown eval mode %q (want %q, %q, or %q)",
+			opts.Eval, EvalAuto, EvalCompiled, EvalInterpreted)
+	}
 	if opts.LaneRange != nil && engine != EngineMCDirect {
 		// A lane range is a distribution unit of the lane-split mean
 		// estimator; no other engine (and no dispatch ladder) can honor it.
@@ -157,8 +161,10 @@ func dispatch(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opti
 		if opts.Breaker != nil {
 			opts.Breaker.Report(engine, err)
 		}
-		if err == nil {
-			res.FallbackTrail = trail
+		if err == nil && len(trail) > 0 {
+			// Prepend the dispatch trail to any step the engine itself
+			// recorded (a compiled-evaluation fallback).
+			res.FallbackTrail = append(append([]FallbackStep{}, trail...), res.FallbackTrail...)
 		}
 		return res, err
 	}

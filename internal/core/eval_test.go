@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qrel/internal/faultinject"
+	"qrel/internal/logic"
+	"qrel/internal/mc"
+)
+
+// The eval-mode contract: compiled and interpreted runs are
+// byte-identical — estimates, checkpoints, lane aggregates, digests —
+// for any seed and worker count, so the mode is a pure throughput knob
+// that replicas, snapshots, and clusters can disagree on freely.
+
+// evalEngines enumerates the sampling engines with a compiled path and
+// a query each engine accepts.
+var evalEngines = []struct {
+	name   string
+	engine Engine
+	query  string
+	opts   Options
+}{
+	{"monte-carlo-direct", EngineMCDirect, "E(x,y) & S(x)", Options{Eps: 0.1, Delta: 0.1, Seed: 7}},
+	{"monte-carlo", EngineMonteCarlo, "E(x,x) | S(x)", Options{Eps: 0.3, Delta: 0.1, Seed: 11}},
+	{"lineage-kl", EngineLineageKL, "exists x y . E(x,y) & S(x)", Options{Eps: 0.3, Delta: 0.2, Seed: 13}},
+}
+
+func sameEstimate(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	if a.HFloat != b.HFloat || a.RFloat != b.RFloat || a.Samples != b.Samples || a.Eps != b.Eps {
+		t.Fatalf("%s: compiled (H=%v R=%v n=%d eps=%v) != interpreted (H=%v R=%v n=%d eps=%v)",
+			label, a.HFloat, a.RFloat, a.Samples, a.Eps, b.HFloat, b.RFloat, b.Samples, b.Eps)
+	}
+}
+
+func TestEvalModesBitIdentical(t *testing.T) {
+	d := randUDB(rand.New(rand.NewSource(42)), 3, 6)
+	for _, tc := range evalEngines {
+		f := logic.MustParse(tc.query, nil)
+		for _, w := range []int{0, 1, 2, 4, 7} {
+			opts := tc.opts
+			opts.Workers = w
+			opts.Eval = EvalInterpreted
+			want, err := ReliabilityWith(bg, tc.engine, d, f, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d interpreted: %v", tc.name, w, err)
+			}
+			if want.EvalMode != EvalInterpreted {
+				t.Fatalf("%s: interpreted run reports EvalMode %q", tc.name, want.EvalMode)
+			}
+			opts.Eval = EvalCompiled
+			got, err := ReliabilityWith(bg, tc.engine, d, f, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d compiled: %v", tc.name, w, err)
+			}
+			if got.EvalMode != EvalCompiled {
+				t.Fatalf("%s: compiled run reports EvalMode %q (trail %v)", tc.name, got.EvalMode, got.FallbackTrail)
+			}
+			sameEstimate(t, tc.name, got, want)
+			// The default resolves to compiled for these shapes.
+			opts.Eval = ""
+			auto, err := ReliabilityWith(bg, tc.engine, d, f, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d auto: %v", tc.name, w, err)
+			}
+			if auto.EvalMode != EvalCompiled {
+				t.Fatalf("%s: auto resolved to %q", tc.name, auto.EvalMode)
+			}
+			sameEstimate(t, tc.name+" (auto)", auto, want)
+		}
+	}
+}
+
+// TestEvalModeLaneRangeDigest pins the cluster-facing half of the
+// contract: a lane-range run produces the same per-lane aggregates —
+// and therefore the same attestation digest — in both modes, so
+// replicas of one fan-out may disagree on eval mode without tripping
+// attestation.
+func TestEvalModeLaneRangeDigest(t *testing.T) {
+	d := randUDB(rand.New(rand.NewSource(44)), 3, 6)
+	f := logic.MustParse("E(x,y) & S(x)", nil)
+	for _, r := range []mc.Range{{Lo: 0, Hi: 3, Total: 8}, {Lo: 3, Hi: 8, Total: 8}} {
+		lr := r
+		base := Options{Eps: 0.1, Delta: 0.1, Seed: 7, Workers: 2, LaneRange: &lr}
+		base.Eval = EvalInterpreted
+		want, err := ReliabilityWith(bg, EngineMCDirect, d, f, base)
+		if err != nil {
+			t.Fatalf("range %v interpreted: %v", r, err)
+		}
+		base.Eval = EvalCompiled
+		got, err := ReliabilityWith(bg, EngineMCDirect, d, f, base)
+		if err != nil {
+			t.Fatalf("range %v compiled: %v", r, err)
+		}
+		sameEstimate(t, "lane-range", got, want)
+		dg, dw := mc.RangeDigest(got.LaneRange.Lanes), mc.RangeDigest(want.LaneRange.Lanes)
+		if dg != dw {
+			t.Fatalf("range %v: compiled lane digest %s != interpreted %s", r, dg, dw)
+		}
+	}
+}
+
+// TestEvalModeOutsideCheckpointFingerprint: a snapshot written by an
+// interpreted run resumes under a compiled run (and finishes
+// byte-identical to an uninterrupted run) — the eval mode must not
+// join the checkpoint fingerprint.
+func TestEvalModeOutsideCheckpointFingerprint(t *testing.T) {
+	d := randUDB(rand.New(rand.NewSource(42)), 3, 6)
+	f := logic.MustParse("E(x,y) & S(x)", nil)
+	base := Options{Eps: 0.05, Delta: 0.05, Seed: 7}
+
+	base.Eval = EvalInterpreted
+	full, err := MonteCarloDirect(bg, d, f, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	interrupted := base
+	interrupted.Eval = EvalInterpreted
+	interrupted.Budget = Budget{MaxSamples: 300}
+	interrupted.Checkpoint = &CheckpointConfig{Store: openStore(t, dir, nil), Every: 100}
+	if _, err := MonteCarloDirect(bg, d, f, interrupted); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := base
+	resumed.Eval = EvalCompiled
+	resumed.Checkpoint = &CheckpointConfig{Store: openStore(t, dir, nil), Resume: true}
+	res, err := MonteCarloDirect(bg, d, f, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed {
+		t.Fatal("compiled run did not resume the interpreted snapshot")
+	}
+	if res.HFloat != full.HFloat || res.Samples != full.Samples {
+		t.Fatalf("compiled resume of interpreted snapshot: H=%v n=%d, uninterrupted H=%v n=%d",
+			res.HFloat, res.Samples, full.HFloat, full.Samples)
+	}
+}
+
+// TestEvalCompileFaultFallsBack: an injected vm/compile fault forces
+// the interpreter, recorded in the trail, with the result unchanged.
+func TestEvalCompileFaultFallsBack(t *testing.T) {
+	defer faultinject.Reset()
+	d := randUDB(rand.New(rand.NewSource(42)), 3, 6)
+	for _, tc := range evalEngines {
+		f := logic.MustParse(tc.query, nil)
+		opts := tc.opts
+		opts.Eval = EvalInterpreted
+		want, err := ReliabilityWith(bg, tc.engine, d, f, opts)
+		if err != nil {
+			t.Fatalf("%s interpreted: %v", tc.name, err)
+		}
+		faultinject.Enable(faultinject.SiteVMCompile, faultinject.Fault{Err: errors.New("injected compile failure")})
+		opts.Eval = EvalCompiled
+		got, err := ReliabilityWith(bg, tc.engine, d, f, opts)
+		faultinject.Reset()
+		if err != nil {
+			t.Fatalf("%s with compile fault: %v", tc.name, err)
+		}
+		if got.EvalMode != EvalInterpreted {
+			t.Fatalf("%s: fault did not force interpreted mode, got %q", tc.name, got.EvalMode)
+		}
+		found := false
+		for _, s := range got.FallbackTrail {
+			if s.Engine == "vm" && strings.Contains(s.Err, "injected compile failure") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: trail %v lacks the vm fallback step", tc.name, got.FallbackTrail)
+		}
+		sameEstimate(t, tc.name+" (fault fallback)", got, want)
+	}
+}
+
+func TestUnknownEvalModeRejected(t *testing.T) {
+	d := randUDB(rand.New(rand.NewSource(42)), 3, 2)
+	f := logic.MustParse("S(x)", nil)
+	if _, err := ReliabilityWith(bg, EngineMCDirect, d, f, Options{Eval: "bogus"}); err == nil {
+		t.Fatal("expected an error for eval mode \"bogus\"")
+	}
+}

@@ -148,6 +148,19 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 	if usePaperReduction {
 		engine = "lineage-karpluby-thm53"
 	}
+	// The direct weighted estimator has a bit-identical batched variant
+	// (karpluby.ProbDNF*Compiled); the Theorem 5.3 reduction route does
+	// not. The faultinject probe lets chaos campaigns force the
+	// interpreted path mid-run, exercising mixed-mode clusters.
+	evalMode := EvalInterpreted
+	var evalTrail []FallbackStep
+	if opts.Eval != EvalInterpreted && !usePaperReduction {
+		if err := faultinject.Hit(faultinject.SiteVMCompile); err != nil {
+			evalTrail = []FallbackStep{{Engine: "vm", Err: err.Error()}}
+		} else {
+			evalMode = EvalCompiled
+		}
+	}
 	parallel := opts.Workers > 0
 	src := mc.NewSource(opts.Seed)
 	rng := rand.New(src)
@@ -224,13 +237,18 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 			}
 		}
 		var res karpluby.CountResult
+		compiled := evalMode == EvalCompiled
 		switch {
 		case parallel && usePaperReduction:
 			res, err = karpluby.ProbViaReductionPar(ctx, d, nu, epsT, deltaT, mc.TupleSeed(opts.Seed, idx), parFor(opts), nil)
+		case parallel && compiled:
+			res, err = karpluby.ProbDNFParCompiled(ctx, d, nu, epsT, deltaT, mc.TupleSeed(opts.Seed, idx), parFor(opts), nil)
 		case parallel:
 			res, err = karpluby.ProbDNFPar(ctx, d, nu, epsT, deltaT, mc.TupleSeed(opts.Seed, idx), parFor(opts), nil)
 		case usePaperReduction:
 			res, err = karpluby.ProbViaReduction(d, nu, epsT, deltaT, rng)
+		case compiled:
+			res, err = karpluby.ProbDNFCompiled(d, nu, epsT, deltaT, rng)
 		default:
 			res, err = karpluby.ProbDNF(d, nu, epsT, deltaT, rng)
 		}
@@ -285,17 +303,19 @@ func LineageKL(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Opt
 	}
 	rFloat := 1 - hFloat/normF
 	return Result{
-		HFloat:    hFloat,
-		RFloat:    rFloat,
-		Arity:     k,
-		Engine:    engine,
-		Guarantee: AbsoluteError,
-		Eps:       opts.Eps,
-		Delta:     opts.Delta,
-		Samples:   samples,
-		Class:     logic.Classify(f),
-		Seed:      opts.Seed,
-		Resumed:   run.wasResumed(),
+		HFloat:        hFloat,
+		RFloat:        rFloat,
+		Arity:         k,
+		Engine:        engine,
+		Guarantee:     AbsoluteError,
+		Eps:           opts.Eps,
+		Delta:         opts.Delta,
+		Samples:       samples,
+		Class:         logic.Classify(f),
+		Seed:          opts.Seed,
+		Resumed:       run.wasResumed(),
+		EvalMode:      evalMode,
+		FallbackTrail: evalTrail,
 	}, nil
 }
 

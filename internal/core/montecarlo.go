@@ -58,6 +58,7 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 	if err != nil {
 		return Result{}, err
 	}
+	plan := planEval(db, f, opts)
 	vars := logic.FreeVars(f)
 	k := len(vars)
 	normF := float64(1)
@@ -141,10 +142,16 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 		}
 		preTuple := streamState()
 		var est mc.Estimate
-		if parallel {
+		switch {
+		case plan.compiled() && parallel:
+			est, err = mc.EstimateNuPaddedParCompiled(ctx, db, plan.progs[idx], opts.Xi, epsT, deltaT, budgetLeft,
+				mc.TupleSeed(opts.Seed, idx), parFor(opts), nil)
+		case plan.compiled():
+			est, err = mc.EstimateNuPaddedCompiled(ctx, db, plan.progs[idx], opts.Xi, epsT, deltaT, budgetLeft, rng)
+		case parallel:
 			est, err = mc.EstimateNuPaddedPar(ctx, db, ev(env), opts.Xi, epsT, deltaT, budgetLeft,
 				mc.TupleSeed(opts.Seed, idx), parFor(opts), nil)
-		} else {
+		default:
 			est, err = mc.EstimateNuPadded(ctx, db, ev(env), opts.Xi, epsT, deltaT, budgetLeft, rng)
 		}
 		if errors.Is(err, mc.ErrNoSamples) {
@@ -208,18 +215,20 @@ func MonteCarlo(ctx context.Context, db *unreliable.DB, f logic.Formula, opts Op
 		eps = math.Min(1, epsSum/normF)
 	}
 	return Result{
-		HFloat:    hFloat,
-		RFloat:    1 - hFloat/normF,
-		Arity:     k,
-		Engine:    "monte-carlo",
-		Guarantee: AbsoluteError,
-		Eps:       eps,
-		Delta:     opts.Delta,
-		Samples:   samples,
-		Class:     logic.Classify(f),
-		Degraded:  degraded,
-		Seed:      opts.Seed,
-		Resumed:   run.wasResumed(),
+		HFloat:        hFloat,
+		RFloat:        1 - hFloat/normF,
+		Arity:         k,
+		Engine:        "monte-carlo",
+		Guarantee:     AbsoluteError,
+		Eps:           eps,
+		Delta:         opts.Delta,
+		Samples:       samples,
+		Class:         logic.Classify(f),
+		Degraded:      degraded,
+		Seed:          opts.Seed,
+		Resumed:       run.wasResumed(),
+		EvalMode:      plan.mode,
+		FallbackTrail: plan.trail,
 	}, nil
 }
 
@@ -264,12 +273,23 @@ func MonteCarloDirect(ctx context.Context, db *unreliable.DB, f logic.Formula, o
 		}
 		return float64(symmetricDiffSize(observed, actual)) / normF, nil
 	}
+	plan := planEval(db, f, opts)
+	var cm *mc.CompiledMean
+	if plan.compiled() {
+		cm = &mc.CompiledMean{Progs: plan.progs, Base: plan.base, NormF: normF}
+	}
 	if opts.LaneRange != nil {
 		// Lane-range mode: execute only the assigned subrange of the
 		// Total-lane split and return the raw per-lane aggregates for the
 		// coordinator to merge. HFloat/RFloat are partial-range values.
-		rr, err := mc.EstimateMeanRange(ctx, db, stat, opts.Eps, opts.Delta, opts.Budget.MaxSamples,
-			opts.Seed, *opts.LaneRange, rangeWorkers(opts), run.loopCkpt(resumeSt))
+		var rr mc.RangeResult
+		if cm != nil {
+			rr, err = mc.EstimateMeanRangeCompiled(ctx, db, cm, opts.Eps, opts.Delta, opts.Budget.MaxSamples,
+				opts.Seed, *opts.LaneRange, rangeWorkers(opts), run.loopCkpt(resumeSt))
+		} else {
+			rr, err = mc.EstimateMeanRange(ctx, db, stat, opts.Eps, opts.Delta, opts.Budget.MaxSamples,
+				opts.Seed, *opts.LaneRange, rangeWorkers(opts), run.loopCkpt(resumeSt))
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -278,43 +298,53 @@ func MonteCarloDirect(ctx context.Context, db *unreliable.DB, f logic.Formula, o
 			sum += a.Sum
 		}
 		return Result{
-			HFloat:    sum * normF / float64(drawn),
-			RFloat:    1 - sum/float64(drawn),
-			Arity:     k,
-			Engine:    "monte-carlo-direct",
-			Guarantee: AbsoluteError,
-			Eps:       opts.Eps,
-			Delta:     opts.Delta,
-			Samples:   drawn,
-			Class:     logic.Classify(f),
-			Seed:      opts.Seed,
-			Resumed:   run.wasResumed(),
-			LaneRange: &LaneRangeResult{Range: rr.Range, Method: rr.Method, Requested: rr.Requested, NormF: normF, Lanes: rr.Lanes},
+			HFloat:        sum * normF / float64(drawn),
+			RFloat:        1 - sum/float64(drawn),
+			Arity:         k,
+			Engine:        "monte-carlo-direct",
+			Guarantee:     AbsoluteError,
+			Eps:           opts.Eps,
+			Delta:         opts.Delta,
+			Samples:       drawn,
+			Class:         logic.Classify(f),
+			Seed:          opts.Seed,
+			Resumed:       run.wasResumed(),
+			EvalMode:      plan.mode,
+			FallbackTrail: plan.trail,
+			LaneRange:     &LaneRangeResult{Range: rr.Range, Method: rr.Method, Requested: rr.Requested, NormF: normF, Lanes: rr.Lanes},
 		}, nil
 	}
 	var est mc.Estimate
-	if opts.Workers > 0 {
+	switch {
+	case cm != nil && opts.Workers > 0:
+		est, err = mc.EstimateMeanParCompiled(ctx, db, cm, opts.Eps, opts.Delta, opts.Budget.MaxSamples,
+			opts.Seed, parFor(opts), run.loopCkpt(resumeSt))
+	case cm != nil:
+		est, err = mc.EstimateMeanCkCompiled(ctx, db, cm, opts.Eps, opts.Delta, opts.Budget.MaxSamples, src, run.loopCkpt(resumeSt))
+	case opts.Workers > 0:
 		est, err = mc.EstimateMeanPar(ctx, db, stat, opts.Eps, opts.Delta, opts.Budget.MaxSamples,
 			opts.Seed, parFor(opts), run.loopCkpt(resumeSt))
-	} else {
+	default:
 		est, err = mc.EstimateMeanCk(ctx, db, stat, opts.Eps, opts.Delta, opts.Budget.MaxSamples, src, run.loopCkpt(resumeSt))
 	}
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{
-		HFloat:    est.Value * normF,
-		RFloat:    1 - est.Value,
-		Arity:     k,
-		Engine:    "monte-carlo-direct",
-		Guarantee: AbsoluteError,
-		Eps:       est.Eps,
-		Delta:     opts.Delta,
-		Samples:   est.Samples,
-		Class:     logic.Classify(f),
-		Degraded:  est.Partial,
-		Seed:      opts.Seed,
-		Resumed:   run.wasResumed(),
+		HFloat:        est.Value * normF,
+		RFloat:        1 - est.Value,
+		Arity:         k,
+		Engine:        "monte-carlo-direct",
+		Guarantee:     AbsoluteError,
+		Eps:           est.Eps,
+		Delta:         opts.Delta,
+		Samples:       est.Samples,
+		Class:         logic.Classify(f),
+		Degraded:      est.Partial,
+		Seed:          opts.Seed,
+		Resumed:       run.wasResumed(),
+		EvalMode:      plan.mode,
+		FallbackTrail: plan.trail,
 	}, nil
 }
 
@@ -379,5 +409,8 @@ func MonteCarloRare(ctx context.Context, db *unreliable.DB, f logic.Formula, opt
 		Degraded:  est.Partial,
 		Seed:      opts.Seed,
 		Resumed:   run.wasResumed(),
+		// Rare-event conditioning samples worlds conditioned on the flip
+		// event, a stream the batch layout doesn't cover yet.
+		EvalMode: EvalInterpreted,
 	}, nil
 }

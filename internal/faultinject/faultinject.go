@@ -96,6 +96,13 @@ const (
 	// proving audit scheduling degrades without poisoning health state.
 	SiteClusterComputeCorrupt = "cluster/compute-corrupt"
 	SiteClusterAudit          = "cluster/audit"
+	// SiteVMCompile fires inside vm.Compile before a formula is lowered
+	// to bytecode; an armed error makes compilation fail, forcing the
+	// engine onto the interpreted evaluator mid-campaign (recorded in
+	// the fallback trail). Because the compiled and interpreted paths
+	// consume the identical RNG stream, every bit-identity invariant
+	// must hold even when replicas disagree on eval mode.
+	SiteVMCompile = "vm/compile"
 )
 
 // allSites is the canonical registry behind Sites. Every Site* constant
@@ -127,6 +134,7 @@ var allSites = []string{
 	SiteClusterJournalCrash,
 	SiteClusterComputeCorrupt,
 	SiteClusterAudit,
+	SiteVMCompile,
 }
 
 // Sites returns every registered injection site, sorted. The chaos

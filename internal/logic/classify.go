@@ -74,6 +74,16 @@ func Classify(f Formula) Class {
 	}
 }
 
+// Compilable reports whether f is in the fragment the bytecode
+// compiler (internal/vm) accepts: every first-order formula grounds
+// to a propositional matrix over the finite universe, so only
+// second-order quantifiers are out. Grounding can still fail on size
+// (MaxGroundTerms), which compilers report as an ordinary error;
+// Compilable is the cheap syntactic pre-check.
+func Compilable(f Formula) bool {
+	return !hasSO(f)
+}
+
 // hasSO reports whether f contains a second-order quantifier.
 func hasSO(f Formula) bool {
 	found := false

@@ -192,7 +192,17 @@ func (ev *Evaluator) evalFOQuant(vars []string, body Formula, env Env, existenti
 	// Monte Carlo per-sample allocation profile.
 	var savedVal [quantSaveMax]int
 	var savedOK [quantSaveMax]bool
-	if len(vars) <= quantSaveMax {
+	switch {
+	case len(env) == 0:
+		// An empty environment — a sentence query, the per-world shape of
+		// the Monte Carlo engines — shadows nothing, so restoring is plain
+		// deletion and the per-variable save lookups are skipped entirely.
+		defer func() {
+			for _, v := range vars {
+				delete(env, v)
+			}
+		}()
+	case len(vars) <= quantSaveMax:
 		for i, v := range vars {
 			savedVal[i], savedOK[i] = env[v]
 		}
@@ -205,7 +215,7 @@ func (ev *Evaluator) evalFOQuant(vars []string, body Formula, env Env, existenti
 				}
 			}
 		}()
-	} else {
+	default:
 		env = env.Clone()
 	}
 	// Single-variable blocks — the common shape — walk the universe

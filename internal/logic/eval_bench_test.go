@@ -1,0 +1,37 @@
+package logic
+
+import "testing"
+
+// BenchmarkEvalSentenceEmptyEnv is the per-world shape of the Monte
+// Carlo interpreted hot path: a closed quantified sentence evaluated
+// with an empty environment, once per sampled world. It pins the
+// empty-env fast path in evalFOQuant — nothing is shadowed, so the
+// quantifier block must not pay per-variable save lookups.
+func BenchmarkEvalSentenceEmptyEnv(b *testing.B) {
+	s := pathGraph(8)
+	f := MustParse("forall x . exists y . E(x,y) | S(x)", s.Voc)
+	env := Env{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(s, f, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalSentenceBoundEnv is the contrast case: the same shape
+// under a pre-populated environment (an answer-tuple query), which must
+// keep the save/restore semantics intact.
+func BenchmarkEvalSentenceBoundEnv(b *testing.B) {
+	s := pathGraph(8)
+	f := MustParse("exists y . E(x,y) | S(x)", s.Voc)
+	env := Env{"x": 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(s, f, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package mc
+
+import "context"
+
+// Batched lane execution. The compiled samplers evaluate up to 64
+// worlds per pass (internal/vm bit-parallel programs), so their lane
+// loop advances Drawn in batches instead of single steps. Everything
+// observable is kept aligned with the scalar loop in
+// sampleAssignedLanes: batches never cross a ctxPollStride boundary
+// (the context is polled at exactly the same Drawn values), never
+// cross a checkpoint boundary (periodic snapshots are published at
+// exactly the same Drawn values), and never overrun the quota — so
+// for the same RNG streams, a batched run's checkpoints and final
+// aggregates are byte-identical to the scalar run's.
+
+// batchSize returns how many samples the next batch may draw: at most
+// 64, clamped to the remaining quota, to the next context-poll
+// boundary, and to the next periodic-checkpoint boundary (every = 0
+// disables the latter). Always ≥ 1 when drawn < quota.
+func batchSize(drawn, quota, every, lastSave int) int {
+	m := quota - drawn
+	if m > 64 {
+		m = 64
+	}
+	if r := ctxPollStride - drawn%ctxPollStride; m > r {
+		m = r
+	}
+	if every > 0 {
+		if r := every - (drawn - lastSave); m > r {
+			m = r
+		}
+	}
+	return m
+}
+
+// batchFull returns the live-worlds mask of an m-world batch.
+func batchFull(m int) uint64 { return ^uint64(0) >> uint(64-m) }
+
+// sampleLanesBatch is sampleLanes with a batched step: setup builds a
+// per-lane batch step that draws exactly m samples' worth of RNG
+// values (in the scalar per-sample order) and folds them into the
+// lane aggregates.
+func sampleLanesBatch(ctx context.Context, method string, lanes []*Lane, workers, total int, ck *Ckpt,
+	setup func(ln *Lane) func(m int) error) error {
+	AssignQuotas(lanes, total)
+	return sampleAssignedLanesBatch(ctx, method, lanes, workers, ck, setup)
+}
+
+// sampleAssignedLanesBatch mirrors sampleAssignedLanes for batched
+// steps; see the boundary-alignment contract above.
+func sampleAssignedLanesBatch(ctx context.Context, method string, lanes []*Lane, workers int, ck *Ckpt,
+	setup func(ln *Lane) func(m int) error) error {
+	if err := RestoreLanes(method, lanes, ck); err != nil {
+		return err
+	}
+	lc := NewLaneCkpt(method, lanes, ck)
+	every := lc.PerLaneEvery(len(lanes))
+	err := RunLanes(ctx, lanes, workers, func(ctx context.Context, ln *Lane) error {
+		step := setup(ln)
+		lastSave := ln.Drawn
+		for ln.Drawn < ln.Quota {
+			if ln.Drawn%ctxPollStride == 0 && ctx.Err() != nil {
+				break
+			}
+			if every > 0 && ln.Drawn-lastSave >= every {
+				lastSave = ln.Drawn
+				if err := lc.Publish(ln, true); err != nil {
+					return err
+				}
+			}
+			m := batchSize(ln.Drawn, ln.Quota, every, lastSave)
+			if err := step(m); err != nil {
+				return err
+			}
+			ln.Drawn += m
+		}
+		return lc.Publish(ln, false)
+	})
+	if err != nil {
+		return err
+	}
+	return lc.FinalSave()
+}

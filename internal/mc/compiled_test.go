@@ -1,0 +1,214 @@
+package mc_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"qrel/internal/logic"
+	"qrel/internal/mc"
+	"qrel/internal/rel"
+	"qrel/internal/unreliable"
+	"qrel/internal/vm"
+	"qrel/internal/workload"
+)
+
+// Bit-identity of the compiled estimators against the interpreted
+// ones: same seed, same lanes — byte-for-byte the same estimate, the
+// same published LoopStates, the same lane aggregates and attestation
+// digests, for every worker count. These tests pin the tentpole
+// contract that lets compiled and interpreted replicas interoperate
+// in one cluster.
+
+func compiledTestDB(t *testing.T, seed int64) *unreliable.DB {
+	t.Helper()
+	return workload.RandomUDB(rand.New(rand.NewSource(seed)), 4, 8)
+}
+
+func mustParse(t *testing.T, db *unreliable.DB, src string) logic.Formula {
+	t.Helper()
+	f, err := logic.Parse(src, db.A.Voc)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return f
+}
+
+func mustCompile(t *testing.T, db *unreliable.DB, f logic.Formula) *vm.Program {
+	t.Helper()
+	p, err := vm.Compile(db, f, logic.Env{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func collectCkpt(every int, dst *[]mc.LoopState) *mc.Ckpt {
+	return &mc.Ckpt{Every: every, Save: func(st mc.LoopState) error {
+		*dst = append(*dst, st)
+		return nil
+	}}
+}
+
+func TestCompiledPaddedBitIdentical(t *testing.T) {
+	db := compiledTestDB(t, 11)
+	q := mustParse(t, db, "forall x . exists y . E(x,y)")
+	prog := mustCompile(t, db, q)
+	pred := func(b *rel.Structure) (bool, error) { return logic.EvalSentence(b, q) }
+	ctx := context.Background()
+	for _, w := range []int{1, 2, 4, 7} {
+		var intSaves, compSaves []mc.LoopState
+		want, err := mc.EstimateNuPaddedPar(ctx, db, pred, 0, 0.2, 0.1, 0, 1998, mc.Par{Workers: w}, collectCkpt(101, &intSaves))
+		if err != nil {
+			t.Fatalf("workers=%d interpreted: %v", w, err)
+		}
+		got, err := mc.EstimateNuPaddedParCompiled(ctx, db, prog, 0, 0.2, 0.1, 0, 1998, mc.Par{Workers: w}, collectCkpt(101, &compSaves))
+		if err != nil {
+			t.Fatalf("workers=%d compiled: %v", w, err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: compiled estimate %+v != interpreted %+v", w, got, want)
+		}
+		if len(intSaves) == 0 || len(compSaves) == 0 {
+			t.Fatalf("workers=%d: no checkpoints published", w)
+		}
+		if !reflect.DeepEqual(intSaves[len(intSaves)-1], compSaves[len(compSaves)-1]) {
+			t.Fatalf("workers=%d: final snapshots differ:\n%+v\n%+v", w, intSaves[len(intSaves)-1], compSaves[len(compSaves)-1])
+		}
+		if w == 1 && !reflect.DeepEqual(intSaves, compSaves) {
+			t.Fatalf("sequential snapshot streams differ:\n%+v\n%+v", intSaves, compSaves)
+		}
+	}
+}
+
+// meanFixture returns the interpreted statistic and its compiled form
+// for a boolean sentence (the 0-ary answer-set symmetric difference).
+func meanFixture(t *testing.T, db *unreliable.DB, src string) (func(*rel.Structure) (float64, error), *mc.CompiledMean) {
+	q := mustParse(t, db, src)
+	obs, err := logic.EvalSentence(db.A, q)
+	if err != nil {
+		t.Fatalf("observed eval: %v", err)
+	}
+	stat := func(b *rel.Structure) (float64, error) {
+		v, err := logic.EvalSentence(b, q)
+		if err != nil {
+			return 0, err
+		}
+		if v != obs {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	cm := &mc.CompiledMean{Progs: []*vm.Program{mustCompile(t, db, q)}, Base: []bool{obs}, NormF: 1}
+	return stat, cm
+}
+
+func TestCompiledMeanBitIdentical(t *testing.T) {
+	db := compiledTestDB(t, 13)
+	stat, cm := meanFixture(t, db, "exists x y . E(x,y) & E(y,x)")
+	ctx := context.Background()
+	for _, w := range []int{1, 2, 4, 7} {
+		var intSaves, compSaves []mc.LoopState
+		want, err := mc.EstimateMeanPar(ctx, db, stat, 0.1, 0.1, 0, 1998, mc.Par{Workers: w}, collectCkpt(53, &intSaves))
+		if err != nil {
+			t.Fatalf("workers=%d interpreted: %v", w, err)
+		}
+		got, err := mc.EstimateMeanParCompiled(ctx, db, cm, 0.1, 0.1, 0, 1998, mc.Par{Workers: w}, collectCkpt(53, &compSaves))
+		if err != nil {
+			t.Fatalf("workers=%d compiled: %v", w, err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: compiled estimate %+v != interpreted %+v", w, got, want)
+		}
+		if !reflect.DeepEqual(intSaves[len(intSaves)-1], compSaves[len(compSaves)-1]) {
+			t.Fatalf("workers=%d: final snapshots differ", w)
+		}
+		if w == 1 && !reflect.DeepEqual(intSaves, compSaves) {
+			t.Fatalf("sequential snapshot streams differ")
+		}
+	}
+}
+
+func TestCompiledMeanRangeBitIdentical(t *testing.T) {
+	db := compiledTestDB(t, 17)
+	stat, cm := meanFixture(t, db, "forall x . exists y . E(x,y)")
+	ctx := context.Background()
+	for _, r := range []mc.Range{{Lo: 0, Hi: 3, Total: 8}, {Lo: 3, Hi: 8, Total: 8}, {Lo: 0, Hi: 8, Total: 8}} {
+		want, err := mc.EstimateMeanRange(ctx, db, stat, 0.1, 0.1, 0, 1998, r, 3, nil)
+		if err != nil {
+			t.Fatalf("range %v interpreted: %v", r, err)
+		}
+		got, err := mc.EstimateMeanRangeCompiled(ctx, db, cm, 0.1, 0.1, 0, 1998, r, 3, nil)
+		if err != nil {
+			t.Fatalf("range %v compiled: %v", r, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("range %v: compiled result differs:\n%+v\n%+v", r, got, want)
+		}
+		if dg, dw := mc.RangeDigest(got.Lanes), mc.RangeDigest(want.Lanes); dg != dw {
+			t.Fatalf("range %v: digest %s != %s", r, dg, dw)
+		}
+	}
+}
+
+// TestCompiledResumesInterpretedCheckpoint proves snapshot
+// interchange across eval modes: a snapshot written mid-run by the
+// interpreted sequential estimator resumes under the compiled one
+// (and vice versa) with the final estimate byte-identical to an
+// uninterrupted run.
+func TestCompiledResumesInterpretedCheckpoint(t *testing.T) {
+	db := compiledTestDB(t, 19)
+	stat, cm := meanFixture(t, db, "exists y . E(0,y) & S(y)")
+	ctx := context.Background()
+	var saves []mc.LoopState
+	want, err := mc.EstimateMeanCk(ctx, db, stat, 0.1, 0.1, 0, mc.NewSource(1998), collectCkpt(37, &saves))
+	if err != nil {
+		t.Fatalf("interpreted full run: %v", err)
+	}
+	if len(saves) < 3 {
+		t.Fatalf("want several periodic snapshots, got %d", len(saves))
+	}
+	mid := saves[1]
+	got, err := mc.EstimateMeanCkCompiled(ctx, db, cm, 0.1, 0.1, 0, mc.NewSource(1998), &mc.Ckpt{Resume: &mid})
+	if err != nil {
+		t.Fatalf("compiled resume: %v", err)
+	}
+	if got != want {
+		t.Fatalf("compiled resume of interpreted snapshot: %+v != %+v", got, want)
+	}
+	// And the reverse direction: compiled writes, interpreted resumes.
+	var compSaves []mc.LoopState
+	if _, err := mc.EstimateMeanCkCompiled(ctx, db, cm, 0.1, 0.1, 0, mc.NewSource(1998), collectCkpt(37, &compSaves)); err != nil {
+		t.Fatalf("compiled full run: %v", err)
+	}
+	mid2 := compSaves[1]
+	got2, err := mc.EstimateMeanCk(ctx, db, stat, 0.1, 0.1, 0, mc.NewSource(1998), &mc.Ckpt{Resume: &mid2})
+	if err != nil {
+		t.Fatalf("interpreted resume: %v", err)
+	}
+	if got2 != want {
+		t.Fatalf("interpreted resume of compiled snapshot: %+v != %+v", got2, want)
+	}
+}
+
+// TestCompiledSequentialMatchesInterpreted covers the Source-less
+// sequential entry points (Drawer's rand.Rand fallback).
+func TestCompiledSequentialMatchesInterpreted(t *testing.T) {
+	db := compiledTestDB(t, 23)
+	q := mustParse(t, db, "forall x . S(x) -> exists y . E(x,y)")
+	prog := mustCompile(t, db, q)
+	pred := func(b *rel.Structure) (bool, error) { return logic.EvalSentence(b, q) }
+	ctx := context.Background()
+	want, err := mc.EstimateNuPadded(ctx, db, pred, 0, 0.25, 0.1, 0, mc.NewRand(77))
+	if err != nil {
+		t.Fatalf("interpreted: %v", err)
+	}
+	got, err := mc.EstimateNuPaddedCompiled(ctx, db, prog, 0, 0.25, 0.1, 0, mc.NewRand(77))
+	if err != nil {
+		t.Fatalf("compiled: %v", err)
+	}
+	if got != want {
+		t.Fatalf("sequential compiled %+v != interpreted %+v", got, want)
+	}
+}

@@ -1,0 +1,61 @@
+package mc
+
+import "math/rand"
+
+// Drawer reproduces a lane's math/rand draw stream without the
+// rand.Rand call overhead. The batched samplers draw tens of values
+// per sample, so the interface dispatch and lock-free-ness checks
+// inside rand.Rand are a measurable fraction of the hot loop; Drawer
+// inlines the exact value derivations math/rand performs over a
+// rand.Source64 — same draws, same order, same values — directly
+// against the lane's Source.
+//
+// The contract is bit-identity with the methods the scalar samplers
+// call on ln.Rng: Float64 with rand's retry-on-1.0 derivation from
+// Int63, and the power-of-two Intn cases (Intn(2), Intn(256)) via the
+// Int31 masking path. Equivalence is locked down by
+// TestDrawerMatchesRand; if a Go release ever changed math/rand's
+// derivations (it has not since Go 1), that test fails loudly.
+//
+// When a lane has no serializable Source (plain sequential estimators
+// constructed from a caller-supplied *rand.Rand), Drawer degrades to
+// calling the rand.Rand methods themselves — identical values either
+// way, just without the bypass.
+type Drawer struct {
+	src *Source
+	rng *rand.Rand
+}
+
+// NewDrawer builds the drawer of one lane.
+func NewDrawer(ln *Lane) Drawer { return Drawer{src: ln.Src, rng: ln.Rng} }
+
+// Float64 replicates rand.Rand.Float64: float64(Int63())/2^63 with
+// the (astronomically rare) retry when the division rounds to 1.0.
+func (d Drawer) Float64() float64 {
+	if d.src == nil {
+		return d.rng.Float64()
+	}
+	for {
+		f := float64(int64(d.src.Uint64()>>1)) / (1 << 63)
+		if f != 1 {
+			return f
+		}
+	}
+}
+
+// Intn2 replicates rand.Rand.Intn(2): the power-of-two Int31n path,
+// Int31() & 1 with Int31 = int32(Int63() >> 32).
+func (d Drawer) Intn2() int {
+	if d.src == nil {
+		return d.rng.Intn(2)
+	}
+	return int(int32(int64(d.src.Uint64()>>1)>>32) & 1)
+}
+
+// Byte replicates rand.Rand.Intn(256) the same way.
+func (d Drawer) Byte() byte {
+	if d.src == nil {
+		return byte(d.rng.Intn(256))
+	}
+	return byte(int32(int64(d.src.Uint64()>>1)>>32) & 255)
+}

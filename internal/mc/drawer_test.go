@@ -1,0 +1,59 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDrawerMatchesRand locks down the bit-identity contract between
+// Drawer's inlined derivations and the math/rand methods the scalar
+// samplers call. The two streams must agree value-for-value under an
+// arbitrary interleaving of draw kinds, because the batched samplers
+// interleave world draws with pick and padding draws per sample.
+func TestDrawerMatchesRand(t *testing.T) {
+	for _, seed := range []int64{0, 1, -7, 1998, 1 << 40} {
+		a := NewSource(seed)
+		b := NewSource(seed)
+		ref := rand.New(b)
+		d := Drawer{src: a}
+		mix := rand.New(NewSource(seed ^ 0x5eed))
+		for i := 0; i < 20000; i++ {
+			switch mix.Intn(3) {
+			case 0:
+				if got, want := d.Float64(), ref.Float64(); got != want {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, got, want)
+				}
+			case 1:
+				if got, want := d.Intn2(), ref.Intn(2); got != want {
+					t.Fatalf("seed %d draw %d: Intn2 %v != %v", seed, i, got, want)
+				}
+			default:
+				if got, want := d.Byte(), byte(ref.Intn(256)); got != want {
+					t.Fatalf("seed %d draw %d: Byte %v != %v", seed, i, got, want)
+				}
+			}
+			if a.State() != b.State() {
+				t.Fatalf("seed %d draw %d: source states diverged", seed, i)
+			}
+		}
+	}
+}
+
+// TestDrawerRandFallback checks the Source-less degradation: a Drawer
+// over a bare *rand.Rand consumes the rand methods themselves.
+func TestDrawerRandFallback(t *testing.T) {
+	ref := rand.New(NewSource(3))
+	got := rand.New(NewSource(3))
+	d := Drawer{rng: got}
+	for i := 0; i < 1000; i++ {
+		if a, b := d.Float64(), ref.Float64(); a != b {
+			t.Fatalf("draw %d: Float64 %v != %v", i, a, b)
+		}
+		if a, b := d.Intn2(), ref.Intn(2); a != b {
+			t.Fatalf("draw %d: Intn2 %v != %v", i, a, b)
+		}
+		if a, b := d.Byte(), byte(ref.Intn(256)); a != b {
+			t.Fatalf("draw %d: Byte %v != %v", i, a, b)
+		}
+	}
+}

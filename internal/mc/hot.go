@@ -1,0 +1,78 @@
+package mc
+
+import "math/bits"
+
+// HotRNG is a lane Source's xoshiro256** state hoisted into plain
+// struct fields for the duration of one evaluation batch. The compiled
+// samplers draw tens of values per sample; going through
+// (*Source).Uint64 pays a non-inlined call plus four state loads and
+// stores per draw, which profiling shows dominates the batched Karp–Luby
+// loop. HotRNG's methods are small enough to inline, so a batch loop
+// that keeps a HotRNG in a local variable gets the whole generator step
+// compiled into the loop body with the state words held in registers.
+//
+// The value stream is exactly (*Source).Uint64's, and the derived draws
+// replicate Drawer's (hence math/rand's) derivations bit for bit. Usage
+// contract: obtain the state with Drawer.Hot at the start of a batch and
+// write it back with Drawer.PutHot before the batch ends — in
+// particular before any checkpoint captures Source.State — so snapshots
+// and lane digests never observe a stale generator.
+type HotRNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// Hot returns the drawer's generator state as a HotRNG. ok is false
+// when the lane has no serializable Source (a plain *rand.Rand lane);
+// callers must then stay on the Drawer methods.
+func (d Drawer) Hot() (h HotRNG, ok bool) {
+	if d.src == nil {
+		return HotRNG{}, false
+	}
+	return HotRNG{d.src.s[0], d.src.s[1], d.src.s[2], d.src.s[3]}, true
+}
+
+// PutHot writes a HotRNG's state back into the drawer's Source,
+// resuming the shared stream where the batch left off.
+func (d Drawer) PutHot(h HotRNG) {
+	d.src.s = [4]uint64{h.s0, h.s1, h.s2, h.s3}
+}
+
+// Uint64 advances the generator: the xoshiro256** step of
+// (*Source).Uint64 over the hoisted state words.
+func (h *HotRNG) Uint64() uint64 {
+	r := bits.RotateLeft64(h.s1*5, 7) * 9
+	t := h.s1 << 17
+	h.s2 ^= h.s0
+	h.s3 ^= h.s1
+	h.s1 ^= h.s2
+	h.s0 ^= h.s3
+	h.s2 ^= t
+	h.s3 = bits.RotateLeft64(h.s3, 45)
+	return r
+}
+
+// Intn2 replicates Drawer.Intn2 (rand.Rand.Intn(2)).
+func (h *HotRNG) Intn2() int { return int(int32(int64(h.Uint64()>>1)>>32) & 1) }
+
+// Byte replicates Drawer.Byte (rand.Rand.Intn(256)).
+func (h *HotRNG) Byte() byte { return byte(int32(int64(h.Uint64()>>1)>>32) & 255) }
+
+// Float64 replicates Drawer.Float64 (rand.Rand.Float64), with the
+// astronomically rare retry-on-1.0 outlined so the fast path stays
+// inlinable.
+func (h *HotRNG) Float64() float64 {
+	f := float64(int64(h.Uint64()>>1)) / (1 << 63)
+	if f == 1 {
+		return h.float64Retry()
+	}
+	return f
+}
+
+func (h *HotRNG) float64Retry() float64 {
+	for {
+		f := float64(int64(h.Uint64()>>1)) / (1 << 63)
+		if f != 1 {
+			return f
+		}
+	}
+}

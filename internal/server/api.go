@@ -22,6 +22,14 @@ type Request struct {
 	// Engine selects an engine ("auto" or empty dispatches on the query
 	// class).
 	Engine string `json:"engine,omitempty"`
+	// Eval selects the sampling evaluation mode: "auto" or empty
+	// (compile the query to world-VM bytecode, falling back to the
+	// interpreter for shapes that don't compile), "compiled", or
+	// "interpreted". The modes are bit-identical for a fixed seed —
+	// estimates, checkpoints, and lane digests all match — so replicas
+	// of one cluster fan-out may disagree on it freely; the knob exists
+	// for throughput comparisons and chaos drills.
+	Eval string `json:"eval,omitempty"`
 	// Eps, Delta are the randomized-guarantee parameters (defaulted by
 	// the engines when zero).
 	Eps   float64 `json:"eps,omitempty"`
@@ -101,6 +109,9 @@ type Response struct {
 	Samples int     `json:"samples,omitempty"`
 	// Class is the detected query class.
 	Class string `json:"class"`
+	// EvalMode reports how a sampling engine evaluated the query per
+	// world ("compiled" or "interpreted"); empty for exact engines.
+	EvalMode string `json:"eval_mode,omitempty"`
 	// Degraded reports that a budget or deadline cut the run short and
 	// the guarantee was weakened (but remains valid).
 	Degraded bool `json:"degraded"`
@@ -232,6 +243,7 @@ func toResponse(res core.Result, elapsedMS int64) *Response {
 		Delta:     res.Delta,
 		Samples:   res.Samples,
 		Class:     res.Class.String(),
+		EvalMode:  res.EvalMode,
 		Degraded:  res.Degraded,
 		Seed:      res.Seed,
 		Resumed:   res.Resumed,

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"qrel/internal/faultinject"
+)
+
+// TestEvalModeGaugesAndFallbackCounter exercises the serving-layer half
+// of the compiled-evaluation work: the request's eval knob reaches the
+// engine, the response reports the resolved mode, /statz splits the
+// per-engine throughput gauges by mode, and a forced compile failure
+// increments compile_fallbacks while the run itself still succeeds.
+func TestEvalModeGaugesAndFallbackCounter(t *testing.T) {
+	defer faultinject.Reset()
+	s, ts := newTestServer(t, Config{})
+	req := Request{DB: "g", Query: "E(x,y) & S(x)", Engine: "monte-carlo-direct",
+		Eps: 0.05, Delta: 0.1, Seed: 5}
+
+	req.Eval = "compiled"
+	status, compiled, _, _ := post(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("compiled run: status %d", status)
+	}
+	if compiled.EvalMode != "compiled" {
+		t.Fatalf("compiled run reports eval_mode %q", compiled.EvalMode)
+	}
+
+	req.Eval = "interpreted"
+	status, interp, _, _ := post(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("interpreted run: status %d", status)
+	}
+	if interp.EvalMode != "interpreted" {
+		t.Fatalf("interpreted run reports eval_mode %q", interp.EvalMode)
+	}
+	// Same seed, same query: the two modes are bit-identical end to end.
+	if compiled.R != interp.R || compiled.Samples != interp.Samples {
+		t.Fatalf("compiled (r=%v n=%d) != interpreted (r=%v n=%d)",
+			compiled.R, compiled.Samples, interp.R, interp.Samples)
+	}
+
+	eng, ok := s.Statz().Engines["monte-carlo-direct"]
+	if !ok {
+		t.Fatal("no engine gauges for monte-carlo-direct")
+	}
+	if eng.Runs != 2 || eng.Samples != int64(compiled.Samples+interp.Samples) {
+		t.Fatalf("engine totals runs=%d samples=%d, want 2 runs / %d samples",
+			eng.Runs, eng.Samples, compiled.Samples+interp.Samples)
+	}
+	for mode, res := range map[string]*Response{"compiled": compiled, "interpreted": interp} {
+		ev, ok := eng.Eval[mode]
+		if !ok {
+			t.Fatalf("no %s gauge bundle; eval map %v", mode, eng.Eval)
+		}
+		if ev.Runs != 1 || ev.Samples != int64(res.Samples) {
+			t.Fatalf("%s gauges runs=%d samples=%d, want 1 run / %d samples",
+				mode, ev.Runs, ev.Samples, res.Samples)
+		}
+		if ev.BusyMS < 0 || ev.SamplesPerSec < 0 {
+			t.Fatalf("%s gauges negative: %+v", mode, ev)
+		}
+	}
+	if got := s.Statz().CompileFallbacks; got != 0 {
+		t.Fatalf("compile_fallbacks = %d before any fault, want 0", got)
+	}
+
+	// A compile fault forces the interpreter mid-admission: the request
+	// still succeeds, the mode degrades, and the counter ticks.
+	faultinject.Enable(faultinject.SiteVMCompile, faultinject.Fault{Err: errors.New("injected compile failure")})
+	req.Eval = "compiled"
+	status, fell, _, _ := post(t, ts.URL, req)
+	faultinject.Reset()
+	if status != http.StatusOK {
+		t.Fatalf("run with compile fault: status %d", status)
+	}
+	if fell.EvalMode != "interpreted" {
+		t.Fatalf("faulted run reports eval_mode %q, want interpreted", fell.EvalMode)
+	}
+	if fell.R != interp.R || fell.Samples != interp.Samples {
+		t.Fatalf("faulted fallback run (r=%v n=%d) != interpreted (r=%v n=%d)",
+			fell.R, fell.Samples, interp.R, interp.Samples)
+	}
+	if got := s.Statz().CompileFallbacks; got != 1 {
+		t.Fatalf("compile_fallbacks = %d after forced fallback, want 1", got)
+	}
+	if ev := s.Statz().Engines["monte-carlo-direct"].Eval["interpreted"]; ev.Runs != 2 {
+		t.Fatalf("interpreted gauge runs = %d after fallback run, want 2", ev.Runs)
+	}
+}
+
+func TestUnknownEvalModeRejectedAtAdmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, _, ec, _ := post(t, ts.URL, Request{DB: "g", Query: "S(x)", Eval: "bogus"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", status)
+	}
+	if ec == nil || ec.Kind != KindBadRequest {
+		t.Fatalf("error %+v, want kind %q", ec, KindBadRequest)
+	}
+}

@@ -172,10 +172,14 @@ func TestJobGetUnknown(t *testing.T) {
 // final estimate bit-identical to a never-interrupted run.
 func TestJobDrainMidJobAndResume(t *testing.T) {
 	req := Request{
-		DB:             "g",
-		Query:          "E(x,y) & S(x)",
-		Engine:         "monte-carlo-direct",
-		Eps:            0.004, // ~460k samples: long enough to drain mid-run
+		DB:     "g",
+		Query:  "E(x,y) & S(x)",
+		Engine: "monte-carlo-direct",
+		// Interpreted keeps the ~460k-sample job slow enough to still be
+		// mid-flight when the drain lands; the compiled evaluator finishes
+		// it inside the sleep below.
+		Eval:           "interpreted",
+		Eps:            0.004,
 		Delta:          0.05,
 		Seed:           99,
 		IdempotencyKey: "drain-resume-1",

@@ -84,7 +84,13 @@ func (s *Server) runTask(t *task) {
 		started := time.Now()
 		t.res, t.err = core.ReliabilityWith(t.ctx, t.engine, t.db, t.q, t.opts)
 		if t.err == nil {
-			s.stats.recordEngine(t.res.Engine, t.res.Samples, time.Since(started))
+			s.stats.recordEngine(t.res.Engine, t.res.EvalMode, t.res.Samples, time.Since(started))
+			for _, step := range t.res.FallbackTrail {
+				if step.Engine == "vm" {
+					s.stats.compileFallbacks.Add(1)
+					break
+				}
+			}
 		}
 		// Byzantine-replica window: perturb a raw lane aggregate after the
 		// computation but before toResponse renders it, so the attestation

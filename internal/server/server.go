@@ -70,6 +70,12 @@ type Config struct {
 	// coordinators and operators can tell replicas apart. Default
 	// "<hostname>-<pid>".
 	ReplicaID string
+	// DefaultEval is the evaluation mode applied to requests that do not
+	// pick one ("", "auto", "compiled", or "interpreted"). The modes are
+	// bit-identical, so replicas of one cluster may be configured
+	// differently — a mixed-version fleet — without breaking lane merges
+	// or attestation.
+	DefaultEval string
 	// ComputeCorrupt, when set, silently perturbs one lane aggregate of
 	// every successful lane-range computation before the result (and its
 	// attestation digest) is rendered — a persistent Byzantine replica.
@@ -361,6 +367,16 @@ func (s *Server) buildTask(req *Request) (*task, int, string, error) {
 	if !core.KnownEngine(engine) {
 		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("unknown engine %q", req.Engine)
 	}
+	if !core.KnownEvalMode(req.Eval) {
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("unknown eval mode %q", req.Eval)
+	}
+	eval := req.Eval
+	if eval == "" {
+		eval = s.cfg.DefaultEval
+	}
+	if !core.KnownEvalMode(eval) {
+		return nil, http.StatusInternalServerError, KindEngineFailed, fmt.Errorf("server misconfigured: unknown default eval mode %q", eval)
+	}
 	var laneRange *mc.Range
 	if req.Lanes != nil {
 		if engine != core.EngineMCDirect {
@@ -394,6 +410,7 @@ func (s *Server) buildTask(req *Request) (*task, int, string, error) {
 		Eps:          req.Eps,
 		Delta:        req.Delta,
 		Seed:         req.Seed,
+		Eval:         eval,
 		Workers:      workers,
 		MaxEnumAtoms: s.cfg.MaxEnumAtoms,
 		Breaker:      s.breakers,

@@ -46,6 +46,11 @@ type stats struct {
 	// Byzantine-replica hook (Config.ComputeCorrupt or the
 	// cluster/compute-corrupt fault site) — nonzero only under chaos.
 	computeCorrupted atomic.Int64
+	// compileFallbacks counts finished computations whose fallback trail
+	// records an abandoned vm compile: the sampling engine wanted the
+	// compiled evaluator but ran interpreted. Persistently nonzero means
+	// the fleet is paying tree-walk prices for queries believed compiled.
+	compileFallbacks atomic.Int64
 
 	// engMu guards engines: per-engine run/sample/busy-time counters fed
 	// by the pool workers, from which /statz derives samples/sec.
@@ -53,15 +58,26 @@ type stats struct {
 	engines map[string]*engineCounters
 }
 
-// engineCounters aggregates the throughput of one engine.
+// engineCounters aggregates the throughput of one engine, with a
+// nested split by evaluation mode (compiled vs interpreted) for the
+// sampling engines that report one.
 type engineCounters struct {
 	runs    int64
 	samples int64
 	busy    time.Duration
+	eval    map[string]*engineCounters
 }
 
-// recordEngine accounts one finished computation to its engine.
-func (st *stats) recordEngine(engine string, samples int, busy time.Duration) {
+func (c *engineCounters) add(samples int, busy time.Duration) {
+	c.runs++
+	c.samples += int64(samples)
+	c.busy += busy
+}
+
+// recordEngine accounts one finished computation to its engine and,
+// when the engine reported an evaluation mode, to that mode's
+// sub-counters.
+func (st *stats) recordEngine(engine, evalMode string, samples int, busy time.Duration) {
 	if engine == "" {
 		return
 	}
@@ -75,9 +91,19 @@ func (st *stats) recordEngine(engine string, samples int, busy time.Duration) {
 		c = &engineCounters{}
 		st.engines[engine] = c
 	}
-	c.runs++
-	c.samples += int64(samples)
-	c.busy += busy
+	c.add(samples, busy)
+	if evalMode == "" {
+		return
+	}
+	if c.eval == nil {
+		c.eval = map[string]*engineCounters{}
+	}
+	e := c.eval[evalMode]
+	if e == nil {
+		e = &engineCounters{}
+		c.eval[evalMode] = e
+	}
+	e.add(samples, busy)
 }
 
 // engineSnapshot renders the per-engine counters for /statz.
@@ -89,13 +115,26 @@ func (st *stats) engineSnapshot() map[string]EngineStatz {
 	}
 	out := make(map[string]EngineStatz, len(st.engines))
 	for name, c := range st.engines {
-		e := EngineStatz{Runs: c.runs, Samples: c.samples, BusyMS: c.busy.Milliseconds()}
-		if c.busy > 0 {
-			e.SamplesPerSec = float64(c.samples) / c.busy.Seconds()
+		e := evalStatz(c)
+		var ev map[string]EvalStatz
+		if len(c.eval) > 0 {
+			ev = make(map[string]EvalStatz, len(c.eval))
+			for mode, m := range c.eval {
+				ev[mode] = evalStatz(m)
+			}
 		}
-		out[name] = e
+		out[name] = EngineStatz{EvalStatz: e, Eval: ev}
 	}
 	return out
+}
+
+// evalStatz renders one counter bundle (whole-engine or one eval mode).
+func evalStatz(c *engineCounters) EvalStatz {
+	e := EvalStatz{Runs: c.runs, Samples: c.samples, BusyMS: c.busy.Milliseconds()}
+	if c.busy > 0 {
+		e.SamplesPerSec = float64(c.samples) / c.busy.Seconds()
+	}
+	return e
 }
 
 // Statz is the JSON body of GET /statz: a point-in-time snapshot of the
@@ -133,6 +172,10 @@ type Statz struct {
 	// ComputeCorrupted counts lane-range results silently perturbed by
 	// the Byzantine-replica chaos hook; always zero in production.
 	ComputeCorrupted int64 `json:"compute_corrupted,omitempty"`
+	// CompileFallbacks counts finished computations that wanted the
+	// compiled evaluator but fell back to the interpreter (a vm step in
+	// the fallback trail).
+	CompileFallbacks int64 `json:"compile_fallbacks,omitempty"`
 	// Breakers maps engine names to their circuit-breaker state.
 	Breakers map[string]BreakerStatz `json:"breakers"`
 	// Engines maps engine names to their cumulative throughput counters
@@ -148,8 +191,18 @@ type Statz struct {
 	UptimeMS int64 `json:"uptime_ms"`
 }
 
-// EngineStatz is one engine's cumulative throughput in Statz.
+// EngineStatz is one engine's cumulative throughput in Statz: the
+// whole-engine counters, plus — for sampling engines that report an
+// evaluation mode — the same counters split by mode, so dashboards can
+// compare compiled vs interpreted samples/sec directly.
 type EngineStatz struct {
+	EvalStatz
+	Eval map[string]EvalStatz `json:"eval,omitempty"`
+}
+
+// EvalStatz is one throughput counter bundle (an engine total, or one
+// evaluation mode of an engine).
+type EvalStatz struct {
 	Runs          int64   `json:"runs"`
 	Samples       int64   `json:"samples"`
 	BusyMS        int64   `json:"busy_ms"`
@@ -217,6 +270,7 @@ func (s *Server) Statz() Statz {
 			ResumesRejected: s.stats.resumesRejected.Load(),
 		},
 		ComputeCorrupted: s.stats.computeCorrupted.Load(),
+		CompileFallbacks: s.stats.compileFallbacks.Load(),
 		QueueDepth:       len(s.tasks),
 		QueueCapacity:    cap(s.tasks),
 		Workers:          s.cfg.Workers,

@@ -165,6 +165,20 @@ func (d *DB) NumUncertain() int {
 	return len(d.uncertain)
 }
 
+// UncertainMuF returns the float64 flip probabilities of the
+// uncertain atoms in the same canonical order as UncertainAtoms —
+// exactly the values SampleWorldInto compares its Float64 draws
+// against, so a batched sampler using them reproduces the world
+// stream bit-for-bit.
+func (d *DB) UncertainMuF() []float64 {
+	d.refresh()
+	out := make([]float64, len(d.uncertain))
+	for i, e := range d.uncertain {
+		out[i] = e.muF
+	}
+	return out
+}
+
 // WorldCount returns |{B : nu(B) > 0}| = 2^u.
 func (d *DB) WorldCount() *big.Int {
 	d.refresh()

@@ -163,6 +163,20 @@ const (
 	EngineMCRare      = core.EngineMCRare
 )
 
+// Evaluation modes of the sampling engines (Options.Eval,
+// Result.EvalMode). Compiled evaluation is bit-identical to the
+// interpreter — same estimates, checkpoints, and lane digests for a
+// fixed seed — so the mode is purely a throughput knob.
+const (
+	EvalAuto        = core.EvalAuto
+	EvalCompiled    = core.EvalCompiled
+	EvalInterpreted = core.EvalInterpreted
+)
+
+// KnownEvalMode reports whether m names an evaluation mode (the empty
+// string reads as EvalAuto).
+func KnownEvalMode(m string) bool { return core.KnownEvalMode(m) }
+
 // Query classes.
 const (
 	ClassQuantifierFree = logic.ClassQuantifierFree

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Benchmark snapshot: run every benchmark family (E1–E12 in the root
 # package plus the BDD micro-benchmarks) with -benchmem and write a
-# machine-readable BENCH_4.json recording ns/op, allocs/op, B/op, and —
-# where a family reports it — samples/sec.
+# machine-readable BENCH_9.json recording ns/op, allocs/op, B/op, and —
+# where a family reports it — samples/sec. The sampling families carry
+# an eval= dimension since the compiled bit-parallel evaluator landed;
+# compare their eval=compiled rows against the BENCH_4.json rows of the
+# same eps/workers to see the compiled-path speedup (the estimates are
+# bit-identical across modes, so samples/sec is the whole story).
 #
 # Usage:
 #   ./scripts/bench_snapshot.sh [output.json]
@@ -13,7 +17,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_9.json}"
 benchtime="${BENCHTIME:-1x}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
