@@ -1,10 +1,13 @@
 // Command mkdb generates random unreliable databases in the qrel text
-// format, for feeding relcalc and for reproducible experiments.
+// format, for feeding relcalc and for reproducible experiments. It can
+// also emit (and verify) the paged binary store format.
 //
 // Usage:
 //
 //	mkdb -kind graph -n 32 -uncertain 12 -seed 7 > g.udb
 //	mkdb -kind census -n 20 > census.udb
+//	mkdb -kind graph -n 64 -store g.qstore        # paged store file
+//	mkdb -check g.qstore                          # verify pages + chains
 //	relcalc -db g.udb -query 'exists x y . E(x,y) & S(x)'
 package main
 
@@ -14,9 +17,11 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"qrel"
 	"qrel/internal/cliutil"
+	"qrel/internal/store"
 	"qrel/internal/workload"
 )
 
@@ -27,15 +32,36 @@ func main() {
 		uncertain = flag.Int("uncertain", 8, "number of uncertain atoms (graph kind)")
 		density   = flag.Float64("density", 0.2, "edge density (graph kind)")
 		seed      = flag.Int64("seed", 1, "generator seed")
+		storeOut  = flag.String("store", "", "also write the database as a paged store file at this path")
+		pageSize  = flag.Int("page-size", 0, "store page size in bytes (0 = default; power of two)")
+		batch     = flag.Int("batch", 0, "commit every n tuples during store ingest (0 = single commit)")
+		delay     = flag.Duration("commit-delay", 0, "sleep after each intermediate store commit (crash-test hook)")
+		check     = flag.String("check", "", "verify an existing store file and exit")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *kind, *n, *uncertain, *density, *seed); err != nil {
+	if *check != "" {
+		if err := runCheck(os.Stdout, *check); err != nil {
+			fmt.Fprintln(os.Stderr, "mkdb:", err)
+			os.Exit(cliutil.ExitCode(err))
+		}
+		return
+	}
+	sf := storeFlags{path: *storeOut, pageSize: *pageSize, batch: *batch, delay: *delay}
+	if err := run(os.Stdout, *kind, *n, *uncertain, *density, *seed, sf); err != nil {
 		fmt.Fprintln(os.Stderr, "mkdb:", err)
 		os.Exit(cliutil.ExitCode(err))
 	}
 }
 
-func run(out io.Writer, kind string, n, uncertain int, density float64, seed int64) (err error) {
+// storeFlags carries the paged-store output options.
+type storeFlags struct {
+	path     string
+	pageSize int
+	batch    int
+	delay    time.Duration
+}
+
+func run(out io.Writer, kind string, n, uncertain int, density float64, seed int64, sf storeFlags) (err error) {
 	defer cliutil.Recover(&err)
 	if n < 1 {
 		return cliutil.UsageErrorf("need -n ≥ 1")
@@ -45,6 +71,12 @@ func run(out io.Writer, kind string, n, uncertain int, density float64, seed int
 	}
 	if density < 0 || density > 1 {
 		return cliutil.UsageErrorf("need -density in [0, 1], got %g", density)
+	}
+	if sf.batch < 0 {
+		return cliutil.UsageErrorf("need -batch ≥ 0")
+	}
+	if (sf.pageSize != 0 || sf.batch != 0 || sf.delay != 0) && sf.path == "" {
+		return cliutil.UsageErrorf("-page-size, -batch and -commit-delay require -store")
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var db *qrel.DB
@@ -59,5 +91,36 @@ func run(out io.Writer, kind string, n, uncertain int, density float64, seed int
 	default:
 		return cliutil.UsageErrorf("unknown kind %q (want graph or census)", kind)
 	}
+	if sf.path != "" {
+		onBatch := func() {}
+		if sf.delay > 0 {
+			onBatch = func() { time.Sleep(sf.delay) }
+		}
+		opts := store.Options{PageSize: sf.pageSize}
+		if err := store.BuildFromDB(sf.path, db, opts, sf.batch, onBatch); err != nil {
+			return err
+		}
+	}
 	return qrel.WriteDB(out, db)
+}
+
+// runCheck opens a store file — running journal recovery exactly as a
+// normal open would — and verifies every page and chain.
+func runCheck(out io.Writer, path string) (err error) {
+	defer cliutil.Recover(&err)
+	s, err := qrel.OpenStore(path, qrel.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	st, err := s.Verify()
+	if err != nil {
+		return err
+	}
+	if _, err := s.LoadDB(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: ok  (%d pages: %d meta, %d heap, %d mu; %d tuples, %d mu records)\n",
+		path, st.Pages, st.MetaPages, st.HeapPages, st.MuPages, st.Tuples, st.MuRecords)
+	return nil
 }

@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -11,7 +15,7 @@ import (
 
 func TestGenerateGraphParses(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "graph", 12, 6, 0.2, 7); err != nil {
+	if err := run(&buf, "graph", 12, 6, 0.2, 7, storeFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	db, err := qrel.ParseDB(strings.NewReader(buf.String()))
@@ -23,7 +27,7 @@ func TestGenerateGraphParses(t *testing.T) {
 	}
 	// Determinism under the same seed.
 	var buf2 bytes.Buffer
-	if err := run(&buf2, "graph", 12, 6, 0.2, 7); err != nil {
+	if err := run(&buf2, "graph", 12, 6, 0.2, 7, storeFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != buf2.String() {
@@ -33,7 +37,7 @@ func TestGenerateGraphParses(t *testing.T) {
 
 func TestGenerateCensusParses(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "census", 10, 0, 0, 3); err != nil {
+	if err := run(&buf, "census", 10, 0, 0, 3, storeFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := qrel.ParseDB(strings.NewReader(buf.String())); err != nil {
@@ -47,13 +51,13 @@ func TestGenerateErrors(t *testing.T) {
 		usage bool
 		fn    func(*bytes.Buffer) error
 	}{
-		{"unknown kind", true, func(b *bytes.Buffer) error { return run(b, "nope", 4, 2, 0.2, 1) }},
-		{"empty universe", true, func(b *bytes.Buffer) error { return run(b, "graph", 0, 2, 0.2, 1) }},
-		{"negative universe", true, func(b *bytes.Buffer) error { return run(b, "graph", -5, 2, 0.2, 1) }},
-		{"negative uncertain", true, func(b *bytes.Buffer) error { return run(b, "graph", 4, -1, 0.2, 1) }},
-		{"density below range", true, func(b *bytes.Buffer) error { return run(b, "graph", 4, 2, -0.1, 1) }},
-		{"density above range", true, func(b *bytes.Buffer) error { return run(b, "graph", 4, 2, 1.5, 1) }},
-		{"tiny census", false, func(b *bytes.Buffer) error { return run(b, "census", 1, 0, 0, 1) }},
+		{"unknown kind", true, func(b *bytes.Buffer) error { return run(b, "nope", 4, 2, 0.2, 1, storeFlags{}) }},
+		{"empty universe", true, func(b *bytes.Buffer) error { return run(b, "graph", 0, 2, 0.2, 1, storeFlags{}) }},
+		{"negative universe", true, func(b *bytes.Buffer) error { return run(b, "graph", -5, 2, 0.2, 1, storeFlags{}) }},
+		{"negative uncertain", true, func(b *bytes.Buffer) error { return run(b, "graph", 4, -1, 0.2, 1, storeFlags{}) }},
+		{"density below range", true, func(b *bytes.Buffer) error { return run(b, "graph", 4, 2, -0.1, 1, storeFlags{}) }},
+		{"density above range", true, func(b *bytes.Buffer) error { return run(b, "graph", 4, 2, 1.5, 1, storeFlags{}) }},
+		{"tiny census", false, func(b *bytes.Buffer) error { return run(b, "census", 1, 0, 0, 1, storeFlags{}) }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -66,5 +70,66 @@ func TestGenerateErrors(t *testing.T) {
 				t.Errorf("IsUsage = %v (err %v), want %v", got, err, c.usage)
 			}
 		})
+	}
+}
+
+func TestStoreOutputRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.qstore")
+	var buf bytes.Buffer
+	sf := storeFlags{path: path, pageSize: 256, batch: 8}
+	if err := run(&buf, "graph", 12, 6, 0.2, 7, sf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := qrel.OpenStore(path, qrel.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	db, err := s.LoadDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := qrel.WriteDB(&out, db); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != buf.String() {
+		t.Errorf("store round trip differs from text output:\n%s\nvs\n%s", out.String(), buf.String())
+	}
+	var chk bytes.Buffer
+	if err := runCheck(&chk, path); err != nil {
+		t.Fatalf("runCheck: %v", err)
+	}
+	if !strings.Contains(chk.String(), "ok") {
+		t.Errorf("check output %q", chk.String())
+	}
+}
+
+func TestStoreFlagsRequireStore(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, "graph", 8, 2, 0.2, 1, storeFlags{pageSize: 256})
+	if err == nil || !cliutil.IsUsage(err) {
+		t.Errorf("-page-size without -store: got %v, want usage error", err)
+	}
+}
+
+func TestCheckRejectsCorruptStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.qstore")
+	var buf bytes.Buffer
+	if err := run(&buf, "graph", 12, 4, 0.3, 7, storeFlags{path: path, pageSize: 256}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 256; i < len(raw); i += 256 {
+		raw[i+100] ^= 0x10 // damage every page after the first meta page
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck(io.Discard, path); !errors.Is(err, qrel.ErrCorruptPage) {
+		t.Errorf("check of damaged store: got %v, want ErrCorruptPage", err)
 	}
 }

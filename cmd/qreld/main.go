@@ -57,6 +57,7 @@ func main() {
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open time before a tripped breaker half-open probes")
 		ckptDir      = flag.String("checkpoint-dir", "", "enable durable jobs (POST /v1/jobs): per-job crash-safe checkpoints live here, and jobs interrupted by a crash or drain are resumed on startup")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "snapshot a job's estimator state every n samples (0 = engine default)")
+		storeDir     = flag.String("store-dir", "", "root directory for paged store files requests may name with \"store\" (empty = disabled)")
 		corrupt      = flag.Bool("chaos-compute-corrupt", false, "CHAOS ONLY: silently perturb one lane aggregate of every lane-range result, making this a Byzantine replica a coordinator audit must catch")
 		selftest     = flag.Bool("selftest", false, "start an in-process server, exercise shed/breaker/drain/job-resume through the retrying client, and exit")
 		preloads     []string
@@ -76,6 +77,7 @@ func main() {
 		Breaker:         server.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		StoreDir:        *storeDir,
 		ComputeCorrupt:  *corrupt,
 	}
 	if *corrupt {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	relcalc -db census.udb -query 'exists x . Employed(x)' [flags]
+//	relcalc -store g.qstore -query 'exists x y . E(x,y)'
 //
 // Flags select the engine (default: automatic dispatch on the query
 // class), the accuracy parameters of randomized engines, resource
@@ -33,6 +34,7 @@ import (
 func main() {
 	var (
 		dbPath    = flag.String("db", "", "path to the unreliable database (qrel text format); '-' for stdin")
+		storePath = flag.String("store", "", "path to a paged store file (mkdb -store); alternative to -db")
 		query     = flag.String("query", "", "query in qrel syntax, e.g. 'exists x y . E(x,y) & S(x)'")
 		engine    = flag.String("engine", "auto", "engine: auto|qfree|world-enum|lineage-bdd|lineage-kl|lineage-kl-thm53|monte-carlo|monte-carlo-direct")
 		eps       = flag.Float64("eps", 0.05, "accuracy parameter of randomized engines")
@@ -55,7 +57,7 @@ func main() {
 	flag.Parse()
 	budget := qrel.Budget{Timeout: *timeout, MaxSamples: *maxSamp, MaxBDDNodes: *maxBDD, MaxWorlds: *maxWorlds}
 	ckpt := ckptFlags{dir: *ckptDir, every: *ckptEvery, resume: *resume}
-	if err := run(*dbPath, *query, *engine, *eval, *eps, *delta, *seed, *workers, *maxEnum, budget, ckpt, *perTuple, *absolute, *sens); err != nil {
+	if err := run(*dbPath, *storePath, *query, *engine, *eval, *eps, *delta, *seed, *workers, *maxEnum, budget, ckpt, *perTuple, *absolute, *sens); err != nil {
 		fmt.Fprintln(os.Stderr, "relcalc:", err)
 		// The typed runtime taxonomy maps onto distinct exit codes
 		// (usage 2, canceled 3, budget 4, infeasible 5, engine 6) so
@@ -71,10 +73,13 @@ type ckptFlags struct {
 	resume bool
 }
 
-func run(dbPath, query, engine, eval string, eps, delta float64, seed int64, workers, maxEnum int, budget qrel.Budget, ckpt ckptFlags, perTuple, absolute, sensitivity bool) (err error) {
+func run(dbPath, storePath, query, engine, eval string, eps, delta float64, seed int64, workers, maxEnum int, budget qrel.Budget, ckpt ckptFlags, perTuple, absolute, sensitivity bool) (err error) {
 	defer cliutil.Recover(&err)
-	if dbPath == "" || query == "" {
-		return cliutil.UsageErrorf("both -db and -query are required")
+	if (dbPath == "") == (storePath == "") {
+		return cliutil.UsageErrorf("exactly one of -db and -store is required")
+	}
+	if query == "" {
+		return cliutil.UsageErrorf("-query is required")
 	}
 	if workers < 0 {
 		return cliutil.UsageErrorf("-workers must be >= 0, got %d", workers)
@@ -88,18 +93,33 @@ func run(dbPath, query, engine, eval string, eps, delta float64, seed int64, wor
 	if ckpt.resume && ckpt.dir == "" {
 		return cliutil.UsageErrorf("-resume requires -checkpoint")
 	}
-	in := os.Stdin
-	if dbPath != "-" {
-		f, err := os.Open(dbPath)
+	var db *qrel.DB
+	if storePath != "" {
+		// Opening the store recovers its journal; a database loaded here
+		// is bit-identical engine input to the text path.
+		s, err := qrel.OpenStore(storePath, qrel.StoreOptions{})
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		in = f
-	}
-	db, err := qrel.ParseDB(in)
-	if err != nil {
-		return err
+		defer s.Close()
+		db, err = s.LoadDB()
+		if err != nil {
+			return err
+		}
+	} else {
+		in := os.Stdin
+		if dbPath != "-" {
+			f, err := os.Open(dbPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		db, err = qrel.ParseDB(in)
+		if err != nil {
+			return err
+		}
 	}
 	q, err := qrel.ParseQuery(query, db.A.Voc)
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -57,7 +58,7 @@ func TestRunExactEngines(t *testing.T) {
 			query = "exists x . S(x)"
 		}
 		out, err := captureStdout(t, func() error {
-			return run(db, query, engine, "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "", query, engine, "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		})
 		if err != nil {
 			t.Fatalf("engine %s: %v", engine, err)
@@ -71,7 +72,7 @@ func TestRunExactEngines(t *testing.T) {
 func TestRunRandomizedEngine(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "forall x . exists y . E(x,y)", "monte-carlo-direct", "auto", 0.2, 0.2, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+		return run(db, "", "forall x . exists y . E(x,y)", "monte-carlo-direct", "auto", 0.2, 0.2, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +85,7 @@ func TestRunRandomizedEngine(t *testing.T) {
 func TestRunPerTupleAndAbsolute(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "exists y . E(x,y)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, true, false, false)
+		return run(db, "", "exists y . E(x,y)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, true, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +94,7 @@ func TestRunPerTupleAndAbsolute(t *testing.T) {
 		t.Errorf("per-tuple report missing:\n%s", out)
 	}
 	out, err = captureStdout(t, func() error {
-		return run(db, "exists x . S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, true, false)
+		return run(db, "", "exists x . S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, true, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -110,16 +111,16 @@ func TestRunErrors(t *testing.T) {
 		fn   func() error
 	}{
 		{"missing args", func() error {
-			return run("", "", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("", "", "", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"missing file", func() error {
-			return run("/nonexistent", "S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("/nonexistent", "", "S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"bad query", func() error {
-			return run(db, "S(", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "", "S(", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"bad engine", func() error {
-			return run(db, "S(x)", "bogus", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "", "S(x)", "bogus", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 	}
 	for _, c := range cases {
@@ -143,30 +144,30 @@ func TestExitCodes(t *testing.T) {
 		fn   func() error
 	}{
 		{"missing args", cliutil.ExitUsage, nil, func() error {
-			return run("", "", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("", "", "", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"unknown engine", cliutil.ExitUsage, nil, func() error {
-			return run(db, "S(x)", "warp-drive", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "", "S(x)", "warp-drive", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"missing file", cliutil.ExitFailure, nil, func() error {
-			return run("/nonexistent", "S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run("/nonexistent", "", "S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 		{"timeout", cliutil.ExitCanceled, nil, func() error {
-			return run(db, "exists x . S(x)", "world-enum", "auto", 0.05, 0.05, 1, 0, 16,
+			return run(db, "", "exists x . S(x)", "world-enum", "auto", 0.05, 0.05, 1, 0, 16,
 				qrel.Budget{Timeout: time.Nanosecond}, ckptFlags{}, false, false, false)
 		}},
 		{"world budget", cliutil.ExitBudget, nil, func() error {
-			return run(db, "exists x y . E(x,y)", "world-enum", "auto", 0.05, 0.05, 1, 0, 16,
+			return run(db, "", "exists x y . E(x,y)", "world-enum", "auto", 0.05, 0.05, 1, 0, 16,
 				qrel.Budget{MaxWorlds: 2}, ckptFlags{}, false, false, false)
 		}},
 		{"infeasible", cliutil.ExitInfeasible, nil, func() error {
-			return run(db, secondOrder, "auto", "auto", 0.05, 0.05, 1, 0, 16,
+			return run(db, "", secondOrder, "auto", "auto", 0.05, 0.05, 1, 0, 16,
 				qrel.Budget{MaxWorlds: 2}, ckptFlags{}, false, false, false)
 		}},
 		{"engine panic", cliutil.ExitEngine, func() {
 			faultinject.Enable(faultinject.SiteQFree, faultinject.Fault{Panic: "injected crash"})
 		}, func() error {
-			return run(db, "S(x)", "qfree", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "", "S(x)", "qfree", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		}},
 	}
 	for _, c := range cases {
@@ -210,7 +211,7 @@ func TestCorruptInputs(t *testing.T) {
 				t.Fatal(err)
 			}
 			_, err := captureStdout(t, func() error {
-				return run(path, "exists x . S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+				return run(path, "", "exists x . S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 			})
 			if err == nil {
 				t.Fatal("corrupt database accepted")
@@ -240,7 +241,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 
 	ref, err := captureStdout(t, func() error {
-		return run(db, q, "monte-carlo-direct", "auto", 0.05, 0.1, 3, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+		return run(db, "", q, "monte-carlo-direct", "auto", 0.05, 0.1, 3, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -248,7 +249,7 @@ func TestRunCheckpointResume(t *testing.T) {
 
 	dir := t.TempDir()
 	interrupted, err := captureStdout(t, func() error {
-		return run(db, q, "monte-carlo-direct", "auto", 0.05, 0.1, 3, 0, 16,
+		return run(db, "", q, "monte-carlo-direct", "auto", 0.05, 0.1, 3, 0, 16,
 			qrel.Budget{MaxSamples: 500}, ckptFlags{dir: dir, every: 100}, false, false, false)
 	})
 	if err != nil {
@@ -259,7 +260,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 
 	resumed, err := captureStdout(t, func() error {
-		return run(db, q, "monte-carlo-direct", "auto", 0.05, 0.1, 3, 0, 16,
+		return run(db, "", q, "monte-carlo-direct", "auto", 0.05, 0.1, 3, 0, 16,
 			qrel.Budget{}, ckptFlags{dir: dir, resume: true}, false, false, false)
 	})
 	if err != nil {
@@ -285,7 +286,7 @@ func TestRunEvalModes(t *testing.T) {
 	outputs := map[string]string{}
 	for _, mode := range []string{"compiled", "interpreted"} {
 		out, err := captureStdout(t, func() error {
-			return run(db, q, "monte-carlo-direct", mode, 0.1, 0.1, 3, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+			return run(db, "", q, "monte-carlo-direct", mode, 0.1, 0.1, 3, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 		})
 		if err != nil {
 			t.Fatalf("-eval %s: %v", mode, err)
@@ -308,7 +309,7 @@ func TestRunEvalModes(t *testing.T) {
 		t.Errorf("compiled estimate %q != interpreted %q", c, i)
 	}
 	_, err := captureStdout(t, func() error {
-		return run(db, q, "monte-carlo-direct", "bogus", 0.1, 0.1, 3, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+		return run(db, "", q, "monte-carlo-direct", "bogus", 0.1, 0.1, 3, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
 	})
 	if cliutil.ExitCode(err) != cliutil.ExitUsage {
 		t.Fatalf("-eval bogus: got %v, want usage error", err)
@@ -319,7 +320,7 @@ func TestRunEvalModes(t *testing.T) {
 func TestRunResumeRequiresCheckpoint(t *testing.T) {
 	db := writeDB(t)
 	_, err := captureStdout(t, func() error {
-		return run(db, "S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16,
+		return run(db, "", "S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16,
 			qrel.Budget{}, ckptFlags{resume: true}, false, false, false)
 	})
 	if cliutil.ExitCode(err) != cliutil.ExitUsage {
@@ -330,12 +331,87 @@ func TestRunResumeRequiresCheckpoint(t *testing.T) {
 func TestRunSensitivity(t *testing.T) {
 	db := writeDB(t)
 	out, err := captureStdout(t, func() error {
-		return run(db, "exists x . S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, true)
+		return run(db, "", "exists x . S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, true)
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "ranked by risk contribution") {
 		t.Errorf("sensitivity report missing:\n%s", out)
+	}
+}
+
+// TestStoreInputMatchesTextInput runs the same exact query from the
+// text file and from a paged store built from it: the output —
+// including the exact rationals — must be identical.
+func TestStoreInputMatchesTextInput(t *testing.T) {
+	dbPath := writeDB(t)
+	f, err := os.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := qrel.ParseDB(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	storePath := filepath.Join(t.TempDir(), "db.qstore")
+	if err := qrel.BuildStore(storePath, db, qrel.StoreOptions{PageSize: 256}, 0); err != nil {
+		t.Fatal(err)
+	}
+	query := "exists x . S(x)"
+	textOut, err := captureStdout(t, func() error {
+		return run(dbPath, "", query, "world-enum", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeOut, err := captureStdout(t, func() error {
+		return run("", storePath, query, "world-enum", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if textOut != storeOut {
+		t.Errorf("store-backed run differs from text-backed run:\n%s\nvs\n%s", storeOut, textOut)
+	}
+	if !strings.Contains(storeOut, "R = ") {
+		t.Errorf("no exact result in output:\n%s", storeOut)
+	}
+}
+
+func TestStoreAndDBAreExclusive(t *testing.T) {
+	dbPath := writeDB(t)
+	err := run(dbPath, "somewhere.qstore", "S(x)", "auto", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+	if err == nil || !cliutil.IsUsage(err) {
+		t.Errorf("-db with -store: got %v, want usage error", err)
+	}
+}
+
+func TestStoreCorruptionDegradesTyped(t *testing.T) {
+	dbPath := writeDB(t)
+	f, _ := os.Open(dbPath)
+	db, err := qrel.ParseDB(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	storePath := filepath.Join(t.TempDir(), "db.qstore")
+	if err := qrel.BuildStore(storePath, db, qrel.StoreOptions{PageSize: 256}, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 256; off < len(raw); off += 256 {
+		raw[off+64] ^= 0x01 // damage every non-bootstrap page
+	}
+	if err := os.WriteFile(storePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run("", storePath, "exists x . S(x)", "world-enum", "auto", 0.05, 0.05, 1, 0, 16, qrel.Budget{}, ckptFlags{}, false, false, false)
+	if !errors.Is(err, qrel.ErrCorruptPage) {
+		t.Errorf("corrupt store: got %v, want ErrCorruptPage", err)
 	}
 }

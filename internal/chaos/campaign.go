@@ -24,6 +24,7 @@ import (
 	"qrel/internal/mc"
 	"qrel/internal/server"
 	"qrel/internal/server/client"
+	"qrel/internal/store"
 	"qrel/internal/testutil"
 	"qrel/internal/unreliable"
 	"qrel/internal/workload"
@@ -195,7 +196,7 @@ func firstOf(stacks []string) string {
 func scheduledSites(steps []Step) []string {
 	seen := map[string]bool{}
 	for i := range steps {
-		for _, fs := range [][]PlannedFault{steps[i].EngineFaults, steps[i].CkptFaults, steps[i].ServerFaults, steps[i].ClusterFaults} {
+		for _, fs := range [][]PlannedFault{steps[i].EngineFaults, steps[i].CkptFaults, steps[i].ServerFaults, steps[i].ClusterFaults, steps[i].StoreFaults} {
 			for _, f := range fs {
 				seen[f.Site] = true
 			}
@@ -240,7 +241,8 @@ func acceptableErr(err error) bool {
 		errors.Is(err, core.ErrInfeasible) ||
 		errors.Is(err, core.ErrEngineFailed) ||
 		errors.Is(err, core.ErrCheckpointMismatch) ||
-		errors.Is(err, checkpoint.ErrCorruptCheckpoint)
+		errors.Is(err, checkpoint.ErrCorruptCheckpoint) ||
+		errors.Is(err, store.ErrCorruptPage)
 }
 
 // runStep executes one planned step: clean differential phase, fault
@@ -337,6 +339,10 @@ func (c *campaign) runStep(st *Step) {
 	if st.Cluster {
 		c.clusterPhase(ctx, st, db)
 		lap("cluster")
+	}
+	if st.Store {
+		c.storePhase(ctx, st, db, f, opts)
+		lap("store")
 	}
 	faultinject.Reset()
 }

@@ -134,6 +134,16 @@ const (
 	// evidence recorded in both the cluster trail and the fan-out
 	// journal.
 	InvClusterQuarantine = "cluster-quarantine-converges"
+	// InvStoreRecovery: a paged store hit by a write-path fault
+	// (journal tear, crash window, torn page write-back) recovers on
+	// reopen to exactly the pre-batch or post-batch byte image — never a
+	// torn in-between — and the recovered database loads and verifies.
+	InvStoreRecovery = "store-recovery"
+	// InvStoreCorrupt: a bit flip on the store read path surfaces as a
+	// typed ErrCorruptPage, and once the fault clears the same file
+	// yields an estimate bit-identical to the in-memory reference —
+	// corruption is detected, never silently folded into an answer.
+	InvStoreCorrupt = "store-corruption-detected"
 	// InvCoverage: every scheduled site actually fired at least once.
 	InvCoverage = "site-coverage"
 )
@@ -145,6 +155,7 @@ func InvariantNames() []string {
 		InvExactAgree, InvEpsBound, InvTypedErrors, InvResume,
 		InvJobs, InvBreaker, InvCluster, InvClusterResume, InvClusterWork,
 		InvClusterAudit, InvClusterQuarantine,
+		InvStoreRecovery, InvStoreCorrupt,
 		InvGoroutines, InvTmpFiles, InvCoverage,
 	}
 }

@@ -156,6 +156,35 @@ func TestEpsSkewDetected(t *testing.T) {
 	}
 }
 
+// TestCampaignStoreSites: a campaign restricted to the paged-store
+// fault sites must exercise both storage invariants — crash recovery
+// to a pre-or-post image, and typed corruption detection — with every
+// scheduled site firing.
+func TestCampaignStoreSites(t *testing.T) {
+	rep, err := Run(Config{Seed: 11, Steps: 2, Dir: t.TempDir(), Logf: t.Logf, Sites: []string{
+		faultinject.SiteStoreJournalTear,
+		faultinject.SiteStoreCrash,
+		faultinject.SiteStoreShortWrite,
+		faultinject.SiteStoreBitFlip,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("store campaign failed:\n%s", failureSummary(rep))
+	}
+	for _, inv := range []string{InvStoreRecovery, InvStoreCorrupt} {
+		if rep.Invariants[inv].Checks == 0 {
+			t.Errorf("invariant %s was never checked", inv)
+		}
+	}
+	for _, site := range rep.Scheduled {
+		if rep.Sites[site].Fires == 0 {
+			t.Errorf("scheduled site %s never fired", site)
+		}
+	}
+}
+
 func failureSummary(rep *Report) string {
 	out := ""
 	for _, name := range InvariantNames() {

@@ -63,19 +63,22 @@ type Step struct {
 	// lane sites); CkptFaults during the resume phase (disk sites);
 	// ServerFaults during the service fault sub-phase; ClusterFaults
 	// select the multi-node phase's fault scenarios (partition, lost
-	// send / slow replica, reassignment failure).
+	// send / slow replica, reassignment failure); StoreFaults drive the
+	// paged-store crash/corruption phase, one fault per scenario.
 	EngineFaults  []PlannedFault `json:"engine_faults,omitempty"`
 	CkptFaults    []PlannedFault `json:"ckpt_faults,omitempty"`
 	ServerFaults  []PlannedFault `json:"server_faults,omitempty"`
 	ClusterFaults []PlannedFault `json:"cluster_faults,omitempty"`
+	StoreFaults   []PlannedFault `json:"store_faults,omitempty"`
 	// Resume runs the interrupt/resume bit-identity phase; Service the
 	// in-process qreld phase; Kill picks the crash-window journal
 	// rewind variant over the graceful mid-flight drain; Cluster runs
-	// the multi-node coordinator phase.
+	// the multi-node coordinator phase; Store the paged-store phase.
 	Resume  bool `json:"resume,omitempty"`
 	Service bool `json:"service,omitempty"`
 	Kill    bool `json:"kill,omitempty"`
 	Cluster bool `json:"cluster,omitempty"`
+	Store   bool `json:"store,omitempty"`
 }
 
 // Plan is a fully materialized campaign schedule — a pure function of
@@ -124,6 +127,8 @@ func siteClass(site string) string {
 		return "ckpt"
 	case strings.HasPrefix(site, "cluster/"):
 		return "cluster"
+	case strings.HasPrefix(site, "store/"):
+		return "store"
 	}
 	return ""
 }
@@ -253,6 +258,17 @@ func PlanCampaign(cfg Config) (*Plan, error) {
 				pf = PlannedFault{Site: site, Kind: KindErr}
 			}
 			st.ClusterFaults = append(st.ClusterFaults, pf)
+		case "store":
+			// The store phase arms each fault by itself against a private
+			// store file, so several scenarios can share one step. Write-
+			// path faults fire once per batch; the read-path bit flip
+			// stays armed so every page fetched through the pool is hit.
+			st.Store = true
+			pf := PlannedFault{Site: site, Kind: KindErr, Times: 1}
+			if site == faultinject.SiteStoreBitFlip {
+				pf.Times = 0
+			}
+			st.StoreFaults = append(st.StoreFaults, pf)
 		case "ckpt":
 			target := st
 			if abortingCkptSite(site) {

@@ -1,0 +1,221 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qrel/internal/core"
+	"qrel/internal/faultinject"
+	"qrel/internal/logic"
+	"qrel/internal/rel"
+	"qrel/internal/store"
+	"qrel/internal/unreliable"
+)
+
+// storePageSize keeps the phase's stores many pages long so every
+// fault scenario crosses page and chain boundaries.
+const storePageSize = 256
+
+// storePhase drives the paged storage engine through its crash and
+// corruption scenarios, one scheduled fault at a time against a
+// private store file.
+//
+// Write-path faults (journal tear, crash window, torn page
+// write-back) stage a batch of mutations, let the fault kill the
+// commit, abandon the handle, and reopen: recovery must leave the
+// data file byte-identical to either the pre-batch image or the
+// cleanly committed one — never a blend — and the recovered store
+// must verify and load (InvStoreRecovery).
+//
+// The read-path bit flip must surface as a typed ErrCorruptPage while
+// armed, and once cleared the very same file must yield a reliability
+// bit-identical to the in-memory reference (InvStoreCorrupt): the
+// checksum turns silent corruption into a refusal, never into a
+// different estimate.
+func (c *campaign) storePhase(ctx context.Context, st *Step, db *unreliable.DB, f logic.Formula, opts core.Options) {
+	stepDir := filepath.Join(c.cfg.Dir, fmt.Sprintf("step-%03d", st.Index), "store")
+	for _, pf := range st.StoreFaults {
+		faultinject.Reset()
+		dir := filepath.Join(stepDir, strings.ReplaceAll(pf.Site, "/", "-"))
+		if err := os.MkdirAll(dir, 0o777); err != nil {
+			c.check(InvStoreRecovery, false, "step %d: creating %s: %v", st.Index, dir, err)
+			continue
+		}
+		if pf.Site == faultinject.SiteStoreBitFlip {
+			c.storeCorruptScenario(ctx, st, db, f, opts, dir, pf)
+		} else {
+			c.storeRecoveryScenario(st, db, dir, pf)
+		}
+		faultinject.Reset()
+	}
+}
+
+// storeBatch stages a deterministic batch of uncommitted appends.
+// Appends land physically even for logically duplicate tuples, so the
+// committed image always differs from the pre-batch one.
+func storeBatch(s *store.Store, n int) error {
+	for i := 0; i < 24; i++ {
+		if err := s.AddTuple("E", rel.Tuple{i % n, (i * 5) % n}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyStore clones a committed store file to dst with an empty
+// journal, the on-disk state a clean shutdown leaves behind.
+func copyStore(dst string, data []byte) error {
+	if err := os.WriteFile(dst, data, 0o666); err != nil {
+		return err
+	}
+	return os.WriteFile(dst+".journal", nil, 0o666)
+}
+
+func (c *campaign) storeRecoveryScenario(st *Step, db *unreliable.DB, dir string, pf PlannedFault) {
+	base := filepath.Join(dir, "base.qstore")
+	if err := store.BuildFromDB(base, db, store.Options{PageSize: storePageSize}, 0, nil); err != nil {
+		c.check(InvStoreRecovery, false, "step %d: building base store: %v", st.Index, err)
+		return
+	}
+	pre, err := os.ReadFile(base)
+	if err != nil {
+		c.check(InvStoreRecovery, false, "step %d: reading base store: %v", st.Index, err)
+		return
+	}
+
+	// Clean reference: the same batch committed without faults. A
+	// recovered commit applies the same full-page images the journal
+	// carries, so its data file must match this one byte for byte.
+	refPath := filepath.Join(dir, "ref.qstore")
+	post, ok := c.commitBatch(st, refPath, pre, db.A.N, nil)
+	if !ok {
+		return
+	}
+	if bytes.Equal(pre, post) {
+		c.check(InvStoreRecovery, false, "step %d: reference commit left the file unchanged; the scenario would be vacuous", st.Index)
+		return
+	}
+
+	// Victim: same batch, fault armed, commit dies, handle abandoned.
+	victim := filepath.Join(dir, "victim.qstore")
+	if _, ok := c.commitBatch(st, victim, pre, db.A.N, &pf); !ok {
+		return
+	}
+
+	s, err := store.Open(victim, store.Options{})
+	if err != nil {
+		c.check(InvStoreRecovery, false, "step %d: %s: reopen after faulted commit failed: %v", st.Index, pf.Site, err)
+		return
+	}
+	if _, err := s.Verify(); err != nil {
+		c.check(InvStoreRecovery, false, "step %d: %s: recovered store fails verification: %v", st.Index, pf.Site, err)
+		s.Close()
+		return
+	}
+	if _, err := s.LoadDB(); err != nil {
+		c.check(InvStoreRecovery, false, "step %d: %s: recovered store does not load: %v", st.Index, pf.Site, err)
+		s.Close()
+		return
+	}
+	s.Close()
+	got, err := os.ReadFile(victim)
+	if err != nil {
+		c.check(InvStoreRecovery, false, "step %d: reading recovered store: %v", st.Index, err)
+		return
+	}
+	c.check(InvStoreRecovery, bytes.Equal(got, pre) || bytes.Equal(got, post),
+		"step %d: %s: recovered data file (%d bytes) matches neither the pre-batch (%d bytes) nor the committed (%d bytes) image — a torn state survived recovery",
+		st.Index, pf.Site, len(got), len(pre), len(post))
+}
+
+// commitBatch clones the pre image to path, stages the batch, and
+// commits — with pf armed when non-nil, in which case the injected
+// failure is expected and the handle is simply abandoned. It returns
+// the resulting data-file bytes.
+func (c *campaign) commitBatch(st *Step, path string, pre []byte, n int, pf *PlannedFault) ([]byte, bool) {
+	if err := copyStore(path, pre); err != nil {
+		c.check(InvStoreRecovery, false, "step %d: cloning store: %v", st.Index, err)
+		return nil, false
+	}
+	s, err := store.Open(path, store.Options{})
+	if err != nil {
+		c.check(InvStoreRecovery, false, "step %d: opening clone: %v", st.Index, err)
+		return nil, false
+	}
+	defer s.Close()
+	if err := storeBatch(s, n); err != nil {
+		c.check(InvStoreRecovery, false, "step %d: staging batch: %v", st.Index, err)
+		return nil, false
+	}
+	if pf != nil {
+		c.armFaults([]PlannedFault{*pf})
+		if err := s.Commit(); err != nil {
+			c.check(InvTypedErrors, acceptableErr(err),
+				"step %d: commit under %s: error outside the taxonomy: %v", st.Index, pf.Site, err)
+		}
+		faultinject.Reset()
+		return nil, true
+	}
+	if err := s.Commit(); err != nil {
+		c.check(InvStoreRecovery, false, "step %d: clean reference commit failed: %v", st.Index, err)
+		return nil, false
+	}
+	s.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		c.check(InvStoreRecovery, false, "step %d: reading committed store: %v", st.Index, err)
+		return nil, false
+	}
+	return got, true
+}
+
+func (c *campaign) storeCorruptScenario(ctx context.Context, st *Step, db *unreliable.DB, f logic.Formula, opts core.Options, dir string, pf PlannedFault) {
+	path := filepath.Join(dir, "flip.qstore")
+	if err := store.BuildFromDB(path, db, store.Options{PageSize: storePageSize}, 0, nil); err != nil {
+		c.check(InvStoreCorrupt, false, "step %d: building store: %v", st.Index, err)
+		return
+	}
+	ref, err := core.ReliabilityWith(ctx, core.EngineWorldEnum, db, f, opts)
+	if err != nil {
+		c.check(InvStoreCorrupt, false, "step %d: in-memory reference failed: %v", st.Index, err)
+		return
+	}
+
+	// Armed: every page fetched through the pool is flipped, so the
+	// load must refuse with the typed corruption error. The flip may
+	// already hit the catalog pages at Open.
+	c.armFaults([]PlannedFault{pf})
+	loadErr := error(nil)
+	if s, err := store.Open(path, store.Options{}); err != nil {
+		loadErr = err
+	} else {
+		_, loadErr = s.LoadDB()
+		s.Close()
+	}
+	faultinject.Reset()
+	c.check(InvStoreCorrupt, errors.Is(loadErr, store.ErrCorruptPage),
+		"step %d: bit-flipped read surfaced as %v, want ErrCorruptPage — corruption must never pass silently", st.Index, loadErr)
+
+	// Cleared: the same file is intact on disk, and its estimate must
+	// be bit-identical to the in-memory reference.
+	s, err := store.Open(path, store.Options{})
+	if err != nil {
+		c.check(InvStoreCorrupt, false, "step %d: reopen after clearing the flip failed: %v", st.Index, err)
+		return
+	}
+	db2, err := s.LoadDB()
+	s.Close()
+	if err != nil {
+		c.check(InvStoreCorrupt, false, "step %d: load after clearing the flip failed: %v", st.Index, err)
+		return
+	}
+	res, err := core.ReliabilityWith(ctx, core.EngineWorldEnum, db2, f, opts)
+	ok := err == nil && res.R != nil && res.R.Cmp(ref.R) == 0
+	c.check(InvStoreCorrupt, ok,
+		"step %d: store-loaded reliability (err=%v) is not bit-identical to the in-memory reference %s", st.Index, err, ratStr(ref.R))
+}

@@ -103,6 +103,26 @@ const (
 	// consume the identical RNG stream, every bit-identity invariant
 	// must hold even when replicas disagree on eval mode.
 	SiteVMCompile = "vm/compile"
+	// Paged-store sites (internal/store). Each simulates one failure
+	// window of the journal-then-apply commit protocol or of the page
+	// read path:
+	//
+	//   SiteStoreJournalTear — only half the journal record reaches the
+	//   disk before the "crash": recovery must discard the torn tail
+	//   and roll the commit back cleanly.
+	//   SiteStoreCrash — the process dies after the journal fsync but
+	//   before any page is applied: recovery must replay the record and
+	//   complete the commit.
+	//   SiteStoreShortWrite — a heap page write-back is torn after the
+	//   journal is durable: recovery must repair the page from the
+	//   journal image.
+	//   SiteStoreBitFlip — one bit of a page flips on the read path
+	//   (silent media corruption): the per-page CRC must reject it as a
+	//   typed ErrCorruptPage, never serve the tuples.
+	SiteStoreJournalTear = "store/journal-tear"
+	SiteStoreCrash       = "store/crash-window"
+	SiteStoreShortWrite  = "store/short-write"
+	SiteStoreBitFlip     = "store/bit-flip"
 )
 
 // allSites is the canonical registry behind Sites. Every Site* constant
@@ -135,6 +155,10 @@ var allSites = []string{
 	SiteClusterComputeCorrupt,
 	SiteClusterAudit,
 	SiteVMCompile,
+	SiteStoreJournalTear,
+	SiteStoreCrash,
+	SiteStoreShortWrite,
+	SiteStoreBitFlip,
 }
 
 // Sites returns every registered injection site, sorted. The chaos

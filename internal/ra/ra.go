@@ -251,9 +251,6 @@ func distinct(attrs []string) error {
 	return nil
 }
 
-// Row is a named tuple.
-type Row map[string]int
-
 // Result is an evaluated expression: a schema and a set of rows.
 type Result struct {
 	Schema []string
@@ -290,140 +287,32 @@ func newResult(schema []string) *Result {
 
 func (r *Result) add(t rel.Tuple) { r.rows[t.Key()] = t.Clone() }
 
-// Eval evaluates the expression on the structure.
+// Eval evaluates the expression on the structure. It is a thin
+// materializing wrapper over the streaming iterators: the plan built
+// by Build drains into a Result, so the in-memory path and the paged
+// store run the identical operator code.
 func Eval(db *rel.Structure, e Expr) (*Result, error) {
-	schema, err := e.Schema(db)
+	return EvalOn(StructureSource(db), e)
+}
+
+// EvalOn evaluates the expression against any Source, materializing
+// the streamed rows into a Result.
+func EvalOn(src Source, e Expr) (*Result, error) {
+	it, schema, err := Build(src, e)
 	if err != nil {
 		return nil, err
 	}
-	// Result rows are keyed with the packed tuple encoding, which caps
-	// the arity; reject wider schemas here instead of panicking inside
-	// Tuple.Key when a join/rename chain exceeds the limit.
-	if len(schema) > rel.MaxArity {
-		return nil, fmt.Errorf("ra: schema %v has %d attributes; the tuple encoding supports at most %d",
-			schema, len(schema), rel.MaxArity)
-	}
-	switch x := e.(type) {
-	case Base:
-		out := newResult(schema)
-		for _, t := range db.Rel(x.Rel).Tuples() {
-			out.add(t)
-		}
-		return out, nil
-	case Select:
-		in, err := Eval(db, x.From)
+	defer it.Close()
+	out := newResult(schema)
+	for {
+		t, _, ok, err := it.Next()
 		if err != nil {
 			return nil, err
 		}
-		li := index(in.Schema, x.Attr)
-		out := newResult(schema)
-		for _, t := range in.Rows() {
-			rhs := x.Elem
-			if x.Elem < 0 {
-				rhs = t[index(in.Schema, x.Other)]
-			}
-			if (t[li] == rhs) != x.Negate {
-				out.add(t)
-			}
+		if !ok {
+			return out, nil
 		}
-		return out, nil
-	case Project:
-		in, err := Eval(db, x.From)
-		if err != nil {
-			return nil, err
-		}
-		idx := make([]int, len(x.Attrs))
-		for i, a := range x.Attrs {
-			idx[i] = index(in.Schema, a)
-		}
-		out := newResult(schema)
-		for _, t := range in.Rows() {
-			p := make(rel.Tuple, len(idx))
-			for i, j := range idx {
-				p[i] = t[j]
-			}
-			out.add(p)
-		}
-		return out, nil
-	case Rename:
-		in, err := Eval(db, x.From)
-		if err != nil {
-			return nil, err
-		}
-		out := newResult(schema)
-		for _, t := range in.Rows() {
-			out.add(t)
-		}
-		return out, nil
-	case Join:
-		l, err := Eval(db, x.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := Eval(db, x.R)
-		if err != nil {
-			return nil, err
-		}
-		shared := sharedAttrs(l.Schema, r.Schema)
-		out := newResult(schema)
-		for _, lt := range l.Rows() {
-			for _, rt := range r.Rows() {
-				ok := true
-				for _, a := range shared {
-					if lt[index(l.Schema, a)] != rt[index(r.Schema, a)] {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					continue
-				}
-				joined := make(rel.Tuple, 0, len(schema))
-				joined = append(joined, lt...)
-				for i, a := range r.Schema {
-					if !has(l.Schema, a) {
-						joined = append(joined, rt[i])
-					}
-				}
-				out.add(joined)
-			}
-		}
-		return out, nil
-	case Union:
-		l, err := Eval(db, x.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := Eval(db, x.R)
-		if err != nil {
-			return nil, err
-		}
-		out := newResult(schema)
-		for _, t := range l.Rows() {
-			out.add(t)
-		}
-		for _, t := range r.Rows() {
-			out.add(t)
-		}
-		return out, nil
-	case Diff:
-		l, err := Eval(db, x.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := Eval(db, x.R)
-		if err != nil {
-			return nil, err
-		}
-		out := newResult(schema)
-		for _, t := range l.Rows() {
-			if !r.Contains(t) {
-				out.add(t)
-			}
-		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("ra: unknown expression %T", e)
+		out.add(t)
 	}
 }
 

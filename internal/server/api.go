@@ -7,6 +7,7 @@ import (
 	"qrel/internal/checkpoint"
 	"qrel/internal/core"
 	"qrel/internal/mc"
+	"qrel/internal/store"
 )
 
 // Request is the JSON body of POST /v1/reliability. Exactly one of DB
@@ -17,6 +18,12 @@ type Request struct {
 	DB string `json:"db,omitempty"`
 	// DBText is an inline unreliable database in the qrel text format.
 	DBText string `json:"db_text,omitempty"`
+	// Store names a paged store file (mkdb -store) relative to the
+	// server's -store-dir. The file is opened with journal recovery,
+	// loaded once, and cached; a checksum failure anywhere in it fails
+	// the request with kind "corrupt-store" rather than serving an
+	// estimate from fabricated tuples.
+	Store string `json:"store,omitempty"`
 	// Query is the query in qrel syntax.
 	Query string `json:"query"`
 	// Engine selects an engine ("auto" or empty dispatches on the query
@@ -208,6 +215,7 @@ const (
 	KindDraining     = "draining"
 	KindCheckpoint   = "checkpoint"
 	KindJobsDisabled = "jobs-disabled"
+	KindCorruptStore = "corrupt-store"
 )
 
 // statusFor maps the PR 1 typed error taxonomy onto HTTP statuses:
@@ -219,6 +227,10 @@ func statusFor(err error) (int, string) {
 	case errors.Is(err, core.ErrCheckpointMismatch), errors.Is(err, checkpoint.ErrCorruptCheckpoint),
 		errors.Is(err, mc.ErrResumeMismatch):
 		return http.StatusConflict, KindCheckpoint
+	case errors.Is(err, store.ErrCorruptPage):
+		// Corruption in a stored database is the server's data going
+		// bad, not the caller's input: a 500 the operator must look at.
+		return http.StatusInternalServerError, KindCorruptStore
 	case errors.Is(err, core.ErrCanceled):
 		return http.StatusRequestTimeout, KindCanceled
 	case errors.Is(err, core.ErrBudgetExceeded):

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"qrel/internal/faultinject"
 	"qrel/internal/logic"
 	"qrel/internal/mc"
+	"qrel/internal/store"
 	"qrel/internal/unreliable"
 )
 
@@ -66,6 +68,11 @@ type Config struct {
 	// CheckpointEvery is the number of samples between job snapshots
 	// (zero uses core.DefaultCheckpointEvery).
 	CheckpointEvery int
+	// StoreDir is the root directory for paged store files that
+	// requests may name with the "store" field. The path in the request
+	// is resolved strictly underneath it — absolute paths and ".."
+	// escapes are rejected. Empty disables the field.
+	StoreDir string
 	// ReplicaID identifies this server instance in /statz so cluster
 	// coordinators and operators can tell replicas apart. Default
 	// "<hostname>-<pid>".
@@ -141,6 +148,12 @@ type Server struct {
 	dbMu sync.RWMutex
 	dbs  map[string]*unreliable.DB
 
+	// storeMu guards storeDBs, the cache of databases loaded from paged
+	// store files (keyed by the request's store name). A load failure is
+	// NOT cached: an operator can replace the file and retry.
+	storeMu  sync.Mutex
+	storeDBs map[string]*unreliable.DB
+
 	// Durable-job state (nil maps/zero values when CheckpointDir is
 	// unset). jobMu guards jobs and ships; ckptMetrics aggregates
 	// snapshot-store counters across every job for /statz. ships holds
@@ -162,6 +175,7 @@ func New(cfg Config) *Server {
 		tasks:       make(chan *task, cfg.QueueDepth),
 		stopWorkers: make(chan struct{}),
 		dbs:         map[string]*unreliable.DB{},
+		storeDBs:    map[string]*unreliable.DB{},
 		jobs:        map[string]*JobStatus{},
 		ships:       map[string]*shipState{},
 	}
@@ -199,6 +213,42 @@ func (s *Server) lookup(name string) (*unreliable.DB, bool) {
 	defer s.dbMu.RUnlock()
 	db, ok := s.dbs[name]
 	return db, ok
+}
+
+// loadStore resolves a request's store name strictly under StoreDir,
+// opens the file (running journal recovery), loads the database, and
+// caches it. Returns HTTP status and error kind on failure.
+func (s *Server) loadStore(name string) (*unreliable.DB, int, string, error) {
+	if s.cfg.StoreDir == "" {
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("\"store\" is disabled (no -store-dir configured)")
+	}
+	clean := filepath.Clean(name)
+	if clean == "." || filepath.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("store name %q escapes the store directory", name)
+	}
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	if db, ok := s.storeDBs[clean]; ok {
+		return db, 0, "", nil
+	}
+	path := filepath.Join(s.cfg.StoreDir, clean)
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, http.StatusNotFound, KindNotFound, fmt.Errorf("unknown store %q", name)
+		}
+		status, kind := statusFor(err)
+		return nil, status, kind, fmt.Errorf("opening store %q: %w", name, err)
+	}
+	defer st.Close()
+	db, err := st.LoadDB()
+	if err != nil {
+		status, kind := statusFor(err)
+		return nil, status, kind, fmt.Errorf("loading store %q: %w", name, err)
+	}
+	db.NumUncertain() // warm the lazy caches single-threaded, as Register does
+	s.storeDBs[clean] = db
+	return db, 0, "", nil
 }
 
 // Handler returns the service mux:
@@ -330,9 +380,16 @@ func (s *Server) buildTask(req *Request) (*task, int, string, error) {
 		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("missing \"query\"")
 	}
 	var db *unreliable.DB
+	nSrc := 0
+	for _, set := range []bool{req.DB != "", req.DBText != "", req.Store != ""} {
+		if set {
+			nSrc++
+		}
+	}
+	if nSrc != 1 {
+		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("set exactly one of \"db\", \"db_text\" and \"store\"")
+	}
 	switch {
-	case req.DB != "" && req.DBText != "":
-		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("set exactly one of \"db\" and \"db_text\"")
 	case req.DB != "":
 		var ok bool
 		if db, ok = s.lookup(req.DB); !ok {
@@ -344,7 +401,12 @@ func (s *Server) buildTask(req *Request) (*task, int, string, error) {
 			return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("parsing db_text: %w", err)
 		}
 	default:
-		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("set one of \"db\" and \"db_text\"")
+		var status int
+		var kind string
+		var err error
+		if db, status, kind, err = s.loadStore(req.Store); err != nil {
+			return nil, status, kind, err
+		}
 	}
 	q, err := logic.Parse(req.Query, db.A.Voc)
 	if err != nil {

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qrel/internal/store"
+)
+
+// buildTestStore writes the canonical 4-element test database into a
+// paged store file named g.qstore under a fresh directory and returns
+// (dir, path).
+func buildTestStore(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.qstore")
+	if err := store.BuildFromDB(path, testDB(t, 4, 3), store.Options{PageSize: 256}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	return dir, path
+}
+
+func TestStoreRequestMatchesRegisteredDB(t *testing.T) {
+	dir, _ := buildTestStore(t)
+	_, ts := newTestServer(t, Config{StoreDir: dir})
+	q := "exists x y . E(x,y) & S(x)"
+	status, fromStore, _, _ := post(t, ts.URL, Request{Store: "g.qstore", Query: q, Engine: "world-enum"})
+	if status != http.StatusOK {
+		t.Fatalf("store request status %d, want 200", status)
+	}
+	_, fromMem, _, _ := post(t, ts.URL, Request{DB: "g", Query: q, Engine: "world-enum"})
+	if fromStore.RExact != fromMem.RExact || fromStore.RExact == "" {
+		t.Errorf("store R = %q, registered R = %q; want identical non-empty",
+			fromStore.RExact, fromMem.RExact)
+	}
+}
+
+func TestStoreRequestErrors(t *testing.T) {
+	dir, _ := buildTestStore(t)
+	_, ts := newTestServer(t, Config{StoreDir: dir})
+	cases := []struct {
+		name   string
+		req    Request
+		status int
+		kind   string
+	}{
+		{"missing file", Request{Store: "nope.qstore", Query: "S(x)"}, 404, KindNotFound},
+		{"relative escape", Request{Store: "../g.qstore", Query: "S(x)"}, 400, KindBadRequest},
+		{"absolute path", Request{Store: filepath.Join(dir, "g.qstore"), Query: "S(x)"}, 400, KindBadRequest},
+		{"dot", Request{Store: ".", Query: "S(x)"}, 400, KindBadRequest},
+		{"store and db", Request{Store: "g.qstore", DB: "g", Query: "S(x)"}, 400, KindBadRequest},
+		{"store and db_text", Request{Store: "g.qstore", DBText: "universe 0\n", Query: "S(x)"}, 400, KindBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, _, ec, _ := post(t, ts.URL, c.req)
+			if status != c.status {
+				t.Fatalf("status %d, want %d (err %+v)", status, c.status, ec)
+			}
+			if ec.Kind != c.kind {
+				t.Errorf("kind %q, want %q", ec.Kind, c.kind)
+			}
+		})
+	}
+}
+
+func TestStoreDisabledWithoutStoreDir(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, _, ec, _ := post(t, ts.URL, Request{Store: "g.qstore", Query: "S(x)"})
+	if status != 400 || ec.Kind != KindBadRequest {
+		t.Errorf("store request without -store-dir: status %d kind %q, want 400 %q",
+			status, ec.Kind, KindBadRequest)
+	}
+}
+
+func TestStoreCorruptionIsTyped(t *testing.T) {
+	dir, path := buildTestStore(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage every page after the first meta page: whichever page the
+	// load touches first, the checksum must catch it.
+	for off := 256; off+100 < len(raw); off += 256 {
+		raw[off+100] ^= 0x20
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{StoreDir: dir})
+	status, _, ec, _ := post(t, ts.URL, Request{Store: "g.qstore", Query: "exists x . S(x)"})
+	if status != http.StatusInternalServerError || ec.Kind != KindCorruptStore {
+		t.Fatalf("corrupt store: status %d kind %q, want 500 %q", status, ec.Kind, KindCorruptStore)
+	}
+}
+
+func TestStoreLoadedOnceAndCached(t *testing.T) {
+	dir, path := buildTestStore(t)
+	_, ts := newTestServer(t, Config{StoreDir: dir})
+	q := "exists x . S(x)"
+	if status, _, ec, _ := post(t, ts.URL, Request{Store: "g.qstore", Query: q}); status != 200 {
+		t.Fatalf("first request: status %d (%+v)", status, ec)
+	}
+	// The loaded database is cached, so the file is no longer needed.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if status, _, ec, _ := post(t, ts.URL, Request{Store: "g.qstore", Query: q}); status != 200 {
+		t.Errorf("cached request after file removal: status %d (%+v)", status, ec)
+	}
+}
+
+func TestStoreLoadFailureIsNotCached(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.qstore")
+	if err := os.WriteFile(path, []byte("not a store file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{StoreDir: dir})
+	if status, _, _, _ := post(t, ts.URL, Request{Store: "g.qstore", Query: "S(x)"}); status == 200 {
+		t.Fatal("garbage store file accepted")
+	}
+	// Replacing the broken file must let the same name succeed: failures
+	// are not cached.
+	if err := store.BuildFromDB(path, testDB(t, 4, 3), store.Options{PageSize: 256}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if status, _, ec, _ := post(t, ts.URL, Request{Store: "g.qstore", Query: "exists x . S(x)"}); status != 200 {
+		t.Errorf("after replacing broken file: status %d (%+v)", status, ec)
+	}
+}

@@ -1,0 +1,233 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"qrel/internal/faultinject"
+)
+
+// PoolStats is a point-in-time snapshot of buffer-pool behaviour.
+type PoolStats struct {
+	Hits        uint64 // fetches served from a resident frame
+	Misses      uint64 // fetches that read the data file
+	Evictions   uint64 // clean frames dropped by the clock hand
+	BytesInUse  int64  // resident frame bytes right now
+	MaxBytesUse int64  // high-water mark of BytesInUse
+	Quarantined int    // pages pinned out as corrupt
+}
+
+// frame is one resident page.
+type frame struct {
+	id    uint32
+	buf   []byte
+	pins  int
+	dirty bool
+	ref   bool // clock reference bit
+}
+
+// pool caches pages of one data file under a hard byte budget. Clean
+// unpinned frames are evicted by a clock hand; dirty and pinned
+// frames are never evicted (the store commits the dirty set before
+// it can grow past the budget). Pages that fail validation are
+// quarantined: every later fetch returns the same ErrCorruptPage
+// without touching the disk again.
+type pool struct {
+	f        *os.File
+	pageSize int
+	budget   int64
+
+	mu          sync.Mutex
+	frames      map[uint32]*frame
+	ring        []uint32 // clock order; may contain stale ids
+	hand        int
+	nDirty      int
+	stats       PoolStats
+	quarantined map[uint32]error
+}
+
+func newPool(f *os.File, pageSize int, budget int64) *pool {
+	if budget < int64(pageSize)*4 {
+		budget = int64(pageSize) * 4 // room for a scan, a join build, and the meta chain
+	}
+	return &pool{
+		f:           f,
+		pageSize:    pageSize,
+		budget:      budget,
+		frames:      make(map[uint32]*frame),
+		quarantined: make(map[uint32]error),
+	}
+}
+
+// get pins page id and returns its frame, reading and validating it
+// from disk on a miss. Callers must unpin when done.
+func (p *pool) get(id uint32) (*frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err, ok := p.quarantined[id]; ok {
+		return nil, err
+	}
+	if fr, ok := p.frames[id]; ok {
+		fr.pins++
+		fr.ref = true
+		p.stats.Hits++
+		return fr, nil
+	}
+	p.stats.Misses++
+	buf := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// A chain pointer past the end of the file is corruption,
+			// not an I/O failure.
+			err = fmt.Errorf("%w: page %d: beyond end of file", ErrCorruptPage, id)
+			p.quarantined[id] = err
+			p.stats.Quarantined = len(p.quarantined)
+			return nil, err
+		}
+		return nil, fmt.Errorf("store: read page %d: %w", id, err)
+	}
+	if ferr := faultinject.Hit(faultinject.SiteStoreBitFlip); ferr != nil {
+		buf[p.pageSize/2] ^= 0x40 // a single flipped bit, as a failing disk would
+	}
+	if err := validatePage(buf, id); err != nil {
+		p.quarantined[id] = err
+		p.stats.Quarantined = len(p.quarantined)
+		return nil, err
+	}
+	fr := &frame{id: id, buf: buf, pins: 1, ref: true}
+	p.admit(fr)
+	return fr, nil
+}
+
+// newFrame installs a fresh, already-formatted page (not yet on
+// disk) as a pinned dirty frame.
+func (p *pool) newFrame(id uint32, typ byte, relID uint32) *frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	buf := make([]byte, p.pageSize)
+	initPage(buf, typ, relID)
+	fr := &frame{id: id, buf: buf, pins: 1, dirty: true, ref: true}
+	p.nDirty++
+	p.admit(fr)
+	return fr
+}
+
+// admit evicts clean unpinned frames until fr fits, then inserts it.
+// Caller holds p.mu.
+func (p *pool) admit(fr *frame) {
+	// Clock sweep: second-chance over clean unpinned frames, making
+	// room for the incoming frame before it lands.
+	for int64(len(p.frames)+1)*int64(p.pageSize) > p.budget {
+		evicted := false
+		for sweep := 0; sweep < 2*len(p.ring); sweep++ {
+			if len(p.ring) == 0 {
+				break
+			}
+			p.hand %= len(p.ring)
+			id := p.ring[p.hand]
+			cand, ok := p.frames[id]
+			if !ok { // stale ring slot from a prior eviction
+				p.ring = append(p.ring[:p.hand], p.ring[p.hand+1:]...)
+				continue
+			}
+			if cand.pins > 0 || cand.dirty {
+				p.hand++
+				continue
+			}
+			if cand.ref {
+				cand.ref = false
+				p.hand++
+				continue
+			}
+			delete(p.frames, id)
+			p.ring = append(p.ring[:p.hand], p.ring[p.hand+1:]...)
+			p.stats.Evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			break // everything pinned or dirty; budget is enforced upstream by committing
+		}
+	}
+	p.frames[fr.id] = fr
+	p.ring = append(p.ring, fr.id)
+	p.stats.BytesInUse = int64(len(p.frames)) * int64(p.pageSize)
+	if p.stats.BytesInUse > p.stats.MaxBytesUse {
+		p.stats.MaxBytesUse = p.stats.BytesInUse
+	}
+}
+
+func (p *pool) unpin(fr *frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr.pins > 0 {
+		fr.pins--
+	}
+}
+
+func (p *pool) markDirty(fr *frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !fr.dirty {
+		fr.dirty = true
+		p.nDirty++
+	}
+}
+
+// dirtyFrames returns the dirty set ordered by page id — the commit
+// unit the journal records.
+func (p *pool) dirtyFrames() []*frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*frame
+	for _, fr := range p.frames {
+		if fr.dirty {
+			out = append(out, fr)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].id > out[j].id; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func (p *pool) dirtyBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(p.nDirty) * int64(p.pageSize)
+}
+
+func (p *pool) markClean(frames []*frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fr := range frames {
+		if fr.dirty {
+			fr.dirty = false
+			p.nDirty--
+		}
+	}
+}
+
+// invalidate drops every frame and quarantine entry — used after
+// recovery rewrites the data file underneath the pool.
+func (p *pool) invalidate() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[uint32]*frame)
+	p.ring = nil
+	p.hand = 0
+	p.nDirty = 0
+	p.quarantined = make(map[uint32]error)
+	p.stats.BytesInUse = 0
+}
+
+func (p *pool) snapshotStats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

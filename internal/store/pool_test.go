@@ -1,0 +1,214 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+
+	"qrel/internal/rel"
+	"qrel/internal/testutil"
+)
+
+// buildWide creates a store whose E chain spans many pages, returning
+// the open store and the number of heap pages.
+func buildWide(t *testing.T, poolBytes int64) *Store {
+	t.Helper()
+	a := rel.MustStructure(256, rel.MustVocabulary(rel.RelSym{Name: "E", Arity: 2}))
+	path := filepath.Join(t.TempDir(), "db.qstore")
+	s, err := Create(path, a, Options{PageSize: 128, PoolBytes: poolBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		if err := s.AddTuple("E", rel.Tuple{i % 256, (i * 7) % 256}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s, err = Open(path, Options{PoolBytes: poolBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPoolBudgetIsHard scans a many-page chain through a pool that
+// holds only a handful of frames: the high-water mark must never
+// exceed the (clamped) budget, and evictions must actually happen.
+func TestPoolBudgetIsHard(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	const budget = 128 * 4 // minimum: four frames
+	s := buildWide(t, budget)
+	defer s.Close()
+	if s.PageCount() < 20 {
+		t.Fatalf("store too small (%d pages) for an eviction test", s.PageCount())
+	}
+	for pass := 0; pass < 3; pass++ {
+		it, err := s.Scan("E")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			_, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		it.Close()
+		if n != 600 {
+			t.Fatalf("pass %d: scanned %d tuples, want 600", pass, n)
+		}
+	}
+	st := s.Stats()
+	if st.MaxBytesUse > budget {
+		t.Errorf("pool high-water mark %d exceeds budget %d", st.MaxBytesUse, budget)
+	}
+	if st.Evictions == 0 {
+		t.Error("scanning a chain larger than the pool evicted nothing")
+	}
+	if st.Misses < uint64(s.PageCount()) {
+		t.Errorf("three passes over an evicting pool missed only %d times for %d pages", st.Misses, s.PageCount())
+	}
+	// A back-to-back fetch of the same page is served from the frame.
+	fr, err := s.pool.get(s.cat.Rels[0].Head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr2, err := s.pool.get(s.cat.Rels[0].Head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2 != fr {
+		t.Error("second fetch of a resident page returned a different frame")
+	}
+	if got := s.Stats(); got.Hits != st.Hits+1 {
+		t.Errorf("resident re-fetch was not counted as a hit (%d -> %d)", st.Hits, got.Hits)
+	}
+	s.pool.unpin(fr)
+	s.pool.unpin(fr2)
+}
+
+// TestPoolPinnedFramesSurviveEviction holds a pin on one page while a
+// scan churns the rest of the pool; the pinned frame's buffer must
+// stay valid (same backing data) throughout.
+func TestPoolPinnedFramesSurviveEviction(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	s := buildWide(t, 128*4)
+	defer s.Close()
+	head := s.cat.Rels[0].Head
+	fr, err := s.pool.get(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), fr.buf...)
+	it, err := s.Scan("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	it.Close()
+	if fr2, ok := s.pool.frames[head]; !ok || fr2 != fr {
+		t.Fatal("pinned frame was evicted")
+	}
+	for i := range want {
+		if fr.buf[i] != want[i] {
+			t.Fatalf("pinned frame byte %d changed under churn", i)
+		}
+	}
+	s.pool.unpin(fr)
+}
+
+// TestPoolDirtyFramesNeverEvicted buffers uncommitted mutations, then
+// scans to force eviction pressure: every dirty page must still be in
+// the pool afterwards (eviction would lose the write).
+func TestPoolDirtyFramesNeverEvicted(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	s := buildWide(t, 128*4)
+	defer s.Close()
+	if err := s.AddTuple("E", rel.Tuple{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var dirty []uint32
+	for id, fr := range s.pool.frames {
+		if fr.dirty {
+			dirty = append(dirty, id)
+		}
+	}
+	if len(dirty) == 0 {
+		t.Fatal("AddTuple left no dirty frame")
+	}
+	it, _ := s.Scan("E")
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	it.Close()
+	for _, id := range dirty {
+		if fr, ok := s.pool.frames[id]; !ok || !fr.dirty {
+			t.Errorf("dirty page %d was evicted or cleaned without a commit", id)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoCommitKeepsBudget ingests far more than the pool budget in
+// one uncommitted burst; appendRecord must auto-commit so the dirty
+// set never outgrows the pool.
+func TestAutoCommitKeepsBudget(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	a := rel.MustStructure(256, rel.MustVocabulary(rel.RelSym{Name: "E", Arity: 2}))
+	path := filepath.Join(t.TempDir(), "db.qstore")
+	const budget = 128 * 6
+	s, err := Create(path, a, Options{PageSize: 128, PoolBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := s.AddTuple("E", rel.Tuple{i % 256, (i * 3) % 256}); err != nil {
+			t.Fatal(err)
+		}
+		if db := s.pool.dirtyBytes(); db > budget {
+			t.Fatalf("after tuple %d: dirty set %d bytes exceeds budget %d", i, db, budget)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.MaxBytesUse > budget {
+		t.Errorf("pool high-water mark %d exceeds budget %d", st.MaxBytesUse, budget)
+	}
+	s.Close()
+	s, err = Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Tuples("E"); got != 2000 {
+		t.Errorf("reopened store holds %d tuples, want 2000", got)
+	}
+	if _, err := s.Verify(); err != nil {
+		t.Error(err)
+	}
+}

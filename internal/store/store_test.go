@@ -1,0 +1,305 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"math/big"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qrel/internal/core"
+	"qrel/internal/logic"
+	"qrel/internal/ra"
+	"qrel/internal/rel"
+	"qrel/internal/testutil"
+	"qrel/internal/unreliable"
+	"qrel/internal/workload"
+)
+
+// testDB builds a deterministic unreliable database large enough to
+// span several pages at small page sizes.
+func testDB(t *testing.T, n, uncertain int) *unreliable.DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	return workload.AddUncertainty(rng, workload.RandomStructure(rng, n, 0.3, 0.5), uncertain, 10)
+}
+
+// dbText renders a DB in the canonical text format; two DBs with
+// equal text are bit-identical inputs to every engine.
+func dbText(t *testing.T, db *unreliable.DB) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := unreliable.WriteDB(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRoundTripAcrossPageSizes(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	db := testDB(t, 24, 8)
+	want := dbText(t, db)
+	for _, pageSize := range []int{128, 256, 4096} {
+		path := filepath.Join(t.TempDir(), "db.qstore")
+		opts := Options{PageSize: pageSize, PoolBytes: int64(pageSize) * 8}
+		if err := BuildFromDB(path, db, opts, 16, nil); err != nil {
+			t.Fatalf("page size %d: build: %v", pageSize, err)
+		}
+		s, err := Open(path, opts)
+		if err != nil {
+			t.Fatalf("page size %d: open: %v", pageSize, err)
+		}
+		loaded, err := s.LoadDB()
+		if err != nil {
+			t.Fatalf("page size %d: load: %v", pageSize, err)
+		}
+		if got := dbText(t, loaded); got != want {
+			t.Errorf("page size %d: loaded database differs from original:\n got: %s\nwant: %s", pageSize, got, want)
+		}
+		if st, err := s.Verify(); err != nil {
+			t.Errorf("page size %d: verify: %v (%+v)", pageSize, err, st)
+		}
+		s.Close()
+	}
+}
+
+func TestRoundTripEngineBitIdentity(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	db := testDB(t, 12, 6)
+	path := filepath.Join(t.TempDir(), "db.qstore")
+	if err := BuildFromDB(path, db, Options{PageSize: 256}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	loaded, err := s.LoadDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := logic.MustParse("exists x . exists y . E(x,y) & S(y)", nil)
+	opts := core.Options{Eps: 0.2, Delta: 0.1, Seed: 7}
+	for _, engine := range []core.Engine{core.EngineWorldEnum, core.EngineMCDirect} {
+		a, err := core.ReliabilityWith(context.Background(), engine, db, f, opts)
+		if err != nil {
+			t.Fatalf("%s on original: %v", engine, err)
+		}
+		b, err := core.ReliabilityWith(context.Background(), engine, loaded, f, opts)
+		if err != nil {
+			t.Fatalf("%s on loaded: %v", engine, err)
+		}
+		if a.RFloat != b.RFloat || a.Samples != b.Samples {
+			t.Errorf("%s: estimate diverged across the store round trip: %v/%d vs %v/%d",
+				engine, a.RFloat, a.Samples, b.RFloat, b.Samples)
+		}
+	}
+}
+
+func TestScanStreamsInsertionOrderAndSatisfiesSource(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	db := testDB(t, 16, 4)
+	path := filepath.Join(t.TempDir(), "db.qstore")
+	if err := BuildFromDB(path, db, Options{PageSize: 128}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, Options{PoolBytes: 128 * 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var _ ra.Source = s // compile-time and doc: Store is a Source
+
+	it, err := s.Scan("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	want := db.A.Rel("E").Tuples() // sorted; BuildFromDB ingests in this order
+	for i, wt := range want {
+		got, ok, err := it.Next()
+		if err != nil || !ok {
+			t.Fatalf("tuple %d: ok=%v err=%v", i, ok, err)
+		}
+		if !got.Equal(wt) {
+			t.Fatalf("tuple %d: got %v want %v", i, got, wt)
+		}
+	}
+	if _, ok, _ := it.Next(); ok {
+		t.Error("scan yielded more tuples than the relation holds")
+	}
+	if _, err := s.Scan("NoSuchRel"); err == nil {
+		t.Error("scan of unknown relation succeeded")
+	}
+}
+
+func TestBitFlipOnDiskIsDetectedAndQuarantined(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	db := testDB(t, 16, 4)
+	path := filepath.Join(t.TempDir(), "db.qstore")
+	if err := BuildFromDB(path, db, Options{PageSize: 256}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Locate the first heap page of E from the catalog, then flip one
+	// bit in the middle of it.
+	probe, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := int(probe.cat.Rels[probe.relIdx["E"]].Head)
+	probe.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[heap*256+128] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, err = s.LoadDB()
+	if !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("LoadDB on a bit-flipped page: got %v, want ErrCorruptPage", err)
+	}
+	// Quarantine: the second read fails identically without re-reading.
+	before := s.Stats()
+	_, err2 := s.LoadDB()
+	if !errors.Is(err2, ErrCorruptPage) {
+		t.Fatalf("second LoadDB: got %v, want ErrCorruptPage", err2)
+	}
+	after := s.Stats()
+	if after.Quarantined == 0 {
+		t.Error("corrupt page was not quarantined")
+	}
+	if after.Misses != before.Misses {
+		t.Errorf("quarantined page was re-read from disk (misses %d -> %d)", before.Misses, after.Misses)
+	}
+	if _, err := s.Verify(); !errors.Is(err, ErrCorruptPage) {
+		t.Errorf("Verify: got %v, want ErrCorruptPage", err)
+	}
+}
+
+func TestImpossibleSlotDirectoryIsCorrupt(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	db := testDB(t, 16, 0)
+	path := filepath.Join(t.TempDir(), "db.qstore")
+	if err := BuildFromDB(path, db, Options{PageSize: 256}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	probe, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := int(probe.cat.Rels[probe.relIdx["E"]].Head)
+	probe.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge E's head heap page: an absurd slot count with a freshly
+	// sealed CRC, so only the structural validation can catch it.
+	pg := raw[heap*256 : (heap+1)*256]
+	binary.LittleEndian.PutUint16(pg[offNSlots:], 9999)
+	sealPage(pg)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.LoadDB(); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("LoadDB over an impossible slot directory: got %v, want ErrCorruptPage", err)
+	}
+}
+
+func TestUnknownFormatVersionRejected(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	db := testDB(t, 8, 0)
+	path := filepath.Join(t.TempDir(), "db.qstore")
+	if err := BuildFromDB(path, db, Options{PageSize: 256}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(raw[pageHeaderSize+8:], formatVersion+1)
+	sealPage(raw[:256])
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(path, Options{})
+	if err == nil {
+		t.Fatal("opened a store with an unknown format version")
+	}
+	if errors.Is(err, ErrCorruptPage) {
+		t.Errorf("version rejection should be a clean refusal, not corruption: %v", err)
+	}
+}
+
+func TestMutationValidation(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	a := rel.MustStructure(4, rel.MustVocabulary(rel.RelSym{Name: "E", Arity: 2}))
+	path := filepath.Join(t.TempDir(), "db.qstore")
+	s, err := Create(path, a, Options{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cases := []error{
+		s.AddTuple("Nope", rel.Tuple{0, 1}),
+		s.AddTuple("E", rel.Tuple{0}),
+		s.AddTuple("E", rel.Tuple{0, 99}),
+		s.SetError("E", rel.Tuple{0, 1}, big.NewRat(3, 2)),
+		s.SetError("E", rel.Tuple{0, 1}, new(big.Rat)),
+		s.SetError("Nope", rel.Tuple{0}, big.NewRat(1, 2)),
+	}
+	for i, err := range cases {
+		if err == nil {
+			t.Errorf("case %d: invalid mutation accepted", i)
+		}
+	}
+	if err := s.AddTuple("E", rel.Tuple{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetError("E", rel.Tuple{0, 1}, big.NewRat(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tuples("E"); got != 1 {
+		t.Errorf("Tuples(E) = %d, want 1", got)
+	}
+}
+
+func TestCreateRejectsBadPageSize(t *testing.T) {
+	a := rel.MustStructure(4, rel.MustVocabulary())
+	for _, ps := range []int{64, 100, 1 << 16} {
+		if _, err := Create(filepath.Join(t.TempDir(), "x.qstore"), a, Options{PageSize: ps}); err == nil {
+			t.Errorf("page size %d accepted", ps)
+		}
+	}
+}
+
+func TestOpenGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.qstore")
+	if err := os.WriteFile(path, []byte("not a store at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("open of garbage: got %v, want ErrCorruptPage", err)
+	}
+}

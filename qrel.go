@@ -46,6 +46,7 @@ import (
 	"qrel/internal/core"
 	"qrel/internal/logic"
 	"qrel/internal/rel"
+	"qrel/internal/store"
 	"qrel/internal/unreliable"
 )
 
@@ -278,4 +279,39 @@ type AnswerModality = core.AnswerModality
 // and possible answers (in some world) of q on db by world enumeration.
 func PossibleCertainAnswers(db *DB, q Query, opts Options) (AnswerModality, error) {
 	return core.PossibleCertainAnswers(db, q, opts)
+}
+
+// Paged storage engine: crash-safe heap files with checksummed pages,
+// a budgeted buffer pool, and open-time journal recovery.
+type (
+	// Store is an open paged database file plus its intent journal.
+	Store = store.Store
+	// StoreOptions configures page size and buffer-pool budget.
+	StoreOptions = store.Options
+	// StoreVerifyStats summarises a full-file verification pass.
+	StoreVerifyStats = store.VerifyStats
+)
+
+// ErrCorruptPage is returned (wrapped) whenever a page fails its
+// checksum or structural validation; detect it with errors.Is.
+var ErrCorruptPage = store.ErrCorruptPage
+
+// CreateStore writes a new empty store file for the vocabulary and
+// universe of a.
+func CreateStore(path string, a *Structure, opts StoreOptions) (*Store, error) {
+	return store.Create(path, a, opts)
+}
+
+// OpenStore opens an existing store file, first recovering its
+// journal: complete commit records are replayed, torn tails rolled
+// back, so a crash at any byte offset leaves a consistent database.
+func OpenStore(path string, opts StoreOptions) (*Store, error) {
+	return store.Open(path, opts)
+}
+
+// BuildStore ingests an unreliable database into a new store file,
+// committing every batch tuples (0 = one final commit). A database
+// reloaded from the store is bit-identical input to every engine.
+func BuildStore(path string, db *DB, opts StoreOptions, batch int) error {
+	return store.BuildFromDB(path, db, opts, batch, nil)
 }

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Benchmark snapshot: run every benchmark family (E1–E12 in the root
+# Benchmark snapshot: run every benchmark family (E1–E13 in the root
 # package plus the BDD micro-benchmarks) with -benchmem and write a
-# machine-readable BENCH_9.json recording ns/op, allocs/op, B/op, and —
+# machine-readable BENCH_10.json recording ns/op, allocs/op, B/op, and —
 # where a family reports it — samples/sec. The sampling families carry
 # an eval= dimension since the compiled bit-parallel evaluator landed;
 # compare their eval=compiled rows against the BENCH_4.json rows of the
 # same eps/workers to see the compiled-path speedup (the estimates are
-# bit-identical across modes, so samples/sec is the whole story).
+# bit-identical across modes, so samples/sec is the whole story). The
+# E13 family prices the paged storage engine: the same streaming
+# scan→filter→join pipeline over a memory-resident source versus the
+# checksummed page store under several buffer-pool budgets.
 #
 # Usage:
 #   ./scripts/bench_snapshot.sh [output.json]
@@ -17,7 +20,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 benchtime="${BENCHTIME:-1x}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
