@@ -148,11 +148,15 @@ type Server struct {
 	dbMu sync.RWMutex
 	dbs  map[string]*unreliable.DB
 
-	// storeMu guards storeDBs, the cache of databases loaded from paged
-	// store files (keyed by the request's store name). A load failure is
-	// NOT cached: an operator can replace the file and retry.
-	storeMu  sync.Mutex
-	storeDBs map[string]*unreliable.DB
+	// storeMu guards the storeEntries map only (keyed by the request's
+	// store name). Loading happens under the entry's own lock — a
+	// per-name singleflight — so one slow load never blocks requests
+	// for other stores. A cached database is revalidated against the
+	// file's (mtime, size) on every request, so a store file replaced
+	// on disk serves its new contents; a load failure is NOT cached:
+	// an operator can replace the file and retry.
+	storeMu      sync.Mutex
+	storeEntries map[string]*storeEntry
 
 	// Durable-job state (nil maps/zero values when CheckpointDir is
 	// unset). jobMu guards jobs and ships; ckptMetrics aggregates
@@ -175,7 +179,7 @@ func New(cfg Config) *Server {
 		tasks:       make(chan *task, cfg.QueueDepth),
 		stopWorkers: make(chan struct{}),
 		dbs:         map[string]*unreliable.DB{},
-		storeDBs:    map[string]*unreliable.DB{},
+		storeEntries: map[string]*storeEntry{},
 		jobs:        map[string]*JobStatus{},
 		ships:       map[string]*shipState{},
 	}
@@ -215,9 +219,21 @@ func (s *Server) lookup(name string) (*unreliable.DB, bool) {
 	return db, ok
 }
 
+// storeEntry caches one store file's loaded database together with
+// the file identity (mtime, size) it was loaded from. Each entry has
+// its own lock, so a slow load serializes only requests for the same
+// store name.
+type storeEntry struct {
+	mu    sync.Mutex
+	db    *unreliable.DB
+	mtime time.Time
+	size  int64
+}
+
 // loadStore resolves a request's store name strictly under StoreDir,
 // opens the file (running journal recovery), loads the database, and
-// caches it. Returns HTTP status and error kind on failure.
+// caches it keyed by the file's (mtime, size) so a replaced file is
+// reloaded. Returns HTTP status and error kind on failure.
 func (s *Server) loadStore(name string) (*unreliable.DB, int, string, error) {
 	if s.cfg.StoreDir == "" {
 		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("\"store\" is disabled (no -store-dir configured)")
@@ -227,11 +243,32 @@ func (s *Server) loadStore(name string) (*unreliable.DB, int, string, error) {
 		return nil, http.StatusBadRequest, KindBadRequest, fmt.Errorf("store name %q escapes the store directory", name)
 	}
 	s.storeMu.Lock()
-	defer s.storeMu.Unlock()
-	if db, ok := s.storeDBs[clean]; ok {
-		return db, 0, "", nil
+	e := s.storeEntries[clean]
+	if e == nil {
+		e = &storeEntry{}
+		s.storeEntries[clean] = e
 	}
+	s.storeMu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	path := filepath.Join(s.cfg.StoreDir, clean)
+	fi, statErr := os.Stat(path)
+	if e.db != nil {
+		// Serve the cache while the file is unchanged — or gone: a
+		// loaded store outlives its file (operators may clean up), but
+		// a replaced file must invalidate.
+		if statErr != nil || (fi.ModTime().Equal(e.mtime) && fi.Size() == e.size) {
+			return e.db, 0, "", nil
+		}
+	}
+	if statErr != nil {
+		if os.IsNotExist(statErr) {
+			return nil, http.StatusNotFound, KindNotFound, fmt.Errorf("unknown store %q", name)
+		}
+		status, kind := statusFor(statErr)
+		return nil, status, kind, fmt.Errorf("opening store %q: %w", name, statErr)
+	}
 	st, err := store.Open(path, store.Options{})
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -247,8 +284,14 @@ func (s *Server) loadStore(name string) (*unreliable.DB, int, string, error) {
 		return nil, status, kind, fmt.Errorf("loading store %q: %w", name, err)
 	}
 	db.NumUncertain() // warm the lazy caches single-threaded, as Register does
-	s.storeDBs[clean] = db
-	return db, 0, "", nil
+	// Record the identity after Open: journal recovery may have
+	// rewritten the file, and the post-recovery (mtime, size) is what
+	// later requests' stats will see.
+	if fi2, err := os.Stat(path); err == nil {
+		fi = fi2
+	}
+	e.db, e.mtime, e.size = db, fi.ModTime(), fi.Size()
+	return e.db, 0, "", nil
 }
 
 // Handler returns the service mux:

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"qrel/internal/store"
 )
@@ -109,6 +110,39 @@ func TestStoreLoadedOnceAndCached(t *testing.T) {
 	}
 	if status, _, ec, _ := post(t, ts.URL, Request{Store: "g.qstore", Query: q}); status != 200 {
 		t.Errorf("cached request after file removal: status %d (%+v)", status, ec)
+	}
+}
+
+// TestStoreReplacedFileInvalidatesCache: the per-name cache is keyed
+// by the file's (mtime, size); replacing the store file on disk must
+// serve the new contents, not the process-lifetime-stale cache.
+func TestStoreReplacedFileInvalidatesCache(t *testing.T) {
+	dir, path := buildTestStore(t)
+	_, ts := newTestServer(t, Config{StoreDir: dir})
+	q := "exists x y . E(x,y)"
+	status, first, ec, _ := post(t, ts.URL, Request{Store: "g.qstore", Query: q, Engine: "world-enum"})
+	if status != http.StatusOK {
+		t.Fatalf("first request: status %d (%+v)", status, ec)
+	}
+	// Replace the file with a database that has no uncertain E atoms:
+	// the query's reliability changes, so a stale cache is observable.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.BuildFromDB(path, testDB(t, 4, 0), store.Options{PageSize: 256}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Force a distinct mtime even on coarse-grained filesystems.
+	bump := time.Now().Add(2 * time.Hour)
+	if err := os.Chtimes(path, bump, bump); err != nil {
+		t.Fatal(err)
+	}
+	status, second, ec, _ := post(t, ts.URL, Request{Store: "g.qstore", Query: q, Engine: "world-enum"})
+	if status != http.StatusOK {
+		t.Fatalf("request after replacement: status %d (%+v)", status, ec)
+	}
+	if first.RExact == "" || second.RExact == "" || first.RExact == second.RExact {
+		t.Errorf("replaced store served stale data: R before %q, after %q", first.RExact, second.RExact)
 	}
 }
 

@@ -286,6 +286,149 @@ func TestCommitRetryAfterTear(t *testing.T) {
 	}
 }
 
+// TestCreateClearsStaleJournal: Create at a path where a previous
+// store incarnation crashed mid-commit must not let the dead store's
+// journal replay into the fresh file — that would graft the old
+// store's pages (and later, duplicate chains) onto the new one.
+func TestCreateClearsStaleJournal(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.qstore")
+	buildBase(t, path)
+	stageBatch(t, path) // leaves a complete, durable record in the journal
+	db := testDB(t, 16, 4)
+	s, err := Create(path, db.A, Options{PageSize: 256})
+	if err != nil {
+		t.Fatalf("create over crashed store: %v", err)
+	}
+	defer s.Close()
+	if got := s.Tuples("E"); got != 0 {
+		t.Errorf("fresh store holds %d tuples in E; the stale journal replayed", got)
+	}
+	if _, err := s.Verify(); err != nil {
+		t.Errorf("verify fresh store: %v", err)
+	}
+	if j, err := os.ReadFile(path + ".journal"); err == nil && len(j) != 0 {
+		t.Errorf("stale journal survived Create (%d bytes)", len(j))
+	}
+}
+
+// TestCommitRepairsBeforeTruncatingJournal: after a commit dies
+// mid-apply (journal record durable, data page torn), the next commit
+// must re-apply that record before truncating the journal. If it
+// truncated first and its own append then tore, a crash would leave a
+// torn data page with an empty journal — unrecoverable.
+func TestCommitRepairsBeforeTruncatingJournal(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	defer faultinject.Reset()
+	boom := errors.New("injected")
+	path := filepath.Join(t.TempDir(), "db.qstore")
+	buildBase(t, path)
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := s.Tuples("E")
+	for i := 0; i < 10; i++ {
+		if err := s.AddTuple("E", rel.Tuple{i, i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First commit: the journal lands durably, then the page apply tears.
+	faultinject.Enable(faultinject.SiteStoreShortWrite, faultinject.Fault{Err: boom, Times: 1})
+	if err := s.Commit(); !errors.Is(err, boom) {
+		t.Fatalf("commit under short-write: got %v", err)
+	}
+	// Second commit: the journal append itself tears. The durable first
+	// record must have healed the torn page before it was truncated.
+	faultinject.Reset()
+	faultinject.Enable(faultinject.SiteStoreJournalTear, faultinject.Fault{Err: boom, Times: 1})
+	if err := s.Commit(); !errors.Is(err, boom) {
+		t.Fatalf("commit under journal-tear: got %v", err)
+	}
+	s.Close() // crash: abandon in-memory state
+	faultinject.Reset()
+
+	r, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after tear-after-short-write: %v", err)
+	}
+	defer r.Close()
+	if _, err := r.Verify(); err != nil {
+		t.Fatalf("verify after repair: %v", err)
+	}
+	if got := r.Tuples("E"); got != pre+10 {
+		t.Errorf("after repair: %d tuples, want %d", got, pre+10)
+	}
+}
+
+// TestRecoveryRefusesForeignJournal: a journal whose page size does
+// not match the data file's meta page belongs to another store;
+// recovery must refuse rather than replay at wrong offsets.
+func TestRecoveryRefusesForeignJournal(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	dir := t.TempDir()
+	small := filepath.Join(dir, "small.qstore")
+	buildBase(t, small) // page size 256
+	rec := stageBatch(t, small)
+
+	victim := filepath.Join(dir, "victim.qstore")
+	if err := BuildFromDB(victim, testDB(t, 16, 4), Options{PageSize: 512}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	pre, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim+".journal", rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(victim, Options{}); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("open with foreign journal: got %v, want ErrCorruptPage", err)
+	}
+	got, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pre) {
+		t.Error("foreign journal was replayed into the data file")
+	}
+}
+
+// TestAppendRecordOversizeLeavesNoOrphan: a record too large for even
+// an empty page must be rejected before a page is allocated — an
+// admitted orphan would be journaled at the next commit and inflate
+// the file as an unreferenced page.
+func TestAppendRecordOversizeLeavesNoOrphan(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	path := filepath.Join(t.TempDir(), "db.qstore")
+	buildBase(t, path)
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	prePages := s.PageCount()
+	rec := make([]byte, s.PageSize()) // cannot fit any page
+	s.mu.Lock()
+	i := s.relIdx["E"]
+	cr := &s.cat.Rels[i]
+	err = s.appendRecord(rec, pageTypeHeap, uint32(i), &cr.Head, &cr.Tail, &cr.Pages, func() { cr.Tuples++ })
+	s.mu.Unlock()
+	if err == nil {
+		t.Fatal("oversize record accepted")
+	}
+	if got := s.PageCount(); got != prePages {
+		t.Errorf("oversize record allocated a page: %d pages, want %d", got, prePages)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Verify(); err != nil {
+		t.Errorf("verify after rejected record: %v", err)
+	}
+}
+
 // TestBitFlipFaultSite arms the read-path flip: every fetch that
 // fires the site must surface ErrCorruptPage, and once the fault is
 // gone the intact disk state serves again (after a fresh open —

@@ -84,10 +84,15 @@ type Store struct {
 	relIdx    map[string]int
 	metaPages []uint32 // page 0 plus continuation pages, in chain order
 	seq       uint64
-	// journalStale is set while the journal may hold a record from a
-	// failed commit attempt; the next commit truncates before
-	// appending so a torn leftover can never shadow a fresh record.
-	journalStale bool
+	// journalDirty is set while the journal may be out of step with
+	// the data file because a commit attempt failed part-way: it may
+	// hold a complete record whose pages were never fully applied, a
+	// torn tail from an append that died mid-write, or both. The next
+	// commit re-runs open-time recovery before appending — complete
+	// records are re-applied and only then truncated — so a durable
+	// record is never thrown away while torn data pages depend on it,
+	// and a torn leftover can never shadow the fresh record.
+	journalDirty bool
 }
 
 // Create writes a new empty store for the vocabulary and universe of
@@ -139,6 +144,14 @@ func Create(path string, a *rel.Structure, opts Options) (*Store, error) {
 	writeMetaPayload(file, pageSize, metaSeq(metaCount), blob)
 	for i := 0; i < metaCount; i++ {
 		sealPage(file[i*pageSize : (i+1)*pageSize])
+	}
+	// A journal left behind by a previous store incarnation at this
+	// path must never replay into the file about to be written: remove
+	// it before the new file lands, so no crash point can pair the
+	// fresh store with the stale journal. Create's contract is
+	// destructive — any pending commit of the old store dies with it.
+	if err := os.Remove(path + ".journal"); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: create %s: clear stale journal: %w", path, err)
 	}
 	if err := checkpoint.WriteFileAtomic(path, file); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", path, err)
@@ -313,6 +326,16 @@ func recoverJournal(path string) error {
 	if !validPageSize(pageSize) {
 		return resetJournal(jpath)
 	}
+	// Cross-check the data file before trusting the journal: a journal
+	// copied or renamed next to a store it does not belong to passes
+	// its own CRC yet would replay at wrong offsets. If the data
+	// file's meta page yields a valid page size that disagrees, refuse
+	// to touch either file. A torn or flipped meta head reads as
+	// invalid and does not block replay — the journal may be exactly
+	// what heals it.
+	if ds, ok := dataFilePageSize(path); ok && ds != pageSize {
+		return fmt.Errorf("%w: %s: journal page size %d does not match store page size %d (journal from another store?)", ErrCorruptPage, jpath, pageSize, ds)
+	}
 	recs := decodeJournal(data, pageSize)
 	if len(recs) > 0 {
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
@@ -336,6 +359,30 @@ func recoverJournal(path string) error {
 		}
 	}
 	return resetJournal(jpath)
+}
+
+// dataFilePageSize reads the page size recorded in the data file's
+// meta page. ok is false when the file is missing or its head does
+// not parse as a store meta page (the field sits in the first half of
+// page 0, so even a half-page tear leaves it readable).
+func dataFilePageSize(path string) (int, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	head := make([]byte, pageHeaderSize+metaFixedSize)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		return 0, false
+	}
+	if string(head[pageHeaderSize:pageHeaderSize+8]) != storeMagic {
+		return 0, false
+	}
+	ps := int(binary.LittleEndian.Uint32(head[pageHeaderSize+12:]))
+	if !validPageSize(ps) {
+		return 0, false
+	}
+	return ps, true
 }
 
 // Close releases the file without committing: uncommitted mutations
@@ -458,6 +505,13 @@ func (s *Store) SetError(name string, t rel.Tuple, p *big.Rat) error {
 // appendRecord inserts rec at the tail of a page chain, allocating
 // and linking a new page when the tail is full. Caller holds s.mu.
 func (s *Store) appendRecord(rec []byte, typ byte, relID uint32, head, tail, pages *uint32, onInsert func()) error {
+	// Refuse a record that cannot fit even an empty page before any
+	// allocation: past this point a fresh page admitted to the dirty
+	// set would be journaled at the next commit as an unreferenced
+	// orphan that inflates the file.
+	if len(rec) > s.pageSize-pageHeaderSize-slotSize {
+		return fmt.Errorf("store: record of %d bytes does not fit an empty %d-byte page", len(rec), s.pageSize)
+	}
 	// Keep the budget hard: committing dirties the meta chain too, so
 	// flush while that chain plus a fresh page and its link still fit.
 	if s.pool.dirtyBytes()+int64(len(s.metaPages)+2)*int64(s.pageSize) > s.pool.budget {
@@ -521,6 +575,21 @@ func (s *Store) commitLocked() error {
 		// clean pool means nothing to write.
 		return nil
 	}
+	if s.journalDirty {
+		// A prior commit failed part-way. Re-running open-time recovery
+		// re-applies any complete journal record — healing data pages a
+		// short write tore — and discards a torn tail; only after both
+		// is the journal truncated, so this commit's record starts on
+		// an empty journal without ever destroying a durable record the
+		// data file still needs. Resident frames stay coherent: every
+		// page in the old record is still dirty in the pool (markClean
+		// only runs on success), so the pool holds content at least as
+		// new as the replayed images.
+		if err := recoverJournal(s.path); err != nil {
+			return err
+		}
+		s.journalDirty = false
+	}
 	if err := s.writeCatalogLocked(); err != nil {
 		return err
 	}
@@ -530,14 +599,8 @@ func (s *Store) commitLocked() error {
 		sealPage(fr.buf)
 		images = append(images, pageImage{id: fr.id, data: fr.buf})
 	}
-	if s.journalStale {
-		if err := resetJournal(s.journalPath); err != nil {
-			return err
-		}
-		s.journalStale = false
-	}
 	rec := encodeJournalRecord(s.seq, s.pageSize, images)
-	s.journalStale = true
+	s.journalDirty = true
 	if err := appendJournal(s.journalPath, rec); err != nil {
 		return err
 	}
@@ -563,7 +626,7 @@ func (s *Store) commitLocked() error {
 	if err := resetJournal(s.journalPath); err != nil {
 		return err
 	}
-	s.journalStale = false
+	s.journalDirty = false
 	s.pool.markClean(frames)
 	s.seq++
 	return nil
